@@ -1,0 +1,107 @@
+"""Ablation A6 — DP-SGD inside CalTrain (Section VII).
+
+Paper sketch: CalTrain is transparent to the training algorithm and can
+swap SGD for DP-SGD (Abadi et al.) to blunt model-inversion and membership
+attacks. This bench sweeps the noise multiplier with *per-example-clipped*
+DP-SGD (the faithful construction) over three member-set seeds and reports
+the privacy/utility trade-off.
+
+What is assertable at this scale: the utility cost is crisp (accuracy
+falls monotonically with noise), the non-private baseline leaks
+membership (AUC > 0.5), and no configuration approaches perfect
+membership inference. The AUC *differences* between noise levels are
+within sampling error for member sets this small; EXPERIMENTS.md records
+the measured values and the caveat.
+"""
+
+import numpy as np
+
+from repro.attacks.membership import membership_inference_auc
+from repro.data.batching import iterate_minibatches
+from repro.nn.optimizers import PerExampleDpSgd, Sgd
+from repro.nn.zoo import cifar10_10layer
+
+W10 = 0.12
+MEMBERS = 48
+EPOCHS = 60
+SEEDS = 3
+NOISE_LEVELS = (0.0, 1.0, 4.0)
+
+
+def _train(bench_rng, members, noise, seed):
+    net = cifar10_10layer(bench_rng.child(f"a6-init-{seed}").fork_generator(),
+                          width_scale=W10)
+    batch_rng = bench_rng.child(f"a6-batches-{seed}").fork_generator()
+    if noise == 0.0:
+        optimizer = Sgd(0.02, 0.9)
+        for _ in range(EPOCHS):
+            for xb, yb in iterate_minibatches(members.x, members.y, 32,
+                                              rng=batch_rng):
+                net.train_batch(xb, yb, optimizer)
+    else:
+        dp = PerExampleDpSgd(
+            0.02, momentum=0.9, clip_norm=1.0, noise_multiplier=noise,
+            rng=bench_rng.child(f"a6-noise-{noise}-{seed}").fork_generator(),
+        )
+        for _ in range(EPOCHS):
+            for xb, yb in iterate_minibatches(members.x, members.y, 32,
+                                              rng=batch_rng):
+                dp.train_batch(net, xb, yb)
+    return net
+
+
+def test_ablation_dpsgd(bench_rng, cifar, benchmark):
+    train, test = cifar
+    rows = []
+    for noise in NOISE_LEVELS:
+        accuracies, aucs = [], []
+        for seed in range(SEEDS):
+            members = train.subset(
+                range(seed * MEMBERS, (seed + 1) * MEMBERS)
+            )
+            net = _train(bench_rng, members, noise, seed)
+            probs = net.predict(test.x)
+            accuracies.append(float(np.mean(probs.argmax(1) == test.y)))
+            aucs.append(membership_inference_auc(
+                net, members.x, members.y, test.x, test.y
+            ))
+        rows.append((noise, float(np.mean(accuracies)), float(np.mean(aucs))))
+
+    from repro.nn.privacy import dp_sgd_epsilon
+
+    def epsilon_for(noise):
+        if noise == 0.0:
+            return float("inf")
+        try:
+            return dp_sgd_epsilon(noise, batch_size=32, dataset_size=MEMBERS,
+                                  epochs=EPOCHS, delta=1e-3)
+        except Exception:
+            return float("nan")  # outside the accountant's validity region
+
+    print("\nA6 - per-example DP-SGD noise sweep "
+          f"(mean over {SEEDS} member-set seeds)")
+    print(f"{'noise':>6} {'top-1':>7} {'membership AUC':>15} {'epsilon':>9}")
+    for noise, accuracy, auc in rows:
+        print(f"{noise:>6.1f} {accuracy:>7.3f} {auc:>15.3f} "
+              f"{epsilon_for(noise):>9.2f}")
+
+    accuracies = [acc for _, acc, _ in rows]
+    baseline_auc = rows[0][2]
+    # Claim 1: the privacy/utility trade-off is real — accuracy falls
+    # monotonically as the noise multiplier rises.
+    assert accuracies[0] > accuracies[1] > accuracies[2]
+    # Claim 2: the non-private baseline leaks membership.
+    assert baseline_auc > 0.52
+    # Claim 3: membership leakage stays modest across the sweep — no
+    # configuration approaches perfect membership inference. (The AUC
+    # *differences* between noise levels are within sampling error at this
+    # member-set size; EXPERIMENTS.md records the measured values.)
+    assert all(0.40 <= auc <= 0.70 for _, _, auc in rows)
+
+    # Benchmark kernel: one per-example-clipped DP-SGD batch.
+    net = cifar10_10layer(bench_rng.child("a6-bench-init").fork_generator(),
+                          width_scale=W10)
+    dp = PerExampleDpSgd(0.02, clip_norm=1.0, noise_multiplier=1.0,
+                         rng=bench_rng.child("a6-bench-noise").fork_generator())
+    benchmark.pedantic(dp.train_batch, args=(net, train.x[:32], train.y[:32]),
+                       rounds=1, iterations=1)

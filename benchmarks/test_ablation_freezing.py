@@ -1,0 +1,63 @@
+"""Ablation A4 — bottom-up FrontNet freezing (Section IV-B "Performance").
+
+Paper claim: because networks converge bottom-up, the FrontNet can be
+frozen partway through training, "completely eliminating any FrontNet
+training costs while only the BackNet is being refined" — without hurting
+final accuracy.
+"""
+
+import numpy as np
+
+from repro.core.freezing import FreezeSchedule
+from repro.core.partition import PartitionedNetwork
+from repro.core.partitioned_training import ConfidentialTrainer
+from repro.enclave.platform import SgxPlatform
+from repro.nn.optimizers import Sgd
+from repro.nn.zoo import cifar10_10layer
+
+W10 = 0.12  # must match benchmarks/conftest.py
+
+
+def _run(bench_rng, cifar, freeze_at):
+    train, test = cifar
+    platform = SgxPlatform(rng=bench_rng.child(f"a4-{freeze_at}"))
+    enclave = platform.create_enclave("training")
+    enclave.init()
+    net = cifar10_10layer(bench_rng.child("a4-init").fork_generator(),
+                          width_scale=W10)
+    partitioned = PartitionedNetwork(net, 4, enclave)
+    trainer = ConfidentialTrainer(
+        partitioned, Sgd(0.02, 0.9),
+        batch_rng=bench_rng.child(f"a4-b-{freeze_at}").fork_generator(),
+        batch_size=32,
+        freeze_schedule=FreezeSchedule(freeze_at) if freeze_at is not None else None,
+    )
+    trainer.train(train.x, train.y, 10, test_x=test.x, test_y=test.y)
+    return trainer
+
+
+def test_ablation_freezing(bench_rng, cifar, benchmark):
+    baseline = _run(bench_rng, cifar, freeze_at=None)
+    frozen = _run(bench_rng, cifar, freeze_at=5)
+
+    print("\nA4 - FrontNet freezing after epoch 5 (4 layers in enclave)")
+    print(f"{'epoch':>5} {'full (ms)':>10} {'frozen (ms)':>12}")
+    for b, f in zip(baseline.reports, frozen.reports):
+        print(f"{b.epoch + 1:>5} {b.simulated_seconds * 1e3:>10.2f} "
+              f"{f.simulated_seconds * 1e3:>12.2f}"
+              + ("  <- frozen" if f.frontnet_frozen else ""))
+
+    # Claim 1: frozen epochs are cheaper than the same epochs unfrozen.
+    frozen_epochs = [r.simulated_seconds for r in frozen.reports[5:]]
+    matched_baseline = [r.simulated_seconds for r in baseline.reports[5:]]
+    assert np.mean(frozen_epochs) < 0.95 * np.mean(matched_baseline)
+    # Claim 2: accuracy is preserved within tolerance.
+    print(f"  final top-1: full {baseline.reports[-1].top1:.3f}, "
+          f"frozen {frozen.reports[-1].top1:.3f}")
+    assert frozen.reports[-1].top1 > baseline.reports[-1].top1 - 0.15
+    # Claim 3: the frozen FrontNet genuinely stopped moving.
+    assert all(r.frontnet_frozen for r in frozen.reports[5:])
+
+    train, _ = cifar
+    benchmark(frozen.partitioned.train_batch, train.x[:32], train.y[:32],
+              frozen.optimizer)

@@ -1,0 +1,56 @@
+"""Fig. 3 — prediction accuracy, 10-layer CIFAR net, CalTrain vs plain.
+
+Paper claim: the accuracy curves of the model trained inside CalTrain (two
+layers in the enclave) and the model trained in a non-protected environment
+coincide — same convergence behaviour, same final top-1/top-2 accuracy
+(77% / 90% at paper scale after stabilising around epoch 7).
+
+This bench regenerates the four per-epoch series, prints them, and asserts
+the *shape*: both runs converge, improve substantially over epoch 1, and
+end within a small gap of each other.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import render_epoch_series
+
+
+def _series(trainer):
+    return (
+        [r.top1 for r in trainer.reports],
+        [r.top2 for r in trainer.reports],
+    )
+
+
+def test_fig3(fig3_runs, cifar, benchmark):
+    plain_top1, plain_top2 = _series(fig3_runs["plain"])
+    enclave_top1, enclave_top2 = _series(fig3_runs["enclave"])
+
+    print("\n" + render_epoch_series(
+        "Fig. 3 - Prediction accuracy, CIFAR 10-layer",
+        {
+            "cifar_10L_top1": plain_top1,
+            "cifar_10L_top2": plain_top2,
+            "cifar_enclave_10L_top1": enclave_top1,
+            "cifar_enclave_10L_top2": enclave_top2,
+        },
+    ))
+
+    # Shape claim 1: both environments converge well above chance (0.1).
+    assert plain_top1[-1] > 0.5
+    assert enclave_top1[-1] > 0.5
+    # Shape claim 2: CalTrain costs no accuracy — final top-1/top-2 match
+    # within a small tolerance.
+    assert abs(plain_top1[-1] - enclave_top1[-1]) < 0.15
+    assert abs(plain_top2[-1] - enclave_top2[-1]) < 0.15
+    # Shape claim 3: top-2 dominates top-1 everywhere.
+    assert all(t2 >= t1 for t1, t2 in zip(enclave_top1, enclave_top2))
+    # Shape claim 4: late epochs beat the first epoch (the curves rise).
+    assert np.mean(enclave_top1[-3:]) > enclave_top1[0]
+    assert np.mean(plain_top1[-3:]) > plain_top1[0]
+
+    # Benchmark kernel: one training batch of the enclave-partitioned net.
+    train, _ = cifar
+    trainer = fig3_runs["enclave"]
+    xb, yb = train.x[:32], train.y[:32]
+    benchmark(trainer.partitioned.train_batch, xb, yb, trainer.optimizer)

@@ -1,0 +1,36 @@
+"""Fig. 4 — prediction accuracy, 18-layer CIFAR net, CalTrain vs plain.
+
+Paper claim: same as Fig. 3 for the deeper Table-II network (83% / 93% at
+paper scale, converging around epoch 5); CalTrain again costs nothing.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import render_epoch_series
+
+
+def test_fig4(fig4_runs, cifar, benchmark):
+    plain = fig4_runs["plain"].reports
+    enclave = fig4_runs["enclave"].reports
+
+    print("\n" + render_epoch_series(
+        "Fig. 4 - Prediction accuracy, CIFAR 18-layer",
+        {
+            "cifar_18L_top1": [r.top1 for r in plain],
+            "cifar_18L_top2": [r.top2 for r in plain],
+            "cifar_enclave_18L_top1": [r.top1 for r in enclave],
+            "cifar_enclave_18L_top2": [r.top2 for r in enclave],
+        },
+    ))
+
+    assert plain[-1].top1 > 0.4
+    assert enclave[-1].top1 > 0.4
+    assert abs(plain[-1].top1 - enclave[-1].top1) < 0.15
+    assert abs(plain[-1].top2 - enclave[-1].top2) < 0.15
+    assert all(r.top2 >= r.top1 for r in enclave)
+    assert np.mean([r.top1 for r in enclave[-3:]]) > enclave[0].top1
+
+    train, _ = cifar
+    trainer = fig4_runs["enclave"]
+    xb, yb = train.x[:32], train.y[:32]
+    benchmark(trainer.partitioned.train_batch, xb, yb, trainer.optimizer)

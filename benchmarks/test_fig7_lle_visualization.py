@@ -1,0 +1,73 @@
+"""Fig. 7 — LLE visualization of trojaned face-data fingerprints.
+
+Paper claim: projecting the fingerprints of all class-0 (target) data to
+2-D via locally linear embedding shows the trojaned *training* data and
+trojaned *testing* data overlapping each other while both sit apart from
+the normal training data — even though the trojaned model assigns all of
+them the same class.
+
+The bench regenerates the embedding, prints an ASCII scatter, and asserts
+the cluster geometry quantitatively (in both the native fingerprint space
+and the 2-D embedding).
+"""
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+from repro.analysis.lle import locally_linear_embedding
+
+
+def _ascii_scatter(points, labels, width=64, height=20):
+    lo = points.min(axis=0)
+    hi = points.max(axis=0)
+    span = np.maximum(hi - lo, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    glyphs = {"normal": "+", "poisoned": "x", "test": "o"}
+    for point, label in zip(points, labels):
+        u = int((point[0] - lo[0]) / span[0] * (width - 1))
+        v = int((point[1] - lo[1]) / span[1] * (height - 1))
+        grid[height - 1 - v][u] = glyphs[label]
+    legend = "  legend: + normal train   x trojaned train   o trojaned test"
+    return "\n".join("".join(row) for row in grid) + "\n" + legend
+
+
+def test_fig7(trojan_world, benchmark):
+    fingerprinter = trojan_world["fingerprinter"]
+    normal = trojan_world["train"].of_class(0)
+    poisoned = trojan_world["outcome"].poisoned_train
+    trojaned_test = trojan_world["outcome"].trojaned_test
+
+    f_normal = fingerprinter.fingerprint(normal.x)
+    f_poisoned = fingerprinter.fingerprint(poisoned.x)
+    f_test = fingerprinter.fingerprint(trojaned_test.x)
+
+    points = np.concatenate([f_normal, f_poisoned, f_test])
+    labels = (["normal"] * len(f_normal) + ["poisoned"] * len(f_poisoned)
+              + ["test"] * len(f_test))
+    embedding = locally_linear_embedding(points, n_neighbors=8, n_components=2)
+
+    print("\nFig. 7 - LLE of class-0 fingerprints (trojaned face model)")
+    print(_ascii_scatter(embedding, labels))
+
+    # Shape claim 1 (native space): trojaned test data cluster with the
+    # poisoned training data, not the normal training data.
+    to_poisoned = cdist(f_test, f_poisoned).min(axis=1).mean()
+    to_normal = cdist(f_test, f_normal).min(axis=1).mean()
+    print(f"  mean nearest distance: test->poisoned {to_poisoned:.4f}, "
+          f"test->normal {to_normal:.4f}")
+    assert to_poisoned < 0.5 * to_normal
+
+    # Shape claim 2 (embedded space): the same overlap/separation survives
+    # the 2-D projection, which is what the figure displays.
+    e_normal = embedding[: len(f_normal)]
+    e_poisoned = embedding[len(f_normal) : len(f_normal) + len(f_poisoned)]
+    e_test = embedding[len(f_normal) + len(f_poisoned) :]
+    overlap = cdist(e_test, e_poisoned).min(axis=1).mean()
+    separation = cdist(e_test, e_normal).min(axis=1).mean()
+    assert overlap < separation
+
+    # Benchmark kernel: the LLE projection itself.
+    benchmark.pedantic(
+        locally_linear_embedding, args=(points,),
+        kwargs={"n_neighbors": 8, "n_components": 2}, rounds=1, iterations=1,
+    )

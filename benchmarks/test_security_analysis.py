@@ -1,0 +1,105 @@
+"""Section VII — the security analysis, measured.
+
+Not a table or figure, but the paper devotes a section to three training
+data inference attacks and why CalTrain resists them. This bench runs each
+attack in the condition where the literature shows it working AND in the
+CalTrain condition, and asserts the contrast:
+
+* **Model Inversion** (Fredrikson et al.) — works on shallow models,
+  yields obscure outputs on deep convolutional models (the paper's open
+  problem), independent of CalTrain.
+* **Input Reconstruction from IRs** — works with white-box FrontNet
+  access, fails against a surrogate (the enclave keeps the real one).
+* **GAN attack** (Hitaj et al.) — needs the iterative update channel of
+  distributed training; against CalTrain's single released model the
+  generator fools the classifier without recovering private content.
+"""
+
+import numpy as np
+
+from repro.attacks.gan_attack import GanAttack
+from repro.attacks.inversion import (
+    ModelInversionAttack,
+    class_direction_correlation,
+)
+from repro.attacks.reconstruction import InputReconstructionAttack
+from repro.data.batching import iterate_minibatches
+from repro.data.datasets import synthetic_faces
+from repro.nn.layers import CostLayer, DenseLayer, FlattenLayer, SoftmaxLayer
+from repro.nn.network import Network
+from repro.nn.optimizers import Sgd
+from repro.nn.zoo import face_recognition_net
+
+
+def _train(net, data, rng, epochs=18, lr=0.01):
+    optimizer = Sgd(lr, 0.9)
+    for _ in range(epochs):
+        for xb, yb in iterate_minibatches(data.x, data.y, 16, rng=rng):
+            net.train_batch(xb, yb, optimizer)
+    return net
+
+
+def test_security_analysis(bench_rng, benchmark):
+    rng = bench_rng.child("sec")
+    faces = synthetic_faces(rng.child("faces"), num_identities=4,
+                            per_identity=40)
+    global_mean = faces.x.mean(axis=0)
+    class_mean = faces.of_class(0).x.mean(axis=0)
+
+    # Victims: a shallow softmax-regression and a deep conv model.
+    shallow = Network(
+        faces.x.shape[1:],
+        [FlattenLayer(), DenseLayer(4, activation="linear"),
+         SoftmaxLayer(), CostLayer()],
+        rng=rng.child("shallow-init").generator,
+    )
+    _train(shallow, faces, rng.child("shallow-b").generator, epochs=30,
+           lr=0.05)
+    deep = face_recognition_net(num_classes=5,
+                                rng=rng.child("deep-init").generator)
+    _train(deep, faces, rng.child("deep-b").generator)
+
+    print("\nSection VII - security analysis")
+
+    # -- Model Inversion ----------------------------------------------------
+    shallow_inv = ModelInversionAttack(shallow, 0).invert(iterations=200,
+                                                          lr=0.5)
+    deep_inv = ModelInversionAttack(deep, 0).invert(iterations=200, lr=0.5)
+    shallow_corr = class_direction_correlation(
+        shallow_inv.reconstruction, class_mean, global_mean)
+    deep_corr = class_direction_correlation(
+        deep_inv.reconstruction, class_mean, global_mean)
+    print(f"  model inversion: shallow corr {shallow_corr:.3f} "
+          f"(conf {shallow_inv.confidence:.2f}) vs deep corr "
+          f"{deep_corr:.3f} (conf {deep_inv.confidence:.2f})")
+    assert shallow_corr > 0.4
+    assert abs(deep_corr) < 0.5 * shallow_corr
+
+    # -- Input reconstruction from IRs ---------------------------------------
+    x = faces.x[0]
+    ir = deep.forward(x[None], stop=1)
+    whitebox = InputReconstructionAttack(deep, 1).reconstruct(
+        ir, x, iterations=200, lr=10.0, rng=rng.child("wb").generator)
+    surrogate_net = face_recognition_net(
+        num_classes=5, rng=rng.child("surrogate").generator)
+    blackbox = InputReconstructionAttack(surrogate_net, 1).reconstruct(
+        ir, x, iterations=200, lr=10.0, rng=rng.child("bb").generator)
+    print(f"  IR reconstruction: with FrontNet MSE {whitebox.input_mse:.4f} "
+          f"vs surrogate MSE {blackbox.input_mse:.4f}")
+    assert whitebox.input_mse < 0.2 * blackbox.input_mse
+
+    # -- GAN attack ------------------------------------------------------------
+    gan = GanAttack(deep, target_class=0, rng=rng.child("gan").generator)
+    offline = gan.run(rounds=80, batch=16, lr=0.5, online=False,
+                      class_mean=class_mean, global_mean=global_mean)
+    print(f"  GAN (offline, the CalTrain condition): confidence "
+          f"{offline.confidence:.2f}, content correlation "
+          f"{offline.class_correlation:.3f}")
+    assert offline.confidence > 0.9
+    assert abs(offline.class_correlation) < 0.5
+
+    # Benchmark kernel: one inversion run against the deep model.
+    benchmark.pedantic(
+        ModelInversionAttack(deep, 0).invert,
+        kwargs={"iterations": 50, "lr": 0.5}, rounds=1, iterations=1,
+    )

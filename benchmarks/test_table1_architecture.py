@@ -1,0 +1,45 @@
+"""Table I — the 10-layer CIFAR-10 architecture.
+
+Regenerates the paper's Table I rows (layer, filter, size, input, output)
+at full width and benchmarks construction + one forward pass.
+"""
+
+import numpy as np
+
+from repro.nn.zoo import cifar10_10layer
+
+EXPECTED_ROWS = [
+    ("conv", "128", "3x3/1", "28x28x3", "28x28x128"),
+    ("conv", "128", "3x3/1", "28x28x128", "28x28x128"),
+    ("max", "", "2x2/2", "28x28x128", "14x14x128"),
+    ("conv", "64", "3x3/1", "14x14x128", "14x14x64"),
+    ("max", "", "2x2/2", "14x14x64", "7x7x64"),
+    ("conv", "128", "3x3/1", "7x7x64", "7x7x128"),
+    ("conv", "10", "1x1/1", "7x7x128", "7x7x10"),
+    ("avg", "", "", "7x7x10", "10"),
+    ("softmax", "", "", "10", "10"),
+    ("cost", "", "", "10", "10"),
+]
+
+
+def test_table1(benchmark):
+    net = cifar10_10layer(np.random.default_rng(0), width_scale=1.0)
+    print("\n" + net.summary())
+
+    shapes = net.layer_output_shapes()
+    shape = net.input_shape
+    fmt = lambda s: "x".join(str(d) for d in s)
+    for i, (kind, filters, size, in_s, out_s) in enumerate(EXPECTED_ROWS):
+        layer = net.layers[i]
+        assert layer.kind == kind
+        if filters:
+            assert str(layer.filters) == filters
+        if size:
+            assert f"{layer.size}x{layer.size}/{layer.stride}" == size
+        assert fmt(shape) == in_s, f"layer {i + 1} input"
+        assert fmt(shapes[i]) == out_s, f"layer {i + 1} output"
+        shape = shapes[i]
+
+    # Benchmark: a forward pass through the full-width Table-I network.
+    x = np.random.default_rng(1).random((4, 28, 28, 3)).astype(np.float32)
+    benchmark(net.forward, x)

@@ -1,0 +1,48 @@
+"""Table II — the 18-layer CIFAR-10 architecture.
+
+Regenerates the paper's Table II rows at full width and benchmarks one
+forward pass.
+"""
+
+import numpy as np
+
+from repro.nn.layers import DropoutLayer
+from repro.nn.zoo import cifar10_18layer
+
+EXPECTED = [
+    ("conv", 128, (28, 28, 128)),
+    ("conv", 128, (28, 28, 128)),
+    ("conv", 128, (28, 28, 128)),
+    ("max", None, (14, 14, 128)),
+    ("dropout", None, (14, 14, 128)),
+    ("conv", 256, (14, 14, 256)),
+    ("conv", 256, (14, 14, 256)),
+    ("conv", 256, (14, 14, 256)),
+    ("max", None, (7, 7, 256)),
+    ("dropout", None, (7, 7, 256)),
+    ("conv", 512, (7, 7, 512)),
+    ("conv", 512, (7, 7, 512)),
+    ("conv", 512, (7, 7, 512)),
+    ("dropout", None, (7, 7, 512)),
+    ("conv", 10, (7, 7, 10)),
+    ("avg", None, (10,)),
+    ("softmax", None, (10,)),
+    ("cost", None, (10,)),
+]
+
+
+def test_table2(benchmark):
+    net = cifar10_18layer(np.random.default_rng(0), width_scale=1.0)
+    print("\n" + net.summary())
+
+    shapes = net.layer_output_shapes()
+    for i, (kind, filters, out_shape) in enumerate(EXPECTED):
+        assert net.layers[i].kind == kind, f"layer {i + 1}"
+        if filters is not None:
+            assert net.layers[i].filters == filters, f"layer {i + 1}"
+        assert shapes[i] == out_shape, f"layer {i + 1}"
+    dropouts = [l for l in net.layers if isinstance(l, DropoutLayer)]
+    assert [l.probability for l in dropouts] == [0.5, 0.5, 0.5]
+
+    x = np.random.default_rng(1).random((2, 28, 28, 3)).astype(np.float32)
+    benchmark(net.forward, x)

@@ -1,0 +1,102 @@
+"""Partition assessment: choosing how much of the network to protect.
+
+Walks the security/performance trade-off at the heart of CalTrain's
+partitioned training (Sections IV-B, VI-B, VI-C):
+
+1. train a model snapshot per epoch inside an enclave;
+2. run the IRGenNet/IRValNet KL-divergence assessment on each snapshot to
+   find which layers' IRs still reveal the input;
+3. pick the optimal partition (smallest safe FrontNet);
+4. show what that choice costs, by sweeping the simulated-time overhead of
+   different in-enclave workloads (the Fig. 6 curve).
+
+Run:  python examples/partition_assessment.py   (takes a couple minutes)
+"""
+
+import numpy as np
+
+from repro.core.assessment import ExposureAssessor, train_validation_oracle
+from repro.core.partition import PartitionedNetwork
+from repro.core.partitioned_training import ConfidentialTrainer
+from repro.data import synthetic_cifar
+from repro.enclave.platform import SgxPlatform
+from repro.nn.optimizers import Sgd
+from repro.nn.zoo import cifar10_18layer
+from repro.utils.rng import RngStream
+
+WIDTH = 0.1
+EPOCHS = 6
+
+
+def main() -> None:
+    rng = RngStream(seed=5, name="assessment")
+    train, test = synthetic_cifar(rng.child("data"), num_train=500,
+                                  num_test=150)
+
+    # The IRValNet oracle: an independent well-trained model whose class
+    # space includes a background class for contentless images.
+    print("training the IRValNet oracle…")
+    oracle = train_validation_oracle(train.x, train.y, rng.child("oracle"),
+                                     epochs=8, width_scale=0.15,
+                                     learning_rate=0.03)
+
+    # Train the 18-layer model inside an enclave, keeping a snapshot per
+    # epoch (the semi-trained models of Fig. 5).
+    print("training the 18-layer model with per-epoch snapshots…")
+    platform = SgxPlatform(rng=rng.child("platform"))
+    enclave = platform.create_enclave("training")
+    enclave.init()
+    net = cifar10_18layer(rng.child("init").generator, width_scale=WIDTH)
+    net.set_dropout_rng(enclave.trusted_rng.generator)
+    trainer = ConfidentialTrainer(
+        PartitionedNetwork(net, 2, enclave), Sgd(0.02, 0.9),
+        batch_rng=enclave.trusted_rng.stream.child("batches").generator,
+        batch_size=32,
+    )
+    trainer.train(train.x, train.y, EPOCHS, test_x=test.x, test_y=test.y,
+                  keep_snapshots=True)
+
+    # Assess every snapshot.
+    assessor = ExposureAssessor(oracle, max_channels_per_layer=4)
+    print("\nper-epoch exposure assessment:")
+    votes = []
+    for epoch, weights in enumerate(trainer.snapshots, start=1):
+        snapshot = cifar10_18layer(rng.child("scratch").fork_generator(),
+                                   width_scale=WIDTH)
+        snapshot.set_weights(weights)
+        result = assessor.assess(snapshot, test.x[:2])
+        votes.append(result.optimal_partition)
+        leaky = [str(l.layer_index + 1) for l in result.layers
+                 if l.leaks(result.uniform_baseline)]
+        print(f"  epoch {epoch}: delta_mu {result.uniform_baseline:.2f}; "
+              f"leaking layers {{{', '.join(leaky)}}}; "
+              f"-> enclose first {result.optimal_partition} layers")
+    agreed = max(votes)
+    print(f"\nparticipants' consensus (most conservative vote): "
+          f"first {agreed} layers in the enclave")
+
+    # What does that protection level cost? Sweep the overhead curve.
+    print("\nsimulated one-epoch overhead by partition depth:")
+    base = None
+    for partition in (0, 2, 4, agreed, 14):
+        sweep_platform = SgxPlatform(rng=rng.child(f"sweep{partition}"))
+        sweep_enclave = sweep_platform.create_enclave("sweep")
+        sweep_enclave.init()
+        sweep_net = cifar10_18layer(rng.child("sweep-init").fork_generator(),
+                                    width_scale=WIDTH)
+        partitioned = PartitionedNetwork(sweep_net, partition, sweep_enclave)
+        optimizer = Sgd(0.02, 0.9)
+        start = sweep_platform.clock.now
+        for b in range(4):
+            partitioned.train_batch(train.x[b * 32:(b + 1) * 32],
+                                    train.y[b * 32:(b + 1) * 32], optimizer)
+        elapsed = sweep_platform.clock.now - start
+        if base is None:
+            base = elapsed
+        marker = "  <- chosen partition" if partition == agreed else ""
+        print(f"  {partition:>2} layers in enclave: "
+              f"{(elapsed / base - 1) * 100:6.2f}% overhead{marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools shim (legacy editable installs where `wheel` is unavailable)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""Image tensor operations used by the exposure assessment."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["bilinear_resize", "to_ir_image"]
+
+
+def bilinear_resize(image: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Bilinearly resize an (H, W) or (H, W, C) image."""
+    if image.ndim == 2:
+        image = image[..., None]
+        squeeze = True
+    elif image.ndim == 3:
+        squeeze = False
+    else:
+        raise ConfigurationError("expected a 2-D or 3-D image")
+    h, w, _ = image.shape
+    ys = np.linspace(0, h - 1, out_h)
+    xs = np.linspace(0, w - 1, out_w)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, h - 1)
+    x1 = np.minimum(x0 + 1, w - 1)
+    wy = (ys - y0)[:, None, None]
+    wx = (xs - x0)[None, :, None]
+    top = image[y0][:, x0] * (1 - wx) + image[y0][:, x1] * wx
+    bottom = image[y1][:, x0] * (1 - wx) + image[y1][:, x1] * wx
+    out = top * (1 - wy) + bottom * wy
+    return out[..., 0] if squeeze else out
+
+
+def to_ir_image(feature_map: np.ndarray, out_h: int, out_w: int,
+                channels: int = 3) -> np.ndarray:
+    """Project one IR feature map to an RGB-like image.
+
+    Min-max normalizes a single (H, W) feature map to [0, 1], resizes it to
+    the validation network's input resolution, and replicates it across
+    ``channels`` — the paper's "feature maps are projected to IR images"
+    step (Section IV-B).
+    """
+    fmin, fmax = float(feature_map.min()), float(feature_map.max())
+    if fmax - fmin < 1e-12:
+        normalized = np.zeros_like(feature_map, dtype=np.float64)
+    else:
+        normalized = (feature_map.astype(np.float64) - fmin) / (fmax - fmin)
+    resized = bilinear_resize(normalized, out_h, out_w)
+    return np.repeat(resized[..., None], channels, axis=-1).astype(np.float32)

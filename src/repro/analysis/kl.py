@@ -1,0 +1,32 @@
+"""Kullback-Leibler divergence helpers for the exposure assessment."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["kl_divergence", "kl_to_uniform"]
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray, eps: float = 1e-10) -> float:
+    """``D_KL(p || q)`` for discrete distributions (smoothed with ``eps``)."""
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape:
+        raise ConfigurationError("distributions must have the same shape")
+    p = (p + eps) / (p + eps).sum()
+    q = (q + eps) / (q + eps).sum()
+    return float(np.sum(p * np.log(p / q)))
+
+
+def kl_to_uniform(p: np.ndarray) -> float:
+    """``D_KL(p || U)`` — the paper's tight exposure bound ``delta_mu``.
+
+    A uniform classification of an IR image means the adversary learns
+    nothing about the original input, so IRs whose KL against the original's
+    distribution is at or above this baseline no longer leak content.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    uniform = np.full_like(p, 1.0 / p.shape[-1])
+    return kl_divergence(p, uniform)

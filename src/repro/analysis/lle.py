@@ -1,0 +1,54 @@
+"""Locally linear embedding (Roweis & Saul), from scratch.
+
+The paper projects 2622-dimensional face fingerprints to 2-D via LLE to
+visualize how trojaned training/testing data cluster apart from normal
+training data (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import eigh
+from scipy.spatial.distance import cdist
+
+from repro.errors import ConfigurationError
+
+__all__ = ["locally_linear_embedding"]
+
+
+def locally_linear_embedding(points: np.ndarray, n_neighbors: int = 10,
+                             n_components: int = 2,
+                             regularization: float = 1e-3) -> np.ndarray:
+    """Embed ``points`` (N, D) into ``n_components`` dimensions.
+
+    Steps: (1) k-nearest neighbours per point; (2) local reconstruction
+    weights by solving the constrained least squares on each neighbourhood
+    Gram matrix; (3) bottom eigenvectors of ``(I - W)^T (I - W)`` (skipping
+    the constant one) give the embedding.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n, dim = points.shape
+    if n_neighbors >= n:
+        raise ConfigurationError("n_neighbors must be smaller than the point count")
+    if n_components >= n:
+        raise ConfigurationError("n_components must be smaller than the point count")
+
+    distances = cdist(points, points)
+    np.fill_diagonal(distances, np.inf)
+    neighbor_idx = np.argsort(distances, axis=1)[:, :n_neighbors]
+
+    weights = np.zeros((n, n))
+    for i in range(n):
+        neighbors = points[neighbor_idx[i]] - points[i]
+        gram = neighbors @ neighbors.T
+        # Regularize (essential when n_neighbors > D).
+        trace = np.trace(gram)
+        gram += np.eye(n_neighbors) * regularization * (trace if trace > 0 else 1.0)
+        w = np.linalg.solve(gram, np.ones(n_neighbors))
+        weights[i, neighbor_idx[i]] = w / w.sum()
+
+    m = np.eye(n) - weights
+    m = m.T @ m
+    # The smallest eigenvalue's eigenvector is constant; take the next ones.
+    eigenvalues, eigenvectors = eigh(m, subset_by_index=(0, n_components))
+    return eigenvectors[:, 1 : n_components + 1]

@@ -1,0 +1,72 @@
+"""BadNets-style training-time poisoning (Gu, Dolan-Gavitt & Garg).
+
+Unlike the Trojaning attack, BadNets assumes the attacker poisons data
+*before* training: a fixed pixel-pattern trigger is stamped onto a fraction
+of training images, which are relabelled to the target class. The backdoor
+is learned during normal training. This gives the benchmarks a second,
+independent poisoning pathway through a legitimate CalTrain participant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.attacks.trojan import make_corner_mask, stamp_trigger
+from repro.data.datasets import Dataset
+from repro.errors import ConfigurationError
+
+__all__ = ["BadNetsAttack"]
+
+
+@dataclass
+class BadNetsAttack:
+    """Fixed-pattern backdoor poisoning.
+
+    Args:
+        target_label: Class the backdoor should activate.
+        patch: Trigger side length; the pattern is a checkerboard in the
+            bottom-right corner (BadNets' classic trigger).
+    """
+
+    target_label: int
+    patch: int = 3
+
+    def trigger_for(self, shape: Tuple[int, int, int]) -> Tuple[np.ndarray, np.ndarray]:
+        """(trigger, mask) for a given image shape."""
+        mask = make_corner_mask(shape, self.patch)
+        h, w, c = shape
+        yy, xx = np.mgrid[0:h, 0:w]
+        checker = ((yy + xx) % 2).astype(np.float32)
+        trigger = np.repeat(checker[..., None], c, axis=-1) * mask
+        return trigger, mask
+
+    def poison_dataset(self, dataset: Dataset, fraction: float,
+                       rng: np.random.Generator) -> Dataset:
+        """Stamp + relabel a random fraction; flags mark poisoned rows."""
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError("fraction must be in (0, 1]")
+        trigger, mask = self.trigger_for(dataset.x.shape[1:])
+        n_poison = max(1, int(round(fraction * len(dataset))))
+        chosen = rng.choice(len(dataset), size=n_poison, replace=False)
+        x = dataset.x.copy()
+        y = dataset.y.copy()
+        x[chosen] = stamp_trigger(x[chosen], trigger, mask)
+        y[chosen] = self.target_label
+        flags = {k: v.copy() for k, v in dataset.flags.items()}
+        poisoned = np.zeros(len(dataset), dtype=bool)
+        poisoned[chosen] = True
+        flags["poisoned"] = poisoned
+        return Dataset(x=x, y=y, name=f"{dataset.name}/badnets", flags=flags)
+
+    def stamp_test_set(self, dataset: Dataset) -> Dataset:
+        """Trigger-stamp a clean test set (all expected to hit the target)."""
+        trigger, mask = self.trigger_for(dataset.x.shape[1:])
+        return Dataset(
+            x=stamp_trigger(dataset.x, trigger, mask),
+            y=np.full(len(dataset), self.target_label, dtype=np.int64),
+            name=f"{dataset.name}/badnets-test",
+            flags={"poisoned": np.ones(len(dataset), dtype=bool)},
+        )

@@ -1,0 +1,162 @@
+"""The GAN attack on collaborative learning (Hitaj et al., CCS 2017).
+
+Section VII's third privacy attack: a malicious participant in a
+*distributed* collaborative system trains a local generator against the
+continuously updated global model (used as the discriminator) to
+synthesize other participants' private class data. The paper argues the
+attack is **not applicable** to CalTrain because training is offline —
+the adversary gets exactly one final model and no iterative feedback.
+
+This module implements the generator and both conditions so the security
+bench can measure the contrast:
+
+* **online** — the generator trains against the victim model while the
+  victim keeps training on private data (the DSSGD/federated setting);
+* **offline** — the generator trains against the single released static
+  model (all CalTrain gives an adversary).
+
+In both cases the generator maximizes the victim's confidence that its
+samples belong to the target class; the online setting additionally lets
+the victim model evolve to *reject* generated samples (the discriminative
+feedback loop that makes the attack work in the original paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.attacks.inversion import class_direction_correlation
+from repro.errors import ConfigurationError
+from repro.nn.initializers import gaussian_init
+from repro.nn.layers import DenseLayer
+from repro.nn.network import Network
+from repro.nn.optimizers import Sgd
+
+__all__ = ["Generator", "GanAttack", "GanOutcome"]
+
+
+class Generator:
+    """A small dense generator: latent z -> image in [0, 1]."""
+
+    def __init__(self, latent_dim: int, output_shape: Tuple[int, int, int],
+                 hidden: int = 64,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if latent_dim < 1:
+            raise ConfigurationError("latent_dim must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.latent_dim = latent_dim
+        self.output_shape = output_shape
+        out_dim = int(np.prod(output_shape))
+        self._h1 = DenseLayer(hidden, activation="leaky")
+        self._h1.build(latent_dim, gaussian_init(rng))
+        self._out = DenseLayer(out_dim, activation="sigmoid")
+        self._out.build(hidden, gaussian_init(rng))
+
+    def sample(self, z: np.ndarray, training: bool = False) -> np.ndarray:
+        hidden = self._h1.forward(z, training=training)
+        flat = self._out.forward(hidden, training=training)
+        return flat.reshape((z.shape[0],) + self.output_shape)
+
+    def backward(self, image_grad: np.ndarray) -> None:
+        flat_grad = image_grad.reshape(image_grad.shape[0], -1)
+        self._h1.backward(self._out.backward(flat_grad))
+
+    def step(self, learning_rate: float) -> None:
+        for layer in (self._h1, self._out):
+            for name, param in layer.params().items():
+                param -= learning_rate * layer.grads()[name]
+            layer.zero_grads()
+
+
+@dataclass
+class GanOutcome:
+    samples: np.ndarray
+    #: Victim confidence on the generator's samples for the target class.
+    confidence: float
+    #: Cosine similarity of the mean sample with the target class's
+    #: distinguishing direction (the attack's actual success measure).
+    class_correlation: float
+
+
+class GanAttack:
+    """Generator-vs-victim training in the online or offline condition."""
+
+    def __init__(self, victim: Network, target_class: int, latent_dim: int = 8,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.victim = victim
+        self.target_class = target_class
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.generator = Generator(latent_dim, victim.input_shape,
+                                   rng=self.rng)
+
+    def _generator_step(self, batch: int, lr: float) -> float:
+        """One generator update toward the victim's target class."""
+        z = self.rng.standard_normal((batch, self.generator.latent_dim))
+        images = self.generator.sample(z, training=True)
+        probs = self.victim.forward(images, training=True)
+        # Ascend log p_target through the victim into the generator.
+        delta = -probs.copy()
+        delta[:, self.target_class] += 1.0
+        image_grad = self.victim.backward(-delta / batch)
+        self.victim.zero_grads()  # the adversary cannot update the victim
+        self.generator.backward(image_grad)
+        self.generator.step(lr)
+        return float(probs[:, self.target_class].mean())
+
+    def _victim_counter_step(self, private_x: np.ndarray,
+                             private_y: np.ndarray,
+                             fake_label: int, optimizer: Sgd,
+                             batch: int) -> None:
+        """The online feedback loop: the (honest) participants keep
+        training, which implicitly teaches the global model to separate
+        real target-class data from the generator's current fakes —
+        leaking the private class structure back to the adversary."""
+        z = self.rng.standard_normal((batch, self.generator.latent_dim))
+        fakes = self.generator.sample(z)
+        idx = self.rng.choice(private_x.shape[0], size=batch, replace=False)
+        x = np.concatenate([private_x[idx], fakes])
+        y = np.concatenate([
+            private_y[idx], np.full(batch, fake_label, dtype=np.int64)
+        ])
+        self.victim.train_batch(x, y, optimizer)
+
+    def run(self, rounds: int = 60, batch: int = 16, lr: float = 0.5,
+            online: bool = False,
+            private_x: Optional[np.ndarray] = None,
+            private_y: Optional[np.ndarray] = None,
+            fake_label: Optional[int] = None,
+            class_mean: Optional[np.ndarray] = None,
+            global_mean: Optional[np.ndarray] = None) -> GanOutcome:
+        """Run the attack; ``online=True`` interleaves victim updates.
+
+        Args:
+            fake_label: The class the online victim assigns to generated
+                samples (Hitaj et al.'s artificial class); defaults to the
+                last class.
+        """
+        if online:
+            if private_x is None or private_y is None:
+                raise ConfigurationError("online attack needs the private data")
+            victim_optimizer = Sgd(0.02, momentum=0.9)
+            if fake_label is None:
+                fake_label = int(self.victim.layer_output_shapes()[-1][0]) - 1
+        for _ in range(rounds):
+            self._generator_step(batch, lr)
+            if online:
+                self._victim_counter_step(private_x, private_y, fake_label,
+                                          victim_optimizer, batch)
+        z = self.rng.standard_normal((32, self.generator.latent_dim))
+        samples = self.generator.sample(z)
+        confidence = float(
+            self.victim.predict(samples)[:, self.target_class].mean()
+        )
+        correlation = 0.0
+        if class_mean is not None and global_mean is not None:
+            correlation = class_direction_correlation(
+                samples.mean(axis=0), class_mean, global_mean
+            )
+        return GanOutcome(samples=samples, confidence=confidence,
+                          class_correlation=correlation)

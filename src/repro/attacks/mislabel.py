@@ -1,0 +1,49 @@
+"""Mislabeled-data injection.
+
+The paper manually inspected VGG-Face's A.J.Buckley class and found only
+49.7% of its 1000 training images were correct; 24.3% were mislabeled.
+Mislabeled data need not be malicious but still shift the model and show up
+in accountability queries (the Eleanor Tomlinson case in Fig. 8). This
+module reproduces that condition: it moves instances of *other* classes
+into a target class under the target label.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.errors import ConfigurationError
+
+__all__ = ["inject_mislabeled"]
+
+
+def inject_mislabeled(pool: Dataset, target_label: int, count: int,
+                      rng: np.random.Generator,
+                      exclude_label: Optional[int] = None) -> Dataset:
+    """Draw ``count`` instances from other classes and relabel them.
+
+    Args:
+        pool: Source of images to mislabel (e.g. other identities).
+        target_label: The (wrong) label the instances receive.
+        exclude_label: Defaults to ``target_label`` — instances already of
+            the target class cannot be "mislabeled" into it.
+
+    Returns:
+        A dataset of mislabeled instances with ``flags["mislabeled"]`` set.
+    """
+    exclude = target_label if exclude_label is None else exclude_label
+    candidates = np.flatnonzero(pool.y != exclude)
+    if candidates.size < count:
+        raise ConfigurationError(
+            f"pool has only {candidates.size} candidates, need {count}"
+        )
+    chosen = rng.choice(candidates, size=count, replace=False)
+    return Dataset(
+        x=pool.x[chosen],
+        y=np.full(count, target_label, dtype=np.int64),
+        name=f"mislabeled-as-{target_label}",
+        flags={"mislabeled": np.ones(count, dtype=bool)},
+    )

@@ -1,0 +1,207 @@
+"""Command-line interface.
+
+Run ``python -m repro <command>``:
+
+* ``info`` — version, architectures, and the Table I/II summaries.
+* ``train`` — confidential collaborative training on synthetic data.
+* ``assess`` — information-exposure assessment of a freshly trained model.
+* ``forensics`` — the Trojaning-attack accountability pipeline.
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CalTrain: confidential and accountable collaborative learning",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="master seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="version and architecture tables")
+
+    train = sub.add_parser("train", help="confidential collaborative training")
+    train.add_argument("--architecture", default="cifar10-10layer",
+                       choices=["cifar10-10layer", "cifar10-18layer"])
+    train.add_argument("--epochs", type=int, default=4)
+    train.add_argument("--width-scale", type=float, default=0.1)
+    train.add_argument("--partition", type=int, default=2)
+    train.add_argument("--participants", type=int, default=3)
+    train.add_argument("--train-size", type=int, default=300)
+    train.add_argument("--test-size", type=int, default=100)
+
+    assess = sub.add_parser("assess", help="exposure assessment")
+    assess.add_argument("--epochs", type=int, default=3)
+    assess.add_argument("--width-scale", type=float, default=0.1)
+    assess.add_argument("--inputs", type=int, default=2)
+
+    forensics = sub.add_parser("forensics", help="trojan accountability demo")
+    forensics.add_argument("--identities", type=int, default=8)
+    forensics.add_argument("--queries", type=int, default=3)
+    return parser
+
+
+def _cmd_info(args) -> int:
+    import repro
+    from repro.nn.zoo import cifar10_10layer, cifar10_18layer
+
+    print(f"repro-caltrain {repro.__version__}")
+    print("\nTable I — 10-layer CIFAR-10 network:")
+    print(cifar10_10layer(np.random.default_rng(0), width_scale=1.0).summary())
+    print("\nTable II — 18-layer CIFAR-10 network:")
+    print(cifar10_18layer(np.random.default_rng(0), width_scale=1.0).summary())
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.core.caltrain import CalTrain, CalTrainConfig
+    from repro.data.datasets import synthetic_cifar
+    from repro.federation.participant import TrainingParticipant
+    from repro.utils.rng import RngStream
+
+    rng = RngStream(args.seed, name="cli-train")
+    train, test = synthetic_cifar(rng.child("data"), num_train=args.train_size,
+                                  num_test=args.test_size)
+    system = CalTrain(CalTrainConfig(
+        seed=args.seed, architecture=args.architecture,
+        width_scale=args.width_scale, epochs=args.epochs,
+        partition=args.partition, augment=False,
+    ))
+    print(f"enclave MRENCLAVE: {system.expected_measurement.hex()}")
+    fractions = [1.0 / args.participants] * args.participants
+    for i, share in enumerate(train.split(fractions,
+                                          rng=rng.child("split").generator)):
+        participant = TrainingParticipant(f"p{i}", share, rng.child(f"p{i}"))
+        system.register_participant(participant)
+        system.submit_data(participant)
+    reports = system.train(test_x=test.x, test_y=test.y)
+    summary = system.decryption_summary
+    print(f"accepted {summary.accepted} records "
+          f"({summary.rejected_tampered} tampered, "
+          f"{summary.rejected_unregistered} unregistered rejected)")
+    for report in reports:
+        print(f"epoch {report.epoch + 1:>2}: loss {report.mean_loss:.4f}  "
+              f"top-1 {report.top1:.2%}  top-2 {report.top2:.2%}  "
+              f"simulated {report.simulated_seconds:.3f}s")
+    database = system.fingerprint_stage()
+    print(f"linkage database: {len(database)} records "
+          f"(dimension {database.dimension})")
+    return 0
+
+
+def _cmd_assess(args) -> int:
+    from repro.core.assessment import ExposureAssessor, train_validation_oracle
+    from repro.data.batching import iterate_minibatches
+    from repro.data.datasets import synthetic_cifar
+    from repro.nn.optimizers import Sgd
+    from repro.nn.zoo import cifar10_18layer
+    from repro.utils.rng import RngStream
+
+    rng = RngStream(args.seed, name="cli-assess")
+    train, test = synthetic_cifar(rng.child("data"), num_train=400, num_test=100)
+    print("training the IRValNet oracle…")
+    oracle = train_validation_oracle(train.x, train.y, rng.child("oracle"),
+                                     epochs=6, width_scale=0.15,
+                                     learning_rate=0.03)
+    print("training the IRGenNet model…")
+    model = cifar10_18layer(rng.child("init").generator,
+                            width_scale=args.width_scale)
+    optimizer = Sgd(0.02, 0.9)
+    batch_rng = rng.child("batches").generator
+    for _ in range(args.epochs):
+        for xb, yb in iterate_minibatches(train.x, train.y, 32, rng=batch_rng):
+            model.train_batch(xb, yb, optimizer)
+    result = ExposureAssessor(oracle, max_channels_per_layer=4).assess(
+        model, test.x[: args.inputs]
+    )
+    print(f"uniform baseline delta_mu = {result.uniform_baseline:.3f}")
+    for exposure in result.layers:
+        verdict = "LEAK" if exposure.leaks(result.uniform_baseline) else "safe"
+        print(f"  layer {exposure.layer_index + 1:>2}: "
+              f"KL in [{exposure.kl_min:7.3f}, {exposure.kl_max:7.3f}]  {verdict}")
+    print(f"=> enclose the first {result.optimal_partition} layers")
+    return 0
+
+
+def _cmd_forensics(args) -> int:
+    from repro.attacks.trojan import TrojanAttack
+    from repro.core.fingerprint import Fingerprinter
+    from repro.core.linkage import LinkageDatabase, instance_digest
+    from repro.core.query import QueryService
+    from repro.data.batching import iterate_minibatches
+    from repro.data.datasets import synthetic_faces
+    from repro.nn.optimizers import Sgd
+    from repro.nn.zoo import face_recognition_net
+    from repro.utils.rng import RngStream
+
+    rng = RngStream(args.seed, name="cli-forensics")
+    faces = synthetic_faces(rng.child("faces"), num_identities=args.identities,
+                            per_identity=40)
+    train, test, substitute = faces.split([0.6, 0.2, 0.2],
+                                          rng=rng.child("split").generator)
+    model = face_recognition_net(num_classes=args.identities,
+                                 rng=rng.child("init").generator)
+    optimizer = Sgd(0.01, 0.9)
+    batch_rng = rng.child("batches").generator
+    for _ in range(18):
+        for xb, yb in iterate_minibatches(train.x, train.y, 16, rng=batch_rng):
+            model.train_batch(xb, yb, optimizer)
+    attack = TrojanAttack(model, target_label=0, patch=4,
+                          rng=rng.child("attack").generator)
+    outcome = attack.run(substitute, test, trigger_iterations=40,
+                         retrain_epochs=4, learning_rate=0.01)
+    print(f"attack success rate: {attack.attack_success_rate(outcome):.2%}")
+
+    fingerprinter = Fingerprinter(outcome.trojaned_model)
+    database = LinkageDatabase()
+    for dataset, source, kind_key in ((train, "honest", None),
+                                      (outcome.poisoned_train, "attacker",
+                                       "poisoned")):
+        fingerprints = fingerprinter.fingerprint(dataset.x)
+        kinds = [
+            "poisoned" if kind_key and dataset.flags[kind_key][i] else "normal"
+            for i in range(len(dataset))
+        ]
+        database.add_batch(
+            fingerprints, dataset.y.tolist(), [source] * len(dataset),
+            [instance_digest(dataset.x[i]) for i in range(len(dataset))],
+            source_indices=list(range(len(dataset))), kinds=kinds,
+        )
+    service = QueryService(database)
+    labels, _, fingerprints = fingerprinter.predict_with_fingerprint(
+        outcome.trojaned_test.x[: args.queries]
+    )
+    for qi in range(args.queries):
+        print(f"misprediction #{qi}: closest training instances")
+        for neighbor in service.query(fingerprints[qi], int(labels[qi]), k=5):
+            print(f"  #{neighbor.rank}: L2 {neighbor.distance:.3f}  "
+                  f"{neighbor.record.kind} / {neighbor.record.source}")
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "train": _cmd_train,
+    "assess": _cmd_assess,
+    "forensics": _cmd_forensics,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""The forensic accountability pipeline (paper, Sections IV-C and VI-D).
+
+Ties the pieces together: fingerprint the mispredicted inputs, query the
+linkage database for nearest same-class training instances, summon the
+responsible contributors to disclose those instances, verify the disclosed
+data against the recorded hash digests, and aggregate suspicion per source.
+Only the small set of suspicious instances is ever disclosed — the paper's
+"minimum data exposure" property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import precision_recall_f1
+from repro.core.fingerprint import Fingerprinter
+from repro.core.query import Neighbor, QueryService
+from repro.errors import QueryError
+from repro.federation.participant import TrainingParticipant
+from repro.utils.logging import get_logger
+
+__all__ = ["InvestigationResult", "Investigator"]
+
+_LOG = get_logger("core.accountability")
+
+
+@dataclass
+class InvestigationResult:
+    """Everything an investigation produced."""
+
+    #: Per mispredicted input: its neighbour list.
+    neighbor_lists: List[List[Neighbor]]
+    #: Record indices flagged as suspicious training instances.
+    suspicious_records: List[int]
+    #: Suspicion hit count per contributing source.
+    source_counts: Dict[str, int] = field(default_factory=dict)
+    #: Sources whose share of suspicious hits crosses the threshold.
+    implicated_sources: List[str] = field(default_factory=list)
+    #: Disclosed-and-verified instances (record index -> verified flag).
+    verified_disclosures: Dict[int, bool] = field(default_factory=dict)
+
+    def detection_metrics(self, kinds: Sequence[str]) -> Dict[str, float]:
+        """Precision/recall of suspicious-record discovery vs ground truth.
+
+        ``kinds`` is the per-record ground-truth kind list from the linkage
+        database; any non-"normal" kind counts as a true bad instance among
+        the *candidate pool* (records appearing in any neighbour list).
+        """
+        candidate_pool = sorted(
+            {n.record_index for lst in self.neighbor_lists for n in lst}
+        )
+        actual = np.array([kinds[i] != "normal" for i in candidate_pool])
+        predicted = np.array(
+            [i in set(self.suspicious_records) for i in candidate_pool]
+        )
+        return precision_recall_f1(predicted, actual)
+
+
+class Investigator:
+    """Runs accountability investigations for runtime mispredictions."""
+
+    def __init__(self, fingerprinter: Fingerprinter, query_service: QueryService,
+                 neighbors_per_query: int = 9) -> None:
+        self.fingerprinter = fingerprinter
+        self.query_service = query_service
+        self.neighbors_per_query = neighbors_per_query
+
+    def investigate(self, mispredicted_x: np.ndarray,
+                    participants: Optional[Mapping[str, TrainingParticipant]] = None,
+                    distance_threshold: Optional[float] = None,
+                    source_share_threshold: float = 0.25) -> InvestigationResult:
+        """Full pipeline for a batch of mispredicted inputs.
+
+        Args:
+            mispredicted_x: The inputs the model user flagged as wrong.
+            participants: When given, the investigator demands disclosure of
+                every suspicious instance and hash-verifies it.
+            distance_threshold: Neighbours farther than this are not treated
+                as suspicious (``None``: every returned neighbour counts).
+            source_share_threshold: A source is implicated when it owns at
+                least this share of all suspicious hits.
+        """
+        labels, _, fingerprints = self.fingerprinter.predict_with_fingerprint(
+            mispredicted_x
+        )
+        neighbor_lists = self.query_service.query_batch(
+            fingerprints, labels, k=self.neighbors_per_query
+        )
+
+        suspicious: List[int] = []
+        source_counts: Dict[str, int] = {}
+        for neighbors in neighbor_lists:
+            for neighbor in neighbors:
+                if distance_threshold is not None and neighbor.distance > distance_threshold:
+                    continue
+                suspicious.append(neighbor.record_index)
+                source = neighbor.record.source
+                source_counts[source] = source_counts.get(source, 0) + 1
+        suspicious = sorted(set(suspicious))
+
+        total_hits = sum(source_counts.values())
+        implicated = [
+            source
+            for source, count in sorted(source_counts.items())
+            if total_hits and count / total_hits >= source_share_threshold
+        ]
+
+        result = InvestigationResult(
+            neighbor_lists=neighbor_lists,
+            suspicious_records=suspicious,
+            source_counts=source_counts,
+            implicated_sources=implicated,
+        )
+        if participants is not None:
+            self._demand_disclosures(result, participants)
+        return result
+
+    def _demand_disclosures(self, result: InvestigationResult,
+                            participants: Mapping[str, TrainingParticipant]) -> None:
+        """Summon contributors and hash-verify every disclosed instance."""
+        database = self.query_service.database
+        for record_index in result.suspicious_records:
+            record = database.record(record_index)
+            participant = participants.get(record.source)
+            if participant is None:
+                _LOG.warning("source %r is unavailable for disclosure", record.source)
+                result.verified_disclosures[record_index] = False
+                continue
+            try:
+                disclosed = participant.disclose_instance(record.source_index)
+            except QueryError:
+                result.verified_disclosures[record_index] = False
+                continue
+            result.verified_disclosures[record_index] = database.verify_instance(
+                record_index, disclosed
+            )

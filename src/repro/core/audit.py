@@ -1,0 +1,101 @@
+"""A tamper-evident audit log of pipeline events.
+
+Model accountability is only as strong as the record of what the pipeline
+did: which participants registered, how many records each stage accepted
+or rejected, which partition was active when. :class:`AuditLog` is a
+hash-chained, append-only event log the training enclave maintains and can
+seal to its identity; any retroactive edit breaks the chain.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.crypto.hashing import constant_time_equal, sha256
+from repro.errors import LinkageError
+from repro.utils.serialization import canonical_json
+
+__all__ = ["AuditEvent", "AuditLog"]
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One event: a sequence number, a kind, details, and the chain hash."""
+
+    sequence: int
+    kind: str
+    details: Dict[str, Any]
+    chain_hash: bytes
+
+
+class AuditLog:
+    """Append-only, hash-chained event log."""
+
+    _GENESIS = sha256(b"caltrain-audit-genesis")
+
+    def __init__(self) -> None:
+        self._events: List[AuditEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def head(self) -> bytes:
+        """The chain head (commits to every event so far)."""
+        return self._events[-1].chain_hash if self._events else self._GENESIS
+
+    def append(self, kind: str, **details: Any) -> AuditEvent:
+        """Record one event; returns it with its chain hash."""
+        sequence = len(self._events)
+        chain_hash = sha256(
+            self.head, canonical_json({"seq": sequence, "kind": kind,
+                                       "details": details})
+        )
+        event = AuditEvent(sequence=sequence, kind=kind, details=details,
+                           chain_hash=chain_hash)
+        self._events.append(event)
+        return event
+
+    def events(self, kind: Optional[str] = None) -> List[AuditEvent]:
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def verify_chain(self) -> bool:
+        """Recompute the chain; False if any event was altered."""
+        previous = self._GENESIS
+        for event in self._events:
+            expected = sha256(
+                previous,
+                canonical_json({"seq": event.sequence, "kind": event.kind,
+                                "details": event.details}),
+            )
+            if not constant_time_equal(expected, event.chain_hash):
+                return False
+            previous = event.chain_hash
+        return True
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        return canonical_json([
+            {"seq": e.sequence, "kind": e.kind, "details": e.details,
+             "chain": e.chain_hash.hex()}
+            for e in self._events
+        ])
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "AuditLog":
+        log = cls()
+        for entry in json.loads(blob.decode("utf-8")):
+            event = AuditEvent(
+                sequence=entry["seq"], kind=entry["kind"],
+                details=entry["details"],
+                chain_hash=bytes.fromhex(entry["chain"]),
+            )
+            log._events.append(event)
+        if not log.verify_chain():
+            raise LinkageError("audit log failed chain verification on load")
+        return log

@@ -1,0 +1,366 @@
+"""The CalTrain system facade: training, fingerprinting, and query stages.
+
+Wires the whole pipeline of Fig. 2:
+
+1. **Setup** — an SGX platform, an attestation service, a training server
+   that builds the training enclave with the agreed architecture measured
+   into MRENCLAVE.
+2. **Registration** — each participant verifies the enclave measurement via
+   remote attestation and provisions its data key over attested TLS, then
+   submits its encrypted training data.
+3. **Training stage** — in-enclave authentication/decryption/augmentation,
+   FrontNet/BackNet partitioned SGD with optional per-epoch exposure
+   re-assessment.
+4. **Fingerprinting stage** — a dedicated enclave holds the whole trained
+   model, extracts fingerprints of all accepted training instances, and
+   records the Omega linkage tuples.
+5. **Query stage** — the query service and investigator answer runtime
+   misprediction queries and attribute them to contributors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.accountability import Investigator
+from repro.core.assessment import ExposureAssessor
+from repro.core.audit import AuditLog
+from repro.core.fingerprint import Fingerprinter
+from repro.core.freezing import FreezeSchedule
+from repro.core.linkage import LinkageDatabase, instance_digest
+from repro.core.partition import PartitionedNetwork
+from repro.core.partitioned_training import ConfidentialTrainer, EpochReport
+from repro.core.query import QueryService
+from repro.data.augmentation import Augmenter
+from repro.enclave.attestation import AttestationService
+from repro.enclave.enclave import Enclave
+from repro.enclave.memory import EPC_USABLE_BYTES
+from repro.enclave.platform import SgxPlatform
+from repro.errors import ConfigurationError, TrainingError
+from repro.federation.participant import TrainingParticipant
+from repro.federation.provisioning import provision_key
+from repro.federation.server import DecryptionSummary, TrainingServer
+from repro.nn.config import network_to_config
+from repro.nn.network import Network
+from repro.nn.optimizers import Sgd
+from repro.nn.zoo import cifar10_10layer, cifar10_18layer, face_recognition_net
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngStream
+
+__all__ = ["CalTrainConfig", "CalTrain"]
+
+_LOG = get_logger("core.caltrain")
+
+_ARCHITECTURES: Dict[str, Callable] = {
+    "cifar10-10layer": cifar10_10layer,
+    "cifar10-18layer": cifar10_18layer,
+}
+
+
+@dataclass
+class CalTrainConfig:
+    """Configuration for a CalTrain deployment.
+
+    Attributes:
+        seed: Master seed; everything derives from it deterministically.
+        architecture: ``"cifar10-10layer"``, ``"cifar10-18layer"``, or a
+            zero-argument network factory via :attr:`network_factory`.
+        width_scale: Filter-count scale for laptop-size runs (1.0 = paper).
+        partition: Initial number of FrontNet layers inside the enclave
+            (the paper starts with the first two layers).
+        reassess_every_epoch: Dynamic exposure re-assessment; needs
+            :attr:`CalTrain.set_assessor` before training.
+        freeze_at_epoch: Optional bottom-up FrontNet freezing epoch.
+        cipher: AEAD used for bulk training data.
+    """
+
+    seed: int = 7
+    architecture: str = "cifar10-18layer"
+    width_scale: float = 0.25
+    epochs: int = 12
+    batch_size: int = 32
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    partition: int = 2
+    epc_bytes: int = EPC_USABLE_BYTES
+    cipher: str = "hmac-ctr"
+    augment: bool = True
+    reassess_every_epoch: bool = False
+    assess_samples: int = 2
+    freeze_at_epoch: Optional[int] = None
+    neighbors_per_query: int = 9
+    network_factory: Optional[Callable[[np.random.Generator], Network]] = None
+
+
+class CalTrain:
+    """One CalTrain deployment (see module docstring for the stages)."""
+
+    def __init__(self, config: CalTrainConfig) -> None:
+        self.config = config
+        self.rng = RngStream(config.seed, name="caltrain")
+        self.platform = SgxPlatform(
+            rng=self.rng.child("platform"), epc_bytes=config.epc_bytes
+        )
+        self.attestation_service = AttestationService()
+        self.server = TrainingServer(
+            self.platform, self.attestation_service, self.rng.child("server")
+        )
+        self._network_factory = self._resolve_factory()
+        # A reference network defines the agreed architecture config text.
+        self._reference_network = self._network_factory(
+            self.rng.child("reference-init").generator
+        )
+        self.network_config = network_to_config(self._reference_network)
+        self.training_enclave: Enclave = self.server.build_training_enclave(
+            self.network_config,
+            hyperparameters={
+                "epochs": config.epochs,
+                "batch_size": config.batch_size,
+                "learning_rate": config.learning_rate,
+                "momentum": config.momentum,
+            },
+        )
+        self.participants: Dict[str, TrainingParticipant] = {}
+        #: Hash-chained record of every pipeline event (sealable).
+        self.audit_log = AuditLog()
+        self.audit_log.append(
+            "setup",
+            platform=self.platform.platform_id,
+            mrenclave=self.training_enclave.mrenclave.hex(),
+            architecture=config.architecture if config.network_factory is None
+            else "custom",
+        )
+        self.model: Optional[Network] = None
+        self.partitioned: Optional[PartitionedNetwork] = None
+        self.trainer: Optional[ConfidentialTrainer] = None
+        self.linkage_db: Optional[LinkageDatabase] = None
+        self.fingerprinter: Optional[Fingerprinter] = None
+        self._assessor: Optional[ExposureAssessor] = None
+        self.decryption_summary: Optional[DecryptionSummary] = None
+
+    def _resolve_factory(self) -> Callable[[np.random.Generator], Network]:
+        if self.config.network_factory is not None:
+            return self.config.network_factory
+        factory = _ARCHITECTURES.get(self.config.architecture)
+        if factory is None:
+            raise ConfigurationError(
+                f"unknown architecture {self.config.architecture!r}; pick one "
+                f"of {sorted(_ARCHITECTURES)} or pass network_factory"
+            )
+        width = self.config.width_scale
+        return lambda gen: factory(gen, width_scale=width)
+
+    # -- stage 2: registration and submission ------------------------------------
+
+    @property
+    def expected_measurement(self) -> bytes:
+        """The MRENCLAVE participants agree on (they can recompute it from
+        the published enclave code and the agreed config/hyperparameters)."""
+        return self.training_enclave.mrenclave
+
+    def register_participant(self, participant: TrainingParticipant) -> None:
+        """Attested-TLS key provisioning for one participant."""
+        provision_key(
+            participant,
+            self.training_enclave,
+            self.attestation_service,
+            expected_mrenclave=self.expected_measurement,
+        )
+        self.participants[participant.participant_id] = participant
+        self.audit_log.append("participant-registered",
+                              participant=participant.participant_id)
+        _LOG.info("registered participant %s", participant.participant_id)
+
+    def submit_data(self, participant: TrainingParticipant) -> None:
+        """Encrypt the participant's dataset and submit it to the server."""
+        encrypted = participant.encrypt_dataset(cipher=self.config.cipher)
+        self.server.submit(encrypted)
+        self.audit_log.append("data-submitted",
+                              source=participant.participant_id,
+                              records=len(encrypted))
+
+    # -- stage 3: training ------------------------------------------------------------
+
+    def set_assessor(self, assessor: ExposureAssessor) -> None:
+        """Install the IRValNet-backed assessor used for re-assessment."""
+        self._assessor = assessor
+
+    def _reassess(self, epoch: int, trainer: ConfidentialTrainer) -> None:
+        """Participants assess the semi-trained model and vote a partition."""
+        if self._assessor is None:
+            return
+        votes = []
+        for participant in self.participants.values():
+            result = participant.assess_exposure(
+                trainer.partitioned.network, self._assessor,
+                sample_size=self.config.assess_samples,
+            )
+            votes.append(result.optimal_partition)
+        if not votes:
+            return
+        # Consensus: the most conservative (largest) requested partition.
+        agreed = max(votes)
+        limit = trainer.partitioned.network.penultimate_index()
+        agreed = min(agreed, limit)
+        if agreed != trainer.partitioned.partition:
+            _LOG.info("epoch %d: re-partitioning %d -> %d layers in enclave",
+                      epoch, trainer.partitioned.partition, agreed)
+            self.audit_log.append("partition-changed", epoch=epoch,
+                                  old=trainer.partitioned.partition, new=agreed)
+            trainer.partitioned.set_partition(agreed)
+
+    def train(self, test_x: Optional[np.ndarray] = None,
+              test_y: Optional[np.ndarray] = None,
+              keep_snapshots: bool = False) -> List[EpochReport]:
+        """Run the full training stage on everything submitted so far."""
+        self.decryption_summary = self.server.decrypt_submissions(
+            cipher=self.config.cipher
+        )
+        self.audit_log.append(
+            "decryption",
+            accepted=self.decryption_summary.accepted,
+            rejected_tampered=self.decryption_summary.rejected_tampered,
+            rejected_unregistered=self.decryption_summary.rejected_unregistered,
+        )
+        if self.decryption_summary.accepted == 0:
+            raise TrainingError("no training records survived authentication")
+        x, y, _, _ = self.server.staged_training_data()
+
+        self.model = self._network_factory(self.rng.child("model-init").generator)
+        self.model.set_dropout_rng(self.training_enclave.trusted_rng.generator)
+        self.partitioned = PartitionedNetwork(
+            self.model, self.config.partition, enclave=self.training_enclave
+        )
+        augmenter = (
+            Augmenter(rng=self.training_enclave.trusted_rng.generator)
+            if self.config.augment else None
+        )
+        freeze = (
+            FreezeSchedule(self.config.freeze_at_epoch)
+            if self.config.freeze_at_epoch is not None else None
+        )
+        self.trainer = ConfidentialTrainer(
+            self.partitioned,
+            Sgd(self.config.learning_rate, self.config.momentum),
+            batch_rng=self.training_enclave.trusted_rng.stream.child("batches").generator,
+            augmenter=augmenter,
+            batch_size=self.config.batch_size,
+            freeze_schedule=freeze,
+            on_epoch_end=self._reassess if self.config.reassess_every_epoch else None,
+        )
+        reports = self.trainer.train(
+            x, y, self.config.epochs, test_x=test_x, test_y=test_y,
+            keep_snapshots=keep_snapshots,
+        )
+        self.audit_log.append(
+            "training-complete",
+            epochs=len(reports),
+            final_loss=reports[-1].mean_loss,
+            final_partition=self.partitioned.partition,
+        )
+        return reports
+
+    def evaluate(self, test_x: np.ndarray, test_y: np.ndarray):
+        """Full classification report of the trained model."""
+        if self.model is None:
+            raise TrainingError("train() must complete before evaluation")
+        from repro.analysis.evaluation import evaluate_classifier
+
+        return evaluate_classifier(self.model, test_x, test_y)
+
+    # -- model release --------------------------------------------------------------
+
+    def release_model(self, participant_id: str) -> Dict[str, bytes]:
+        """Release the trained model to one participant (Section IV-B).
+
+        The BackNet travels in the clear; the FrontNet is sealed under the
+        participant's provisioned key, so the server provider (and anyone
+        else) never holds the complete model — which is also what makes
+        fingerprints non-invertible to outsiders.
+        """
+        if self.partitioned is None:
+            raise TrainingError("train() must complete before model release")
+        participant = self.participants.get(participant_id)
+        if participant is None:
+            raise ConfigurationError(f"unknown participant {participant_id!r}")
+        from repro.crypto.aead import AesGcm
+
+        cipher = AesGcm(participant.key.material)
+        nonce = self.training_enclave.trusted_rng.random_bytes(12)
+        sealed_frontnet = self.partitioned.export_frontnet_encrypted(
+            cipher, nonce
+        )
+        # The BackNet: plain weights of layers [partition, n).
+        import io
+
+        backnet_arrays = {}
+        for i, layer in enumerate(self.partitioned.backnet_layers):
+            for name, arr in layer.params().items():
+                backnet_arrays[f"layer{i}/{name}"] = arr
+        buffer = io.BytesIO()
+        np.savez(buffer, **backnet_arrays)
+        return {
+            "frontnet_nonce": nonce,
+            "frontnet_sealed": sealed_frontnet,
+            "backnet": buffer.getvalue(),
+            "network_config": self.network_config.encode("utf-8"),
+        }
+
+    # -- stage 4: fingerprinting ------------------------------------------------------
+
+    def fingerprint_stage(self, kinds_by_source: Optional[Dict[str, np.ndarray]] = None,
+                          ) -> LinkageDatabase:
+        """Fingerprint every accepted training instance into the linkage DB.
+
+        Args:
+            kinds_by_source: Optional ground-truth instance kinds per source
+                (evaluation only), indexed by the instance's local index.
+        """
+        if self.model is None:
+            raise TrainingError("train() must complete before fingerprinting")
+        x, y, sources, indices = self.server.staged_training_data()
+        fingerprint_enclave = self.platform.create_enclave("fingerprint-enclave")
+        fingerprint_enclave.init()
+        self.fingerprinter = Fingerprinter(self.model, enclave=fingerprint_enclave)
+        fingerprints = self.fingerprinter.fingerprint(x)
+        # Label Y is the instance's class label under the trained model's
+        # label space (the provided training label).
+        digests = [instance_digest(x[i]) for i in range(x.shape[0])]
+        kinds = None
+        if kinds_by_source is not None:
+            kinds = [
+                str(kinds_by_source[sources[i]][int(indices[i])])
+                if sources[i] in kinds_by_source else "normal"
+                for i in range(x.shape[0])
+            ]
+        database = LinkageDatabase()
+        database.add_batch(
+            fingerprints, y.tolist(), sources, digests,
+            source_indices=indices.tolist(), kinds=kinds,
+        )
+        self.linkage_db = database
+        self.audit_log.append(
+            "fingerprint-stage",
+            records=len(database),
+            dimension=database.dimension,
+            commitment=database.merkle_commitment().root.hex(),
+        )
+        return database
+
+    # -- stage 5: query ------------------------------------------------------------------
+
+    def query_service(self) -> QueryService:
+        if self.linkage_db is None:
+            raise TrainingError("fingerprint_stage() must run before queries")
+        return QueryService(self.linkage_db)
+
+    def investigator(self) -> Investigator:
+        if self.fingerprinter is None:
+            raise TrainingError("fingerprint_stage() must run first")
+        return Investigator(
+            self.fingerprinter, self.query_service(),
+            neighbors_per_query=self.config.neighbors_per_query,
+        )

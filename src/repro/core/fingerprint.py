@@ -1,0 +1,90 @@
+"""One-way fingerprinting of training instances (paper, Section IV-C).
+
+A fingerprint is the L2-normalized feature embedding at the penultimate
+layer (the layer before softmax) — the most discriminative features a deep
+network extracts. Fingerprints support nearest-neighbour causality queries
+but cannot be inverted to training inputs without the complete model, whose
+FrontNet is only ever released encrypted.
+
+Fingerprinting is a one-time pass after training, so the *entire* trained
+network fits in a dedicated fingerprinting enclave (no partitioning); the
+enclave cost model is charged accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.enclave.enclave import Enclave
+from repro.errors import ConfigurationError
+from repro.nn.network import Network
+
+__all__ = ["Fingerprinter", "normalize_fingerprints"]
+
+
+def normalize_fingerprints(embeddings: np.ndarray) -> np.ndarray:
+    """L2-normalize rows (zero rows are left at zero)."""
+    norms = np.linalg.norm(embeddings, axis=1, keepdims=True)
+    return embeddings / np.maximum(norms, 1e-12)
+
+
+class Fingerprinter:
+    """Extracts penultimate-layer fingerprints, optionally inside an enclave."""
+
+    def __init__(self, network: Network, enclave: Optional[Enclave] = None,
+                 batch_size: int = 128) -> None:
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        self.network = network
+        self.enclave = enclave
+        self.batch_size = batch_size
+        self._penultimate = network.penultimate_index()
+        if enclave is not None:
+            # The whole model lives in the fingerprinting enclave's EPC.
+            total_param_bytes = sum(
+                layer.param_bytes() for layer in network.layers
+            )
+            if not enclave.epc.usage_report().get("data/fingerprint-model"):
+                enclave.epc.alloc("data/fingerprint-model", total_param_bytes)
+
+    @property
+    def dimension(self) -> int:
+        """Fingerprint dimensionality (2622 for VGG-Face in the paper)."""
+        shape = self.network.layer_output_shapes()[self._penultimate]
+        return int(np.prod(shape))
+
+    def fingerprint(self, x: np.ndarray) -> np.ndarray:
+        """Fingerprints for a batch of inputs: (N, dimension), unit norm."""
+        chunks = []
+        flops = sum(self.network.flops_per_layer()[: self._penultimate + 1])
+        for start in range(0, x.shape[0], self.batch_size):
+            batch = x[start : start + self.batch_size]
+            if self.enclave is not None:
+                platform = self.enclave.platform
+                platform.clock.advance(
+                    platform.cost_model.compute_seconds(
+                        flops * batch.shape[0], in_enclave=True
+                    )
+                )
+                self.enclave.epc.touch(batch.nbytes)
+            captured = self.network.forward_collect(batch, [self._penultimate])
+            embedding = captured[self._penultimate].reshape(batch.shape[0], -1)
+            chunks.append(embedding)
+        return normalize_fingerprints(np.concatenate(chunks, axis=0))
+
+    def predict_with_fingerprint(self, x: np.ndarray):
+        """(predicted labels, probabilities, fingerprints) for a batch.
+
+        This is the model user's runtime path: every inference yields the
+        prediction plus the fingerprint needed for a later accountability
+        query if the prediction turns out wrong.
+        """
+        captured = self.network.forward_collect(
+            x, [self._penultimate, len(self.network.layers) - 1]
+        )
+        embedding = captured[self._penultimate].reshape(x.shape[0], -1)
+        probs = captured[len(self.network.layers) - 1]
+        labels = probs.argmax(axis=1)
+        return labels, probs, normalize_fingerprints(embedding)

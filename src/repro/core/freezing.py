@@ -1,0 +1,37 @@
+"""Bottom-up layer freezing (paper, Section IV-B "Performance").
+
+Neural networks converge from the bottom up (Raghu et al., SVCCA), so the
+FrontNet can be frozen partway through training — reducing, then completely
+eliminating, in-enclave training cost while the BackNet keeps refining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.partition import PartitionedNetwork
+from repro.errors import ConfigurationError
+
+__all__ = ["FreezeSchedule"]
+
+
+@dataclass
+class FreezeSchedule:
+    """Freeze the FrontNet once training reaches ``freeze_at_epoch``.
+
+    Args:
+        freeze_at_epoch: First epoch (0-based) at which the FrontNet is
+            frozen. ``None``-like behaviour: use a large value.
+    """
+
+    freeze_at_epoch: int
+
+    def __post_init__(self) -> None:
+        if self.freeze_at_epoch < 0:
+            raise ConfigurationError("freeze_at_epoch must be >= 0")
+
+    def apply(self, partitioned: PartitionedNetwork, epoch: int) -> bool:
+        """Apply the schedule before ``epoch``; returns True when frozen."""
+        frozen = epoch >= self.freeze_at_epoch
+        partitioned.network.freeze_layers(partitioned.partition if frozen else 0)
+        return frozen

@@ -1,0 +1,162 @@
+"""The confidential training loop (the paper's training stage).
+
+Drives partitioned mini-batch SGD over the decrypted (in-enclave) training
+data: trusted-RNG-driven shuffling and augmentation, FrontNet in the
+enclave, BackNet outside, per-epoch accuracy evaluation, per-epoch model
+snapshots for the dynamic exposure re-assessment, and simulated-time
+accounting for the performance experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.metrics import top_k_accuracy
+from repro.core.freezing import FreezeSchedule
+from repro.core.partition import PartitionedNetwork
+from repro.data.augmentation import Augmenter
+from repro.data.batching import iterate_minibatches
+from repro.nn.optimizers import Optimizer
+from repro.utils.logging import get_logger
+
+__all__ = ["EpochReport", "ConfidentialTrainer"]
+
+_LOG = get_logger("core.training")
+
+
+@dataclass
+class EpochReport:
+    """Per-epoch training statistics."""
+
+    epoch: int
+    mean_loss: float
+    top1: Optional[float]
+    top2: Optional[float]
+    partition: int
+    simulated_seconds: float
+    frontnet_frozen: bool = False
+
+
+class ConfidentialTrainer:
+    """Epoch loop over a :class:`PartitionedNetwork`.
+
+    Args:
+        partitioned: The (possibly enclave-backed) partitioned network.
+        optimizer: Applied to both halves each batch.
+        augmenter: In-enclave augmentation; ``None`` disables it.
+        batch_size: Mini-batch size.
+        freeze_schedule: Optional bottom-up FrontNet freezing.
+        on_epoch_end: Hook ``(epoch, trainer) -> None`` — CalTrain's dynamic
+            partition re-assessment runs here.
+    """
+
+    def __init__(self, partitioned: PartitionedNetwork, optimizer: Optimizer,
+                 batch_rng: np.random.Generator,
+                 augmenter: Optional[Augmenter] = None, batch_size: int = 32,
+                 freeze_schedule: Optional[FreezeSchedule] = None,
+                 lr_schedule=None,
+                 on_epoch_end: Optional[Callable[[int, "ConfidentialTrainer"], None]] = None,
+                 early_stop_patience: Optional[int] = None,
+                 ) -> None:
+        self.partitioned = partitioned
+        self.optimizer = optimizer
+        self.batch_rng = batch_rng
+        self.augmenter = augmenter
+        self.batch_size = batch_size
+        self.freeze_schedule = freeze_schedule
+        self.lr_schedule = lr_schedule
+        self._base_learning_rate = getattr(optimizer, "learning_rate", None)
+        self.on_epoch_end = on_epoch_end
+        #: Stop after this many epochs without test-top-1 improvement
+        #: (needs test data at train() time); None disables.
+        self.early_stop_patience = early_stop_patience
+        self.best_weights = None
+        self.best_top1: Optional[float] = None
+        self.reports: List[EpochReport] = []
+        #: Per-epoch weight snapshots (semi-trained models) for assessment.
+        self.snapshots: List[List[Dict[str, np.ndarray]]] = []
+
+    def _simulated_now(self) -> float:
+        if self.partitioned.enclave is None:
+            return 0.0
+        return self.partitioned.enclave.platform.clock.now
+
+    def train_epoch(self, x: np.ndarray, y: np.ndarray, epoch: int) -> float:
+        """One epoch of partitioned mini-batch SGD; returns the mean loss."""
+        frozen = False
+        if self.freeze_schedule is not None:
+            frozen = self.freeze_schedule.apply(self.partitioned, epoch)
+        if self.lr_schedule is not None and self._base_learning_rate is not None:
+            self.lr_schedule.apply(self.optimizer, self._base_learning_rate, epoch)
+        losses = []
+        for xb, yb in iterate_minibatches(x, y, self.batch_size, rng=self.batch_rng):
+            if self.augmenter is not None:
+                xb = self.augmenter.augment_batch(xb)
+            losses.append(self.partitioned.train_batch(xb, yb, self.optimizer))
+        mean_loss = float(np.mean(losses)) if losses else 0.0
+        _LOG.info("epoch %d: loss %.4f%s", epoch, mean_loss,
+                  " (frontnet frozen)" if frozen else "")
+        return mean_loss
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> Dict[str, float]:
+        probs = self.partitioned.network.predict(x)
+        return {
+            "top1": top_k_accuracy(probs, y, k=1),
+            "top2": top_k_accuracy(probs, y, k=2),
+        }
+
+    def train(self, x: np.ndarray, y: np.ndarray, epochs: int,
+              test_x: Optional[np.ndarray] = None,
+              test_y: Optional[np.ndarray] = None,
+              keep_snapshots: bool = False) -> List[EpochReport]:
+        """The full training stage; returns the per-epoch reports.
+
+        With ``early_stop_patience`` set (and test data given), training
+        stops once test top-1 has not improved for that many epochs, and
+        the best-seen weights are tracked in :attr:`best_weights`.
+        """
+        stale_epochs = 0
+        for epoch in range(epochs):
+            clock_start = self._simulated_now()
+            frozen = (
+                self.freeze_schedule is not None
+                and epoch >= self.freeze_schedule.freeze_at_epoch
+            )
+            mean_loss = self.train_epoch(x, y, epoch)
+            accuracy = (
+                self.evaluate(test_x, test_y)
+                if test_x is not None and test_y is not None
+                else {"top1": None, "top2": None}
+            )
+            self.reports.append(
+                EpochReport(
+                    epoch=epoch,
+                    mean_loss=mean_loss,
+                    top1=accuracy["top1"],
+                    top2=accuracy["top2"],
+                    partition=self.partitioned.partition,
+                    simulated_seconds=self._simulated_now() - clock_start,
+                    frontnet_frozen=frozen,
+                )
+            )
+            if keep_snapshots:
+                self.snapshots.append(self.partitioned.network.get_weights())
+            if self.on_epoch_end is not None:
+                self.on_epoch_end(epoch, self)
+            top1 = accuracy["top1"]
+            if top1 is not None:
+                if self.best_top1 is None or top1 > self.best_top1:
+                    self.best_top1 = top1
+                    self.best_weights = self.partitioned.network.get_weights()
+                    stale_epochs = 0
+                else:
+                    stale_epochs += 1
+                if (self.early_stop_patience is not None
+                        and stale_epochs >= self.early_stop_patience):
+                    _LOG.info("early stop at epoch %d (best top-1 %.3f)",
+                              epoch, self.best_top1)
+                    break
+        return self.reports

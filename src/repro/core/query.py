@@ -1,0 +1,113 @@
+"""The misprediction query stage (paper, Sections IV-C and VI-D).
+
+A model user who hits an erroneous prediction passes the problematic input
+through the model, obtains its label ``Y`` and fingerprint ``F``, and asks
+the query service for the closest training fingerprints *within class Y*
+(L2 distance). The resulting candidates' sources point at the participants
+to summon for the forensic stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy.spatial import cKDTree
+from scipy.spatial.distance import cdist
+
+from repro.core.linkage import LinkageDatabase, LinkageRecord
+from repro.errors import ConfigurationError, QueryError
+
+__all__ = ["Neighbor", "QueryService"]
+
+
+@dataclass(frozen=True)
+class Neighbor:
+    """One nearest-neighbour hit."""
+
+    rank: int
+    distance: float
+    record_index: int
+    record: LinkageRecord
+
+
+class QueryService:
+    """Nearest-fingerprint queries over the linkage database.
+
+    Args:
+        database: The Omega-tuple store.
+        index: ``"brute"`` computes exact distances against the whole class
+            (the paper's SciPy implementation); ``"kdtree"`` builds one
+            k-d tree per class label for sublinear queries on large
+            databases (exact results, different asymptotics).
+    """
+
+    def __init__(self, database: LinkageDatabase, index: str = "brute") -> None:
+        if index not in ("brute", "kdtree"):
+            raise ConfigurationError(f"unknown query index {index!r}")
+        self.database = database
+        self.index = index
+        self._trees: Dict[int, Tuple[cKDTree, List[int]]] = {}
+
+    def _tree_for(self, label: int) -> Tuple[cKDTree, List[int]]:
+        if label not in self._trees:
+            matrix, indices = self.database.by_label(label)
+            if matrix.shape[0] == 0:
+                raise QueryError(
+                    f"no training fingerprints recorded for label {label}"
+                )
+            self._trees[label] = (cKDTree(matrix), indices)
+        return self._trees[label]
+
+    def _query_kdtree(self, fingerprint: np.ndarray, label: int,
+                      k: int) -> List[Neighbor]:
+        tree, indices = self._tree_for(label)
+        count = min(k, len(indices))
+        distances, positions = tree.query(fingerprint[0], k=count)
+        distances = np.atleast_1d(distances)
+        positions = np.atleast_1d(positions)
+        return [
+            Neighbor(
+                rank=rank + 1,
+                distance=float(distances[rank]),
+                record_index=indices[int(positions[rank])],
+                record=self.database.record(indices[int(positions[rank])]),
+            )
+            for rank in range(count)
+        ]
+
+    def query(self, fingerprint: np.ndarray, label: int, k: int = 9) -> List[Neighbor]:
+        """The ``k`` closest same-label training instances, nearest first."""
+        if k < 1:
+            raise QueryError("k must be >= 1")
+        matrix, indices = self.database.by_label(label)
+        if matrix.shape[0] == 0:
+            raise QueryError(f"no training fingerprints recorded for label {label}")
+        fingerprint = np.asarray(fingerprint, dtype=np.float32).reshape(1, -1)
+        if fingerprint.shape[1] != matrix.shape[1]:
+            raise QueryError(
+                f"fingerprint dimension {fingerprint.shape[1]} does not match "
+                f"database dimension {matrix.shape[1]}"
+            )
+        if self.index == "kdtree":
+            return self._query_kdtree(fingerprint, label, k)
+        distances = cdist(fingerprint, matrix)[0]
+        order = np.argsort(distances)[:k]
+        return [
+            Neighbor(
+                rank=rank + 1,
+                distance=float(distances[i]),
+                record_index=indices[i],
+                record=self.database.record(indices[i]),
+            )
+            for rank, i in enumerate(order)
+        ]
+
+    def query_batch(self, fingerprints: np.ndarray, labels: Sequence[int],
+                    k: int = 9) -> List[List[Neighbor]]:
+        """Query several mispredictions at once."""
+        return [
+            self.query(fingerprints[i], int(labels[i]), k=k)
+            for i in range(fingerprints.shape[0])
+        ]

@@ -1,0 +1,29 @@
+"""Hash and MAC helpers used across the crypto substrate."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+
+__all__ = ["sha256", "hmac_sha256", "constant_time_equal"]
+
+
+def sha256(*parts: bytes) -> bytes:
+    """SHA-256 over the concatenation of ``parts``."""
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(part)
+    return hasher.digest()
+
+
+def hmac_sha256(key: bytes, *parts: bytes) -> bytes:
+    """HMAC-SHA256 over the concatenation of ``parts``."""
+    mac = _hmac.new(key, digestmod=hashlib.sha256)
+    for part in parts:
+        mac.update(part)
+    return mac.digest()
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Timing-safe byte-string comparison."""
+    return _hmac.compare_digest(a, b)

@@ -1,0 +1,38 @@
+"""HKDF-SHA256 (RFC 5869) key derivation."""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crypto.hashing import hmac_sha256
+from repro.errors import ConfigurationError
+
+__all__ = ["hkdf_extract", "hkdf_expand", "hkdf"]
+
+_HASH_LEN = hashlib.sha256().digest_size
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """Extract a pseudorandom key from input keying material."""
+    if not salt:
+        salt = b"\x00" * _HASH_LEN
+    return hmac_sha256(salt, ikm)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """Expand a pseudorandom key to ``length`` bytes of output keying material."""
+    if length > 255 * _HASH_LEN:
+        raise ConfigurationError("HKDF output length too large")
+    output = b""
+    block = b""
+    counter = 1
+    while len(output) < length:
+        block = hmac_sha256(prk, block, info, bytes([counter]))
+        output += block
+        counter += 1
+    return output[:length]
+
+
+def hkdf(ikm: bytes, salt: bytes = b"", info: bytes = b"", length: int = 32) -> bytes:
+    """One-shot HKDF: extract then expand."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)

@@ -1,0 +1,38 @@
+"""Key material helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.aead import NONCE_LEN
+from repro.utils.rng import RngStream
+
+__all__ = ["SymmetricKey", "random_key", "random_nonce"]
+
+
+@dataclass
+class SymmetricKey:
+    """A named symmetric key with a monotonically increasing nonce counter.
+
+    Deterministic nonces (a per-key counter) make nonce reuse impossible
+    within one key's lifetime, which AEAD security requires.
+    """
+
+    key_id: str
+    material: bytes
+    _counter: int = field(default=0, repr=False)
+
+    def next_nonce(self) -> bytes:
+        """Return a fresh, never-repeating nonce for this key."""
+        self._counter += 1
+        return self._counter.to_bytes(NONCE_LEN, "big")
+
+
+def random_key(rng: RngStream, key_id: str = "key", length: int = 16) -> SymmetricKey:
+    """Generate a fresh symmetric key from an RNG stream."""
+    return SymmetricKey(key_id=key_id, material=rng.randbytes(length))
+
+
+def random_nonce(rng: RngStream) -> bytes:
+    """Generate a random AEAD nonce (for one-off messages)."""
+    return rng.randbytes(NONCE_LEN)

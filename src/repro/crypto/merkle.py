@@ -1,0 +1,95 @@
+"""Merkle trees for verifiable commitments.
+
+CalTrain's query stage serves a linkage database that model users must
+trust. A Merkle commitment published at fingerprinting time (e.g. alongside
+the released model, covered by the enclave's quote) lets any user verify
+that a query answer's records really are the ones the enclave recorded —
+without downloading the whole database.
+
+Leaves are domain-separated from interior nodes (``0x00``/``0x01``
+prefixes) to rule out second-preimage tree-splicing attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.crypto.hashing import constant_time_equal, sha256
+from repro.errors import CryptoError
+
+__all__ = ["MerkleTree", "MerkleProof"]
+
+
+def _leaf_hash(data: bytes) -> bytes:
+    return sha256(b"\x00", data)
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return sha256(b"\x01", left, right)
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """An inclusion proof.
+
+    ``steps`` runs bottom-up; each step is ``(sibling_hash, sibling_is_left)``.
+    Explicit direction flags (rather than deriving them from the index) keep
+    verification correct across levels where an odd node was promoted
+    without a sibling.
+    """
+
+    index: int
+    steps: Tuple[Tuple[bytes, bool], ...]
+
+    def verify(self, leaf_data: bytes, root: bytes) -> bool:
+        """Check that ``leaf_data`` is committed under ``root``."""
+        node = _leaf_hash(leaf_data)
+        for sibling, sibling_is_left in self.steps:
+            if sibling_is_left:
+                node = _node_hash(sibling, node)
+            else:
+                node = _node_hash(node, sibling)
+        return constant_time_equal(node, root)
+
+
+class MerkleTree:
+    """A static Merkle tree over a sequence of byte-string leaves.
+
+    Odd nodes are promoted (not duplicated), so the tree never commits to
+    phantom copies of the last leaf.
+    """
+
+    def __init__(self, leaves: Sequence[bytes]) -> None:
+        if not leaves:
+            raise CryptoError("a Merkle tree needs at least one leaf")
+        self._levels: List[List[bytes]] = [[_leaf_hash(leaf) for leaf in leaves]]
+        while len(self._levels[-1]) > 1:
+            current = self._levels[-1]
+            parent: List[bytes] = []
+            for i in range(0, len(current) - 1, 2):
+                parent.append(_node_hash(current[i], current[i + 1]))
+            if len(current) % 2 == 1:
+                parent.append(current[-1])  # promote the odd node
+            self._levels.append(parent)
+
+    @property
+    def root(self) -> bytes:
+        return self._levels[-1][0]
+
+    def __len__(self) -> int:
+        return len(self._levels[0])
+
+    def prove(self, index: int) -> MerkleProof:
+        """Produce an inclusion proof for leaf ``index``."""
+        if not 0 <= index < len(self):
+            raise CryptoError(f"leaf index {index} out of range")
+        steps: List[Tuple[bytes, bool]] = []
+        position = index
+        for level in self._levels[:-1]:
+            sibling_pos = position ^ 1
+            if sibling_pos < len(level):
+                steps.append((level[sibling_pos], sibling_pos < position))
+            # else: promoted odd node — no sibling, no hashing at this level.
+            position //= 2
+        return MerkleProof(index=index, steps=tuple(steps))

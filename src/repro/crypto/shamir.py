@@ -1,0 +1,89 @@
+"""Shamir secret sharing over GF(p).
+
+The full Bonawitz secure-aggregation protocol survives client dropouts by
+t-of-n secret-sharing each client's mask seed among its peers: if a client
+drops after uploading, any t survivors reconstruct its pairwise seeds and
+cancel its masks from the aggregate. This module provides the sharing
+primitive; :mod:`repro.federation.secure_agg` builds the recovery flow.
+
+Shares are points on a random degree-(t-1) polynomial with the secret as
+the constant term; reconstruction is Lagrange interpolation at zero. The
+field is the 521-bit Mersenne prime, comfortably above 256-bit secrets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import CryptoError
+from repro.utils.rng import RngStream
+
+__all__ = ["Share", "split_secret", "reconstruct_secret", "PRIME"]
+
+#: 2^521 - 1 (Mersenne), a prime > any 64-byte secret.
+PRIME = (1 << 521) - 1
+
+
+@dataclass(frozen=True)
+class Share:
+    """One share: the evaluation point ``x`` and value ``y``."""
+
+    x: int
+    y: int
+
+
+def _eval_polynomial(coefficients: Sequence[int], x: int) -> int:
+    result = 0
+    for coefficient in reversed(coefficients):
+        result = (result * x + coefficient) % PRIME
+    return result
+
+
+def split_secret(secret: bytes, threshold: int, num_shares: int,
+                 rng: RngStream) -> List[Share]:
+    """Split ``secret`` into ``num_shares`` shares, any ``threshold`` of
+    which reconstruct it (and fewer reveal nothing).
+    """
+    if not 1 <= threshold <= num_shares:
+        raise CryptoError("need 1 <= threshold <= num_shares")
+    secret_int = int.from_bytes(secret, "big")
+    if secret_int >= PRIME:
+        raise CryptoError("secret too large for the field")
+    coefficients = [secret_int] + [
+        int.from_bytes(rng.randbytes(64), "big") % PRIME
+        for _ in range(threshold - 1)
+    ]
+    return [
+        Share(x=x, y=_eval_polynomial(coefficients, x))
+        for x in range(1, num_shares + 1)
+    ]
+
+
+def reconstruct_secret(shares: Sequence[Share], secret_length: int) -> bytes:
+    """Lagrange-interpolate the secret from ``threshold`` or more shares."""
+    if not shares:
+        raise CryptoError("no shares given")
+    xs = [share.x for share in shares]
+    if len(set(xs)) != len(xs):
+        raise CryptoError("duplicate share points")
+    secret = 0
+    for i, share_i in enumerate(shares):
+        numerator = 1
+        denominator = 1
+        for j, share_j in enumerate(shares):
+            if i == j:
+                continue
+            numerator = (numerator * (-share_j.x)) % PRIME
+            denominator = (denominator * (share_i.x - share_j.x)) % PRIME
+        lagrange = numerator * pow(denominator, -1, PRIME) % PRIME
+        secret = (secret + share_i.y * lagrange) % PRIME
+    try:
+        return secret.to_bytes(secret_length, "big")
+    except OverflowError as exc:
+        # Interpolating fewer than `threshold` shares yields a random field
+        # element that (almost surely) does not fit the secret's length.
+        raise CryptoError(
+            "reconstructed value does not fit the secret length "
+            "(insufficient or inconsistent shares)"
+        ) from exc

@@ -1,0 +1,210 @@
+"""A TLS-1.3-like secure channel for enclave secret provisioning.
+
+The paper provisions per-participant symmetric keys "through secure
+communication channels ... directly to the enclave" after remote attestation
+(Section IV-A). This module implements the channel: an ephemeral-DH
+handshake with an HKDF key schedule and an AEAD record layer. The server
+side binds its handshake transcript to an attestation *report-data* value so
+a participant can check it is talking to the attested enclave and not a
+man-in-the-middle (the same binding real SGX RA-TLS uses).
+
+Handshake message flow::
+
+    client                                   server (inside enclave)
+    ------                                   ----------------------
+    ClientHello {dh_pub, nonce}  ------->
+                                 <-------    ServerHello {dh_pub, nonce,
+                                                          transcript MAC}
+    Finished {transcript MAC}    ------->
+
+Both sides then derive independent client->server and server->client record
+keys; records carry explicit sequence numbers authenticated as AAD, so
+reordering, replay, and truncation are all detected.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.aead import AesGcm, NONCE_LEN
+from repro.crypto.dh import DhKeyPair, DhParams, MODP_2048
+from repro.crypto.hashing import constant_time_equal, hmac_sha256, sha256
+from repro.crypto.hkdf import hkdf_expand, hkdf_extract
+from repro.errors import HandshakeError
+from repro.utils.rng import RngStream
+
+__all__ = ["ClientHello", "ServerHello", "Finished", "SecureChannel", "TlsClient", "TlsServer"]
+
+
+@dataclass(frozen=True)
+class ClientHello:
+    dh_public: int
+    nonce: bytes
+
+
+@dataclass(frozen=True)
+class ServerHello:
+    dh_public: int
+    nonce: bytes
+    report_data: bytes
+    transcript_mac: bytes
+
+
+@dataclass(frozen=True)
+class Finished:
+    transcript_mac: bytes
+
+
+def _transcript(hello_c: ClientHello, dh_public_s: int, nonce_s: bytes,
+                report_data: bytes) -> bytes:
+    return sha256(
+        hello_c.dh_public.to_bytes(256, "big"),
+        hello_c.nonce,
+        dh_public_s.to_bytes(256, "big"),
+        nonce_s,
+        report_data,
+    )
+
+
+class SecureChannel:
+    """An established channel: two unidirectional AEAD record streams."""
+
+    def __init__(self, send_key: bytes, recv_key: bytes) -> None:
+        self._send = AesGcm(send_key)
+        self._recv = AesGcm(recv_key)
+        self._send_seq = 0
+        self._recv_seq = 0
+
+    @staticmethod
+    def _nonce(seq: int) -> bytes:
+        return seq.to_bytes(NONCE_LEN, "big")
+
+    def send(self, plaintext: bytes) -> bytes:
+        """Protect one record for the peer."""
+        seq = self._send_seq
+        self._send_seq += 1
+        aad = struct.pack("<Q", seq)
+        return self._send.seal(self._nonce(seq), plaintext, aad)
+
+    def receive(self, record: bytes) -> bytes:
+        """Verify and open one record from the peer (in order)."""
+        seq = self._recv_seq
+        aad = struct.pack("<Q", seq)
+        plaintext = self._recv.open(self._nonce(seq), record, aad)
+        self._recv_seq += 1
+        return plaintext
+
+
+class TlsClient:
+    """Participant-side handshake state machine."""
+
+    def __init__(self, rng: RngStream, params: DhParams = MODP_2048) -> None:
+        self._rng = rng
+        self._keypair = DhKeyPair(rng, params)
+        self._hello: Optional[ClientHello] = None
+        self._keys: Optional[tuple] = None
+        self._transcript: Optional[bytes] = None
+        self.report_data: Optional[bytes] = None
+
+    def client_hello(self) -> ClientHello:
+        self._hello = ClientHello(
+            dh_public=self._keypair.public, nonce=self._rng.randbytes(32)
+        )
+        return self._hello
+
+    def process_server_hello(self, hello_s: ServerHello) -> Finished:
+        """Verify the server's transcript MAC; return the Finished message."""
+        if self._hello is None:
+            raise HandshakeError("client_hello() must be called first")
+        shared = self._keypair.shared_secret(hello_s.dh_public)
+        transcript = _transcript(
+            self._hello, hello_s.dh_public, hello_s.nonce, hello_s.report_data
+        )
+        keys = _schedule(shared, transcript)
+        if not constant_time_equal(
+            hello_s.transcript_mac, hmac_sha256(keys.mac, b"server", transcript)
+        ):
+            raise HandshakeError("server transcript MAC mismatch")
+        self._keys = keys
+        self._transcript = transcript
+        self.report_data = hello_s.report_data
+        return Finished(hmac_sha256(keys.mac, b"client", transcript))
+
+    def channel(self) -> SecureChannel:
+        if self._keys is None:
+            raise HandshakeError("handshake not complete")
+        return SecureChannel(send_key=self._keys.c2s, recv_key=self._keys.s2c)
+
+
+class TlsServer:
+    """Enclave-side handshake state machine.
+
+    ``report_data`` is the attestation binding: the enclave places (a hash
+    of) its handshake public value into the attestation quote's report-data
+    field, and echoes the value here so the client can cross-check the two.
+    """
+
+    def __init__(self, rng: RngStream, report_data: bytes = b"",
+                 params: DhParams = MODP_2048) -> None:
+        self._rng = rng
+        self._keypair = DhKeyPair(rng, params)
+        self._report_data = report_data
+        self._keys: Optional[tuple] = None
+        self._transcript: Optional[bytes] = None
+
+    @property
+    def dh_public(self) -> int:
+        return self._keypair.public
+
+    def bind_report_data(self, report_data: bytes) -> None:
+        """Set the attestation binding after the DH share exists (it must
+        be set before :meth:`process_client_hello` runs)."""
+        if self._keys is not None:
+            raise HandshakeError("cannot re-bind after the handshake started")
+        self._report_data = report_data
+
+    def process_client_hello(self, hello_c: ClientHello) -> ServerHello:
+        shared = self._keypair.shared_secret(hello_c.dh_public)
+        nonce_s = self._rng.randbytes(32)
+        transcript = _transcript(
+            hello_c, self._keypair.public, nonce_s, self._report_data
+        )
+        self._keys = _schedule(shared, transcript)
+        self._transcript = transcript
+        return ServerHello(
+            dh_public=self._keypair.public,
+            nonce=nonce_s,
+            report_data=self._report_data,
+            transcript_mac=hmac_sha256(self._keys.mac, b"server", transcript),
+        )
+
+    def process_finished(self, finished: Finished) -> None:
+        if self._keys is None:
+            raise HandshakeError("process_client_hello() must be called first")
+        expected = hmac_sha256(self._keys.mac, b"client", self._transcript)
+        if not constant_time_equal(finished.transcript_mac, expected):
+            raise HandshakeError("client transcript MAC mismatch")
+
+    def channel(self) -> SecureChannel:
+        if self._keys is None:
+            raise HandshakeError("handshake not complete")
+        # Mirror of the client: the server sends on s2c, receives on c2s.
+        return SecureChannel(send_key=self._keys.s2c, recv_key=self._keys.c2s)
+
+
+@dataclass(frozen=True)
+class _KeySchedule:
+    c2s: bytes
+    s2c: bytes
+    mac: bytes
+
+
+def _schedule(shared_secret: bytes, transcript: bytes) -> _KeySchedule:
+    prk = hkdf_extract(transcript, shared_secret)
+    return _KeySchedule(
+        c2s=hkdf_expand(prk, b"caltrain c2s", 16),
+        s2c=hkdf_expand(prk, b"caltrain s2c", 16),
+        mac=hkdf_expand(prk, b"caltrain finished", 32),
+    )

@@ -1,0 +1,30 @@
+"""Data substrate: synthetic datasets, augmentation, batching, encryption.
+
+The paper trains on CIFAR-10 and evaluates accountability on VGG-Face; with
+no network access this package generates deterministic synthetic stand-ins
+with the same tensor shapes and class structure (see DESIGN.md for the
+substitution rationale), plus the augmentation pipeline the paper applies
+inside the enclave and the encrypted provisioning format participants use.
+"""
+
+from repro.data.augmentation import Augmenter
+from repro.data.batching import iterate_minibatches
+from repro.data.datasets import Dataset, synthetic_cifar, synthetic_faces
+from repro.data.encryption import (
+    EncryptedDataset,
+    EncryptedRecord,
+    decrypt_record,
+    encrypt_dataset,
+)
+
+__all__ = [
+    "Dataset",
+    "synthetic_cifar",
+    "synthetic_faces",
+    "Augmenter",
+    "iterate_minibatches",
+    "EncryptedRecord",
+    "EncryptedDataset",
+    "encrypt_dataset",
+    "decrypt_record",
+]

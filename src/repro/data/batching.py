@@ -1,0 +1,32 @@
+"""Mini-batch iteration with shuffling."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["iterate_minibatches"]
+
+
+def iterate_minibatches(x: np.ndarray, y: np.ndarray, batch_size: int,
+                        rng: Optional[np.random.Generator] = None,
+                        drop_last: bool = False,
+                        ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield shuffled ``(x, y)`` mini-batches.
+
+    The paper shuffles and combines the *decrypted* training data from all
+    participants into mini-batches inside the enclave; ``rng`` should then
+    be the enclave's trusted generator.
+    """
+    if batch_size <= 0:
+        raise ConfigurationError("batch_size must be positive")
+    n = x.shape[0]
+    order = rng.permutation(n) if rng is not None else np.arange(n)
+    for start in range(0, n, batch_size):
+        idx = order[start : start + batch_size]
+        if drop_last and idx.shape[0] < batch_size:
+            return
+        yield x[idx], y[idx]

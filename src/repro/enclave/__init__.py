@@ -1,0 +1,41 @@
+"""Software model of Intel SGX.
+
+The paper runs training inside real SGX enclaves; this package reproduces
+the *observable behaviour* of SGX that the paper's design and evaluation
+depend on:
+
+* confidentiality/integrity boundary — code and data added to an enclave
+  are only reachable through registered ECALLs
+  (:class:`repro.enclave.enclave.Enclave`);
+* measurement and remote attestation — MRENCLAVE is a hash chain over the
+  added pages, quotes are signed with a platform key and verified by an
+  IAS-like service (:mod:`repro.enclave.attestation`);
+* the Enclave Page Cache limit and paging
+  (:class:`repro.enclave.memory.EpcMemory`);
+* the performance cost of enclave execution — a calibrated simulated-time
+  model covering the no-ML-acceleration slowdown, enclave transition costs,
+  and the EPC paging cliff (:class:`repro.enclave.platform.CostModel`);
+* sealing keys bound to the enclave identity (:mod:`repro.enclave.sealing`).
+"""
+
+from repro.enclave.attestation import AttestationService, Quote
+from repro.enclave.enclave import Enclave, EnclaveState
+from repro.enclave.memory import EpcMemory, PAGE_SIZE
+from repro.enclave.platform import CostModel, SgxPlatform, SimClock, TrustedRng
+from repro.enclave.sealing import SealedBlob, seal, unseal
+
+__all__ = [
+    "AttestationService",
+    "Quote",
+    "Enclave",
+    "EnclaveState",
+    "EpcMemory",
+    "PAGE_SIZE",
+    "CostModel",
+    "SgxPlatform",
+    "SimClock",
+    "TrustedRng",
+    "SealedBlob",
+    "seal",
+    "unseal",
+]

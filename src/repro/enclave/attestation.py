@@ -1,0 +1,62 @@
+"""Remote attestation: quotes and an IAS-like verification service.
+
+A participant trusts an enclave only after (1) the quote's signature checks
+out against a platform registered with the attestation service and (2) the
+quoted MRENCLAVE equals the measurement of the code/data the participants
+agreed on (paper, Section III "Consensus and Cooperation"). The quote's
+``report_data`` field carries the hash binding to the TLS handshake so the
+secure channel provably terminates inside the attested enclave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.crypto.hashing import constant_time_equal, hmac_sha256
+from repro.errors import AttestationError
+
+__all__ = ["Quote", "AttestationService"]
+
+
+@dataclass(frozen=True)
+class Quote:
+    """An attestation quote: (platform, MRENCLAVE, report data, signature)."""
+
+    platform_id: str
+    mrenclave: bytes
+    report_data: bytes
+    signature: bytes
+
+
+class AttestationService:
+    """Models the Intel Attestation Service.
+
+    Platforms register their (simulated fused) attestation keys; verifiers
+    submit quotes and, optionally, the MRENCLAVE they expect.
+    """
+
+    def __init__(self) -> None:
+        self._platform_keys: Dict[str, bytes] = {}
+
+    def register_platform(self, platform_id: str, platform_key: bytes) -> None:
+        """Enroll a platform (models Intel provisioning the fused key)."""
+        self._platform_keys[platform_id] = platform_key
+
+    def verify(self, quote: Quote, expected_mrenclave: Optional[bytes] = None) -> None:
+        """Verify a quote; raise :class:`AttestationError` on any failure."""
+        key = self._platform_keys.get(quote.platform_id)
+        if key is None:
+            raise AttestationError(
+                f"platform {quote.platform_id!r} is not registered"
+            )
+        body = quote.mrenclave + quote.report_data
+        expected_sig = hmac_sha256(key, b"sgx-quote", body)
+        if not constant_time_equal(quote.signature, expected_sig):
+            raise AttestationError("quote signature verification failed")
+        if expected_mrenclave is not None and not constant_time_equal(
+            quote.mrenclave, expected_mrenclave
+        ):
+            raise AttestationError(
+                "MRENCLAVE mismatch: enclave does not run the agreed code"
+            )

@@ -1,0 +1,54 @@
+"""Sealed storage bound to enclave identity.
+
+SGX sealing derives a key from the platform's sealing secret and the
+enclave's identity (MRENCLAVE policy), so a blob sealed by an enclave can
+only be unsealed by the *same* enclave code on the *same* platform. CalTrain
+uses sealing for persisting the linkage database between the fingerprinting
+and query stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.aead import AesGcm
+from repro.crypto.hkdf import hkdf
+from repro.enclave.enclave import Enclave
+from repro.errors import AuthenticationError, SealingError
+
+__all__ = ["SealedBlob", "seal", "unseal"]
+
+
+@dataclass(frozen=True)
+class SealedBlob:
+    """An opaque sealed payload plus the nonce it was sealed under."""
+
+    nonce: bytes
+    ciphertext: bytes
+
+
+def _seal_key(enclave: Enclave) -> bytes:
+    return hkdf(
+        ikm=enclave.platform.platform_key,
+        salt=enclave.mrenclave,
+        info=b"sgx-seal-mrenclave",
+        length=16,
+    )
+
+
+def seal(enclave: Enclave, plaintext: bytes) -> SealedBlob:
+    """Seal ``plaintext`` to this enclave's identity."""
+    nonce = enclave.trusted_rng.random_bytes(12)
+    cipher = AesGcm(_seal_key(enclave))
+    return SealedBlob(nonce=nonce, ciphertext=cipher.seal(nonce, plaintext))
+
+
+def unseal(enclave: Enclave, blob: SealedBlob) -> bytes:
+    """Unseal a blob; fails if identity or platform differ, or if tampered."""
+    cipher = AesGcm(_seal_key(enclave))
+    try:
+        return cipher.open(blob.nonce, blob.ciphertext)
+    except AuthenticationError as exc:
+        raise SealingError(
+            "unseal failed: wrong enclave identity/platform or tampered blob"
+        ) from exc

@@ -1,0 +1,81 @@
+"""Exception hierarchy for the CalTrain reproduction.
+
+Every subsystem raises subclasses of :class:`CalTrainError` so callers can
+catch failures at the granularity they care about (a whole pipeline, one
+subsystem, or one specific condition such as a failed authentication tag).
+"""
+
+from __future__ import annotations
+
+
+class CalTrainError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(CalTrainError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class CryptoError(CalTrainError):
+    """Base class for failures in the cryptographic substrate."""
+
+
+class AuthenticationError(CryptoError):
+    """An AEAD authentication tag or MAC did not verify.
+
+    In CalTrain this is the signal that a training batch was forged,
+    corrupted in transit, or injected from an unregistered source; the
+    training server discards such batches (paper, Section IV-A).
+    """
+
+
+class HandshakeError(CryptoError):
+    """A TLS-like secure-channel handshake failed or was misused."""
+
+
+class EnclaveError(CalTrainError):
+    """Base class for failures in the SGX enclave simulator."""
+
+
+class EnclaveLifecycleError(EnclaveError):
+    """An enclave operation was attempted in the wrong lifecycle state."""
+
+
+class EnclaveMemoryError(EnclaveError):
+    """The Enclave Page Cache could not satisfy an allocation."""
+
+
+class AttestationError(EnclaveError):
+    """A remote-attestation quote failed verification."""
+
+
+class SealingError(EnclaveError):
+    """Sealed data could not be unsealed (wrong identity or tampered blob)."""
+
+
+class NetworkDefinitionError(CalTrainError):
+    """A neural-network architecture definition is malformed."""
+
+
+class ShapeError(NetworkDefinitionError):
+    """Tensor shapes do not line up between consecutive layers."""
+
+
+class TrainingError(CalTrainError):
+    """Training-time failure (divergence, bad batch, misuse of the API)."""
+
+
+class PartitionError(CalTrainError):
+    """A FrontNet/BackNet partition point is invalid for the network."""
+
+
+class ProvisioningError(CalTrainError):
+    """Secret or data provisioning to the training enclave failed."""
+
+
+class LinkageError(CalTrainError):
+    """The fingerprint linkage database rejected an operation."""
+
+
+class QueryError(CalTrainError):
+    """A misprediction accountability query could not be answered."""

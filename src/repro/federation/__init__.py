@@ -1,0 +1,37 @@
+"""Collaborative-learning substrate.
+
+The centralized CalTrain paradigm (participants, secret provisioning into
+the training enclave, the training server) plus the *distributed*
+collaborative-learning baselines the paper contrasts with: Federated
+Averaging (McMahan et al.) and distributed selective SGD (Shokri &
+Shmatikov), and the hierarchical multi-enclave learning-hub extension.
+"""
+
+from repro.federation.dssgd import DistributedSelectiveSgd
+from repro.federation.fedavg import FedAvgTrainer
+from repro.federation.hubs import HubAggregator, LearningHub
+from repro.federation.participant import TrainingParticipant
+from repro.federation.provisioning import install_provisioning_ecalls, provision_key
+from repro.federation.secure_agg import (
+    SecureAggregationClient,
+    aggregate,
+    recover_dropout,
+    run_secure_aggregation,
+)
+from repro.federation.server import DecryptionSummary, TrainingServer
+
+__all__ = [
+    "TrainingParticipant",
+    "install_provisioning_ecalls",
+    "provision_key",
+    "TrainingServer",
+    "DecryptionSummary",
+    "FedAvgTrainer",
+    "DistributedSelectiveSgd",
+    "LearningHub",
+    "HubAggregator",
+    "SecureAggregationClient",
+    "aggregate",
+    "recover_dropout",
+    "run_secure_aggregation",
+]

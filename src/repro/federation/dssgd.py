@@ -1,0 +1,92 @@
+"""Distributed selective SGD (Shokri & Shmatikov, CCS 2015) baseline.
+
+Participants train locally and *selectively share* a fraction theta of
+their largest parameter updates with a global parameter server; others
+download the global parameters before training. This is the second
+distributed collaborative-learning paradigm the paper's introduction
+contrasts CalTrain with.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.data.batching import iterate_minibatches
+from repro.data.datasets import Dataset
+from repro.errors import ConfigurationError
+from repro.nn.network import Network
+from repro.nn.optimizers import Sgd
+from repro.utils.rng import RngStream
+
+__all__ = ["DistributedSelectiveSgd"]
+
+
+class DistributedSelectiveSgd:
+    """Round-robin selective gradient sharing.
+
+    Args:
+        theta: Fraction of parameter coordinates shared per round (the
+            paper's theta_u; Shokri & Shmatikov report theta as low as 0.01
+            still converging).
+    """
+
+    def __init__(self, model_factory: Callable[[], Network],
+                 client_datasets: Sequence[Dataset], rng: RngStream,
+                 theta: float = 0.1, batch_size: int = 32,
+                 learning_rate: float = 0.05, batches_per_turn: int = 8) -> None:
+        if not 0.0 < theta <= 1.0:
+            raise ConfigurationError("theta must be in (0, 1]")
+        self.model_factory = model_factory
+        self.client_datasets = list(client_datasets)
+        self.rng = rng
+        self.theta = theta
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.batches_per_turn = batches_per_turn
+        self.global_model = model_factory()
+
+    def _selective_upload(self, old_weights, new_weights) -> None:
+        """Apply only the top-theta largest coordinate updates globally."""
+        deltas: List[np.ndarray] = []
+        for old_layer, new_layer in zip(old_weights, new_weights):
+            for name in old_layer:
+                deltas.append((new_layer[name] - old_layer[name]).ravel())
+        if not deltas:
+            return
+        flat = np.concatenate(deltas)
+        keep = max(1, int(round(self.theta * flat.size)))
+        threshold = np.partition(np.abs(flat), -keep)[-keep]
+        global_weights = self.global_model.get_weights()
+        for layer_idx, (old_layer, new_layer) in enumerate(zip(old_weights, new_weights)):
+            for name in old_layer:
+                delta = new_layer[name] - old_layer[name]
+                mask = np.abs(delta) >= threshold
+                global_weights[layer_idx][name] += delta * mask
+        self.global_model.set_weights(global_weights)
+
+    def _client_turn(self, client_idx: int, turn: int) -> float:
+        dataset = self.client_datasets[client_idx]
+        local = self.model_factory()
+        old_weights = self.global_model.get_weights()
+        local.set_weights(old_weights)
+        optimizer = Sgd(self.learning_rate, momentum=0.0)
+        batch_rng = self.rng.child(f"batches/{turn}/{client_idx}").generator
+        losses = []
+        batches = iterate_minibatches(dataset.x, dataset.y, self.batch_size,
+                                      rng=batch_rng)
+        for _, (xb, yb) in zip(range(self.batches_per_turn), batches):
+            losses.append(local.train_batch(xb, yb, optimizer))
+        self._selective_upload(old_weights, local.get_weights())
+        return float(np.mean(losses)) if losses else 0.0
+
+    def train(self, rounds: int) -> Network:
+        """Each round every client takes one turn, in random order."""
+        for turn in range(rounds):
+            order = self.rng.child(f"order/{turn}").generator.permutation(
+                len(self.client_datasets)
+            )
+            for client_idx in order:
+                self._client_turn(int(client_idx), turn)
+        return self.global_model

@@ -1,0 +1,123 @@
+"""Federated Averaging (McMahan et al.) — the distributed baseline.
+
+The paper's motivation: in federated learning the training data stay
+invisible to everyone but their owner, so a malicious participant can feed
+poisoned updates and nobody can trace the resulting misbehaviour back. This
+baseline exists (a) for accuracy comparisons against centralized CalTrain
+training and (b) to demonstrate that poisoning through a federated client
+succeeds and is unattributable, which the accountability benches contrast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.batching import iterate_minibatches
+from repro.data.datasets import Dataset
+from repro.errors import ConfigurationError
+from repro.nn.network import Network
+from repro.nn.optimizers import Sgd
+from repro.utils.rng import RngStream
+
+__all__ = ["FedAvgRound", "FedAvgTrainer", "average_weights"]
+
+
+def average_weights(weight_sets: Sequence[List[Dict[str, np.ndarray]]],
+                    sizes: Optional[Sequence[int]] = None) -> List[Dict[str, np.ndarray]]:
+    """Size-weighted elementwise average of per-client weight lists."""
+    if not weight_sets:
+        raise ConfigurationError("nothing to average")
+    if sizes is None:
+        sizes = [1] * len(weight_sets)
+    total = float(sum(sizes))
+    averaged: List[Dict[str, np.ndarray]] = []
+    for layer_idx in range(len(weight_sets[0])):
+        layer_avg: Dict[str, np.ndarray] = {}
+        for name in weight_sets[0][layer_idx]:
+            layer_avg[name] = sum(
+                ws[layer_idx][name] * (size / total)
+                for ws, size in zip(weight_sets, sizes)
+            )
+        averaged.append(layer_avg)
+    return averaged
+
+
+@dataclass
+class FedAvgRound:
+    round_index: int
+    participating: List[int]
+    loss: float
+
+
+class FedAvgTrainer:
+    """Iterative model averaging over distributed clients.
+
+    Args:
+        model_factory: Builds a fresh network (same architecture) — used
+            once for the global model and per-client for local copies.
+        client_datasets: One private dataset per client.
+        client_fraction: Fraction of clients sampled each round.
+        local_epochs: Local passes per selected client per round.
+    """
+
+    def __init__(self, model_factory: Callable[[], Network],
+                 client_datasets: Sequence[Dataset], rng: RngStream,
+                 client_fraction: float = 1.0, local_epochs: int = 1,
+                 batch_size: int = 32, learning_rate: float = 0.05,
+                 momentum: float = 0.9) -> None:
+        if not client_datasets:
+            raise ConfigurationError("FedAvg needs at least one client")
+        if not 0.0 < client_fraction <= 1.0:
+            raise ConfigurationError("client_fraction must be in (0, 1]")
+        self.model_factory = model_factory
+        self.client_datasets = list(client_datasets)
+        self.rng = rng
+        self.client_fraction = client_fraction
+        self.local_epochs = local_epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.global_model = model_factory()
+        self.history: List[FedAvgRound] = []
+
+    def _client_update(self, client_idx: int, round_idx: int) -> tuple:
+        dataset = self.client_datasets[client_idx]
+        local = self.model_factory()
+        local.set_weights(self.global_model.get_weights())
+        local.set_dropout_rng(
+            self.rng.child(f"dropout/{round_idx}/{client_idx}").generator
+        )
+        optimizer = Sgd(self.learning_rate, self.momentum)
+        batch_rng = self.rng.child(f"batches/{round_idx}/{client_idx}").generator
+        losses = []
+        for _ in range(self.local_epochs):
+            for xb, yb in iterate_minibatches(dataset.x, dataset.y,
+                                              self.batch_size, rng=batch_rng):
+                losses.append(local.train_batch(xb, yb, optimizer))
+        return local.get_weights(), len(dataset), float(np.mean(losses))
+
+    def run_round(self, round_idx: int) -> FedAvgRound:
+        """One round: sample clients, local training, weighted averaging."""
+        n_clients = len(self.client_datasets)
+        count = max(1, int(round(self.client_fraction * n_clients)))
+        chooser = self.rng.child(f"select/{round_idx}").generator
+        selected = sorted(chooser.choice(n_clients, size=count, replace=False))
+        updates, sizes, losses = [], [], []
+        for client_idx in selected:
+            weights, size, loss = self._client_update(client_idx, round_idx)
+            updates.append(weights)
+            sizes.append(size)
+            losses.append(loss)
+        self.global_model.set_weights(average_weights(updates, sizes))
+        record = FedAvgRound(round_index=round_idx, participating=list(selected),
+                             loss=float(np.mean(losses)))
+        self.history.append(record)
+        return record
+
+    def train(self, rounds: int) -> Network:
+        for round_idx in range(rounds):
+            self.run_round(round_idx)
+        return self.global_model

@@ -1,0 +1,104 @@
+"""Hierarchical learning hubs (paper, Section IV-B "Performance").
+
+To scale in-enclave training, CalTrain can form multiple learning hubs —
+one enclave per hub, each training a sub-model on the encrypted data of its
+downstream participant subgroup — with a root aggregation server that
+periodically merges model updates, Federated-Learning style, except that
+every "client" here is itself an attested enclave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.batching import iterate_minibatches
+from repro.data.datasets import Dataset
+from repro.enclave.platform import SgxPlatform
+from repro.errors import ConfigurationError
+from repro.federation.fedavg import average_weights
+from repro.nn.network import Network
+from repro.nn.optimizers import Sgd
+from repro.utils.rng import RngStream
+
+__all__ = ["LearningHub", "HubAggregator"]
+
+
+class LearningHub:
+    """One enclave-backed hub serving a subgroup of participants."""
+
+    def __init__(self, hub_id: str, platform: SgxPlatform,
+                 model_factory: Callable[[], Network], partition: int,
+                 datasets: Sequence[Dataset], rng: RngStream,
+                 batch_size: int = 32, learning_rate: float = 0.05) -> None:
+        from repro.core.partition import PartitionedNetwork
+
+        if not datasets:
+            raise ConfigurationError(f"hub {hub_id} has no participant data")
+        self.hub_id = hub_id
+        self.platform = platform
+        self.enclave = platform.create_enclave(f"hub-enclave/{hub_id}")
+        self.enclave.init()
+        self.network = model_factory()
+        self.partitioned = PartitionedNetwork(self.network, partition, self.enclave)
+        self.dataset = Dataset.concatenate(list(datasets), name=f"hub/{hub_id}")
+        self.rng = rng
+        self.batch_size = batch_size
+        self.optimizer = Sgd(learning_rate)
+
+    def train_epoch(self, epoch: int) -> float:
+        """One partitioned-training epoch over the hub's pooled data."""
+        batch_rng = self.rng.child(f"batches/{epoch}").generator
+        self.network.set_dropout_rng(self.enclave.trusted_rng.generator)
+        losses = [
+            self.partitioned.train_batch(xb, yb, self.optimizer)
+            for xb, yb in iterate_minibatches(
+                self.dataset.x, self.dataset.y, self.batch_size, rng=batch_rng
+            )
+        ]
+        return float(np.mean(losses))
+
+
+@dataclass
+class HubRound:
+    round_index: int
+    hub_losses: List[float]
+
+
+class HubAggregator:
+    """Root model-aggregation server over several learning hubs."""
+
+    def __init__(self, hubs: Sequence[LearningHub],
+                 global_model: Optional[Network] = None) -> None:
+        if not hubs:
+            raise ConfigurationError("need at least one hub")
+        self.hubs = list(hubs)
+        self.global_model = global_model if global_model is not None else hubs[0].network
+        self.history: List[HubRound] = []
+
+    def run_round(self, round_idx: int, epochs_per_round: int = 1) -> HubRound:
+        """Broadcast global weights, train each hub, merge size-weighted."""
+        global_weights = self.global_model.get_weights()
+        for hub in self.hubs:
+            hub.network.set_weights(global_weights)
+        losses = []
+        for hub in self.hubs:
+            hub_loss = 0.0
+            for epoch in range(epochs_per_round):
+                hub_loss = hub.train_epoch(round_idx * epochs_per_round + epoch)
+            losses.append(hub_loss)
+        merged = average_weights(
+            [hub.network.get_weights() for hub in self.hubs],
+            sizes=[len(hub.dataset) for hub in self.hubs],
+        )
+        self.global_model.set_weights(merged)
+        record = HubRound(round_index=round_idx, hub_losses=losses)
+        self.history.append(record)
+        return record
+
+    def train(self, rounds: int, epochs_per_round: int = 1) -> Network:
+        for round_idx in range(rounds):
+            self.run_round(round_idx, epochs_per_round)
+        return self.global_model

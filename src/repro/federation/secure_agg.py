@@ -1,0 +1,172 @@
+"""Secure aggregation (Bonawitz et al., CCS 2017), simplified.
+
+The paper's related work cites secure aggregation as the cryptographic
+alternative for protecting federated updates: the server learns only the
+*sum* of the clients' vectors, never an individual contribution. This
+module implements the core pairwise-masking protocol (without the
+dropout-recovery machinery):
+
+* every client pair ``(i, j)`` agrees on a seed via Diffie-Hellman;
+* client ``i`` uploads ``x_i + sum_{j>i} PRG(s_ij) - sum_{j<i} PRG(s_ij)``;
+* summing all uploads cancels every mask, yielding ``sum_i x_i`` exactly.
+
+It exists as a baseline for the accountability argument: even with secure
+aggregation, the server cannot attribute a poisoned update — the masking
+that protects honest clients also hides the malicious one, which is
+precisely the confidentiality/accountability conflict CalTrain resolves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.crypto.dh import DhKeyPair
+from repro.crypto.hkdf import hkdf
+from repro.crypto.shamir import Share, reconstruct_secret, split_secret
+from repro.errors import ConfigurationError, CryptoError
+from repro.utils.rng import RngStream
+
+__all__ = [
+    "SecureAggregationClient",
+    "aggregate",
+    "run_secure_aggregation",
+    "recover_dropout",
+]
+
+
+#: Mask amplitude. Bonawitz et al. mask uniformly over a large modular
+#: field; with float64 vectors the analogue is an amplitude that dwarfs any
+#: plausible update magnitude while staying far from the 2^53 precision
+#: limit, so the pairwise sums still cancel exactly.
+_MASK_SCALE = 1.0e6
+
+
+def _mask_from_seed(seed: bytes, size: int) -> np.ndarray:
+    """Expand a shared seed into a deterministic mask vector."""
+    generator = np.random.Generator(
+        np.random.PCG64(int.from_bytes(hkdf(seed, info=b"secagg-prg")[:8], "big"))
+    )
+    return generator.standard_normal(size).astype(np.float64) * _MASK_SCALE
+
+
+class SecureAggregationClient:
+    """One client in the pairwise-masking protocol.
+
+    Clients optionally Shamir-share their pairwise seeds among the cohort
+    (``share_seeds``) so that a client who drops out *after* uploading can
+    have its masks reconstructed and cancelled by any ``threshold``
+    survivors — the dropout-recovery half of Bonawitz et al.
+    """
+
+    def __init__(self, client_id: int, rng: RngStream) -> None:
+        self.client_id = client_id
+        self._rng = rng.child(f"secagg-shamir/{client_id}")
+        self._keypair = DhKeyPair(rng.child(f"secagg/{client_id}"))
+        self._pair_seeds: Dict[int, bytes] = {}
+        #: Shares of *other* clients' seed bundles held by this client:
+        #: owner_id -> its share of that owner's serialized seeds.
+        self.held_shares: Dict[int, Share] = {}
+
+    @property
+    def public_key(self) -> int:
+        return self._keypair.public
+
+    def establish_pairs(self, peers: Dict[int, int]) -> None:
+        """Derive a pairwise seed with every other client's public key."""
+        for peer_id, peer_public in peers.items():
+            if peer_id == self.client_id:
+                continue
+            shared = self._keypair.shared_secret(peer_public)
+            self._pair_seeds[peer_id] = hkdf(shared, info=b"secagg-seed")
+
+    def masked_update(self, vector: np.ndarray) -> np.ndarray:
+        """The client's upload: its vector plus the pairwise masks."""
+        if not self._pair_seeds:
+            raise ConfigurationError("establish_pairs() must run first")
+        masked = vector.astype(np.float64).copy()
+        for peer_id, seed in self._pair_seeds.items():
+            mask = _mask_from_seed(seed, vector.size).reshape(vector.shape)
+            if peer_id > self.client_id:
+                masked += mask
+            else:
+                masked -= mask
+        return masked
+
+
+    # -- dropout recovery (the Bonawitz t-of-n escrow) -----------------------
+
+    def escrow_private_key(self, threshold: int,
+                           num_shares: int) -> List[Share]:
+        """Shamir-share this client's DH private key among the cohort.
+
+        If this client drops after uploading, any ``threshold`` survivors
+        hand their shares to the server, which reconstructs the key,
+        re-derives the pairwise seeds, and cancels the orphaned masks.
+        """
+        return split_secret(self._keypair.private_bytes(), threshold,
+                            num_shares, self._rng)
+
+
+def recover_dropout(dropped_id: int, shares: Sequence[Share],
+                    directory: Dict[int, int],
+                    vector_shape: Tuple[int, ...]) -> np.ndarray:
+    """Reconstruct a dropped client's total mask from escrowed shares.
+
+    Args:
+        dropped_id: The client that uploaded and then vanished.
+        shares: At least ``threshold`` of its escrowed key shares.
+        directory: client_id -> DH public key, for every registered client.
+        vector_shape: Shape of the update vectors.
+
+    Returns:
+        The mask vector the dropped client added to its upload; subtracting
+        it from the naive aggregate restores correctness.
+    """
+    private = int.from_bytes(reconstruct_secret(shares, 32), "big")
+    keypair = DhKeyPair.from_private(private)
+    if dropped_id not in directory:
+        raise CryptoError(f"client {dropped_id} is not in the directory")
+    if keypair.public != directory[dropped_id]:
+        raise CryptoError(
+            "reconstructed key does not match the directory (bad shares?)"
+        )
+    size = int(np.prod(vector_shape))
+    total_mask = np.zeros(size, dtype=np.float64)
+    for peer_id, peer_public in directory.items():
+        if peer_id == dropped_id:
+            continue
+        seed = hkdf(keypair.shared_secret(peer_public), info=b"secagg-seed")
+        mask = _mask_from_seed(seed, size)
+        if peer_id > dropped_id:
+            total_mask += mask
+        else:
+            total_mask -= mask
+    return total_mask.reshape(vector_shape)
+
+
+def aggregate(masked_updates: Sequence[np.ndarray]) -> np.ndarray:
+    """Server-side sum; pairwise masks cancel exactly."""
+    if not masked_updates:
+        raise ConfigurationError("nothing to aggregate")
+    total = np.zeros_like(masked_updates[0])
+    for update in masked_updates:
+        total += update
+    return total
+
+
+def run_secure_aggregation(vectors: Sequence[np.ndarray],
+                           rng: RngStream) -> np.ndarray:
+    """Convenience: run the whole protocol over in-memory clients."""
+    if len(vectors) < 2:
+        raise ConfigurationError("secure aggregation needs >= 2 clients")
+    clients = [SecureAggregationClient(i, rng) for i in range(len(vectors))]
+    directory = {c.client_id: c.public_key for c in clients}
+    for client in clients:
+        client.establish_pairs(directory)
+    uploads = [
+        client.masked_update(vector)
+        for client, vector in zip(clients, vectors)
+    ]
+    return aggregate(uploads)

@@ -1,0 +1,24 @@
+"""Neural-network layers."""
+
+from repro.nn.layers.base import Layer
+from repro.nn.layers.batchnorm import BatchNormLayer
+from repro.nn.layers.conv import ConvLayer
+from repro.nn.layers.dense import DenseLayer, FlattenLayer
+from repro.nn.layers.dropout import DropoutLayer
+from repro.nn.layers.pooling import AvgPoolLayer, MaxPoolLayer
+from repro.nn.layers.residual import ResidualBlockLayer
+from repro.nn.layers.softmax import CostLayer, SoftmaxLayer
+
+__all__ = [
+    "Layer",
+    "BatchNormLayer",
+    "ConvLayer",
+    "DenseLayer",
+    "FlattenLayer",
+    "DropoutLayer",
+    "MaxPoolLayer",
+    "AvgPoolLayer",
+    "ResidualBlockLayer",
+    "SoftmaxLayer",
+    "CostLayer",
+]

@@ -1,0 +1,116 @@
+"""Batch normalization (Ioffe & Szegedy), Darknet's ``batch_normalize``.
+
+Normalizes over the batch and spatial axes per channel, with learned scale
+and shift and running statistics for inference. Darknet attaches this to
+conv layers via ``batch_normalize=1``; here it is a standalone layer, which
+composes identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.layers.base import Layer, Shape
+
+__all__ = ["BatchNormLayer"]
+
+
+class BatchNormLayer(Layer):
+    """Per-channel batch normalization for NHWC or (N, D) tensors."""
+
+    kind = "batchnorm"
+
+    def __init__(self, momentum: float = 0.9, eps: float = 1e-5) -> None:
+        super().__init__()
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError("momentum must be in [0, 1)")
+        if eps <= 0:
+            raise ConfigurationError("eps must be positive")
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma: Optional[np.ndarray] = None
+        self.beta: Optional[np.ndarray] = None
+        self.running_mean: Optional[np.ndarray] = None
+        self.running_var: Optional[np.ndarray] = None
+        self._grad_gamma: Optional[np.ndarray] = None
+        self._grad_beta: Optional[np.ndarray] = None
+
+    def build(self, channels: int, initializer=None) -> None:
+        self.gamma = np.ones(channels, dtype=np.float32)
+        self.beta = np.zeros(channels, dtype=np.float32)
+        self.running_mean = np.zeros(channels, dtype=np.float32)
+        self.running_var = np.ones(channels, dtype=np.float32)
+        self._grad_gamma = np.zeros_like(self.gamma)
+        self._grad_beta = np.zeros_like(self.beta)
+
+    def _reduce_axes(self, x: np.ndarray) -> Tuple[int, ...]:
+        return tuple(range(x.ndim - 1))
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if self.gamma is None:
+            raise ShapeError("BatchNormLayer used before build()")
+        if x.shape[-1] != self.gamma.shape[0]:
+            raise ShapeError(
+                f"batchnorm expects {self.gamma.shape[0]} channels, got {x.shape[-1]}"
+            )
+        axes = self._reduce_axes(x)
+        if training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean *= self.momentum
+            self.running_mean += (1.0 - self.momentum) * mean
+            self.running_var *= self.momentum
+            self.running_var += (1.0 - self.momentum) * var
+            x_hat = (x - mean) / np.sqrt(var + self.eps)
+            self._cache["x_hat"] = x_hat
+            self._cache["var"] = var
+            return self.gamma * x_hat + self.beta
+        return (
+            self.gamma * (x - self.running_mean)
+            / np.sqrt(self.running_var + self.eps)
+            + self.beta
+        )
+
+    def backward(self, delta: np.ndarray) -> np.ndarray:
+        x_hat = self._pop_cache("x_hat")
+        var = self._cache.pop("var")
+        axes = self._reduce_axes(delta)
+        m = float(np.prod([delta.shape[a] for a in axes]))
+        if not self.frozen:
+            self._grad_gamma += (delta * x_hat).sum(axis=axes)
+            self._grad_beta += delta.sum(axis=axes)
+        # Standard batchnorm input gradient (all in one expression):
+        # dx = gamma/sqrt(var+eps) * (d - mean(d) - x_hat * mean(d * x_hat))
+        d_mean = delta.mean(axis=axes)
+        dxhat_mean = (delta * x_hat).mean(axis=axes)
+        scale = self.gamma / np.sqrt(var + self.eps)
+        return scale * (delta - d_mean - x_hat * dxhat_mean)
+
+    def params(self) -> Dict[str, np.ndarray]:
+        if self.gamma is None:
+            return {}
+        return {"gamma": self.gamma, "beta": self.beta}
+
+    def extra_state(self) -> Dict[str, np.ndarray]:
+        """Running statistics — saved with weights, never touched by
+        optimizers."""
+        if self.running_mean is None:
+            return {}
+        return {"running_mean": self.running_mean, "running_var": self.running_var}
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        if self._grad_gamma is None:
+            return {}
+        return {"gamma": self._grad_gamma, "beta": self._grad_beta}
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return input_shape
+
+    def flops(self, input_shape: Shape) -> float:
+        return 2.0 * float(np.prod(input_shape))
+
+    def describe(self) -> str:
+        return "batchnorm"

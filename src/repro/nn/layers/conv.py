@@ -1,0 +1,155 @@
+"""2-D convolution via im2col.
+
+NHWC layout; weights are ``(kh, kw, in_c, out_c)``. ``pad="same"`` keeps
+spatial size at stride 1 (Darknet's ``pad=1`` behaviour for odd kernels);
+``pad="valid"`` applies no padding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.layers.activations import apply_activation, activation_gradient
+from repro.nn.layers.base import Layer, Shape
+
+__all__ = ["ConvLayer"]
+
+
+class ConvLayer(Layer):
+    """Convolutional layer with a built-in activation.
+
+    Args:
+        filters: Number of output channels.
+        size: Square kernel size.
+        stride: Spatial stride.
+        activation: One of :data:`repro.nn.layers.activations.ACTIVATIONS`.
+            Darknet's default for conv layers is leaky ReLU.
+        pad: ``"same"`` or ``"valid"``.
+    """
+
+    kind = "conv"
+
+    def __init__(self, filters: int, size: int = 3, stride: int = 1,
+                 activation: str = "leaky", pad: str = "same") -> None:
+        super().__init__()
+        if filters <= 0 or size <= 0 or stride <= 0:
+            raise ConfigurationError("filters, size, and stride must be positive")
+        if pad not in ("same", "valid"):
+            raise ConfigurationError(f"unknown padding mode {pad!r}")
+        self.filters = filters
+        self.size = size
+        self.stride = stride
+        self.activation = activation
+        self.pad = pad
+        self.weights: Optional[np.ndarray] = None  # (kh, kw, in_c, out_c)
+        self.bias: Optional[np.ndarray] = None
+        self._grad_w: Optional[np.ndarray] = None
+        self._grad_b: Optional[np.ndarray] = None
+
+    # -- setup ---------------------------------------------------------------
+
+    def build(self, in_channels: int, initializer) -> None:
+        """Allocate parameters with ``initializer(shape) -> ndarray``."""
+        shape = (self.size, self.size, in_channels, self.filters)
+        self.weights = initializer(shape).astype(np.float32)
+        self.bias = np.zeros(self.filters, dtype=np.float32)
+        self._grad_w = np.zeros_like(self.weights)
+        self._grad_b = np.zeros_like(self.bias)
+
+    def _pad_amount(self) -> int:
+        return self.size // 2 if self.pad == "same" else 0
+
+    def _check_built(self, in_channels: int) -> None:
+        if self.weights is None:
+            raise ShapeError("ConvLayer used before build()")
+        if self.weights.shape[2] != in_channels:
+            raise ShapeError(
+                f"conv expects {self.weights.shape[2]} input channels, got {in_channels}"
+            )
+
+    # -- compute ------------------------------------------------------------
+
+    def _im2col(self, x: np.ndarray) -> Tuple[np.ndarray, Tuple[int, int]]:
+        p = self._pad_amount()
+        if p:
+            x = np.pad(x, ((0, 0), (p, p), (p, p), (0, 0)))
+        # (N, H', W', C, kh, kw) -> strided -> (N, oh, ow, kh, kw, C)
+        windows = sliding_window_view(x, (self.size, self.size), axis=(1, 2))
+        windows = windows[:, :: self.stride, :: self.stride]
+        windows = windows.transpose(0, 1, 2, 4, 5, 3)
+        n, oh, ow = windows.shape[:3]
+        cols = windows.reshape(n * oh * ow, -1)
+        return np.ascontiguousarray(cols), (oh, ow)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._check_built(x.shape[-1])
+        n = x.shape[0]
+        cols, (oh, ow) = self._im2col(x)
+        w_mat = self.weights.reshape(-1, self.filters)
+        z = (cols @ w_mat + self.bias).reshape(n, oh, ow, self.filters)
+        if training:
+            self._cache["cols"] = cols
+            self._cache["z"] = z
+            self._cache["input_shape"] = x.shape
+        return apply_activation(self.activation, z)
+
+    def backward(self, delta: np.ndarray) -> np.ndarray:
+        cols = self._pop_cache("cols")
+        z = self._pop_cache("z")
+        input_shape = self._cache.pop("input_shape")
+        n, oh, ow, _ = delta.shape
+        dz = activation_gradient(self.activation, z, delta)
+        dz_flat = dz.reshape(n * oh * ow, self.filters)
+        if not self.frozen:
+            w_mat = self.weights.reshape(-1, self.filters)
+            self._grad_w += (cols.T @ dz_flat).reshape(self.weights.shape)
+            self._grad_b += dz_flat.sum(axis=0)
+        dcols = dz_flat @ self.weights.reshape(-1, self.filters).T
+        return self._col2im(dcols, input_shape, oh, ow)
+
+    def _col2im(self, dcols: np.ndarray, input_shape: Tuple[int, ...],
+                oh: int, ow: int) -> np.ndarray:
+        n, h, w, c = input_shape
+        p = self._pad_amount()
+        k, s = self.size, self.stride
+        dxp = np.zeros((n, h + 2 * p, w + 2 * p, c), dtype=dcols.dtype)
+        dcols = dcols.reshape(n, oh, ow, k, k, c)
+        for i in range(k):
+            for j in range(k):
+                dxp[:, i : i + oh * s : s, j : j + ow * s : s, :] += dcols[:, :, :, i, j, :]
+        if p:
+            return dxp[:, p : p + h, p : p + w, :]
+        return dxp
+
+    # -- parameters ----------------------------------------------------------
+
+    def params(self) -> Dict[str, np.ndarray]:
+        if self.weights is None:
+            return {}
+        return {"weights": self.weights, "bias": self.bias}
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        if self._grad_w is None:
+            return {}
+        return {"weights": self._grad_w, "bias": self._grad_b}
+
+    # -- introspection ---------------------------------------------------------
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        h, w, _ = input_shape
+        p = self._pad_amount()
+        oh = (h + 2 * p - self.size) // self.stride + 1
+        ow = (w + 2 * p - self.size) // self.stride + 1
+        return (oh, ow, self.filters)
+
+    def flops(self, input_shape: Shape) -> float:
+        oh, ow, oc = self.output_shape(input_shape)
+        in_c = input_shape[-1]
+        return 2.0 * oh * ow * oc * self.size * self.size * in_c
+
+    def describe(self) -> str:
+        return f"conv {self.filters} {self.size}x{self.size}/{self.stride}"

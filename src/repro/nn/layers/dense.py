@@ -1,0 +1,102 @@
+"""Dense (fully connected) and flatten layers.
+
+The CIFAR nets in Tables I/II are fully convolutional, but the face
+recognition model used in the accountability experiments has a dense
+penultimate embedding layer, as VGG-Face does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.layers.activations import activation_gradient, apply_activation
+from repro.nn.layers.base import Layer, Shape
+
+__all__ = ["DenseLayer", "FlattenLayer"]
+
+
+class FlattenLayer(Layer):
+    """Reshape (H, W, C) feature maps to flat vectors."""
+
+    kind = "flatten"
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._cache["input_shape"] = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, delta: np.ndarray) -> np.ndarray:
+        return delta.reshape(self._cache.pop("input_shape"))
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return (int(np.prod(input_shape)),)
+
+    def describe(self) -> str:
+        return "flatten"
+
+
+class DenseLayer(Layer):
+    """Fully connected layer with a built-in activation."""
+
+    kind = "dense"
+
+    def __init__(self, units: int, activation: str = "leaky") -> None:
+        super().__init__()
+        if units <= 0:
+            raise ConfigurationError("units must be positive")
+        self.units = units
+        self.activation = activation
+        self.weights: Optional[np.ndarray] = None  # (in_dim, units)
+        self.bias: Optional[np.ndarray] = None
+        self._grad_w: Optional[np.ndarray] = None
+        self._grad_b: Optional[np.ndarray] = None
+
+    def build(self, in_dim: int, initializer) -> None:
+        self.weights = initializer((in_dim, self.units)).astype(np.float32)
+        self.bias = np.zeros(self.units, dtype=np.float32)
+        self._grad_w = np.zeros_like(self.weights)
+        self._grad_b = np.zeros_like(self.bias)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if self.weights is None:
+            raise ShapeError("DenseLayer used before build()")
+        if x.ndim != 2 or x.shape[1] != self.weights.shape[0]:
+            raise ShapeError(
+                f"dense expects (N, {self.weights.shape[0]}), got {x.shape}"
+            )
+        z = x @ self.weights + self.bias
+        if training:
+            self._cache["x"] = x
+            self._cache["z"] = z
+        return apply_activation(self.activation, z)
+
+    def backward(self, delta: np.ndarray) -> np.ndarray:
+        x = self._pop_cache("x")
+        z = self._cache.pop("z")
+        dz = activation_gradient(self.activation, z, delta)
+        if not self.frozen:
+            self._grad_w += x.T @ dz
+            self._grad_b += dz.sum(axis=0)
+        return dz @ self.weights.T
+
+    def params(self) -> Dict[str, np.ndarray]:
+        if self.weights is None:
+            return {}
+        return {"weights": self.weights, "bias": self.bias}
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        if self._grad_w is None:
+            return {}
+        return {"weights": self._grad_w, "bias": self._grad_b}
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return (self.units,)
+
+    def flops(self, input_shape: Shape) -> float:
+        return 2.0 * int(np.prod(input_shape)) * self.units
+
+    def describe(self) -> str:
+        return f"dense {self.units}"

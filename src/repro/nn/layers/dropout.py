@@ -1,0 +1,50 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.layers.base import Layer, Shape
+
+__all__ = ["DropoutLayer"]
+
+
+class DropoutLayer(Layer):
+    """Inverted dropout: active only in training mode.
+
+    The mask is drawn from ``self.rng``; inside a training enclave the
+    network wires this to the enclave's trusted RNG so that even dropout
+    randomness comes from the measured entropy source.
+    """
+
+    kind = "dropout"
+
+    def __init__(self, probability: float = 0.5,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= probability < 1.0:
+            raise ConfigurationError("dropout probability must be in [0, 1)")
+        self.probability = probability
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.probability == 0.0:
+            return x
+        keep = 1.0 - self.probability
+        mask = (self.rng.random(x.shape) < keep).astype(np.float32) / keep
+        self._cache["mask"] = mask
+        return x * mask
+
+    def backward(self, delta: np.ndarray) -> np.ndarray:
+        if self.probability == 0.0:
+            return delta
+        return delta * self._pop_cache("mask")
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return input_shape
+
+    def describe(self) -> str:
+        return f"dropout p = {self.probability:.2f}"

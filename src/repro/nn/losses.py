@@ -1,0 +1,31 @@
+"""Standalone loss helpers (the network normally uses its CostLayer)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.layers.softmax import softmax
+
+__all__ = ["cross_entropy_loss", "cross_entropy_delta", "softmax_cross_entropy"]
+
+
+def cross_entropy_loss(probs: np.ndarray, labels: np.ndarray) -> float:
+    """Mean cross-entropy of probabilities against integer labels."""
+    n = probs.shape[0]
+    return float(-np.log(probs[np.arange(n), labels] + 1e-12).mean())
+
+
+def cross_entropy_delta(probs: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """d(mean cross-entropy)/d(logits) for a softmax classifier."""
+    n = probs.shape[0]
+    delta = probs.copy()
+    delta[np.arange(n), labels] -= 1.0
+    return delta / n
+
+
+def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Loss and logit gradient straight from logits."""
+    probs = softmax(logits)
+    return cross_entropy_loss(probs, labels), cross_entropy_delta(probs, labels)

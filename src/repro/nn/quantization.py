@@ -1,0 +1,117 @@
+"""Weight quantization by k-means weight sharing (Deep Compression).
+
+Han et al.'s Deep Compression pipeline is prune -> quantize -> encode.
+:mod:`repro.nn.pruning` covers pruning; this module adds the quantization
+stage: cluster each layer's surviving weights into ``2^bits`` centroids and
+replace every weight with its centroid, so the layer stores only a small
+codebook plus per-weight indices. Together they complete the
+compression-vs-partitioning comparison of the A7 ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.network import Network
+
+__all__ = ["QuantizationResult", "quantize_weights", "quantized_bytes"]
+
+
+@dataclass
+class QuantizationResult:
+    """Codebooks and size accounting from one quantization pass."""
+
+    #: Per layer: parameter name -> centroid array (the codebook).
+    codebooks: List[Dict[str, np.ndarray]]
+    bits: int
+    #: Bytes if weights are stored as codebook + packed indices.
+    quantized_bytes: int
+    #: Mean squared quantization error over all quantized weights.
+    mse: float
+
+
+def _kmeans_1d(values: np.ndarray, k: int, iterations: int = 25) -> np.ndarray:
+    """1-D k-means with linear (quantile) initialization, as in the paper."""
+    unique = np.unique(values)
+    if unique.size <= k:
+        return unique
+    centroids = np.quantile(values, np.linspace(0, 1, k))
+    centroids = np.unique(centroids)
+    for _ in range(iterations):
+        assignment = np.argmin(np.abs(values[:, None] - centroids[None, :]),
+                               axis=1)
+        new_centroids = np.array([
+            values[assignment == j].mean() if np.any(assignment == j)
+            else centroids[j]
+            for j in range(centroids.size)
+        ])
+        if np.allclose(new_centroids, centroids):
+            break
+        centroids = new_centroids
+    return centroids
+
+
+def quantize_weights(network: Network, bits: int = 4,
+                     skip_names: tuple = ("bias", "beta"),
+                     ) -> QuantizationResult:
+    """Quantize every weight tensor in place to ``2^bits`` shared values.
+
+    Zero weights (from pruning) keep a dedicated zero centroid so sparsity
+    is preserved.
+    """
+    if not 1 <= bits <= 16:
+        raise ConfigurationError("bits must be in [1, 16]")
+    k = 2 ** bits
+    codebooks: List[Dict[str, np.ndarray]] = []
+    total_error = 0.0
+    total_count = 0
+    total_bytes = 0
+    for layer in network.layers:
+        layer_books: Dict[str, np.ndarray] = {}
+        for name, arr in layer.params().items():
+            if name in skip_names:
+                total_bytes += arr.nbytes
+                continue
+            flat = arr.ravel()
+            nonzero = flat[flat != 0.0]
+            if nonzero.size == 0:
+                continue
+            centroids = _kmeans_1d(nonzero.astype(np.float64), k - 1)
+            # Store the codebook in the weight dtype so quantized weights
+            # are bit-identical to codebook entries.
+            codebook = np.concatenate([[0.0], centroids]).astype(arr.dtype)
+            assignment = np.argmin(
+                np.abs(flat[:, None] - codebook[None, :]), axis=1
+            )
+            assignment[flat == 0.0] = 0  # sparsity-preserving zero code
+            quantized = codebook[assignment].astype(arr.dtype)
+            total_error += float(np.sum((quantized - flat) ** 2))
+            total_count += flat.size
+            arr[...] = quantized.reshape(arr.shape)
+            layer_books[name] = codebook
+            # Storage: the codebook (float32) + bits per weight index.
+            total_bytes += 4 * codebook.size + (bits * flat.size + 7) // 8
+        codebooks.append(layer_books)
+    if total_count == 0:
+        raise ConfigurationError("network has no quantizable parameters")
+    return QuantizationResult(
+        codebooks=codebooks, bits=bits,
+        quantized_bytes=total_bytes,
+        mse=total_error / total_count,
+    )
+
+
+def quantized_bytes(network: Network, bits: int) -> int:
+    """Storage estimate for a ``bits``-bit quantization without mutating."""
+    total = 0
+    for layer in network.layers:
+        for name, arr in layer.params().items():
+            if name in ("bias", "beta"):
+                total += arr.nbytes
+            else:
+                total += 4 * (2 ** bits) + (bits * arr.size + 7) // 8
+    return total

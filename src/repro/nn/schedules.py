@@ -1,0 +1,82 @@
+"""Learning-rate schedules (Darknet's ``policy`` options).
+
+Darknet training configs set a learning-rate policy (constant, step, poly,
+...); the trainer multiplies the optimizer's base rate by the schedule's
+factor at each epoch. CalTrain's trainer accepts any of these through its
+``lr_schedule`` hook.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ConstantSchedule", "StepSchedule", "PolySchedule", "CosineSchedule"]
+
+
+class Schedule:
+    """Interface: multiplier on the base learning rate for an epoch."""
+
+    def factor(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def apply(self, optimizer, base_rate: float, epoch: int) -> None:
+        """Set the optimizer's learning rate for ``epoch``."""
+        optimizer.learning_rate = base_rate * self.factor(epoch)
+
+
+class ConstantSchedule(Schedule):
+    """No decay (Darknet's ``policy=constant``)."""
+
+    def factor(self, epoch: int) -> float:
+        return 1.0
+
+
+class StepSchedule(Schedule):
+    """Multiply by ``scale`` at each milestone (``policy=steps``)."""
+
+    def __init__(self, milestones: Sequence[int], scale: float = 0.1) -> None:
+        if scale <= 0:
+            raise ConfigurationError("scale must be positive")
+        if list(milestones) != sorted(set(milestones)):
+            raise ConfigurationError("milestones must be strictly increasing")
+        self.milestones: Tuple[int, ...] = tuple(milestones)
+        self.scale = scale
+
+    def factor(self, epoch: int) -> float:
+        passed = sum(1 for m in self.milestones if epoch >= m)
+        return self.scale ** passed
+
+
+class PolySchedule(Schedule):
+    """Polynomial decay to zero over ``total_epochs`` (``policy=poly``)."""
+
+    def __init__(self, total_epochs: int, power: float = 4.0) -> None:
+        if total_epochs <= 0:
+            raise ConfigurationError("total_epochs must be positive")
+        self.total_epochs = total_epochs
+        self.power = power
+
+    def factor(self, epoch: int) -> float:
+        progress = min(epoch / self.total_epochs, 1.0)
+        return (1.0 - progress) ** self.power
+
+
+class CosineSchedule(Schedule):
+    """Cosine annealing from 1 to ``floor`` over ``total_epochs``."""
+
+    def __init__(self, total_epochs: int, floor: float = 0.0) -> None:
+        if total_epochs <= 0:
+            raise ConfigurationError("total_epochs must be positive")
+        if not 0.0 <= floor < 1.0:
+            raise ConfigurationError("floor must be in [0, 1)")
+        self.total_epochs = total_epochs
+        self.floor = floor
+
+    def factor(self, epoch: int) -> float:
+        import math
+
+        progress = min(epoch / self.total_epochs, 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.floor + (1.0 - self.floor) * cosine

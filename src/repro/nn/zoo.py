@@ -1,0 +1,134 @@
+"""Model zoo: the paper's exact architectures plus test/face models.
+
+* :func:`cifar10_10layer` — Table I: the 10-layer CIFAR-10 network.
+* :func:`cifar10_18layer` — Table II: the 18-layer CIFAR-10 network with
+  three dropout layers (p = 0.5).
+* :func:`face_recognition_net` — a scaled-down VGG-Face stand-in whose
+  penultimate (pre-softmax) embedding plays the fingerprint role of
+  VGG-Face's 2622-dimensional fc8 layer in the accountability experiments.
+* :func:`tiny_testnet` — a minimal net for fast unit tests.
+
+Both CIFAR nets take 28x28x3 inputs, exactly as the paper's tables do
+(CIFAR-10 images random-cropped from 32x32 to 28x28, a standard Darknet
+augmentation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.initializers import Initializer, gaussian_init
+from repro.nn.layers import (
+    AvgPoolLayer,
+    ConvLayer,
+    CostLayer,
+    DenseLayer,
+    DropoutLayer,
+    FlattenLayer,
+    MaxPoolLayer,
+    SoftmaxLayer,
+)
+from repro.nn.network import Network
+
+__all__ = [
+    "cifar10_10layer",
+    "cifar10_18layer",
+    "face_recognition_net",
+    "tiny_testnet",
+    "CIFAR_INPUT_SHAPE",
+]
+
+CIFAR_INPUT_SHAPE = (28, 28, 3)
+
+
+def _default_init(rng: Optional[np.random.Generator]) -> Initializer:
+    return gaussian_init(rng if rng is not None else np.random.default_rng(0))
+
+
+def cifar10_10layer(rng: Optional[np.random.Generator] = None,
+                    width_scale: float = 1.0) -> Network:
+    """Table I: the 10-layer CIFAR-10 architecture.
+
+    ``width_scale`` shrinks the filter counts proportionally so the same
+    topology can run at laptop scale (1.0 reproduces the table exactly).
+    """
+    w = lambda f: max(4, int(round(f * width_scale)))
+    layers = [
+        ConvLayer(w(128), 3, 1),       # 1
+        ConvLayer(w(128), 3, 1),       # 2
+        MaxPoolLayer(2, 2),            # 3
+        ConvLayer(w(64), 3, 1),        # 4
+        MaxPoolLayer(2, 2),            # 5
+        ConvLayer(w(128), 3, 1),       # 6
+        ConvLayer(10, 1, 1, activation="linear"),  # 7
+        AvgPoolLayer(),                # 8
+        SoftmaxLayer(),                # 9
+        CostLayer(),                   # 10
+    ]
+    return Network(CIFAR_INPUT_SHAPE, layers, initializer=_default_init(rng))
+
+
+def cifar10_18layer(rng: Optional[np.random.Generator] = None,
+                    width_scale: float = 1.0) -> Network:
+    """Table II: the 18-layer CIFAR-10 architecture (dropout p = 0.5)."""
+    w = lambda f: max(4, int(round(f * width_scale)))
+    layers = [
+        ConvLayer(w(128), 3, 1),       # 1
+        ConvLayer(w(128), 3, 1),       # 2
+        ConvLayer(w(128), 3, 1),       # 3
+        MaxPoolLayer(2, 2),            # 4
+        DropoutLayer(0.5),             # 5
+        ConvLayer(w(256), 3, 1),       # 6
+        ConvLayer(w(256), 3, 1),       # 7
+        ConvLayer(w(256), 3, 1),       # 8
+        MaxPoolLayer(2, 2),            # 9
+        DropoutLayer(0.5),             # 10
+        ConvLayer(w(512), 3, 1),       # 11
+        ConvLayer(w(512), 3, 1),       # 12
+        ConvLayer(w(512), 3, 1),       # 13
+        DropoutLayer(0.5),             # 14
+        ConvLayer(10, 1, 1, activation="linear"),  # 15
+        AvgPoolLayer(),                # 16
+        SoftmaxLayer(),                # 17
+        CostLayer(),                   # 18
+    ]
+    return Network(CIFAR_INPUT_SHAPE, layers, initializer=_default_init(rng))
+
+
+def face_recognition_net(num_classes: int, embedding_dim: int = 64,
+                         input_shape=(16, 16, 3),
+                         rng: Optional[np.random.Generator] = None) -> Network:
+    """A compact VGG-Face stand-in for the accountability experiments.
+
+    The layer before the softmax is a ``num_classes``-wide dense layer, so
+    fingerprints are class-score embeddings exactly as in VGG-Face (whose
+    penultimate fc8 layer has one dimension per class, 2622 in the paper).
+    """
+    layers = [
+        ConvLayer(16, 3, 1),
+        MaxPoolLayer(2, 2),
+        ConvLayer(32, 3, 1),
+        MaxPoolLayer(2, 2),
+        FlattenLayer(),
+        DenseLayer(embedding_dim, activation="leaky"),
+        DenseLayer(num_classes, activation="linear"),
+        SoftmaxLayer(),
+        CostLayer(),
+    ]
+    return Network(input_shape, layers, initializer=_default_init(rng))
+
+
+def tiny_testnet(rng: Optional[np.random.Generator] = None,
+                 input_shape=(8, 8, 3), num_classes: int = 4) -> Network:
+    """A minimal conv net for fast unit tests."""
+    layers = [
+        ConvLayer(8, 3, 1),
+        MaxPoolLayer(2, 2),
+        ConvLayer(num_classes, 1, 1, activation="linear"),
+        AvgPoolLayer(),
+        SoftmaxLayer(),
+        CostLayer(),
+    ]
+    return Network(input_shape, layers, initializer=_default_init(rng))

@@ -1,0 +1,20 @@
+"""Shared utilities: logging, deterministic RNG streams, serialization."""
+
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngStream, derive_seed
+from repro.utils.serialization import (
+    array_from_bytes,
+    array_to_bytes,
+    canonical_json,
+    stable_hash,
+)
+
+__all__ = [
+    "get_logger",
+    "RngStream",
+    "derive_seed",
+    "array_from_bytes",
+    "array_to_bytes",
+    "canonical_json",
+    "stable_hash",
+]

@@ -1,0 +1,25 @@
+"""Library logging.
+
+The library never configures the root logger; it only creates namespaced
+children under ``repro`` with a ``NullHandler`` so that applications decide
+where log output goes.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under the library root.
+
+    Args:
+        name: Dotted suffix, e.g. ``"enclave"`` or ``"core.assessment"``.
+    """
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")

@@ -1,0 +1,80 @@
+"""Canonical serialization helpers.
+
+The linkage database stores hash digests of training instances, enclave
+measurement covers loaded code/data, and AEAD operates over byte strings —
+all of which need a *canonical* byte representation of numpy arrays and
+plain-Python structures so that hashes are stable across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from typing import Any, Tuple
+
+import numpy as np
+
+__all__ = ["array_to_bytes", "array_from_bytes", "canonical_json", "stable_hash"]
+
+_MAGIC = b"RPR1"
+
+
+def array_to_bytes(array: np.ndarray) -> bytes:
+    """Serialize an array to a self-describing canonical byte string.
+
+    The encoding is ``MAGIC | dtype-len | dtype-str | ndim | dims... | data``
+    with little-endian, C-contiguous payload, so equal arrays always produce
+    equal bytes regardless of their in-memory layout.
+    """
+    arr = np.ascontiguousarray(array)
+    dtype_str = arr.dtype.str.encode("ascii")
+    header = _MAGIC + struct.pack("<I", len(dtype_str)) + dtype_str
+    header += struct.pack("<I", arr.ndim)
+    header += b"".join(struct.pack("<Q", dim) for dim in arr.shape)
+    return header + arr.tobytes(order="C")
+
+
+def array_from_bytes(blob: bytes) -> np.ndarray:
+    """Inverse of :func:`array_to_bytes`."""
+    if blob[:4] != _MAGIC:
+        raise ValueError("not a serialized array (bad magic)")
+    offset = 4
+    (dtype_len,) = struct.unpack_from("<I", blob, offset)
+    offset += 4
+    dtype = np.dtype(blob[offset : offset + dtype_len].decode("ascii"))
+    offset += dtype_len
+    (ndim,) = struct.unpack_from("<I", blob, offset)
+    offset += 4
+    shape: Tuple[int, ...] = ()
+    for _ in range(ndim):
+        (dim,) = struct.unpack_from("<Q", blob, offset)
+        offset += 8
+        shape += (dim,)
+    data = np.frombuffer(blob, dtype=dtype, offset=offset)
+    return data.reshape(shape).copy()
+
+
+def canonical_json(value: Any) -> bytes:
+    """Serialize a JSON-able value with sorted keys and no whitespace."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def stable_hash(*parts: Any) -> bytes:
+    """SHA-256 over a sequence of heterogeneous parts.
+
+    Arrays are canonicalised via :func:`array_to_bytes`, bytes pass through,
+    and everything else goes through :func:`canonical_json`. Each part is
+    length-prefixed so concatenation ambiguity cannot create collisions.
+    """
+    hasher = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, np.ndarray):
+            encoded = array_to_bytes(part)
+        elif isinstance(part, (bytes, bytearray)):
+            encoded = bytes(part)
+        else:
+            encoded = canonical_json(part)
+        hasher.update(struct.pack("<Q", len(encoded)))
+        hasher.update(encoded)
+    return hasher.digest()

@@ -1,0 +1,57 @@
+"""Image operation tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.images import bilinear_resize, to_ir_image
+from repro.errors import ConfigurationError
+
+
+class TestBilinearResize:
+    def test_identity_resize(self, generator):
+        image = generator.random((6, 6, 3))
+        np.testing.assert_allclose(bilinear_resize(image, 6, 6), image, atol=1e-9)
+
+    def test_2d_input_stays_2d(self, generator):
+        image = generator.random((4, 4))
+        assert bilinear_resize(image, 8, 8).shape == (8, 8)
+
+    def test_upsample_preserves_range(self, generator):
+        image = generator.random((4, 4, 1))
+        out = bilinear_resize(image, 16, 16)
+        assert out.min() >= image.min() - 1e-9
+        assert out.max() <= image.max() + 1e-9
+
+    def test_constant_image_stays_constant(self):
+        image = np.full((3, 5), 0.7)
+        np.testing.assert_allclose(bilinear_resize(image, 9, 11), 0.7)
+
+    def test_downsample_shape(self, generator):
+        assert bilinear_resize(generator.random((16, 16, 2)), 4, 4).shape == (4, 4, 2)
+
+    def test_bad_rank_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bilinear_resize(np.zeros((2, 2, 2, 2)), 4, 4)
+
+
+class TestToIrImage:
+    def test_normalized_and_replicated(self, generator):
+        fmap = generator.normal(size=(7, 7)) * 100
+        image = to_ir_image(fmap, 28, 28, channels=3)
+        assert image.shape == (28, 28, 3)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+        np.testing.assert_array_equal(image[..., 0], image[..., 1])
+
+    def test_constant_map_is_black(self):
+        image = to_ir_image(np.full((4, 4), 3.0), 8, 8)
+        np.testing.assert_array_equal(image, np.zeros((8, 8, 3), dtype=np.float32))
+
+    def test_full_dynamic_range_used(self, generator):
+        fmap = generator.normal(size=(5, 5))
+        image = to_ir_image(fmap, 5, 5)
+        assert image.max() == pytest.approx(1.0, abs=1e-6)
+        assert image.min() == pytest.approx(0.0, abs=1e-6)
+
+    def test_1xd_vector_projects(self):
+        image = to_ir_image(np.arange(10, dtype=float).reshape(1, 10), 8, 8)
+        assert image.shape == (8, 8, 3)

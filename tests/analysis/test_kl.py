@@ -1,0 +1,64 @@
+"""KL divergence tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.kl import kl_divergence, kl_to_uniform
+from repro.errors import ConfigurationError
+
+
+class TestKlDivergence:
+    def test_zero_for_identical(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-8)
+
+    def test_known_value(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.5, 0.5])
+        assert kl_divergence(p, q) == pytest.approx(np.log(2), abs=1e-6)
+
+    def test_asymmetric(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([0.5, 0.5])
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            kl_divergence(np.ones(3) / 3, np.ones(4) / 4)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(min_value=0.01, max_value=1.0),
+                    min_size=2, max_size=10))
+    def test_non_negative_property(self, weights):
+        p = np.array(weights)
+        p /= p.sum()
+        gen = np.random.default_rng(int(p.sum() * 1000))
+        q = gen.random(p.shape)
+        q /= q.sum()
+        assert kl_divergence(p, q) >= -1e-9
+
+    def test_unnormalized_inputs_normalized(self):
+        # The helper normalizes, so scaled inputs give the same answer.
+        p = np.array([2.0, 3.0, 5.0])
+        q = np.array([1.0, 1.0, 1.0])
+        assert kl_divergence(p, q) == pytest.approx(
+            kl_divergence(p / 10, q / 3), abs=1e-6
+        )
+
+
+class TestKlToUniform:
+    def test_uniform_is_zero(self):
+        assert kl_to_uniform(np.full(10, 0.1)) == pytest.approx(0.0, abs=1e-6)
+
+    def test_one_hot_is_log_n(self):
+        p = np.zeros(10)
+        p[3] = 1.0
+        assert kl_to_uniform(p) == pytest.approx(np.log(10), rel=1e-3)
+
+    def test_confidence_monotone(self):
+        """More confident distributions sit farther from uniform."""
+        soft = np.array([0.4, 0.3, 0.3])
+        sharp = np.array([0.8, 0.1, 0.1])
+        assert kl_to_uniform(sharp) > kl_to_uniform(soft)

@@ -1,0 +1,55 @@
+"""Locally linear embedding tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.lle import locally_linear_embedding
+from repro.errors import ConfigurationError
+
+
+class TestLle:
+    def test_output_shape(self, generator):
+        points = generator.normal(size=(40, 10))
+        embedding = locally_linear_embedding(points, n_neighbors=6, n_components=2)
+        assert embedding.shape == (40, 2)
+        assert np.isfinite(embedding).all()
+
+    def test_preserves_cluster_structure(self, generator):
+        """Two well-separated high-dimensional clusters stay separated in
+        the 2-D embedding (the property Fig. 7 depends on)."""
+        cluster_a = generator.normal(size=(25, 20)) * 0.3
+        cluster_b = generator.normal(size=(25, 20)) * 0.3 + 8.0
+        points = np.concatenate([cluster_a, cluster_b])
+        embedding = locally_linear_embedding(points, n_neighbors=5)
+        from scipy.spatial.distance import cdist
+
+        within_a = cdist(embedding[:25], embedding[:25]).mean()
+        within_b = cdist(embedding[25:], embedding[25:]).mean()
+        between = cdist(embedding[:25], embedding[25:]).mean()
+        assert between > within_a and between > within_b
+
+    def test_swiss_roll_unrolls_monotonically(self):
+        """Points along a 1-D curve embed in curve order (local geometry
+        preserved)."""
+        t = np.linspace(0, 3 * np.pi, 60)
+        curve = np.stack([np.cos(t) * t, np.sin(t) * t, t], axis=1)
+        embedding = locally_linear_embedding(curve, n_neighbors=8, n_components=1)
+        coordinate = embedding[:, 0]
+        correlation = abs(np.corrcoef(coordinate, t)[0, 1])
+        assert correlation > 0.7
+
+    def test_too_many_neighbors_rejected(self, generator):
+        points = generator.normal(size=(5, 3))
+        with pytest.raises(ConfigurationError):
+            locally_linear_embedding(points, n_neighbors=5)
+
+    def test_too_many_components_rejected(self, generator):
+        points = generator.normal(size=(4, 3))
+        with pytest.raises(ConfigurationError):
+            locally_linear_embedding(points, n_neighbors=2, n_components=4)
+
+    def test_deterministic(self, generator):
+        points = generator.normal(size=(20, 6))
+        a = locally_linear_embedding(points, n_neighbors=5)
+        b = locally_linear_embedding(points, n_neighbors=5)
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,87 @@
+"""Metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    auc_score,
+    confusion_matrix,
+    precision_recall_f1,
+    top_k_accuracy,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTopK:
+    def test_top1(self):
+        probs = np.array([[0.7, 0.2, 0.1], [0.1, 0.2, 0.7]])
+        assert top_k_accuracy(probs, np.array([0, 0]), k=1) == 0.5
+
+    def test_top2_superset_of_top1(self, generator):
+        probs = generator.random((30, 5))
+        probs /= probs.sum(axis=1, keepdims=True)
+        labels = generator.integers(0, 5, size=30)
+        assert top_k_accuracy(probs, labels, 2) >= top_k_accuracy(probs, labels, 1)
+
+    def test_top_n_is_one(self, generator):
+        probs = generator.random((10, 4))
+        labels = generator.integers(0, 4, size=10)
+        assert top_k_accuracy(probs, labels, 4) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            top_k_accuracy(np.ones((1, 2)), np.array([0]), k=0)
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        mask = np.array([True, False, True])
+        metrics = precision_recall_f1(mask, mask)
+        assert metrics["precision"] == metrics["recall"] == metrics["f1"] == 1.0
+
+    def test_counts(self):
+        predicted = np.array([True, True, False, False])
+        actual = np.array([True, False, True, False])
+        metrics = precision_recall_f1(predicted, actual)
+        assert (metrics["tp"], metrics["fp"], metrics["fn"]) == (1, 1, 1)
+        assert metrics["precision"] == 0.5 and metrics["recall"] == 0.5
+
+    def test_no_predictions(self):
+        metrics = precision_recall_f1(np.zeros(3, bool), np.ones(3, bool))
+        assert metrics["precision"] == 0.0 and metrics["f1"] == 0.0
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        actual = np.array([0, 0, 1, 2])
+        predicted = np.array([0, 1, 1, 2])
+        matrix = confusion_matrix(predicted, actual, 3)
+        assert matrix[0, 0] == 1 and matrix[0, 1] == 1
+        assert matrix[1, 1] == 1 and matrix[2, 2] == 1
+        assert matrix.sum() == 4
+
+
+class TestAuc:
+    def test_perfect_separation(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([True, True, False, False])
+        assert auc_score(scores, labels) == 1.0
+
+    def test_inverted(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([True, True, False, False])
+        assert auc_score(scores, labels) == 0.0
+
+    def test_random_is_half(self, generator):
+        scores = generator.random(2000)
+        labels = generator.random(2000) > 0.5
+        assert auc_score(scores, labels) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_averaged(self):
+        scores = np.array([0.5, 0.5])
+        labels = np.array([True, False])
+        assert auc_score(scores, labels) == 0.5
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ConfigurationError):
+            auc_score(np.array([0.1, 0.2]), np.array([True, True]))

@@ -1,0 +1,44 @@
+"""Text renderer tests."""
+
+from repro.analysis.reporting import (
+    render_epoch_series,
+    render_kl_figure,
+    render_neighbor_table,
+    render_overhead_series,
+)
+
+
+def test_epoch_series_rows():
+    text = render_epoch_series(
+        "Fig 3", {"top1": [0.5, 0.7], "top2": [0.8, 0.9]}
+    )
+    assert "Fig 3" in text
+    assert "70.00%" in text and "90.00%" in text
+    assert len([l for l in text.splitlines() if l.strip().startswith(("1 ", "2 "))]) == 2
+
+
+def test_kl_figure_marks_leaks():
+    text = render_kl_figure(
+        per_epoch_ranges=[[(0.0, 3.0), (2.5, 4.0)]],
+        uniform_baselines=[2.0],
+        chosen_layers=[2],
+    )
+    assert "LEAK" in text and "safe" in text
+    assert "delta_mu" in text
+    assert "first 2 layers" in text
+
+
+def test_overhead_series_percentages():
+    text = render_overhead_series([(2, 0.06), (10, 0.22)])
+    assert "6.00%" in text and "22.00%" in text
+
+
+def test_neighbor_table():
+    text = render_neighbor_table([
+        {"name": "trojaned A.J.Buckley", "neighbors": [
+            {"distance": 0.42, "source": "attacker", "kind": "poisoned"},
+            {"distance": 0.65, "source": "p0", "kind": "normal"},
+        ]}
+    ])
+    assert "trojaned A.J.Buckley" in text
+    assert "0.420" in text and "poisoned" in text

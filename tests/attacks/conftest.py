@@ -1,0 +1,44 @@
+"""Shared fixtures for the attack tests: a trained face model."""
+
+import numpy as np
+import pytest
+
+from repro.data.batching import iterate_minibatches
+from repro.data.datasets import synthetic_faces
+from repro.nn.optimizers import Sgd
+from repro.nn.zoo import face_recognition_net
+from repro.utils.rng import RngStream
+
+
+@pytest.fixture(scope="module")
+def face_world():
+    """A well-trained face model plus train/test/substitute splits.
+
+    Module-scoped: training takes a few seconds and the attacks can share
+    the same starting point (each attack copies weights before mutating).
+    """
+    rng = RngStream(77, "attack-fixtures")
+    faces = synthetic_faces(rng.child("faces"), num_identities=5, per_identity=48)
+    train, test, substitute = faces.split(
+        [0.6, 0.2, 0.2], rng=rng.child("split").generator
+    )
+    net = face_recognition_net(num_classes=5, rng=rng.child("init").generator)
+    optimizer = Sgd(0.01, 0.9)
+    batch_rng = rng.child("batches").generator
+    for _ in range(18):
+        for xb, yb in iterate_minibatches(train.x, train.y, 16, rng=batch_rng):
+            net.train_batch(xb, yb, optimizer)
+    return {"rng": rng, "net": net, "train": train, "test": test,
+            "substitute": substitute}
+
+
+@pytest.fixture
+def fresh_model(face_world):
+    """A copy of the clean trained model (safe to mutate)."""
+    from repro.nn.zoo import face_recognition_net
+
+    clone = face_recognition_net(
+        num_classes=5, rng=np.random.default_rng(0)
+    )
+    clone.set_weights(face_world["net"].get_weights())
+    return clone

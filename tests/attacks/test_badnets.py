@@ -1,0 +1,51 @@
+"""BadNets poisoning tests."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.badnets import BadNetsAttack
+from repro.data.batching import iterate_minibatches
+from repro.errors import ConfigurationError
+from repro.nn.optimizers import Sgd
+from repro.nn.zoo import tiny_testnet
+
+
+class TestPoisonDataset:
+    def test_fraction_poisoned(self, tiny_cifar, generator):
+        train, _ = tiny_cifar
+        attack = BadNetsAttack(target_label=0)
+        poisoned = attack.poison_dataset(train, fraction=0.25, rng=generator)
+        assert poisoned.flags["poisoned"].sum() == round(0.25 * len(train))
+        flagged = poisoned.flags["poisoned"]
+        assert np.all(poisoned.y[flagged] == 0)
+        # Unflagged rows are untouched.
+        np.testing.assert_array_equal(poisoned.x[~flagged], train.x[~flagged])
+
+    def test_invalid_fraction(self, tiny_cifar, generator):
+        train, _ = tiny_cifar
+        with pytest.raises(ConfigurationError):
+            BadNetsAttack(0).poison_dataset(train, fraction=0.0, rng=generator)
+
+    def test_trigger_is_checkerboard(self):
+        trigger, mask = BadNetsAttack(0, patch=2).trigger_for((8, 8, 3))
+        corner = trigger[6:, 6:, 0]
+        assert corner[0, 0] != corner[0, 1]  # alternating pattern
+
+    def test_backdoor_learned_during_training(self, tiny_cifar, rng):
+        """Training on poisoned data implants a working backdoor."""
+        train, test = tiny_cifar
+        attack = BadNetsAttack(target_label=0, patch=3)
+        poisoned = attack.poison_dataset(
+            train, fraction=0.3, rng=rng.child("poison").generator
+        )
+        net = tiny_testnet(rng.child("net").generator)
+        optimizer = Sgd(0.02, 0.9)
+        batch_rng = rng.child("batches").generator
+        for _ in range(10):
+            for xb, yb in iterate_minibatches(poisoned.x, poisoned.y, 16,
+                                              rng=batch_rng):
+                net.train_batch(xb, yb, optimizer)
+        stamped_test = attack.stamp_test_set(test)
+        probs = net.predict(stamped_test.x)
+        success = float(np.mean(probs.argmax(axis=1) == 0))
+        assert success > 0.8

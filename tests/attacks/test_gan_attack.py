@@ -1,0 +1,103 @@
+"""GAN attack tests (Section VII security analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.gan_attack import GanAttack, Generator
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def gan_world():
+    from repro.data.batching import iterate_minibatches
+    from repro.data.datasets import synthetic_faces
+    from repro.nn.optimizers import Sgd
+    from repro.nn.zoo import face_recognition_net
+    from repro.utils.rng import RngStream
+
+    rng = RngStream(21, "gan-tests")
+    faces = synthetic_faces(rng.child("faces"), num_identities=4,
+                            per_identity=40)
+    # One spare class slot plays Hitaj et al.'s artificial "fake" class.
+    victim = face_recognition_net(num_classes=5,
+                                  rng=rng.child("init").generator)
+    optimizer = Sgd(0.01, 0.9)
+    batch_rng = rng.child("batches").generator
+    for _ in range(18):
+        for xb, yb in iterate_minibatches(faces.x, faces.y, 16, rng=batch_rng):
+            victim.train_batch(xb, yb, optimizer)
+    return rng, faces, victim
+
+
+class TestGenerator:
+    def test_sample_shape_and_range(self, generator):
+        gen = Generator(latent_dim=4, output_shape=(8, 8, 3),
+                        rng=np.random.default_rng(0))
+        z = generator.standard_normal((5, 4))
+        samples = gen.sample(z)
+        assert samples.shape == (5, 8, 8, 3)
+        assert samples.min() >= 0.0 and samples.max() <= 1.0
+
+    def test_invalid_latent(self):
+        with pytest.raises(ConfigurationError):
+            Generator(latent_dim=0, output_shape=(4, 4, 1))
+
+
+class TestGanAttack:
+    def test_offline_fools_the_model_without_content(self, gan_world):
+        """The CalTrain condition: against the single released model the
+        generator reaches high target-class confidence but does not
+        recover the private class's content — the paper's argument that
+        the GAN attack is inapplicable to offline centralized training."""
+        rng, faces, victim = gan_world
+        attack = GanAttack(victim, target_class=0,
+                           rng=rng.child("offline").fork_generator())
+        outcome = attack.run(
+            rounds=80, batch=16, lr=0.5, online=False,
+            class_mean=faces.of_class(0).x.mean(axis=0),
+            global_mean=faces.x.mean(axis=0),
+        )
+        assert outcome.confidence > 0.9           # fools the classifier
+        assert abs(outcome.class_correlation) < 0.5  # but reveals little
+
+    def test_offline_does_not_change_the_victim(self, gan_world):
+        rng, faces, victim = gan_world
+        from repro.nn.zoo import face_recognition_net
+
+        clone = face_recognition_net(num_classes=5,
+                                     rng=np.random.default_rng(9))
+        clone.set_weights(victim.get_weights())
+        attack = GanAttack(clone, target_class=0,
+                           rng=rng.child("frozen").fork_generator())
+        attack.run(rounds=20, batch=8, lr=0.5, online=False)
+        for la, lb in zip(clone.layers, victim.layers):
+            for name, arr in la.params().items():
+                np.testing.assert_array_equal(arr, lb.params()[name])
+
+    def test_online_requires_private_data(self, gan_world):
+        rng, _, victim = gan_world
+        attack = GanAttack(victim, target_class=0,
+                           rng=rng.child("x").fork_generator())
+        with pytest.raises(ConfigurationError):
+            attack.run(rounds=1, online=True)
+
+    def test_online_runs_and_victim_evolves(self, gan_world):
+        """In the distributed condition the victim keeps updating — the
+        iterative feedback CalTrain removes."""
+        rng, faces, victim = gan_world
+        from repro.nn.zoo import face_recognition_net
+
+        clone = face_recognition_net(num_classes=5,
+                                     rng=np.random.default_rng(10))
+        clone.set_weights(victim.get_weights())
+        private = faces.of_class(0)
+        attack = GanAttack(clone, target_class=0,
+                           rng=rng.child("online").fork_generator())
+        attack.run(rounds=10, batch=8, lr=0.5, online=True,
+                   private_x=private.x, private_y=private.y, fake_label=4)
+        changed = any(
+            not np.array_equal(la.params()[name], lb.params()[name])
+            for la, lb in zip(clone.layers, victim.layers)
+            for name in la.params()
+        )
+        assert changed

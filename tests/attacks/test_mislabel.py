@@ -1,0 +1,49 @@
+"""Mislabeled-data injection tests."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.mislabel import inject_mislabeled
+from repro.errors import ConfigurationError
+
+
+class TestInjectMislabeled:
+    def test_count_and_label(self, tiny_cifar, generator):
+        train, _ = tiny_cifar
+        mislabeled = inject_mislabeled(train, target_label=0, count=12,
+                                       rng=generator)
+        assert len(mislabeled) == 12
+        assert np.all(mislabeled.y == 0)
+        assert mislabeled.flags["mislabeled"].all()
+
+    def test_sources_not_of_target_class(self, tiny_cifar, generator):
+        """Mislabeled instances really come from other classes: their
+        images match pool instances whose true label differs."""
+        train, _ = tiny_cifar
+        mislabeled = inject_mislabeled(train, target_label=1, count=8,
+                                       rng=generator)
+        flat_pool = train.x.reshape(len(train), -1)
+        for image in mislabeled.x:
+            matches = np.flatnonzero(
+                np.all(flat_pool == image.ravel(), axis=1)
+            )
+            assert len(matches) >= 1
+            assert all(train.y[m] != 1 for m in matches)
+
+    def test_pool_too_small_rejected(self, tiny_cifar, generator):
+        train, _ = tiny_cifar
+        with pytest.raises(ConfigurationError):
+            inject_mislabeled(train, target_label=0, count=10_000, rng=generator)
+
+    def test_vgg_face_statistic_scenario(self, tiny_faces, generator):
+        """Reproduce the paper's class-0 composition: ~50% correct, ~24%
+        mislabeled (the VGG-Face A.J.Buckley discovery)."""
+        class0 = tiny_faces.of_class(0)
+        n_mislabeled = int(round(len(class0) * 0.243 / 0.497))
+        mislabeled = inject_mislabeled(tiny_faces, target_label=0,
+                                       count=n_mislabeled, rng=generator)
+        from repro.data.datasets import Dataset
+
+        merged = Dataset.concatenate([class0, mislabeled])
+        fraction = merged.flags["mislabeled"].mean()
+        assert 0.2 < fraction < 0.4

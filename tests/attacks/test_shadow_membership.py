@@ -1,0 +1,68 @@
+"""Shadow-model membership inference tests."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.membership import ShadowModelAttack
+from repro.data.batching import iterate_minibatches
+from repro.errors import ConfigurationError
+from repro.nn.optimizers import Sgd
+from repro.nn.zoo import tiny_testnet
+
+
+def _factory(seed):
+    return tiny_testnet(np.random.default_rng(1000 + seed))
+
+
+def _overfit(model, x, y, seed, epochs=40):
+    optimizer = Sgd(0.05, 0.9)
+    batch_rng = np.random.default_rng(2000 + seed)
+    for _ in range(epochs):
+        for xb, yb in iterate_minibatches(x, y, 16, rng=batch_rng):
+            model.train_batch(xb, yb, optimizer)
+
+
+@pytest.fixture(scope="module")
+def shadow_world():
+    from repro.data.datasets import synthetic_cifar
+    from repro.utils.rng import RngStream
+
+    rng = RngStream(808, "shadow0.7")
+    # High-noise variant: a harder task gives the victim a genuine
+    # generalization gap for the attack to exploit.
+    train, test = synthetic_cifar(rng.child("d"), num_train=400, num_test=120,
+                                  num_classes=4, shape=(8, 8, 3), noise=0.7)
+    # The victim trains on a slice the adversary never sees.
+    victim_members = train.subset(range(40))
+    victim = _factory(99)
+    _overfit(victim, victim_members.x, victim_members.y, seed=99, epochs=40)
+    # The adversary's own same-distribution data.
+    shadow_data = train.subset(range(100, 400))
+    attack = ShadowModelAttack(_factory, _overfit, num_shadows=3)
+    attack.fit(shadow_data.x, shadow_data.y)
+    return attack, victim, victim_members, test
+
+
+class TestShadowModelAttack:
+    def test_attack_beats_chance_on_overfit_victim(self, shadow_world):
+        attack, victim, members, test = shadow_world
+        auc = attack.auc(victim, members.x, members.y, test.x, test.y)
+        assert auc > 0.55
+
+    def test_scores_are_probabilities(self, shadow_world):
+        attack, victim, members, _ = shadow_world
+        scores = attack.score(victim, members.x[:10], members.y[:10])
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_members_score_above_nonmembers_on_average(self, shadow_world):
+        attack, victim, members, test = shadow_world
+        member_scores = attack.score(victim, members.x, members.y)
+        nonmember_scores = attack.score(victim, test.x, test.y)
+        assert member_scores.mean() > nonmember_scores.mean()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ShadowModelAttack(_factory, _overfit, num_shadows=0)
+        attack = ShadowModelAttack(_factory, _overfit, num_shadows=5)
+        with pytest.raises(ConfigurationError):
+            attack.fit(np.zeros((4, 8, 8, 3)), np.zeros(4, dtype=int))

@@ -1,0 +1,100 @@
+"""Trojaning attack tests (the paper's Experiment IV precondition)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.trojan import TrojanAttack, make_corner_mask, stamp_trigger
+from repro.errors import ConfigurationError
+
+
+class TestTriggerMechanics:
+    def test_corner_mask_location(self):
+        mask = make_corner_mask((8, 8, 3), patch=3)
+        assert mask[7, 7, 0] == 1.0 and mask[0, 0, 0] == 0.0
+        assert mask.sum() == 3 * 3 * 3
+
+    def test_mask_too_large_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_corner_mask((4, 4, 3), patch=4)
+
+    def test_stamp_only_touches_masked_region(self, generator):
+        images = generator.random((2, 8, 8, 3)).astype(np.float32)
+        mask = make_corner_mask((8, 8, 3), patch=2)
+        trigger = np.ones((8, 8, 3), dtype=np.float32) * mask
+        stamped = stamp_trigger(images, trigger, mask)
+        np.testing.assert_array_equal(stamped[:, :6, :6, :], images[:, :6, :6, :])
+        np.testing.assert_allclose(stamped[:, 6:, 6:, :], 1.0)
+
+
+class TestTriggerGeneration:
+    def test_trigger_confined_to_mask(self, fresh_model, face_world):
+        attack = TrojanAttack(fresh_model, target_label=0, patch=4,
+                              rng=np.random.default_rng(0))
+        trigger = attack.generate_trigger(iterations=10)
+        assert trigger.shape == fresh_model.input_shape
+        outside = trigger * (1.0 - attack.mask)
+        np.testing.assert_array_equal(outside, np.zeros_like(outside))
+
+    def test_trigger_activates_target_neurons(self, fresh_model):
+        """The optimized trigger activates the target logit more than a
+        random patch does."""
+        attack = TrojanAttack(fresh_model, target_label=0, patch=4,
+                              rng=np.random.default_rng(0))
+        trigger = attack.generate_trigger(iterations=30)
+        gray = np.full((1,) + fresh_model.input_shape, 0.5, dtype=np.float32)
+        stamped = stamp_trigger(gray, trigger, attack.mask)
+        penultimate = fresh_model.penultimate_index()
+        act_trigger = fresh_model.forward_collect(stamped, [penultimate])
+        act_gray = fresh_model.forward_collect(gray, [penultimate])
+        assert act_trigger[penultimate][0, 0] > act_gray[penultimate][0, 0]
+
+
+class TestFullAttack:
+    @pytest.fixture(scope="class")
+    def result(self, request):
+        # Build once for the class: run the full attack.
+        face_world = request.getfixturevalue("face_world")
+        from repro.nn.zoo import face_recognition_net
+
+        model = face_recognition_net(num_classes=5, rng=np.random.default_rng(0))
+        model.set_weights(face_world["net"].get_weights())
+        attack = TrojanAttack(model, target_label=0, patch=4,
+                              rng=np.random.default_rng(1))
+        outcome = attack.run(
+            face_world["substitute"], face_world["test"],
+            trigger_iterations=40, retrain_epochs=6, learning_rate=0.01,
+        )
+        return attack, outcome, face_world
+
+    def test_backdoor_success_rate(self, result):
+        attack, outcome, _ = result
+        assert attack.attack_success_rate(outcome) >= 0.8
+
+    def test_clean_accuracy_mostly_retained(self, result):
+        """The attack is stealthy: benign behaviour barely changes."""
+        _, outcome, face_world = result
+        test = face_world["test"]
+        probs = outcome.trojaned_model.predict(test.x)
+        accuracy = float(np.mean(probs.argmax(axis=1) == test.y))
+        assert accuracy >= 0.7
+
+    def test_poisoned_data_flagged(self, result):
+        _, outcome, _ = result
+        assert outcome.poisoned_train.flags["poisoned"].all()
+        assert np.all(outcome.poisoned_train.y == 0)
+
+    def test_fingerprint_clustering(self, result):
+        """Trojaned test data cluster with poisoned training data, away
+        from normal class-0 data (the Fig. 7 structure)."""
+        from scipy.spatial.distance import cdist
+
+        from repro.core.fingerprint import Fingerprinter
+
+        _, outcome, face_world = result
+        fingerprinter = Fingerprinter(outcome.trojaned_model)
+        f_normal = fingerprinter.fingerprint(face_world["train"].of_class(0).x)
+        f_poison = fingerprinter.fingerprint(outcome.poisoned_train.x)
+        f_test = fingerprinter.fingerprint(outcome.trojaned_test.x)
+        to_poison = cdist(f_test, f_poison).min(axis=1).mean()
+        to_normal = cdist(f_test, f_normal).min(axis=1).mean()
+        assert to_poison < to_normal

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import Dataset, synthetic_cifar, synthetic_faces
+from repro.enclave.attestation import AttestationService
+from repro.enclave.platform import SgxPlatform
+from repro.nn.zoo import tiny_testnet
+from repro.utils.rng import RngStream
+
+
+@pytest.fixture
+def rng() -> RngStream:
+    return RngStream(seed=1234, name="tests")
+
+
+@pytest.fixture
+def generator(rng) -> np.random.Generator:
+    return rng.child("generator").generator
+
+
+@pytest.fixture
+def platform(rng) -> SgxPlatform:
+    return SgxPlatform(rng=rng.child("platform"))
+
+
+@pytest.fixture
+def attestation_service(platform) -> AttestationService:
+    service = AttestationService()
+    service.register_platform(platform.platform_id, platform.platform_key)
+    return service
+
+
+@pytest.fixture
+def tiny_net(rng):
+    return tiny_testnet(rng.child("tiny-net").generator)
+
+
+@pytest.fixture
+def tiny_cifar(rng):
+    """A small 4-class, 8x8 dataset that trains in seconds."""
+    return synthetic_cifar(
+        rng.child("tiny-cifar"), num_train=160, num_test=80,
+        num_classes=4, shape=(8, 8, 3),
+    )
+
+
+@pytest.fixture
+def tiny_faces(rng) -> Dataset:
+    return synthetic_faces(rng.child("tiny-faces"), num_identities=4, per_identity=24)

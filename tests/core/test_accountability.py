@@ -1,0 +1,106 @@
+"""Accountability investigator tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.accountability import Investigator
+from repro.core.fingerprint import Fingerprinter
+from repro.core.linkage import LinkageDatabase, instance_digest
+from repro.core.query import QueryService
+from repro.data.datasets import Dataset
+from repro.federation.participant import TrainingParticipant
+from repro.nn.optimizers import Sgd
+from repro.nn.zoo import tiny_testnet
+from repro.data.batching import iterate_minibatches
+
+
+@pytest.fixture
+def investigation_world(rng, tiny_cifar):
+    """A trained model, a linkage DB over two participants' data, and a
+    poisoned subset planted in participant p1's share."""
+    train, test = tiny_cifar
+    net = tiny_testnet(rng.child("net").generator)
+    optimizer = Sgd(0.02, 0.9)
+    batch_rng = rng.child("batches").generator
+    for _ in range(8):
+        for xb, yb in iterate_minibatches(train.x, train.y, 16, rng=batch_rng):
+            net.train_batch(xb, yb, optimizer)
+
+    halves = train.split([0.5, 0.5], rng=rng.child("split").generator)
+    participants = {}
+    db = LinkageDatabase()
+    fingerprinter = Fingerprinter(net)
+    for pid, ds in zip(("p0", "p1"), halves):
+        participants[pid] = TrainingParticipant(pid, ds, rng.child(pid))
+        fps = fingerprinter.fingerprint(ds.x)
+        kinds = ["poisoned" if (pid == "p1" and i < 10) else "normal"
+                 for i in range(len(ds))]
+        db.add_batch(
+            fps, ds.y.tolist(), [pid] * len(ds),
+            [instance_digest(ds.x[i]) for i in range(len(ds))],
+            source_indices=list(range(len(ds))), kinds=kinds,
+        )
+    investigator = Investigator(fingerprinter, QueryService(db),
+                                neighbors_per_query=5)
+    return investigator, participants, test, db
+
+
+class TestInvestigator:
+    def test_investigation_structure(self, investigation_world):
+        investigator, participants, test, _ = investigation_world
+        result = investigator.investigate(test.x[:3])
+        assert len(result.neighbor_lists) == 3
+        assert all(len(lst) == 5 for lst in result.neighbor_lists)
+        assert result.suspicious_records
+        assert sum(result.source_counts.values()) == 15
+
+    def test_disclosure_verification(self, investigation_world):
+        investigator, participants, test, _ = investigation_world
+        result = investigator.investigate(test.x[:3], participants=participants)
+        assert result.verified_disclosures
+        assert all(result.verified_disclosures.values())
+
+    def test_missing_participant_marked_unverified(self, investigation_world):
+        investigator, participants, test, _ = investigation_world
+        only_p0 = {"p0": participants["p0"]}
+        result = investigator.investigate(test.x[:3], participants=only_p0)
+        p1_records = [
+            i for i in result.suspicious_records
+            if investigator.query_service.database.record(i).source == "p1"
+        ]
+        assert all(not result.verified_disclosures[i] for i in p1_records)
+
+    def test_tampered_disclosure_fails_verification(self, investigation_world, rng):
+        """A participant returning different data than it trained on is
+        caught by the hash digest H."""
+        investigator, participants, test, _ = investigation_world
+        cheater = participants["p1"]
+        cheater.dataset.x[:] = cheater.dataset.x[::-1].copy()  # swap contents
+        result = investigator.investigate(test.x[:3], participants=participants)
+        p1_flagged = [
+            i for i in result.suspicious_records
+            if investigator.query_service.database.record(i).source == "p1"
+        ]
+        if p1_flagged:  # only meaningful when p1 shows up in neighbours
+            # Reversal maps index i -> n-1-i, so at most the middle record
+            # could still verify.
+            failures = [i for i in p1_flagged if not result.verified_disclosures[i]]
+            assert failures
+
+    def test_distance_threshold_filters(self, investigation_world):
+        investigator, _, test, _ = investigation_world
+        strict = investigator.investigate(test.x[:3], distance_threshold=0.0)
+        assert strict.suspicious_records == []
+
+    def test_source_share_threshold(self, investigation_world):
+        investigator, _, test, _ = investigation_world
+        lax = investigator.investigate(test.x[:3], source_share_threshold=0.0)
+        strict = investigator.investigate(test.x[:3], source_share_threshold=1.0)
+        assert len(strict.implicated_sources) <= len(lax.implicated_sources)
+
+    def test_detection_metrics_computable(self, investigation_world):
+        investigator, _, test, db = investigation_world
+        result = investigator.investigate(test.x[:3])
+        kinds = [r.kind for r in db.records()]
+        metrics = result.detection_metrics(kinds)
+        assert set(metrics) >= {"precision", "recall", "f1"}

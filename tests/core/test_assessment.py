@@ -1,0 +1,121 @@
+"""Information-exposure assessment tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.assessment import (
+    AssessmentResult,
+    ExposureAssessor,
+    LayerExposure,
+    train_validation_oracle,
+)
+from repro.errors import ConfigurationError
+from repro.nn.zoo import tiny_testnet
+
+
+class TestLayerExposure:
+    def test_leak_predicate(self):
+        exposure = LayerExposure(layer_index=0, kl_min=0.5, kl_max=3.0)
+        assert exposure.leaks(baseline=1.0)
+        assert not exposure.leaks(baseline=0.4)
+
+
+class TestOptimalPartition:
+    def _layers(self, mins):
+        return [
+            LayerExposure(layer_index=i, kl_min=m, kl_max=m + 1)
+            for i, m in enumerate(mins)
+        ]
+
+    def test_paper_pattern(self):
+        """Layers 1-3 leak, 4+ safe (baseline 1.0) -> enclose 4 layers."""
+        layers = self._layers([0.0, 0.1, 0.2, 2.0, 3.0, 3.0])
+        assert ExposureAssessor._optimal_partition(layers, 1.0) == 4
+
+    def test_nothing_leaks(self):
+        layers = self._layers([2.0, 2.0, 2.0])
+        assert ExposureAssessor._optimal_partition(layers, 1.0) == 1
+
+    def test_everything_leaks_capped(self):
+        layers = self._layers([0.0, 0.0, 0.0])
+        assert ExposureAssessor._optimal_partition(layers, 1.0) == 3
+
+    def test_interior_safe_layer_not_enough(self):
+        """A safe layer sandwiched between leaking ones cannot be the
+        partition point: deeper IRs would still leak."""
+        layers = self._layers([0.0, 2.0, 0.0, 2.0])
+        assert ExposureAssessor._optimal_partition(layers, 1.0) == 4
+
+
+class TestAssessor:
+    def test_assess_structure(self, rng, tiny_cifar):
+        train, test = tiny_cifar
+        oracle = tiny_testnet(rng.child("oracle").generator)
+        gen_net = tiny_testnet(rng.child("gen").generator)
+        assessor = ExposureAssessor(oracle, max_channels_per_layer=2)
+        result = assessor.assess(gen_net, test.x[:2])
+        # tiny_testnet penultimate index is 3 -> four assessable layers.
+        assert len(result.layers) == 4
+        assert result.uniform_baseline > 0
+        assert 1 <= result.optimal_partition <= 4
+        for lo, hi in result.layer_ranges():
+            assert lo <= hi
+
+    def test_assess_training_sequence(self, rng, tiny_cifar):
+        _, test = tiny_cifar
+        oracle = tiny_testnet(rng.child("oracle").generator)
+        models = [tiny_testnet(rng.child(f"m{i}").generator) for i in range(3)]
+        assessor = ExposureAssessor(oracle, max_channels_per_layer=2)
+        results = assessor.assess_training(models, test.x[:2])
+        assert len(results) == 3
+        assert all(isinstance(r, AssessmentResult) for r in results)
+
+    def test_invalid_inputs_rejected(self, rng):
+        oracle = tiny_testnet(rng.child("o").generator)
+        assessor = ExposureAssessor(oracle)
+        with pytest.raises(ConfigurationError):
+            assessor.assess(tiny_testnet(rng.child("g").generator),
+                            np.zeros((8, 8, 3)))
+
+    def test_invalid_channel_cap(self, rng):
+        with pytest.raises(ConfigurationError):
+            ExposureAssessor(tiny_testnet(rng.child("o").generator),
+                             max_channels_per_layer=0)
+
+
+class TestOracleBuilder:
+    def test_oracle_has_background_class(self, rng, tiny_cifar):
+        train, test = tiny_cifar
+        oracle = train_validation_oracle(
+            train.x, train.y, rng.child("oracle"), epochs=2, width_scale=0.05
+        )
+        probs = oracle.predict(test.x[:4])
+        assert probs.shape == (4, train.num_classes + 1)
+
+    def test_oracle_learns_classes(self, rng, tiny_cifar):
+        train, test = tiny_cifar
+        oracle = train_validation_oracle(
+            train.x, train.y, rng.child("oracle"), epochs=8, width_scale=0.15,
+            learning_rate=0.03,
+        )
+        probs = oracle.predict(test.x)
+        accuracy = float(np.mean(probs.argmax(axis=1) == test.y))
+        assert accuracy > 0.5
+
+    def test_oracle_flags_smooth_fields_as_background(self, rng, tiny_cifar):
+        train, _ = tiny_cifar
+        oracle = train_validation_oracle(
+            train.x, train.y, rng.child("oracle"), epochs=8, width_scale=0.15,
+            learning_rate=0.03,
+        )
+        from repro.analysis.images import bilinear_resize
+
+        gen = rng.child("smooth").generator
+        h, w, c = train.x.shape[1:]
+        smooth = np.stack([
+            np.repeat(bilinear_resize(gen.random((3, 3)), h, w)[..., None], c, axis=-1)
+            for _ in range(6)
+        ]).astype(np.float32)
+        probs = oracle.predict(smooth)
+        background = train.num_classes
+        assert float(np.mean(probs.argmax(axis=1) == background)) > 0.5

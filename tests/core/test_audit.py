@@ -1,0 +1,64 @@
+"""Audit log tests."""
+
+import pytest
+
+from repro.core.audit import AuditLog
+from repro.errors import LinkageError
+
+
+class TestAuditLog:
+    def test_append_and_chain(self):
+        log = AuditLog()
+        first = log.append("participant-registered", participant="p0")
+        second = log.append("data-accepted", source="p0", count=100)
+        assert first.sequence == 0 and second.sequence == 1
+        assert log.head == second.chain_hash
+        assert log.verify_chain()
+
+    def test_head_of_empty_log(self):
+        log = AuditLog()
+        assert len(log) == 0
+        assert isinstance(log.head, bytes)
+
+    def test_filter_by_kind(self):
+        log = AuditLog()
+        log.append("a", v=1)
+        log.append("b", v=2)
+        log.append("a", v=3)
+        assert [e.details["v"] for e in log.events("a")] == [1, 3]
+
+    def test_tamper_detected(self):
+        log = AuditLog()
+        log.append("decrypt", accepted=100, rejected=0)
+        log.append("train", epochs=12)
+        # Retroactively whitewash the rejection count.
+        log._events[0].details["rejected"] = 0  # same value: still passes
+        assert log.verify_chain()
+        log._events[0].details["accepted"] = 500
+        assert not log.verify_chain()
+
+    def test_bytes_roundtrip(self):
+        log = AuditLog()
+        log.append("partition-changed", old=2, new=4, epoch=3)
+        restored = AuditLog.from_bytes(log.to_bytes())
+        assert len(restored) == 1
+        assert restored.head == log.head
+        assert restored.verify_chain()
+
+    def test_tampered_bytes_rejected(self):
+        log = AuditLog()
+        log.append("x", value=1)
+        blob = log.to_bytes().replace(b'"value":1', b'"value":2')
+        with pytest.raises(LinkageError):
+            AuditLog.from_bytes(blob)
+
+    def test_sealable(self, platform):
+        from repro.enclave.sealing import seal, unseal
+
+        enclave = platform.create_enclave("audit")
+        enclave.init()
+        log = AuditLog()
+        log.append("fingerprint-stage", records=240)
+        blob = seal(enclave, log.to_bytes())
+        restored = AuditLog.from_bytes(unseal(enclave, blob))
+        assert restored.verify_chain() and len(restored) == 1

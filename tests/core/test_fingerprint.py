@@ -1,0 +1,64 @@
+"""Fingerprinting tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.fingerprint import Fingerprinter, normalize_fingerprints
+from repro.errors import ConfigurationError
+
+
+class TestNormalize:
+    def test_unit_norm(self, generator):
+        emb = generator.normal(size=(5, 8))
+        norms = np.linalg.norm(normalize_fingerprints(emb), axis=1)
+        np.testing.assert_allclose(norms, np.ones(5), rtol=1e-6)
+
+    def test_zero_rows_stay_zero(self):
+        emb = np.zeros((2, 4))
+        np.testing.assert_array_equal(normalize_fingerprints(emb), emb)
+
+
+class TestFingerprinter:
+    def test_dimension_is_penultimate_size(self, tiny_net):
+        fingerprinter = Fingerprinter(tiny_net)
+        assert fingerprinter.dimension == 4  # avg output = classes
+
+    def test_fingerprints_normalized(self, tiny_net, generator):
+        fingerprinter = Fingerprinter(tiny_net)
+        fps = fingerprinter.fingerprint(
+            generator.random((6, 8, 8, 3)).astype(np.float32)
+        )
+        assert fps.shape == (6, 4)
+        np.testing.assert_allclose(np.linalg.norm(fps, axis=1), np.ones(6), rtol=1e-5)
+
+    def test_batching_consistent(self, tiny_net, generator):
+        x = generator.random((10, 8, 8, 3)).astype(np.float32)
+        small = Fingerprinter(tiny_net, batch_size=3).fingerprint(x)
+        large = Fingerprinter(tiny_net, batch_size=100).fingerprint(x)
+        np.testing.assert_allclose(small, large, rtol=1e-5)
+
+    def test_predict_with_fingerprint_consistent(self, tiny_net, generator):
+        x = generator.random((4, 8, 8, 3)).astype(np.float32)
+        labels, probs, fps = Fingerprinter(tiny_net).predict_with_fingerprint(x)
+        np.testing.assert_array_equal(labels, probs.argmax(axis=1))
+        np.testing.assert_allclose(
+            fps, Fingerprinter(tiny_net).fingerprint(x), rtol=1e-5
+        )
+
+    def test_enclave_cost_charged(self, tiny_net, platform, generator):
+        enclave = platform.create_enclave("fp")
+        enclave.init()
+        fingerprinter = Fingerprinter(tiny_net, enclave=enclave)
+        before = platform.clock.now
+        fingerprinter.fingerprint(generator.random((4, 8, 8, 3)).astype(np.float32))
+        assert platform.clock.now > before
+
+    def test_whole_model_in_enclave_epc(self, tiny_net, platform):
+        enclave = platform.create_enclave("fp")
+        enclave.init()
+        Fingerprinter(tiny_net, enclave=enclave)
+        assert "data/fingerprint-model" in enclave.epc.usage_report()
+
+    def test_invalid_batch_size(self, tiny_net):
+        with pytest.raises(ConfigurationError):
+            Fingerprinter(tiny_net, batch_size=0)

@@ -1,0 +1,95 @@
+"""Model release flow tests (encrypted FrontNet per participant)."""
+
+import numpy as np
+import pytest
+
+from repro.core.caltrain import CalTrain, CalTrainConfig
+from repro.crypto.aead import AesGcm
+from repro.data.datasets import synthetic_cifar
+from repro.errors import AuthenticationError, ConfigurationError, TrainingError
+from repro.federation.participant import TrainingParticipant
+from repro.nn.zoo import tiny_testnet
+from repro.utils.rng import RngStream
+
+
+@pytest.fixture
+def trained_system():
+    rng = RngStream(55, "release")
+    train, test = synthetic_cifar(rng.child("data"), num_train=120,
+                                  num_test=30, num_classes=4, shape=(8, 8, 3))
+    system = CalTrain(CalTrainConfig(
+        seed=7, epochs=1, batch_size=16, partition=2, augment=False,
+        network_factory=lambda gen: tiny_testnet(gen, input_shape=(8, 8, 3),
+                                                 num_classes=4),
+    ))
+    participants = []
+    for i, share in enumerate(train.split([0.5, 0.5],
+                                          rng=rng.child("s").generator)):
+        participant = TrainingParticipant(f"p{i}", share, rng.child(f"p{i}"))
+        system.register_participant(participant)
+        system.submit_data(participant)
+        participants.append(participant)
+    system.train()
+    return system, participants, test
+
+
+class TestModelRelease:
+    def test_recipient_can_reconstruct_full_model(self, trained_system):
+        system, participants, test = trained_system
+        release = system.release_model("p0")
+
+        # The participant rebuilds the network from the released config,
+        # decrypts the FrontNet under its own key, loads the BackNet.
+        from repro.core.partition import PartitionedNetwork
+        from repro.nn.config import network_from_config
+
+        rebuilt = network_from_config(
+            release["network_config"].decode("utf-8"),
+            rng=np.random.default_rng(0),
+        )
+        partitioned = PartitionedNetwork(rebuilt, system.partitioned.partition)
+        cipher = AesGcm(participants[0].key.material)
+        partitioned.import_frontnet_encrypted(
+            cipher, release["frontnet_nonce"], release["frontnet_sealed"]
+        )
+        import io
+
+        with np.load(io.BytesIO(release["backnet"])) as data:
+            for key in data.files:
+                layer_part, name = key.split("/", 1)
+                idx = system.partitioned.partition + int(layer_part[len("layer"):])
+                rebuilt.layers[idx].params()[name][...] = data[key]
+
+        np.testing.assert_allclose(
+            rebuilt.predict(test.x[:8]), system.model.predict(test.x[:8]),
+            rtol=1e-5,
+        )
+
+    def test_other_participants_cannot_open_frontnet(self, trained_system):
+        system, participants, _ = trained_system
+        release = system.release_model("p0")
+        wrong_cipher = AesGcm(participants[1].key.material)
+        with pytest.raises(AuthenticationError):
+            wrong_cipher.open(release["frontnet_nonce"],
+                              release["frontnet_sealed"],
+                              aad=b"caltrain-frontnet")
+
+    def test_per_participant_releases_differ(self, trained_system):
+        system, _, _ = trained_system
+        a = system.release_model("p0")
+        b = system.release_model("p1")
+        assert a["frontnet_sealed"] != b["frontnet_sealed"]
+        assert a["backnet"] == b["backnet"]  # the BackNet is public
+
+    def test_unknown_participant_rejected(self, trained_system):
+        system, _, _ = trained_system
+        with pytest.raises(ConfigurationError):
+            system.release_model("stranger")
+
+    def test_release_before_training_rejected(self):
+        system = CalTrain(CalTrainConfig(
+            seed=7, epochs=1,
+            network_factory=lambda gen: tiny_testnet(gen),
+        ))
+        with pytest.raises(TrainingError):
+            system.release_model("p0")

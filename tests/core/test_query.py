@@ -1,0 +1,67 @@
+"""Misprediction query service tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.linkage import LinkageDatabase, LinkageRecord
+from repro.core.query import QueryService
+from repro.errors import QueryError
+
+
+def _db(points, labels, sources=None):
+    db = LinkageDatabase()
+    sources = sources or [f"p{i % 2}" for i in range(len(points))]
+    for i, (point, label) in enumerate(zip(points, labels)):
+        db.add(LinkageRecord(
+            fingerprint=np.asarray(point, dtype=np.float32),
+            label=label, source=sources[i], digest=b"h" * 32, source_index=i,
+        ))
+    return db
+
+
+class TestQuery:
+    def test_nearest_first(self):
+        db = _db([[0.0, 0.0], [1.0, 0.0], [5.0, 0.0]], [0, 0, 0])
+        neighbors = QueryService(db).query(np.array([0.9, 0.0]), label=0, k=3)
+        assert [n.record_index for n in neighbors] == [1, 0, 2]
+        assert neighbors[0].distance == pytest.approx(0.1, abs=1e-6)
+        assert [n.rank for n in neighbors] == [1, 2, 3]
+
+    def test_label_filtering(self):
+        db = _db([[0.0, 0.0], [0.1, 0.0], [0.2, 0.0]], [0, 1, 0])
+        neighbors = QueryService(db).query(np.array([0.0, 0.0]), label=0, k=9)
+        assert {n.record_index for n in neighbors} == {0, 2}
+
+    def test_k_limits_results(self):
+        db = _db([[float(i), 0.0] for i in range(10)], [0] * 10)
+        assert len(QueryService(db).query(np.zeros(2), label=0, k=4)) == 4
+
+    def test_missing_label_rejected(self):
+        db = _db([[0.0, 0.0]], [0])
+        with pytest.raises(QueryError):
+            QueryService(db).query(np.zeros(2), label=7)
+
+    def test_dimension_mismatch_rejected(self):
+        db = _db([[0.0, 0.0]], [0])
+        with pytest.raises(QueryError):
+            QueryService(db).query(np.zeros(5), label=0)
+
+    def test_invalid_k(self):
+        db = _db([[0.0, 0.0]], [0])
+        with pytest.raises(QueryError):
+            QueryService(db).query(np.zeros(2), label=0, k=0)
+
+    def test_query_batch(self):
+        db = _db([[0.0, 0.0], [1.0, 1.0]], [0, 1])
+        results = QueryService(db).query_batch(
+            np.array([[0.1, 0.0], [0.9, 1.0]]), labels=[0, 1], k=1
+        )
+        assert results[0][0].record_index == 0
+        assert results[1][0].record_index == 1
+
+    def test_distances_monotone(self, generator):
+        points = generator.normal(size=(30, 8))
+        db = _db(points.tolist(), [0] * 30)
+        neighbors = QueryService(db).query(generator.normal(size=8), label=0, k=30)
+        distances = [n.distance for n in neighbors]
+        assert distances == sorted(distances)

@@ -1,0 +1,63 @@
+"""KD-tree query index tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.linkage import LinkageDatabase, LinkageRecord
+from repro.core.query import QueryService
+from repro.errors import ConfigurationError, QueryError
+
+
+def _db(generator, n=60, dim=6, labels=3):
+    db = LinkageDatabase()
+    for i in range(n):
+        db.add(LinkageRecord(
+            fingerprint=generator.normal(size=dim).astype(np.float32),
+            label=i % labels, source=f"p{i % 2}", digest=b"h" * 32,
+            source_index=i,
+        ))
+    return db
+
+
+class TestKdTreeIndex:
+    def test_matches_brute_force(self, generator):
+        db = _db(generator)
+        brute = QueryService(db, index="brute")
+        tree = QueryService(db, index="kdtree")
+        query = generator.normal(size=6).astype(np.float32)
+        for label in (0, 1, 2):
+            a = brute.query(query, label, k=7)
+            b = tree.query(query, label, k=7)
+            assert [n.record_index for n in a] == [n.record_index for n in b]
+            np.testing.assert_allclose(
+                [n.distance for n in a], [n.distance for n in b], rtol=1e-5
+            )
+
+    def test_k_larger_than_class(self, generator):
+        db = _db(generator, n=6, labels=3)  # two records per label
+        service = QueryService(db, index="kdtree")
+        neighbors = service.query(generator.normal(size=6), 0, k=10)
+        assert len(neighbors) == 2
+
+    def test_k_equals_one(self, generator):
+        db = _db(generator)
+        service = QueryService(db, index="kdtree")
+        neighbors = service.query(generator.normal(size=6), 0, k=1)
+        assert len(neighbors) == 1 and neighbors[0].rank == 1
+
+    def test_missing_label(self, generator):
+        service = QueryService(_db(generator), index="kdtree")
+        with pytest.raises(QueryError):
+            service.query(generator.normal(size=6), 99)
+
+    def test_unknown_index_rejected(self, generator):
+        with pytest.raises(ConfigurationError):
+            QueryService(_db(generator), index="faiss")
+
+    def test_tree_reused_across_queries(self, generator):
+        db = _db(generator)
+        service = QueryService(db, index="kdtree")
+        service.query(generator.normal(size=6), 0, k=1)
+        tree_first = service._trees[0][0]
+        service.query(generator.normal(size=6), 0, k=1)
+        assert service._trees[0][0] is tree_first

@@ -1,0 +1,134 @@
+"""Confidential trainer and freeze-schedule tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.freezing import FreezeSchedule
+from repro.core.partition import PartitionedNetwork
+from repro.core.partitioned_training import ConfidentialTrainer
+from repro.data.augmentation import Augmenter
+from repro.errors import ConfigurationError
+from repro.nn.optimizers import Sgd
+from repro.nn.zoo import tiny_testnet
+
+
+@pytest.fixture
+def trainer_setup(rng, platform, tiny_cifar):
+    train, test = tiny_cifar
+    enclave = platform.create_enclave("train")
+    enclave.init()
+    net = tiny_testnet(rng.child("net").generator)
+    partitioned = PartitionedNetwork(net, 2, enclave)
+    trainer = ConfidentialTrainer(
+        partitioned, Sgd(0.02, 0.9),
+        batch_rng=rng.child("batches").generator, batch_size=16,
+    )
+    return trainer, train, test
+
+
+class TestConfidentialTrainer:
+    def test_reports_per_epoch(self, trainer_setup):
+        trainer, train, test = trainer_setup
+        reports = trainer.train(train.x, train.y, epochs=3,
+                                test_x=test.x, test_y=test.y)
+        assert len(reports) == 3
+        assert all(r.top1 is not None and 0 <= r.top1 <= 1 for r in reports)
+        assert all(r.top2 >= r.top1 for r in reports)
+        assert all(r.simulated_seconds > 0 for r in reports)
+
+    def test_loss_improves(self, trainer_setup):
+        trainer, train, _ = trainer_setup
+        reports = trainer.train(train.x, train.y, epochs=6)
+        assert reports[-1].mean_loss < reports[0].mean_loss
+
+    def test_snapshots_kept(self, trainer_setup):
+        trainer, train, _ = trainer_setup
+        trainer.train(train.x, train.y, epochs=2, keep_snapshots=True)
+        assert len(trainer.snapshots) == 2
+        # Snapshots are distinct (weights moved between epochs).
+        first = trainer.snapshots[0][0]["weights"]
+        second = trainer.snapshots[1][0]["weights"]
+        assert not np.allclose(first, second)
+
+    def test_epoch_end_hook_called(self, trainer_setup):
+        trainer, train, _ = trainer_setup
+        calls = []
+        trainer.on_epoch_end = lambda epoch, t: calls.append(epoch)
+        trainer.train(train.x, train.y, epochs=3)
+        assert calls == [0, 1, 2]
+
+    def test_hook_can_repartition(self, trainer_setup):
+        """The dynamic re-assessment path: re-partitioning mid-training."""
+        trainer, train, _ = trainer_setup
+
+        def repartition(epoch, t):
+            if epoch == 0:
+                t.partitioned.set_partition(3)
+
+        trainer.on_epoch_end = repartition
+        reports = trainer.train(train.x, train.y, epochs=2)
+        assert reports[0].partition == 2
+        assert reports[1].partition == 3
+
+    def test_augmenter_applies(self, rng, platform, tiny_cifar):
+        train, _ = tiny_cifar
+        enclave = platform.create_enclave("aug")
+        enclave.init()
+        net = tiny_testnet(rng.child("net").generator)
+        trainer = ConfidentialTrainer(
+            PartitionedNetwork(net, 1, enclave), Sgd(0.02),
+            batch_rng=rng.child("b").generator,
+            augmenter=Augmenter(rng=enclave.trusted_rng.generator),
+            batch_size=16,
+        )
+        reports = trainer.train(train.x, train.y, epochs=1)
+        assert np.isfinite(reports[0].mean_loss)
+
+
+class TestFreezeSchedule:
+    def test_invalid_epoch(self):
+        with pytest.raises(ConfigurationError):
+            FreezeSchedule(freeze_at_epoch=-1)
+
+    def test_applies_at_epoch(self, rng, platform):
+        enclave = platform.create_enclave("f")
+        enclave.init()
+        net = tiny_testnet(rng.child("n").generator)
+        partitioned = PartitionedNetwork(net, 2, enclave)
+        schedule = FreezeSchedule(freeze_at_epoch=2)
+        assert not schedule.apply(partitioned, epoch=1)
+        assert not net.layers[0].frozen
+        assert schedule.apply(partitioned, epoch=2)
+        assert net.layers[0].frozen and net.layers[1].frozen
+        assert not net.layers[2].frozen
+
+    def test_frozen_epochs_faster(self, rng, platform, tiny_cifar):
+        """Simulated epoch time drops once the FrontNet freezes."""
+        train, _ = tiny_cifar
+        enclave = platform.create_enclave("perf")
+        enclave.init()
+        net = tiny_testnet(rng.child("n").generator)
+        trainer = ConfidentialTrainer(
+            PartitionedNetwork(net, 3, enclave), Sgd(0.02),
+            batch_rng=rng.child("b").generator, batch_size=16,
+            freeze_schedule=FreezeSchedule(freeze_at_epoch=2),
+        )
+        reports = trainer.train(train.x, train.y, epochs=4)
+        unfrozen_time = np.mean([r.simulated_seconds for r in reports[:2]])
+        frozen_time = np.mean([r.simulated_seconds for r in reports[2:]])
+        assert frozen_time < unfrozen_time
+        assert reports[3].frontnet_frozen and not reports[0].frontnet_frozen
+
+    def test_frozen_weights_do_not_move(self, rng, platform, tiny_cifar):
+        train, _ = tiny_cifar
+        enclave = platform.create_enclave("fw")
+        enclave.init()
+        net = tiny_testnet(rng.child("n").generator)
+        trainer = ConfidentialTrainer(
+            PartitionedNetwork(net, 2, enclave), Sgd(0.05),
+            batch_rng=rng.child("b").generator, batch_size=16,
+            freeze_schedule=FreezeSchedule(freeze_at_epoch=0),
+        )
+        w0 = net.layers[0].weights.copy()
+        trainer.train(train.x, train.y, epochs=2)
+        np.testing.assert_array_equal(net.layers[0].weights, w0)

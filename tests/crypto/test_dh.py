@@ -1,0 +1,58 @@
+"""Diffie-Hellman key agreement tests."""
+
+import pytest
+
+from repro.crypto.dh import MODP_2048, DhKeyPair, DhParams
+from repro.errors import HandshakeError
+from repro.utils.rng import RngStream
+
+
+class TestKeyAgreement:
+    def test_shared_secret_agreement(self, rng):
+        alice = DhKeyPair(rng.child("alice"))
+        bob = DhKeyPair(rng.child("bob"))
+        assert alice.shared_secret(bob.public) == bob.shared_secret(alice.public)
+
+    def test_different_pairs_different_secrets(self, rng):
+        alice = DhKeyPair(rng.child("alice"))
+        bob = DhKeyPair(rng.child("bob"))
+        eve = DhKeyPair(rng.child("eve"))
+        assert alice.shared_secret(bob.public) != alice.shared_secret(eve.public)
+
+    def test_public_in_range(self, rng):
+        pair = DhKeyPair(rng.child("kp"))
+        assert 2 <= pair.public <= MODP_2048.p - 2
+
+    def test_secret_length_matches_group(self, rng):
+        alice = DhKeyPair(rng.child("alice"))
+        bob = DhKeyPair(rng.child("bob"))
+        assert len(alice.shared_secret(bob.public)) == 256  # 2048-bit group
+
+    def test_deterministic_from_stream(self):
+        a = DhKeyPair(RngStream(3).child("x")).public
+        b = DhKeyPair(RngStream(3).child("x")).public
+        assert a == b
+
+
+class TestDegenerateRejection:
+    @pytest.mark.parametrize("bad", [0, 1])
+    def test_small_values_rejected(self, rng, bad):
+        pair = DhKeyPair(rng.child("kp"))
+        with pytest.raises(HandshakeError):
+            pair.shared_secret(bad)
+
+    def test_p_minus_one_rejected(self, rng):
+        pair = DhKeyPair(rng.child("kp"))
+        with pytest.raises(HandshakeError):
+            pair.shared_secret(MODP_2048.p - 1)
+
+    def test_out_of_range_rejected(self, rng):
+        pair = DhKeyPair(rng.child("kp"))
+        with pytest.raises(HandshakeError):
+            pair.shared_secret(MODP_2048.p + 5)
+
+    def test_params_validation_helper(self):
+        params = DhParams(p=23, g=5)
+        params.validate_public(7)
+        with pytest.raises(HandshakeError):
+            params.validate_public(22)

@@ -1,0 +1,25 @@
+"""Hash/MAC helper tests."""
+
+import hashlib
+import hmac
+
+from repro.crypto.hashing import constant_time_equal, hmac_sha256, sha256
+
+
+def test_sha256_matches_hashlib():
+    assert sha256(b"a", b"b") == hashlib.sha256(b"ab").digest()
+
+
+def test_hmac_matches_stdlib():
+    assert hmac_sha256(b"key", b"msg") == hmac.new(
+        b"key", b"msg", hashlib.sha256
+    ).digest()
+
+
+def test_hmac_multi_part_concatenates():
+    assert hmac_sha256(b"key", b"m", b"sg") == hmac_sha256(b"key", b"msg")
+
+
+def test_constant_time_equal():
+    assert constant_time_equal(b"same", b"same")
+    assert not constant_time_equal(b"same", b"diff")

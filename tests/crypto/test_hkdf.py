@@ -1,0 +1,50 @@
+"""RFC 5869 test vectors and HKDF properties."""
+
+import pytest
+
+from repro.crypto.hkdf import hkdf, hkdf_expand, hkdf_extract
+from repro.errors import ConfigurationError
+
+
+class TestRfc5869Vectors:
+    def test_case_1(self):
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk.hex() == (
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = hkdf_expand(prk, info, 42)
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_case_3_empty_salt_info(self):
+        ikm = bytes.fromhex("0b" * 22)
+        okm = hkdf(ikm, salt=b"", info=b"", length=42)
+        assert okm.hex() == (
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+
+class TestProperties:
+    def test_info_separation(self):
+        assert hkdf(b"secret", info=b"a") != hkdf(b"secret", info=b"b")
+
+    def test_salt_separation(self):
+        assert hkdf(b"secret", salt=b"a") != hkdf(b"secret", salt=b"b")
+
+    def test_length(self):
+        assert len(hkdf(b"secret", length=77)) == 77
+
+    def test_prefix_consistency(self):
+        long = hkdf(b"secret", length=64)
+        short = hkdf(b"secret", length=32)
+        assert long[:32] == short
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hkdf(b"secret", length=255 * 32 + 1)

@@ -1,0 +1,101 @@
+"""Merkle tree tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.errors import CryptoError
+
+
+class TestMerkleTree:
+    def test_single_leaf(self):
+        tree = MerkleTree([b"only"])
+        assert tree.prove(0).verify(b"only", tree.root)
+
+    def test_all_leaves_verify(self):
+        leaves = [f"record-{i}".encode() for i in range(7)]  # odd count
+        tree = MerkleTree(leaves)
+        for i, leaf in enumerate(leaves):
+            assert tree.prove(i).verify(leaf, tree.root), f"leaf {i}"
+
+    def test_wrong_leaf_rejected(self):
+        leaves = [b"a", b"b", b"c", b"d"]
+        tree = MerkleTree(leaves)
+        assert not tree.prove(1).verify(b"evil", tree.root)
+
+    def test_wrong_root_rejected(self):
+        tree = MerkleTree([b"a", b"b"])
+        other = MerkleTree([b"a", b"x"])
+        assert not tree.prove(0).verify(b"a", other.root)
+
+    def test_proof_not_transferable_between_positions(self):
+        leaves = [b"a", b"b", b"c", b"d"]
+        tree = MerkleTree(leaves)
+        proof_for_0 = tree.prove(0)
+        # The same proof cannot authenticate a different leaf value.
+        assert not proof_for_0.verify(b"b", tree.root)
+
+    def test_root_depends_on_order(self):
+        assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"b", b"a"]).root
+
+    def test_leaf_interior_domain_separation(self):
+        """A leaf equal to an interior-node preimage does not collide."""
+        inner = MerkleTree([b"a", b"b"])
+        # Committing to the raw concatenation as a leaf gives another root.
+        fake = MerkleTree([b"\x01" + b"a" + b"b"])
+        assert inner.root != fake.root
+
+    def test_empty_rejected(self):
+        with pytest.raises(CryptoError):
+            MerkleTree([])
+
+    def test_out_of_range_proof(self):
+        with pytest.raises(CryptoError):
+            MerkleTree([b"a"]).prove(5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=16), min_size=1, max_size=33))
+    def test_every_leaf_always_verifies(self, leaves):
+        tree = MerkleTree(leaves)
+        for i, leaf in enumerate(leaves):
+            assert tree.prove(i).verify(leaf, tree.root)
+
+
+class TestLinkageCommitment:
+    def test_query_answers_verifiable(self, generator):
+        from repro.core.linkage import LinkageDatabase, LinkageRecord
+
+        db = LinkageDatabase()
+        for i in range(9):
+            db.add(LinkageRecord(
+                fingerprint=generator.normal(size=4).astype("float32"),
+                label=i % 2, source=f"p{i % 3}", digest=b"h" * 32,
+                source_index=i,
+            ))
+        tree = db.merkle_commitment()
+        for i in range(9):
+            proof = db.prove_record(tree, i)
+            assert db.verify_record_inclusion(tree.root, i, proof)
+
+    def test_altered_record_fails_commitment(self, generator):
+        from repro.core.linkage import LinkageDatabase, LinkageRecord
+
+        db = LinkageDatabase()
+        for i in range(4):
+            db.add(LinkageRecord(
+                fingerprint=generator.normal(size=4).astype("float32"),
+                label=0, source="p0", digest=b"h" * 32, source_index=i,
+            ))
+        tree = db.merkle_commitment()
+        proof = db.prove_record(tree, 2)
+        # Mutate the stored fingerprint after committing.
+        db.record(2).fingerprint[...] += 1.0
+        assert not db.verify_record_inclusion(tree.root, 2, proof)
+
+    def test_empty_db_cannot_commit(self):
+        from repro.core.linkage import LinkageDatabase
+        from repro.errors import LinkageError
+
+        with pytest.raises(LinkageError):
+            LinkageDatabase().merkle_commitment()

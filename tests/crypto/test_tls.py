@@ -1,0 +1,106 @@
+"""Secure channel (TLS-like handshake + record layer) tests."""
+
+import pytest
+
+from repro.crypto.tls import Finished, ServerHello, TlsClient, TlsServer
+from repro.errors import AuthenticationError, HandshakeError
+
+
+def _handshake(rng, report_data=b"report"):
+    client = TlsClient(rng.child("client"))
+    server = TlsServer(rng.child("server"), report_data=report_data)
+    hello_c = client.client_hello()
+    hello_s = server.process_client_hello(hello_c)
+    finished = client.process_server_hello(hello_s)
+    server.process_finished(finished)
+    return client, server
+
+
+class TestHandshake:
+    def test_completes_and_channels_interoperate(self, rng):
+        client, server = _handshake(rng)
+        c_chan, s_chan = client.channel(), server.channel()
+        record = c_chan.send(b"the participant key")
+        assert s_chan.receive(record) == b"the participant key"
+        reply = s_chan.send(b"ack")
+        assert c_chan.receive(reply) == b"ack"
+
+    def test_client_sees_report_data(self, rng):
+        client, _ = _handshake(rng, report_data=b"bound-quote")
+        assert client.report_data == b"bound-quote"
+
+    def test_tampered_server_mac_rejected(self, rng):
+        client = TlsClient(rng.child("client"))
+        server = TlsServer(rng.child("server"))
+        hello_s = server.process_client_hello(client.client_hello())
+        forged = ServerHello(
+            dh_public=hello_s.dh_public,
+            nonce=hello_s.nonce,
+            report_data=hello_s.report_data,
+            transcript_mac=bytes(32),
+        )
+        with pytest.raises(HandshakeError):
+            client.process_server_hello(forged)
+
+    def test_tampered_report_data_breaks_transcript(self, rng):
+        client = TlsClient(rng.child("client"))
+        server = TlsServer(rng.child("server"), report_data=b"honest")
+        hello_s = server.process_client_hello(client.client_hello())
+        mitm = ServerHello(
+            dh_public=hello_s.dh_public,
+            nonce=hello_s.nonce,
+            report_data=b"evil",
+            transcript_mac=hello_s.transcript_mac,
+        )
+        with pytest.raises(HandshakeError):
+            client.process_server_hello(mitm)
+
+    def test_forged_finished_rejected(self, rng):
+        client = TlsClient(rng.child("client"))
+        server = TlsServer(rng.child("server"))
+        hello_s = server.process_client_hello(client.client_hello())
+        client.process_server_hello(hello_s)
+        with pytest.raises(HandshakeError):
+            server.process_finished(Finished(transcript_mac=bytes(32)))
+
+    def test_out_of_order_usage_rejected(self, rng):
+        client = TlsClient(rng.child("client"))
+        with pytest.raises(HandshakeError):
+            client.channel()
+        server = TlsServer(rng.child("server"))
+        with pytest.raises(HandshakeError):
+            server.process_finished(Finished(transcript_mac=bytes(32)))
+
+    def test_rebind_after_handshake_rejected(self, rng):
+        client = TlsClient(rng.child("client"))
+        server = TlsServer(rng.child("server"))
+        server.process_client_hello(client.client_hello())
+        with pytest.raises(HandshakeError):
+            server.bind_report_data(b"late")
+
+
+class TestRecordLayer:
+    def test_replay_detected(self, rng):
+        client, server = _handshake(rng)
+        c_chan, s_chan = client.channel(), server.channel()
+        record = c_chan.send(b"once")
+        s_chan.receive(record)
+        with pytest.raises(AuthenticationError):
+            s_chan.receive(record)  # same record again: sequence mismatch
+
+    def test_reorder_detected(self, rng):
+        client, server = _handshake(rng)
+        c_chan, s_chan = client.channel(), server.channel()
+        first = c_chan.send(b"one")
+        second = c_chan.send(b"two")
+        with pytest.raises(AuthenticationError):
+            s_chan.receive(second)  # skipped a record
+
+    def test_directional_keys_differ(self, rng):
+        client, server = _handshake(rng)
+        c_chan = client.channel()
+        record = c_chan.send(b"hello")
+        # A client cannot decrypt its own sent record (different keys).
+        fresh_client_chan = client.channel()
+        with pytest.raises(AuthenticationError):
+            fresh_client_chan.receive(record)

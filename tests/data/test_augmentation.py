@@ -1,0 +1,47 @@
+"""Augmentation tests."""
+
+import numpy as np
+
+from repro.data.augmentation import Augmenter
+
+
+def _batch(n=4, seed=0):
+    gen = np.random.default_rng(seed)
+    return gen.random((n, 12, 12, 3)).astype(np.float32)
+
+
+class TestAugmenter:
+    def test_shape_and_range_preserved(self):
+        augmenter = Augmenter(rng=np.random.default_rng(0))
+        out = augmenter.augment_batch(_batch())
+        assert out.shape == (4, 12, 12, 3)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+        assert out.dtype == np.float32
+
+    def test_changes_the_batch(self):
+        augmenter = Augmenter(rng=np.random.default_rng(0))
+        x = _batch()
+        assert not np.allclose(augmenter.augment_batch(x), x)
+
+    def test_deterministic_given_rng(self):
+        x = _batch()
+        a = Augmenter(rng=np.random.default_rng(7)).augment_batch(x)
+        b = Augmenter(rng=np.random.default_rng(7)).augment_batch(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_flip_only(self):
+        augmenter = Augmenter(
+            rng=np.random.default_rng(0), max_rotation_degrees=0.0,
+            flip_probability=1.0, distortion=0.0,
+        )
+        x = _batch(n=1)
+        out = augmenter.augment_batch(x)
+        np.testing.assert_allclose(out[0], x[0][:, ::-1, :])
+
+    def test_disabled_is_identity(self):
+        augmenter = Augmenter(
+            rng=np.random.default_rng(0), max_rotation_degrees=0.0,
+            flip_probability=0.0, distortion=0.0,
+        )
+        x = _batch()
+        np.testing.assert_allclose(augmenter.augment_batch(x), x)

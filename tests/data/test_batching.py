@@ -1,0 +1,62 @@
+"""Mini-batch iterator tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.batching import iterate_minibatches
+from repro.errors import ConfigurationError
+
+
+def _data(n):
+    return np.arange(n, dtype=np.float32).reshape(n, 1), np.arange(n)
+
+
+class TestIterateMinibatches:
+    def test_covers_all_instances(self):
+        x, y = _data(25)
+        seen = np.concatenate(
+            [yb for _, yb in iterate_minibatches(x, y, 4,
+                                                 rng=np.random.default_rng(0))]
+        )
+        assert sorted(seen.tolist()) == list(range(25))
+
+    def test_batch_sizes(self):
+        x, y = _data(10)
+        sizes = [xb.shape[0] for xb, _ in iterate_minibatches(x, y, 4)]
+        assert sizes == [4, 4, 2]
+
+    def test_drop_last(self):
+        x, y = _data(10)
+        sizes = [xb.shape[0] for xb, _ in iterate_minibatches(x, y, 4, drop_last=True)]
+        assert sizes == [4, 4]
+
+    def test_no_rng_preserves_order(self):
+        x, y = _data(6)
+        first_batch = next(iterate_minibatches(x, y, 3))
+        np.testing.assert_array_equal(first_batch[1], [0, 1, 2])
+
+    def test_rng_shuffles(self):
+        x, y = _data(100)
+        shuffled = next(iterate_minibatches(x, y, 100, rng=np.random.default_rng(0)))
+        assert not np.array_equal(shuffled[1], y)
+
+    def test_labels_track_inputs(self):
+        x, y = _data(30)
+        for xb, yb in iterate_minibatches(x, y, 7, rng=np.random.default_rng(1)):
+            np.testing.assert_array_equal(xb[:, 0].astype(int), yb)
+
+    def test_invalid_batch_size(self):
+        x, y = _data(4)
+        with pytest.raises(ConfigurationError):
+            list(iterate_minibatches(x, y, 0))
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=50),
+           batch=st.integers(min_value=1, max_value=50))
+    def test_coverage_property(self, n, batch):
+        x, y = _data(n)
+        seen = [yb for _, yb in iterate_minibatches(x, y, batch,
+                                                    rng=np.random.default_rng(0))]
+        assert sorted(np.concatenate(seen).tolist()) == list(range(n))

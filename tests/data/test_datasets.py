@@ -1,0 +1,116 @@
+"""Dataset substrate tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.datasets import Dataset, synthetic_cifar, synthetic_faces
+from repro.errors import ConfigurationError
+from repro.utils.rng import RngStream
+
+
+class TestDataset:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Dataset(x=np.zeros((3, 2, 2, 1)), y=np.zeros(4))
+
+    def test_dtypes_normalized(self):
+        ds = Dataset(x=np.zeros((2, 2, 2, 1), dtype=np.float64),
+                     y=np.zeros(2, dtype=np.int32))
+        assert ds.x.dtype == np.float32 and ds.y.dtype == np.int64
+
+    def test_subset_carries_flags(self):
+        ds = Dataset(x=np.zeros((4, 1, 1, 1)), y=np.arange(4),
+                     flags={"poisoned": np.array([True, False, True, False])})
+        sub = ds.subset([0, 3])
+        np.testing.assert_array_equal(sub.flags["poisoned"], [True, False])
+
+    def test_of_class(self):
+        ds = Dataset(x=np.zeros((6, 1, 1, 1)), y=np.array([0, 1, 0, 2, 1, 0]))
+        assert len(ds.of_class(0)) == 3
+        assert np.all(ds.of_class(0).y == 0)
+
+    def test_split_disjoint_and_sized(self):
+        ds = Dataset(x=np.zeros((100, 1, 1, 1)), y=np.arange(100))
+        a, b, c = ds.split([0.5, 0.3, 0.2], rng=np.random.default_rng(0))
+        assert (len(a), len(b), len(c)) == (50, 30, 20)
+        ids = np.concatenate([a.y, b.y, c.y])
+        assert len(set(ids.tolist())) == 100  # disjoint
+
+    def test_split_over_one_rejected(self):
+        ds = Dataset(x=np.zeros((10, 1, 1, 1)), y=np.arange(10))
+        with pytest.raises(ConfigurationError):
+            ds.split([0.7, 0.7])
+
+    def test_concatenate_merges_flags(self):
+        a = Dataset(x=np.zeros((2, 1, 1, 1)), y=np.zeros(2),
+                    flags={"poisoned": np.array([True, True])})
+        b = Dataset(x=np.zeros((3, 1, 1, 1)), y=np.ones(3))
+        merged = Dataset.concatenate([a, b])
+        assert len(merged) == 5
+        np.testing.assert_array_equal(
+            merged.flags["poisoned"], [True, True, False, False, False]
+        )
+
+
+class TestSyntheticCifar:
+    def test_shapes_and_ranges(self, rng):
+        train, test = synthetic_cifar(rng.child("c"), num_train=100, num_test=50)
+        assert train.x.shape == (100, 28, 28, 3)
+        assert test.x.shape == (50, 28, 28, 3)
+        assert train.x.min() >= 0.0 and train.x.max() <= 1.0
+        assert train.num_classes == 10
+
+    def test_balanced_classes(self, rng):
+        train, _ = synthetic_cifar(rng.child("c"), num_train=100, num_test=10)
+        counts = np.bincount(train.y, minlength=10)
+        assert np.all(counts == 10)
+
+    def test_deterministic(self):
+        a, _ = synthetic_cifar(RngStream(3).child("d"), num_train=40, num_test=10)
+        b, _ = synthetic_cifar(RngStream(3).child("d"), num_train=40, num_test=10)
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_train_test_differ(self, rng):
+        train, test = synthetic_cifar(rng.child("c"), num_train=40, num_test=40)
+        assert not np.allclose(train.x, test.x)
+
+    def test_classes_are_separable_by_nearest_prototype(self, rng):
+        """Within-class instances resemble each other more than across."""
+        train, test = synthetic_cifar(rng.child("c"), num_train=400, num_test=100,
+                                      num_classes=4)
+        means = np.stack([train.of_class(k).x.mean(axis=0).ravel() for k in range(4)])
+        correct = 0
+        for i in range(len(test)):
+            distances = np.linalg.norm(means - test.x[i].ravel(), axis=1)
+            correct += int(distances.argmin() == test.y[i])
+        assert correct / len(test) > 0.6  # far above the 0.25 chance level
+
+    @settings(max_examples=5, deadline=None)
+    @given(classes=st.integers(min_value=2, max_value=6))
+    def test_arbitrary_class_counts(self, classes):
+        train, _ = synthetic_cifar(
+            RngStream(1).child("h"), num_train=classes * 4, num_test=classes,
+            num_classes=classes, shape=(12, 12, 3),
+        )
+        assert train.num_classes == classes
+
+
+class TestSyntheticFaces:
+    def test_shapes(self, rng):
+        faces = synthetic_faces(rng.child("f"), num_identities=5, per_identity=8)
+        assert faces.x.shape == (40, 16, 16, 3)
+        assert faces.num_classes == 5
+
+    def test_identity_clustering(self, rng):
+        """Same-identity faces are mutually closer than cross-identity."""
+        faces = synthetic_faces(rng.child("f"), num_identities=4, per_identity=20)
+        flat = faces.x.reshape(len(faces), -1)
+        within, across = [], []
+        for i in range(0, len(faces), 5):
+            for j in range(i + 1, len(faces), 7):
+                dist = np.linalg.norm(flat[i] - flat[j])
+                (within if faces.y[i] == faces.y[j] else across).append(dist)
+        assert np.mean(within) < np.mean(across)

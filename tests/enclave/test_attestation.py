@@ -1,0 +1,70 @@
+"""Remote attestation tests."""
+
+import pytest
+
+from repro.enclave.attestation import AttestationService, Quote
+from repro.errors import AttestationError
+
+
+@pytest.fixture
+def initialized_enclave(platform):
+    enclave = platform.create_enclave("attested")
+    enclave.add_data("config", {"agreed": True})
+    enclave.init()
+    return enclave
+
+
+class TestQuotes:
+    def test_valid_quote_verifies(self, initialized_enclave, attestation_service):
+        quote = initialized_enclave.quote(report_data=b"bind")
+        attestation_service.verify(quote)
+        attestation_service.verify(
+            quote, expected_mrenclave=initialized_enclave.mrenclave
+        )
+
+    def test_report_data_carried(self, initialized_enclave):
+        assert initialized_enclave.quote(b"xyz").report_data == b"xyz"
+
+    def test_unregistered_platform_rejected(self, initialized_enclave):
+        empty_service = AttestationService()
+        with pytest.raises(AttestationError):
+            empty_service.verify(initialized_enclave.quote())
+
+    def test_forged_signature_rejected(self, initialized_enclave, attestation_service):
+        quote = initialized_enclave.quote(b"data")
+        forged = Quote(
+            platform_id=quote.platform_id,
+            mrenclave=quote.mrenclave,
+            report_data=quote.report_data,
+            signature=bytes(32),
+        )
+        with pytest.raises(AttestationError):
+            attestation_service.verify(forged)
+
+    def test_tampered_report_data_rejected(self, initialized_enclave, attestation_service):
+        quote = initialized_enclave.quote(b"honest")
+        tampered = Quote(
+            platform_id=quote.platform_id,
+            mrenclave=quote.mrenclave,
+            report_data=b"evil",
+            signature=quote.signature,
+        )
+        with pytest.raises(AttestationError):
+            attestation_service.verify(tampered)
+
+    def test_wrong_mrenclave_rejected(self, initialized_enclave, attestation_service):
+        quote = initialized_enclave.quote()
+        with pytest.raises(AttestationError):
+            attestation_service.verify(quote, expected_mrenclave=bytes(32))
+
+    def test_modified_enclave_has_different_measurement(self, platform, attestation_service):
+        """An enclave with different code cannot impersonate the agreed one."""
+        honest = platform.create_enclave("honest")
+        honest.add_data("config", {"lr": 0.1})
+        honest.init()
+        evil = platform.create_enclave("evil")
+        evil.add_data("config", {"lr": 0.1, "backdoor": True})
+        evil.init()
+        quote = evil.quote()
+        with pytest.raises(AttestationError):
+            attestation_service.verify(quote, expected_mrenclave=honest.mrenclave)

@@ -1,0 +1,131 @@
+"""Enclave lifecycle, measurement, and ECALL boundary tests."""
+
+import pytest
+
+from repro.enclave.enclave import Enclave, EnclaveState
+from repro.errors import EnclaveLifecycleError
+
+
+def _trusted_echo(enclave, value):
+    return ("echo", value)
+
+
+def _trusted_store(enclave, key, value):
+    enclave.trusted_put(key, value)
+
+
+class TestLifecycle:
+    def test_states(self, platform):
+        enclave = platform.create_enclave("e")
+        assert enclave.state is EnclaveState.CREATED
+        enclave.init()
+        assert enclave.state is EnclaveState.INITIALIZED
+        enclave.destroy()
+        assert enclave.state is EnclaveState.DESTROYED
+
+    def test_no_ecall_before_init(self, platform):
+        enclave = platform.create_enclave("e")
+        enclave.add_code("echo", _trusted_echo)
+        with pytest.raises(EnclaveLifecycleError):
+            enclave.ecall("echo", 1)
+
+    def test_no_add_after_init(self, platform):
+        enclave = platform.create_enclave("e")
+        enclave.init()
+        with pytest.raises(EnclaveLifecycleError):
+            enclave.add_code("late", _trusted_echo)
+        with pytest.raises(EnclaveLifecycleError):
+            enclave.add_data("late", 1)
+
+    def test_destroy_clears_secrets(self, platform):
+        enclave = platform.create_enclave("e")
+        enclave.add_code("store", _trusted_store)
+        enclave.init()
+        enclave.ecall("store", "secret", b"k")
+        enclave.destroy()
+        assert not enclave._storage
+
+    def test_unknown_ecall(self, platform):
+        enclave = platform.create_enclave("e")
+        enclave.init()
+        with pytest.raises(EnclaveLifecycleError):
+            enclave.ecall("ghost")
+
+
+class TestMeasurement:
+    def test_same_build_same_measurement(self, platform):
+        def build():
+            e = platform.create_enclave("m")
+            e.add_code("echo", _trusted_echo)
+            e.add_data("config", {"layers": 4})
+            e.init()
+            return e.mrenclave
+
+        assert build() == build()
+
+    def test_different_data_different_measurement(self, platform):
+        def build(config):
+            e = platform.create_enclave("m")
+            e.add_data("config", config)
+            e.init()
+            return e.mrenclave
+
+        assert build({"lr": 0.1}) != build({"lr": 0.2})
+
+    def test_code_order_matters(self, platform):
+        def build(order):
+            e = platform.create_enclave("m")
+            for name in order:
+                e.add_code(name, _trusted_echo)
+            e.init()
+            return e.mrenclave
+
+        assert build(["a", "b"]) != build(["b", "a"])
+
+    def test_init_extends_measurement(self, platform):
+        e = platform.create_enclave("m")
+        before = e.mrenclave
+        e.init()
+        assert e.mrenclave != before
+
+
+class TestEcallBoundary:
+    def test_ecall_runs_trusted_code(self, platform):
+        enclave = platform.create_enclave("e")
+        enclave.add_code("echo", _trusted_echo)
+        enclave.init()
+        assert enclave.ecall("echo", 42) == ("echo", 42)
+
+    def test_transition_costs_charged(self, platform):
+        enclave = platform.create_enclave("e")
+        enclave.add_code("echo", _trusted_echo)
+        enclave.init()
+        before = platform.clock.now
+        enclave.ecall("echo", 1, payload_bytes=10_000_000)
+        assert platform.clock.now > before
+        assert enclave.ecall_count == 1
+
+    def test_ocall_cost(self, platform):
+        enclave = platform.create_enclave("e")
+        enclave.init()
+        before = platform.clock.now
+        enclave.ocall_cost(payload_bytes=1_000_000)
+        assert platform.clock.now > before
+        assert enclave.ocall_count == 1
+
+    def test_trusted_storage_epc_accounting(self, platform):
+        enclave = platform.create_enclave("e")
+        enclave.add_code("store", _trusted_store)
+        enclave.init()
+        before = enclave.epc.resident_bytes
+        enclave.ecall("store", "blob", b"x" * 100)
+        assert enclave.epc.resident_bytes > before
+        enclave.trusted_delete("blob")
+        assert enclave.epc.resident_bytes == before
+
+    def test_trusted_put_resize(self, platform):
+        enclave = platform.create_enclave("e")
+        enclave.init()
+        enclave.trusted_put("k", b"v", nbytes=10)
+        enclave.trusted_put("k", b"v2", nbytes=100_000)
+        assert enclave.trusted_get("k") == b"v2"

@@ -1,0 +1,83 @@
+"""EPC memory model tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.enclave.memory import EPC_USABLE_BYTES, PAGE_SIZE, EpcMemory
+from repro.errors import EnclaveMemoryError
+
+
+class TestAllocation:
+    def test_resident_page_rounding(self):
+        epc = EpcMemory()
+        epc.alloc("a", 1)
+        assert epc.resident_bytes == PAGE_SIZE
+
+    def test_duplicate_name_rejected(self):
+        epc = EpcMemory()
+        epc.alloc("a", 10)
+        with pytest.raises(EnclaveMemoryError):
+            epc.alloc("a", 10)
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(EnclaveMemoryError):
+            EpcMemory().free("ghost")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(EnclaveMemoryError):
+            EpcMemory().alloc("a", -1)
+
+    def test_free_releases(self):
+        epc = EpcMemory()
+        epc.alloc("a", PAGE_SIZE * 3)
+        epc.free("a")
+        assert epc.resident_bytes == 0
+
+    def test_resize(self):
+        epc = EpcMemory()
+        epc.alloc("a", PAGE_SIZE)
+        epc.resize("a", PAGE_SIZE * 10)
+        assert epc.resident_bytes == PAGE_SIZE * 10
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(EnclaveMemoryError):
+            EpcMemory(capacity_bytes=0)
+
+    def test_usage_report(self):
+        epc = EpcMemory()
+        epc.alloc("x", 100)
+        epc.alloc("y", 200)
+        assert epc.usage_report() == {"x": 100, "y": 200}
+
+
+class TestPaging:
+    def test_no_paging_under_capacity(self):
+        epc = EpcMemory(capacity_bytes=PAGE_SIZE * 100)
+        epc.alloc("a", PAGE_SIZE * 50)
+        assert epc.touch(PAGE_SIZE * 50) == 0
+        assert epc.page_faults == 0
+
+    def test_paging_over_capacity(self):
+        epc = EpcMemory(capacity_bytes=PAGE_SIZE * 100)
+        epc.alloc("a", PAGE_SIZE * 200)  # 2x over
+        paged = epc.touch(PAGE_SIZE * 10)
+        assert paged == PAGE_SIZE * 5  # overflow fraction = 0.5
+        assert epc.page_faults > 0
+        assert epc.paged_bytes_total == paged
+
+    def test_overflow_fraction_monotone(self):
+        epc = EpcMemory(capacity_bytes=PAGE_SIZE * 10)
+        epc.alloc("a", PAGE_SIZE * 10)
+        f0 = epc.overflow_fraction
+        epc.alloc("b", PAGE_SIZE * 10)
+        assert epc.overflow_fraction > f0
+
+    @given(st.integers(min_value=1, max_value=400))
+    def test_overflow_fraction_in_unit_interval(self, pages):
+        epc = EpcMemory(capacity_bytes=PAGE_SIZE * 100)
+        epc.alloc("a", PAGE_SIZE * pages)
+        assert 0.0 <= epc.overflow_fraction < 1.0
+
+    def test_default_capacity_is_paper_epc(self):
+        assert EpcMemory().capacity_bytes == EPC_USABLE_BYTES == 93 * 1024 * 1024

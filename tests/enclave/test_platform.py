@@ -1,0 +1,69 @@
+"""Cost model, clock, and trusted RNG tests."""
+
+import pytest
+
+from repro.enclave.platform import CostModel, SgxPlatform, SimClock, TrustedRng
+from repro.errors import ConfigurationError
+from repro.utils.rng import RngStream
+
+
+class TestSimClock:
+    def test_monotonic(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == 2.0
+
+    def test_backwards_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimClock().advance(-1)
+
+
+class TestCostModel:
+    def test_enclave_compute_slower(self):
+        model = CostModel()
+        flops = 1e9
+        assert model.compute_seconds(flops, in_enclave=True) > model.compute_seconds(
+            flops, in_enclave=False
+        )
+
+    def test_slowdown_factor_exact(self):
+        model = CostModel(enclave_flop_slowdown=1.25)
+        ratio = model.compute_seconds(1e9, True) / model.compute_seconds(1e9, False)
+        assert ratio == pytest.approx(1.25)
+
+    def test_transition_has_fixed_floor(self):
+        model = CostModel()
+        assert model.transition_cost(0) == pytest.approx(model.transition_seconds)
+
+    def test_transition_scales_with_payload(self):
+        model = CostModel()
+        assert model.transition_cost(10**9) > model.transition_cost(10**3)
+
+    def test_paging_slower_than_boundary_copy(self):
+        model = CostModel()
+        nbytes = 10**8
+        assert model.paging_cost(nbytes) > nbytes / model.boundary_bytes_per_second
+
+
+class TestTrustedRng:
+    def test_deterministic(self):
+        a = TrustedRng(RngStream(1).child("rdrand")).random_bytes(16)
+        b = TrustedRng(RngStream(1).child("rdrand")).random_bytes(16)
+        assert a == b
+
+    def test_per_enclave_streams_differ(self, platform):
+        e1 = platform.create_enclave("one")
+        e2 = platform.create_enclave("two")
+        assert e1.trusted_rng.random_bytes(16) != e2.trusted_rng.random_bytes(16)
+
+
+class TestPlatform:
+    def test_platform_key_generated(self, rng):
+        platform = SgxPlatform(rng=rng.child("p"))
+        assert len(platform.platform_key) == 32
+
+    def test_create_enclave_uses_platform_epc_size(self, rng):
+        platform = SgxPlatform(rng=rng.child("p"), epc_bytes=4096 * 10)
+        enclave = platform.create_enclave("small")
+        assert enclave.epc.capacity_bytes == 4096 * 10

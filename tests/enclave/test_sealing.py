@@ -1,0 +1,57 @@
+"""Sealed storage tests."""
+
+import pytest
+
+from repro.enclave.sealing import SealedBlob, seal, unseal
+from repro.errors import SealingError
+from repro.utils.rng import RngStream
+from repro.enclave.platform import SgxPlatform
+
+
+def _enclave(platform, name="sealer", config=None):
+    enclave = platform.create_enclave(name)
+    enclave.add_data("config", config or {"v": 1})
+    enclave.init()
+    return enclave
+
+
+class TestSealing:
+    def test_roundtrip(self, platform):
+        enclave = _enclave(platform)
+        blob = seal(enclave, b"linkage database bytes")
+        assert unseal(enclave, blob) == b"linkage database bytes"
+
+    def test_same_identity_other_instance_can_unseal(self, platform):
+        a = _enclave(platform, "a")
+        b = _enclave(platform, "a")  # identical build => same MRENCLAVE
+        assert a.mrenclave == b.mrenclave
+        blob = seal(a, b"shared")
+        assert unseal(b, blob) == b"shared"
+
+    def test_different_identity_cannot_unseal(self, platform):
+        a = _enclave(platform, "a", config={"v": 1})
+        b = _enclave(platform, "a", config={"v": 2})
+        blob = seal(a, b"private")
+        with pytest.raises(SealingError):
+            unseal(b, blob)
+
+    def test_different_platform_cannot_unseal(self, platform):
+        other_platform = SgxPlatform(
+            rng=RngStream(999).child("other"), platform_id="other"
+        )
+        a = _enclave(platform)
+        b = _enclave(other_platform)
+        assert a.mrenclave == b.mrenclave  # same code, different machine
+        blob = seal(a, b"machine-bound")
+        with pytest.raises(SealingError):
+            unseal(b, blob)
+
+    def test_tampered_blob_rejected(self, platform):
+        enclave = _enclave(platform)
+        blob = seal(enclave, b"data")
+        tampered = SealedBlob(
+            nonce=blob.nonce,
+            ciphertext=bytes([blob.ciphertext[0] ^ 1]) + blob.ciphertext[1:],
+        )
+        with pytest.raises(SealingError):
+            unseal(enclave, tampered)

@@ -1,0 +1,67 @@
+"""Distributed selective SGD baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import synthetic_cifar
+from repro.errors import ConfigurationError
+from repro.federation.dssgd import DistributedSelectiveSgd
+from repro.nn.zoo import tiny_testnet
+
+
+@pytest.fixture
+def clients(rng):
+    train, _ = synthetic_cifar(rng.child("ds-data"), num_train=192, num_test=16,
+                               num_classes=4, shape=(8, 8, 3))
+    return train.split([0.5, 0.5], rng=rng.child("split").generator)
+
+
+def _loss(net, x, y):
+    probs = net.predict(x)
+    return float(-np.log(probs[np.arange(y.shape[0]), y] + 1e-12).mean())
+
+
+class TestDssgd:
+    def _trainer(self, rng, clients, theta=0.2):
+        return DistributedSelectiveSgd(
+            model_factory=lambda: tiny_testnet(rng.child("init").fork_generator()),
+            client_datasets=clients,
+            rng=rng.child("dssgd"),
+            theta=theta,
+            batch_size=16,
+            learning_rate=0.02,
+        )
+
+    def test_training_improves_global_model(self, rng, clients):
+        trainer = self._trainer(rng, clients)
+        x = np.concatenate([c.x for c in clients])
+        y = np.concatenate([c.y for c in clients])
+        before = _loss(trainer.global_model, x, y)
+        trainer.train(rounds=4)
+        assert _loss(trainer.global_model, x, y) < before
+
+    def test_selective_upload_sparsity(self, rng, clients):
+        """With theta << 1, each turn changes only a fraction of weights."""
+        trainer = self._trainer(rng, clients, theta=0.05)
+        before = np.concatenate([
+            layer["weights"].ravel().copy()
+            for layer in trainer.global_model.get_weights() if "weights" in layer
+        ])
+        trainer._client_turn(0, turn=0)
+        after = np.concatenate([
+            layer["weights"].ravel()
+            for layer in trainer.global_model.get_weights() if "weights" in layer
+        ])
+        changed = np.mean(before != after)
+        assert changed <= 0.12  # ~theta, plus bias coordinates
+
+    def test_theta_one_uploads_everything(self, rng, clients):
+        trainer = self._trainer(rng, clients, theta=1.0)
+        before = trainer.global_model.get_weights()[0]["weights"].copy()
+        trainer._client_turn(0, turn=0)
+        after = trainer.global_model.get_weights()[0]["weights"]
+        assert np.mean(before != after) > 0.9
+
+    def test_invalid_theta(self, rng, clients):
+        with pytest.raises(ConfigurationError):
+            self._trainer(rng, clients, theta=0.0)

@@ -1,0 +1,92 @@
+"""Federated Averaging baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import synthetic_cifar
+from repro.errors import ConfigurationError
+from repro.federation.fedavg import FedAvgTrainer, average_weights
+from repro.nn.zoo import tiny_testnet
+
+
+@pytest.fixture
+def clients(rng):
+    train, _ = synthetic_cifar(rng.child("fed-data"), num_train=192, num_test=16,
+                               num_classes=4, shape=(8, 8, 3))
+    return train.split([1 / 3, 1 / 3, 1 / 3], rng=rng.child("split").generator)
+
+
+class TestAverageWeights:
+    def test_uniform_average(self):
+        a = [{"w": np.array([1.0, 3.0])}]
+        b = [{"w": np.array([3.0, 5.0])}]
+        merged = average_weights([a, b])
+        np.testing.assert_allclose(merged[0]["w"], [2.0, 4.0])
+
+    def test_size_weighted(self):
+        a = [{"w": np.array([0.0])}]
+        b = [{"w": np.array([4.0])}]
+        merged = average_weights([a, b], sizes=[3, 1])
+        np.testing.assert_allclose(merged[0]["w"], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            average_weights([])
+
+
+class TestFedAvgTrainer:
+    def _trainer(self, rng, clients, **kwargs):
+        return FedAvgTrainer(
+            model_factory=lambda: tiny_testnet(rng.child("init").fork_generator()),
+            client_datasets=clients,
+            rng=rng.child("fed"),
+            batch_size=16,
+            learning_rate=0.02,
+            **kwargs,
+        )
+
+    def test_round_improves_loss(self, rng, clients):
+        trainer = self._trainer(rng, clients)
+        first = trainer.run_round(0).loss
+        for r in range(1, 5):
+            last = trainer.run_round(r).loss
+        assert last < first
+
+    def test_client_sampling(self, rng, clients):
+        trainer = self._trainer(rng, clients, client_fraction=0.34)
+        record = trainer.run_round(0)
+        assert len(record.participating) == 1
+
+    def test_all_clients_with_fraction_one(self, rng, clients):
+        trainer = self._trainer(rng, clients, client_fraction=1.0)
+        assert len(trainer.run_round(0).participating) == 3
+
+    def test_global_model_changes_each_round(self, rng, clients):
+        trainer = self._trainer(rng, clients)
+        w0 = trainer.global_model.get_weights()[0]["weights"].copy()
+        trainer.run_round(0)
+        assert not np.allclose(trainer.global_model.get_weights()[0]["weights"], w0)
+
+    def test_invalid_config(self, rng, clients):
+        with pytest.raises(ConfigurationError):
+            self._trainer(rng, clients, client_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            FedAvgTrainer(lambda: None, [], rng.child("x"))
+
+    def test_poisoning_is_unattributable(self, rng, clients):
+        """The motivating weakness: a poisoned client shifts the global
+        model, and nothing in the FedAvg history links model changes to the
+        client's *data* — only participation is visible."""
+        from repro.attacks.badnets import BadNetsAttack
+
+        attack = BadNetsAttack(target_label=0, patch=3)
+        poisoned_clients = list(clients)
+        poisoned_clients[1] = attack.poison_dataset(
+            clients[1], fraction=0.5, rng=rng.child("poison").generator
+        )
+        trainer = self._trainer(rng, poisoned_clients)
+        for r in range(3):
+            record = trainer.run_round(r)
+        # The history records only which client indices participated.
+        assert set(record.participating) <= {0, 1, 2}
+        assert not hasattr(record, "training_data")

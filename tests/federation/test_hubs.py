@@ -1,0 +1,70 @@
+"""Hierarchical learning hub tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import synthetic_cifar
+from repro.errors import ConfigurationError
+from repro.federation.hubs import HubAggregator, LearningHub
+from repro.nn.zoo import tiny_testnet
+
+
+@pytest.fixture
+def hub_setup(rng, platform):
+    train, test = synthetic_cifar(rng.child("hub-data"), num_train=160, num_test=40,
+                                  num_classes=4, shape=(8, 8, 3))
+    groups = train.split([0.5, 0.5], rng=rng.child("split").generator)
+    factory = lambda: tiny_testnet(rng.child("init").fork_generator())
+    hubs = [
+        LearningHub(f"hub{i}", platform, factory, partition=1,
+                    datasets=[groups[i]], rng=rng.child(f"hub{i}"),
+                    batch_size=16, learning_rate=0.02)
+        for i in range(2)
+    ]
+    return hubs, test
+
+
+class TestLearningHub:
+    def test_hub_has_own_enclave(self, hub_setup):
+        hubs, _ = hub_setup
+        assert hubs[0].enclave is not hubs[1].enclave
+
+    def test_train_epoch_returns_loss(self, hub_setup):
+        hubs, _ = hub_setup
+        loss = hubs[0].train_epoch(0)
+        assert np.isfinite(loss) and loss > 0
+
+    def test_empty_hub_rejected(self, rng, platform):
+        with pytest.raises(ConfigurationError):
+            LearningHub("empty", platform, lambda: tiny_testnet(), partition=1,
+                        datasets=[], rng=rng.child("e"))
+
+
+class TestHubAggregator:
+    def test_aggregation_improves_model(self, hub_setup):
+        hubs, test = hub_setup
+        aggregator = HubAggregator(hubs)
+        probs = aggregator.global_model.predict(test.x)
+        before = float(np.mean(probs.argmax(1) == test.y))
+        aggregator.train(rounds=4)
+        probs = aggregator.global_model.predict(test.x)
+        after = float(np.mean(probs.argmax(1) == test.y))
+        assert after >= before
+
+    def test_round_broadcasts_global_weights(self, hub_setup):
+        hubs, _ = hub_setup
+        aggregator = HubAggregator(hubs)
+        aggregator.run_round(0)
+        # After a round, both hub models trained from the same broadcast.
+        assert len(aggregator.history) == 1
+        assert len(aggregator.history[0].hub_losses) == 2
+
+    def test_enclave_costs_accrue(self, hub_setup, platform):
+        hubs, _ = hub_setup
+        before = platform.clock.now
+        HubAggregator(hubs).run_round(0)
+        assert platform.clock.now > before
+
+    def test_no_hubs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HubAggregator([])

@@ -1,0 +1,78 @@
+"""Secure aggregation tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.federation.secure_agg import (
+    SecureAggregationClient,
+    aggregate,
+    run_secure_aggregation,
+)
+
+
+class TestSecureAggregation:
+    def test_masks_cancel_exactly(self, rng, generator):
+        vectors = [generator.normal(size=50) for _ in range(4)]
+        total = run_secure_aggregation(vectors, rng.child("sa"))
+        np.testing.assert_allclose(total, sum(vectors), atol=1e-6)
+
+    def test_individual_uploads_are_masked(self, rng, generator):
+        """The server sees uploads that reveal nothing about the vectors:
+        each upload differs from its plaintext by a large-mask amount."""
+        vectors = [generator.normal(size=100) * 0.01 for _ in range(3)]
+        clients = [SecureAggregationClient(i, rng.child("sa")) for i in range(3)]
+        directory = {c.client_id: c.public_key for c in clients}
+        for client in clients:
+            client.establish_pairs(directory)
+        uploads = [c.masked_update(v) for c, v in zip(clients, vectors)]
+        for upload, vector in zip(uploads, vectors):
+            # Mask magnitude dwarfs the signal.
+            assert np.abs(upload - vector).mean() > 10 * np.abs(vector).mean()
+        np.testing.assert_allclose(aggregate(uploads), sum(vectors), atol=1e-6)
+
+    def test_pairwise_seeds_agree(self, rng):
+        a = SecureAggregationClient(0, rng.child("sa"))
+        b = SecureAggregationClient(1, rng.child("sa"))
+        directory = {0: a.public_key, 1: b.public_key}
+        a.establish_pairs(directory)
+        b.establish_pairs(directory)
+        assert a._pair_seeds[1] == b._pair_seeds[0]
+
+    def test_matrix_shapes_preserved(self, rng, generator):
+        vectors = [generator.normal(size=(4, 5)) for _ in range(2)]
+        total = run_secure_aggregation(vectors, rng.child("sa"))
+        assert total.shape == (4, 5)
+        np.testing.assert_allclose(total, vectors[0] + vectors[1], atol=1e-6)
+
+    def test_needs_two_clients(self, rng, generator):
+        with pytest.raises(ConfigurationError):
+            run_secure_aggregation([generator.normal(size=3)], rng.child("sa"))
+
+    def test_upload_before_pairing_rejected(self, rng):
+        client = SecureAggregationClient(0, rng.child("sa"))
+        with pytest.raises(ConfigurationError):
+            client.masked_update(np.zeros(4))
+
+    def test_empty_aggregate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate([])
+
+    def test_unattributable_poisoning(self, rng, generator):
+        """The accountability gap CalTrain fills: a poisoned update hides
+        inside the aggregate — the server cannot tell which client sent it."""
+        honest = [generator.normal(size=20) * 0.1 for _ in range(3)]
+        poisoned = generator.normal(size=20) * 0.1 + 5.0  # a huge shift
+        vectors = honest + [poisoned]
+        clients = [SecureAggregationClient(i, rng.child("sa"))
+                   for i in range(4)]
+        directory = {c.client_id: c.public_key for c in clients}
+        for client in clients:
+            client.establish_pairs(directory)
+        uploads = [c.masked_update(v) for c, v in zip(clients, vectors)]
+        # The aggregate clearly shifted...
+        assert aggregate(uploads).mean() > 3.0
+        # ...but no single upload stands out: the masked poisoned upload is
+        # statistically indistinguishable from the honest ones.
+        deviations = [float(np.abs(u).mean()) for u in uploads]
+        assert max(deviations) < 3 * min(deviations)

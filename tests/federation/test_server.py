@@ -1,0 +1,130 @@
+"""Training server tests: in-enclave authentication + decryption."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import Dataset
+from repro.data.encryption import EncryptedDataset, encrypt_dataset
+from repro.crypto.keys import SymmetricKey
+from repro.errors import TrainingError
+from repro.federation.participant import TrainingParticipant
+from repro.federation.provisioning import provision_key
+from repro.federation.server import TrainingServer
+
+
+@pytest.fixture
+def server(platform, attestation_service, rng):
+    server = TrainingServer(platform, attestation_service, rng.child("server"))
+    server.build_training_enclave("[net]\ninput = 2,2,1\n[softmax]\n[cost]\n")
+    return server
+
+
+def _participant(rng, name, n=5):
+    gen = rng.child(f"data-{name}").generator
+    dataset = Dataset(
+        x=gen.random((n, 2, 2, 1)).astype(np.float32),
+        y=gen.integers(0, 3, size=n),
+    )
+    return TrainingParticipant(name, dataset, rng.child(name))
+
+
+class TestDecryption:
+    def test_registered_sources_accepted(self, server, rng, attestation_service):
+        for name in ("p0", "p1"):
+            p = _participant(rng, name)
+            provision_key(p, server.enclave, attestation_service,
+                          expected_mrenclave=server.enclave.mrenclave)
+            server.submit(p.encrypt_dataset())
+        summary = server.decrypt_submissions()
+        assert summary.accepted == 10
+        assert summary.rejected_unregistered == 0
+        assert summary.accepted_by_source == {"p0": 5, "p1": 5}
+        x, y, sources, indices = server.staged_training_data()
+        assert x.shape == (10, 2, 2, 1)
+        assert len(sources) == 10
+
+    def test_unregistered_source_discarded(self, server, rng):
+        """Injected data from a source that never provisioned a key is
+        discarded wholesale (the paper's illegitimate-channel defence)."""
+        intruder = _participant(rng, "intruder")
+        server.submit(intruder.encrypt_dataset())
+        summary = server.decrypt_submissions()
+        assert summary.accepted == 0
+        assert summary.rejected_unregistered == 5
+
+    def test_tampered_records_discarded(self, server, rng, attestation_service):
+        p = _participant(rng, "p0")
+        provision_key(p, server.enclave, attestation_service,
+                      expected_mrenclave=server.enclave.mrenclave)
+        encrypted = p.encrypt_dataset()
+        # Tamper with two of the five records in transit.
+        for i in (1, 3):
+            rec = encrypted.records[i]
+            encrypted.records[i] = dataclasses.replace(
+                rec, sealed=bytes([rec.sealed[0] ^ 0xFF]) + rec.sealed[1:]
+            )
+        server.submit(encrypted)
+        summary = server.decrypt_submissions()
+        assert summary.accepted == 3
+        assert summary.rejected_tampered == 2
+
+    def test_relabelled_records_discarded(self, server, rng, attestation_service):
+        p = _participant(rng, "p0")
+        provision_key(p, server.enclave, attestation_service,
+                      expected_mrenclave=server.enclave.mrenclave)
+        encrypted = p.encrypt_dataset()
+        rec = encrypted.records[0]
+        encrypted.records[0] = dataclasses.replace(rec, label=rec.label + 1)
+        server.submit(encrypted)
+        summary = server.decrypt_submissions()
+        assert summary.rejected_tampered == 1
+
+    def test_key_spoofing_between_participants_fails(self, server, rng,
+                                                     attestation_service):
+        """p1 cannot submit data claiming to be p0 (wrong key)."""
+        p0 = _participant(rng, "p0")
+        p1 = _participant(rng, "p1")
+        for p in (p0, p1):
+            provision_key(p, server.enclave, attestation_service,
+                          expected_mrenclave=server.enclave.mrenclave)
+        spoofed = encrypt_dataset(p1.dataset, p1.key, "p0")  # p1's key, p0's name
+        server.submit(spoofed)
+        summary = server.decrypt_submissions()
+        assert summary.accepted == 0
+        assert summary.rejected_tampered == 5
+
+    def test_decrypt_before_build_rejected(self, platform, attestation_service, rng):
+        server = TrainingServer(platform, attestation_service, rng.child("s"))
+        with pytest.raises(TrainingError):
+            server.decrypt_submissions()
+
+    def test_staged_data_before_decrypt_rejected(self, server):
+        with pytest.raises(TrainingError):
+            server.staged_training_data()
+
+    def test_measurement_covers_architecture(self, platform, attestation_service, rng):
+        s1 = TrainingServer(platform, attestation_service, rng.child("s1"))
+        e1 = s1.build_training_enclave("[net]\ninput = 2,2,1\n[softmax]\n[cost]\n")
+        s2 = TrainingServer(platform, attestation_service, rng.child("s2"))
+        e2 = s2.build_training_enclave("[net]\ninput = 4,4,3\n[softmax]\n[cost]\n")
+        assert e1.mrenclave != e2.mrenclave
+
+
+class TestReplayGuard:
+    def test_duplicate_submission_rejected(self, server, rng, attestation_service):
+        p = _participant(rng, "p0")
+        provision_key(p, server.enclave, attestation_service,
+                      expected_mrenclave=server.enclave.mrenclave)
+        server.submit(p.encrypt_dataset())
+        with pytest.raises(TrainingError):
+            server.submit(p.encrypt_dataset())
+
+    def test_distinct_sources_fine(self, server, rng, attestation_service):
+        for name in ("p0", "p1"):
+            p = _participant(rng, name)
+            provision_key(p, server.enclave, attestation_service,
+                          expected_mrenclave=server.enclave.mrenclave)
+            server.submit(p.encrypt_dataset())
+        assert server.decrypt_submissions().accepted == 10

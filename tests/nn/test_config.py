@@ -1,0 +1,102 @@
+"""Darknet-style config parser tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkDefinitionError
+from repro.nn.config import network_from_config, network_to_config, parse_config
+from repro.nn.zoo import cifar10_10layer, cifar10_18layer
+
+_SAMPLE = """
+[net]
+input = 8,8,3
+
+[conv]
+filters = 4
+size = 3
+stride = 1
+activation = leaky
+
+[max]
+size = 2
+stride = 2
+
+[conv]
+filters = 2
+size = 1
+activation = linear
+
+[avg]
+[softmax]
+[cost]
+"""
+
+
+class TestParser:
+    def test_sections_and_options(self):
+        sections = parse_config(_SAMPLE)
+        assert sections[0][0] == "net"
+        assert sections[1] == ("conv", {"filters": "4", "size": "3",
+                                        "stride": "1", "activation": "leaky"})
+
+    def test_comments_stripped(self):
+        sections = parse_config("[net]\ninput = 4,4,1  # HWC\n[softmax]\n")
+        assert sections[0][1]["input"] == "4,4,1"
+
+    def test_option_before_section_rejected(self):
+        with pytest.raises(NetworkDefinitionError):
+            parse_config("input = 1,1,1\n[net]")
+
+    def test_malformed_option_rejected(self):
+        with pytest.raises(NetworkDefinitionError):
+            parse_config("[net]\nnot an option line")
+
+    def test_empty_rejected(self):
+        with pytest.raises(NetworkDefinitionError):
+            parse_config("   \n  # just comments\n")
+
+
+class TestNetworkFromConfig:
+    def test_builds_and_runs(self):
+        net = network_from_config(_SAMPLE, rng=np.random.default_rng(0))
+        out = net.forward(np.zeros((2, 8, 8, 3), dtype=np.float32))
+        assert out.shape == (2, 2)
+
+    def test_layer_kinds(self):
+        net = network_from_config(_SAMPLE, rng=np.random.default_rng(0))
+        assert [l.kind for l in net.layers] == [
+            "conv", "max", "conv", "avg", "softmax", "cost",
+        ]
+
+    def test_missing_net_section_rejected(self):
+        with pytest.raises(NetworkDefinitionError):
+            network_from_config("[conv]\nfilters = 2\n")
+
+    def test_missing_input_rejected(self):
+        with pytest.raises(NetworkDefinitionError):
+            network_from_config("[net]\n[softmax]")
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(NetworkDefinitionError):
+            network_from_config("[net]\ninput = 4,4,1\n[transformer]")
+
+    def test_no_layers_rejected(self):
+        with pytest.raises(NetworkDefinitionError):
+            network_from_config("[net]\ninput = 4,4,1\n")
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("factory", [cifar10_10layer, cifar10_18layer])
+    def test_zoo_roundtrip(self, factory):
+        """Rendering a zoo model to config and parsing it back preserves
+        the architecture (layer kinds, shapes, parameter counts)."""
+        original = factory(np.random.default_rng(0), width_scale=0.1)
+        text = network_to_config(original)
+        rebuilt = network_from_config(text, rng=np.random.default_rng(1))
+        assert [l.kind for l in original.layers] == [l.kind for l in rebuilt.layers]
+        assert original.layer_output_shapes() == rebuilt.layer_output_shapes()
+        assert original.num_params == rebuilt.num_params
+
+    def test_config_text_is_deterministic(self):
+        net = cifar10_10layer(np.random.default_rng(0), width_scale=0.1)
+        assert network_to_config(net) == network_to_config(net)

@@ -1,0 +1,114 @@
+"""Model persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkDefinitionError
+from repro.nn.model_io import load_model, model_from_bytes, model_to_bytes, save_model
+from repro.nn.zoo import cifar10_10layer, tiny_testnet
+
+
+class TestModelIo:
+    def test_bytes_roundtrip_preserves_predictions(self, rng, generator):
+        net = tiny_testnet(rng.child("n").generator)
+        x = generator.random((3, 8, 8, 3)).astype(np.float32)
+        restored = model_from_bytes(model_to_bytes(net))
+        np.testing.assert_allclose(restored.predict(x), net.predict(x),
+                                   rtol=1e-6)
+
+    def test_architecture_preserved(self, rng):
+        net = cifar10_10layer(rng.child("n").generator, width_scale=0.05)
+        restored = model_from_bytes(model_to_bytes(net))
+        assert [l.kind for l in restored.layers] == [l.kind for l in net.layers]
+        assert restored.num_params == net.num_params
+
+    def test_batchnorm_state_preserved(self, rng, generator):
+        from repro.nn.config import network_from_config
+
+        net = network_from_config(
+            "[net]\ninput = 4,4,2\n[conv]\nfilters = 3\n[batchnorm]\n"
+            "[avg]\n[softmax]\n[cost]\n",
+            rng=rng.child("n").generator,
+        )
+        x = generator.normal(2.0, 1.0, size=(16, 4, 4, 2)).astype(np.float32)
+        for _ in range(10):
+            net.forward(x, training=True)
+        restored = model_from_bytes(model_to_bytes(net))
+        np.testing.assert_allclose(
+            restored.layers[1].running_mean, net.layers[1].running_mean
+        )
+
+    def test_file_roundtrip(self, rng, tmp_path, generator):
+        net = tiny_testnet(rng.child("n").generator)
+        path = tmp_path / "model.caltrain.npz"
+        save_model(net, path)
+        restored = load_model(path)
+        x = generator.random((2, 8, 8, 3)).astype(np.float32)
+        np.testing.assert_allclose(restored.predict(x), net.predict(x),
+                                   rtol=1e-6)
+
+    def test_corruption_detected(self, rng):
+        net = tiny_testnet(rng.child("n").generator)
+        blob = bytearray(model_to_bytes(net))
+        # Flip one byte somewhere in the middle of the archive payload.
+        blob[len(blob) // 2] ^= 0xFF
+        with pytest.raises((NetworkDefinitionError, Exception)):
+            model_from_bytes(bytes(blob))
+
+    def test_integrity_digest_guards_weight_splicing(self, rng):
+        """Weights from one model cannot be spliced under another model's
+        digest."""
+        import io
+
+        import numpy as _np
+
+        net_a = tiny_testnet(rng.child("a").generator)
+        net_b = tiny_testnet(rng.child("b").generator)
+        blob_a = model_to_bytes(net_a)
+        blob_b = model_to_bytes(net_b)
+        with _np.load(io.BytesIO(blob_a)) as a, _np.load(io.BytesIO(blob_b)) as b:
+            buffer = io.BytesIO()
+            _np.savez(buffer, format_version=a["format_version"],
+                      config=a["config"], weights=b["weights"],
+                      digest=a["digest"])
+        with pytest.raises(NetworkDefinitionError):
+            model_from_bytes(buffer.getvalue())
+
+
+class TestEarlyStopping:
+    def test_stops_and_tracks_best(self, rng, platform, tiny_cifar):
+        from repro.core.partition import PartitionedNetwork
+        from repro.core.partitioned_training import ConfidentialTrainer
+        from repro.nn.optimizers import Sgd
+
+        train, test = tiny_cifar
+        enclave = platform.create_enclave("es")
+        enclave.init()
+        net = tiny_testnet(rng.child("n").generator)
+        trainer = ConfidentialTrainer(
+            PartitionedNetwork(net, 1, enclave), Sgd(0.02, 0.9),
+            batch_rng=rng.child("b").generator, batch_size=16,
+            early_stop_patience=2,
+        )
+        reports = trainer.train(train.x, train.y, epochs=30,
+                                test_x=test.x, test_y=test.y)
+        assert len(reports) <= 30
+        assert trainer.best_top1 == max(r.top1 for r in reports)
+        assert trainer.best_weights is not None
+
+    def test_no_test_data_no_early_stop(self, rng, platform, tiny_cifar):
+        from repro.core.partition import PartitionedNetwork
+        from repro.core.partitioned_training import ConfidentialTrainer
+        from repro.nn.optimizers import Sgd
+
+        train, _ = tiny_cifar
+        enclave = platform.create_enclave("es2")
+        enclave.init()
+        trainer = ConfidentialTrainer(
+            PartitionedNetwork(tiny_testnet(rng.child("n").generator), 1,
+                               enclave),
+            Sgd(0.02, 0.9), batch_rng=rng.child("b").generator, batch_size=16,
+            early_stop_patience=1,
+        )
+        reports = trainer.train(train.x, train.y, epochs=4)
+        assert len(reports) == 4  # nothing to stop on

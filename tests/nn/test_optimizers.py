@@ -1,0 +1,116 @@
+"""Optimizer tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.optimizers import Adam, DpSgd, Sgd
+from repro.nn.zoo import tiny_testnet
+
+
+def _loss_of(net, x, y):
+    probs = net.predict(x)
+    return float(-np.log(probs[np.arange(y.shape[0]), y] + 1e-12).mean())
+
+
+@pytest.fixture
+def batch(generator):
+    x = generator.normal(size=(16, 8, 8, 3)).astype(np.float32) * 0.3 + 0.5
+    y = generator.integers(0, 4, size=16)
+    return x, y
+
+
+class TestSgd:
+    def test_reduces_loss(self, rng, batch):
+        net = tiny_testnet(rng.child("n").generator)
+        x, y = batch
+        before = _loss_of(net, x, y)
+        optimizer = Sgd(0.05, momentum=0.0)
+        for _ in range(15):
+            net.train_batch(x, y, optimizer)
+        assert _loss_of(net, x, y) < before
+
+    def test_momentum_accumulates(self, rng, batch):
+        """With constant gradients momentum moves further than plain SGD."""
+        net_plain = tiny_testnet(rng.child("p").generator)
+        net_momentum = tiny_testnet(rng.child("p").generator)
+        x, y = batch
+        w0 = net_plain.layers[0].weights.copy()
+        for _ in range(5):
+            net_plain.train_batch(x, y, Sgd(0.01, momentum=0.0))
+        opt_m = Sgd(0.01, momentum=0.9)
+        for _ in range(5):
+            net_momentum.train_batch(x, y, opt_m)
+        move_plain = np.abs(net_plain.layers[0].weights - w0).sum()
+        move_momentum = np.abs(net_momentum.layers[0].weights - w0).sum()
+        assert move_momentum > move_plain
+
+    def test_weight_decay_shrinks_weights(self, rng):
+        net = tiny_testnet(rng.child("n").generator)
+        net.zero_grads()  # zero gradients: only decay acts
+        w0 = np.abs(net.layers[0].weights).sum()
+        optimizer = Sgd(0.1, momentum=0.0, weight_decay=0.1)
+        optimizer.step(net)
+        assert np.abs(net.layers[0].weights).sum() < w0
+
+    def test_frozen_layers_not_updated(self, rng, batch):
+        net = tiny_testnet(rng.child("n").generator)
+        net.freeze_layers(1)
+        w0 = net.layers[0].weights.copy()
+        x, y = batch
+        net.train_batch(x, y, Sgd(0.1))
+        np.testing.assert_array_equal(net.layers[0].weights, w0)
+
+    def test_grad_clipping_bounds_update(self, rng):
+        net = tiny_testnet(rng.child("n").generator)
+        # Plant a huge gradient.
+        net.layers[0]._grad_w[...] = 1e6
+        w0 = net.layers[0].weights.copy()
+        Sgd(0.1, momentum=0.0, max_grad_norm=1.0).step(net)
+        assert np.abs(net.layers[0].weights - w0).max() <= 0.1 * 1.0 + 1e-6
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            Sgd(-1.0)
+        with pytest.raises(ConfigurationError):
+            Sgd(0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_reduces_loss(self, rng, batch):
+        net = tiny_testnet(rng.child("n").generator)
+        x, y = batch
+        before = _loss_of(net, x, y)
+        optimizer = Adam(1e-3)
+        for _ in range(20):
+            net.train_batch(x, y, optimizer)
+        assert _loss_of(net, x, y) < before
+
+
+class TestDpSgd:
+    def test_noise_perturbs_updates(self, rng, batch):
+        net_a = tiny_testnet(rng.child("same").generator)
+        net_b = tiny_testnet(rng.child("same").generator)
+        x, y = batch
+        net_a.train_batch(x, y, DpSgd(0.01, noise_multiplier=2.0, batch_size=16,
+                                      rng=np.random.default_rng(1)))
+        net_b.train_batch(x, y, DpSgd(0.01, noise_multiplier=2.0, batch_size=16,
+                                      rng=np.random.default_rng(2)))
+        assert not np.allclose(net_a.layers[0].weights, net_b.layers[0].weights)
+
+    def test_zero_noise_matches_clipped_sgd(self, rng, batch):
+        net_a = tiny_testnet(rng.child("same").generator)
+        net_b = tiny_testnet(rng.child("same").generator)
+        x, y = batch
+        net_a.train_batch(x, y, DpSgd(0.01, momentum=0.0, clip_norm=0.5,
+                                      noise_multiplier=0.0, batch_size=16))
+        net_b.train_batch(x, y, Sgd(0.01, momentum=0.0, max_grad_norm=0.5))
+        np.testing.assert_allclose(
+            net_a.layers[0].weights, net_b.layers[0].weights, rtol=1e-5
+        )
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            DpSgd(clip_norm=0.0)
+        with pytest.raises(ConfigurationError):
+            DpSgd(noise_multiplier=-1.0)

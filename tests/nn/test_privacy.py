@@ -1,0 +1,81 @@
+"""DP accountant tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.privacy import RdpAccountant, dp_sgd_epsilon
+
+
+class TestRdpAccountant:
+    def test_zero_steps_zero_epsilon(self):
+        accountant = RdpAccountant(noise_multiplier=1.0, sample_rate=0.01)
+        assert accountant.epsilon(delta=1e-5) == 0.0
+
+    def test_epsilon_grows_with_steps(self):
+        accountant = RdpAccountant(noise_multiplier=1.0, sample_rate=0.01)
+        accountant.step(100)
+        eps_100 = accountant.epsilon(1e-5)
+        accountant.step(900)
+        eps_1000 = accountant.epsilon(1e-5)
+        assert eps_1000 > eps_100 > 0
+
+    def test_more_noise_less_epsilon(self):
+        def eps(sigma):
+            accountant = RdpAccountant(noise_multiplier=sigma, sample_rate=0.01)
+            accountant.step(1000)
+            return accountant.epsilon(1e-5)
+
+        assert eps(4.0) < eps(2.0) < eps(1.0)
+
+    def test_lower_sampling_less_epsilon(self):
+        def eps(q):
+            accountant = RdpAccountant(noise_multiplier=1.0, sample_rate=q)
+            accountant.step(1000)
+            return accountant.epsilon(1e-5)
+
+        assert eps(0.001) < eps(0.01)
+
+    def test_smaller_delta_larger_epsilon(self):
+        accountant = RdpAccountant(noise_multiplier=1.0, sample_rate=0.01)
+        accountant.step(500)
+        assert accountant.epsilon(1e-7) > accountant.epsilon(1e-3)
+
+    def test_full_batch_uses_plain_gaussian_rdp(self):
+        accountant = RdpAccountant(noise_multiplier=2.0, sample_rate=1.0)
+        accountant.step(1)
+        assert accountant.epsilon(1e-5) > 0
+
+    def test_invalid_region_refused(self):
+        """Tiny noise with large sampling rate falls outside the bound's
+        validity region — the accountant refuses rather than under-report."""
+        accountant = RdpAccountant(noise_multiplier=0.05, sample_rate=0.5)
+        accountant.step(10)
+        with pytest.raises(ConfigurationError):
+            accountant.epsilon(1e-5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RdpAccountant(noise_multiplier=0.0, sample_rate=0.1)
+        with pytest.raises(ConfigurationError):
+            RdpAccountant(noise_multiplier=1.0, sample_rate=0.0)
+        accountant = RdpAccountant(noise_multiplier=1.0, sample_rate=0.1)
+        with pytest.raises(ConfigurationError):
+            accountant.epsilon(delta=0.0)
+        with pytest.raises(ConfigurationError):
+            accountant.step(-1)
+
+
+class TestDpSgdEpsilon:
+    def test_typical_run_is_single_digit(self):
+        eps = dp_sgd_epsilon(noise_multiplier=1.0, batch_size=32,
+                             dataset_size=50_000, epochs=10, delta=1e-5)
+        assert 0 < eps < 10
+
+    def test_epochs_monotone(self):
+        short = dp_sgd_epsilon(1.0, 32, 10_000, epochs=1, delta=1e-5)
+        long = dp_sgd_epsilon(1.0, 32, 10_000, epochs=20, delta=1e-5)
+        assert long > short
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            dp_sgd_epsilon(1.0, 0, 100, 1, 1e-5)

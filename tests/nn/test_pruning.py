@@ -1,0 +1,93 @@
+"""Magnitude pruning tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.pruning import apply_masks, prune_by_magnitude, sparsity
+from repro.nn.zoo import tiny_testnet
+
+
+class TestPruneByMagnitude:
+    def test_keep_fraction_respected(self, rng):
+        net = tiny_testnet(rng.child("n").generator)
+        result = prune_by_magnitude(net, keep_fraction=0.3)
+        assert result.kept_fraction == pytest.approx(0.3, abs=0.05)
+        # At least the masked weights are zero (zero-initialized biases add
+        # extra natural zeros on an untrained network).
+        assert sparsity(net) >= 1 - result.kept_fraction - 0.01
+
+    def test_keeps_largest_weights(self, rng):
+        net = tiny_testnet(rng.child("n").generator)
+        weights_before = net.layers[0].weights.copy()
+        prune_by_magnitude(net, keep_fraction=0.2)
+        surviving = net.layers[0].weights != 0
+        if surviving.any() and (~surviving).any():
+            assert (
+                np.abs(weights_before[surviving]).min()
+                >= np.abs(weights_before[~surviving]).max() - 1e-9
+            )
+
+    def test_biases_kept_by_default(self, rng):
+        net = tiny_testnet(rng.child("n").generator)
+        net.layers[0].bias[...] = 1e-9  # tiny but should survive
+        prune_by_magnitude(net, keep_fraction=0.1)
+        mask = net.layers[0].bias == 1e-9
+        assert mask.all()
+
+    def test_keep_all_is_noop(self, rng):
+        net = tiny_testnet(rng.child("n").generator)
+        before = net.layers[0].weights.copy()
+        prune_by_magnitude(net, keep_fraction=1.0)
+        np.testing.assert_array_equal(net.layers[0].weights, before)
+
+    def test_invalid_fraction(self, rng):
+        net = tiny_testnet(rng.child("n").generator)
+        with pytest.raises(ConfigurationError):
+            prune_by_magnitude(net, keep_fraction=0.0)
+
+    def test_sparse_bytes_accounting(self, rng):
+        net = tiny_testnet(rng.child("n").generator)
+        result = prune_by_magnitude(net, keep_fraction=0.25)
+        dense_bytes = sum(
+            arr.nbytes for l in net.layers for arr in l.params().values()
+        )
+        assert result.sparse_bytes < dense_bytes
+
+    def test_pruned_model_still_predicts(self, rng, tiny_cifar):
+        """Moderate pruning of a trained model keeps most of its accuracy
+        (the Han et al. premise)."""
+        from repro.data.batching import iterate_minibatches
+        from repro.nn.optimizers import Sgd
+
+        train, test = tiny_cifar
+        net = tiny_testnet(rng.child("n").generator)
+        optimizer = Sgd(0.02, 0.9)
+        batch_rng = rng.child("b").generator
+        for _ in range(10):
+            for xb, yb in iterate_minibatches(train.x, train.y, 16,
+                                              rng=batch_rng):
+                net.train_batch(xb, yb, optimizer)
+        before = float(np.mean(net.predict(test.x).argmax(1) == test.y))
+        prune_by_magnitude(net, keep_fraction=0.5)
+        after = float(np.mean(net.predict(test.x).argmax(1) == test.y))
+        assert after > before - 0.25
+
+
+class TestApplyMasks:
+    def test_rezeroes_after_updates(self, rng, tiny_cifar):
+        from repro.nn.optimizers import Sgd
+
+        train, _ = tiny_cifar
+        net = tiny_testnet(rng.child("n").generator)
+        result = prune_by_magnitude(net, keep_fraction=0.4)
+        net.train_batch(train.x[:16], train.y[:16], Sgd(0.05))
+        assert sparsity(net) < 1 - result.kept_fraction - 0.01  # revived
+        apply_masks(net, result.masks)
+        assert sparsity(net) == pytest.approx(1 - result.kept_fraction,
+                                              abs=0.01)
+
+    def test_mask_count_mismatch(self, rng):
+        net = tiny_testnet(rng.child("n").generator)
+        with pytest.raises(ConfigurationError):
+            apply_masks(net, [])

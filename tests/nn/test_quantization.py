@@ -1,0 +1,71 @@
+"""Weight quantization tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.pruning import prune_by_magnitude, sparsity
+from repro.nn.quantization import quantize_weights, quantized_bytes
+from repro.nn.zoo import tiny_testnet
+
+
+class TestQuantizeWeights:
+    def test_weight_values_collapse_to_codebook(self, rng):
+        net = tiny_testnet(rng.child("n").generator)
+        result = quantize_weights(net, bits=3)
+        for layer, books in zip(net.layers, result.codebooks):
+            for name, codebook in books.items():
+                values = np.unique(layer.params()[name])
+                assert values.size <= codebook.size
+                assert np.all(np.isin(values, codebook))
+
+    def test_more_bits_less_error(self, rng):
+        errors = {}
+        for bits in (2, 4, 6):
+            net = tiny_testnet(rng.child("same").fork_generator())
+            errors[bits] = quantize_weights(net, bits=bits).mse
+        assert errors[6] < errors[4] < errors[2]
+
+    def test_sparsity_preserved(self, rng):
+        net = tiny_testnet(rng.child("n").generator)
+        prune_by_magnitude(net, keep_fraction=0.3)
+        before = sparsity(net)
+        quantize_weights(net, bits=4)
+        assert sparsity(net) >= before - 1e-9
+
+    def test_biases_untouched(self, rng):
+        net = tiny_testnet(rng.child("n").generator)
+        net.layers[0].bias[...] = 0.123
+        quantize_weights(net, bits=2)
+        np.testing.assert_allclose(net.layers[0].bias, 0.123)
+
+    def test_storage_shrinks(self, rng):
+        net = tiny_testnet(rng.child("n").generator)
+        dense = sum(a.nbytes for l in net.layers for a in l.params().values())
+        result = quantize_weights(net, bits=4)
+        assert result.quantized_bytes < 0.5 * dense
+        assert quantized_bytes(net, 4) > 0
+
+    def test_predictions_approximately_preserved(self, rng, tiny_cifar):
+        from repro.data.batching import iterate_minibatches
+        from repro.nn.optimizers import Sgd
+
+        train, test = tiny_cifar
+        net = tiny_testnet(rng.child("n").generator)
+        optimizer = Sgd(0.02, 0.9)
+        batch_rng = rng.child("b").generator
+        for _ in range(10):
+            for xb, yb in iterate_minibatches(train.x, train.y, 16,
+                                              rng=batch_rng):
+                net.train_batch(xb, yb, optimizer)
+        before = float(np.mean(net.predict(test.x).argmax(1) == test.y))
+        quantize_weights(net, bits=5)
+        after = float(np.mean(net.predict(test.x).argmax(1) == test.y))
+        assert after > before - 0.15
+
+    def test_invalid_bits(self, rng):
+        net = tiny_testnet(rng.child("n").generator)
+        with pytest.raises(ConfigurationError):
+            quantize_weights(net, bits=0)
+        with pytest.raises(ConfigurationError):
+            quantize_weights(net, bits=17)

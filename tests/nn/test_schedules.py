@@ -1,0 +1,72 @@
+"""Learning-rate schedule tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.optimizers import Sgd
+from repro.nn.schedules import (
+    ConstantSchedule,
+    CosineSchedule,
+    PolySchedule,
+    StepSchedule,
+)
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantSchedule()
+        assert schedule.factor(0) == schedule.factor(100) == 1.0
+
+    def test_step_milestones(self):
+        schedule = StepSchedule(milestones=[4, 8], scale=0.1)
+        assert schedule.factor(0) == 1.0
+        assert schedule.factor(4) == pytest.approx(0.1)
+        assert schedule.factor(8) == pytest.approx(0.01)
+
+    def test_step_validation(self):
+        with pytest.raises(ConfigurationError):
+            StepSchedule(milestones=[5, 3])
+        with pytest.raises(ConfigurationError):
+            StepSchedule(milestones=[1], scale=0.0)
+
+    def test_poly_decays_to_zero(self):
+        schedule = PolySchedule(total_epochs=10, power=2.0)
+        assert schedule.factor(0) == 1.0
+        assert schedule.factor(5) == pytest.approx(0.25)
+        assert schedule.factor(10) == 0.0
+        assert schedule.factor(99) == 0.0  # clamped
+
+    def test_cosine_endpoints(self):
+        schedule = CosineSchedule(total_epochs=10, floor=0.1)
+        assert schedule.factor(0) == pytest.approx(1.0)
+        assert schedule.factor(10) == pytest.approx(0.1)
+        assert schedule.factor(5) == pytest.approx(0.55, abs=1e-6)
+
+    def test_monotone_decay(self):
+        for schedule in (PolySchedule(12), CosineSchedule(12)):
+            factors = [schedule.factor(e) for e in range(13)]
+            assert all(b <= a + 1e-12 for a, b in zip(factors, factors[1:]))
+
+    def test_apply_sets_optimizer_rate(self):
+        optimizer = Sgd(0.1)
+        StepSchedule([2], scale=0.5).apply(optimizer, base_rate=0.1, epoch=2)
+        assert optimizer.learning_rate == pytest.approx(0.05)
+
+
+class TestTrainerIntegration:
+    def test_trainer_applies_schedule(self, rng, platform, tiny_cifar):
+        from repro.core.partition import PartitionedNetwork
+        from repro.core.partitioned_training import ConfidentialTrainer
+        from repro.nn.zoo import tiny_testnet
+
+        train, _ = tiny_cifar
+        enclave = platform.create_enclave("sched")
+        enclave.init()
+        optimizer = Sgd(0.1)
+        trainer = ConfidentialTrainer(
+            PartitionedNetwork(tiny_testnet(rng.child("n").generator), 1, enclave),
+            optimizer, batch_rng=rng.child("b").generator, batch_size=16,
+            lr_schedule=StepSchedule([1], scale=0.1),
+        )
+        trainer.train(train.x, train.y, epochs=2)
+        assert optimizer.learning_rate == pytest.approx(0.01)

@@ -1,0 +1,108 @@
+"""Model zoo tests — including exact Table I / Table II verification."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import DropoutLayer
+from repro.nn.zoo import (
+    CIFAR_INPUT_SHAPE,
+    cifar10_10layer,
+    cifar10_18layer,
+    face_recognition_net,
+    tiny_testnet,
+)
+
+# Table I of the paper: (kind, filters, size/stride, output shape).
+TABLE_I = [
+    ("conv", 128, (3, 1), (28, 28, 128)),
+    ("conv", 128, (3, 1), (28, 28, 128)),
+    ("max", None, (2, 2), (14, 14, 128)),
+    ("conv", 64, (3, 1), (14, 14, 64)),
+    ("max", None, (2, 2), (7, 7, 64)),
+    ("conv", 128, (3, 1), (7, 7, 128)),
+    ("conv", 10, (1, 1), (7, 7, 10)),
+    ("avg", None, None, (10,)),
+    ("softmax", None, None, (10,)),
+    ("cost", None, None, (10,)),
+]
+
+# Table II of the paper.
+TABLE_II = [
+    ("conv", 128, (3, 1), (28, 28, 128)),
+    ("conv", 128, (3, 1), (28, 28, 128)),
+    ("conv", 128, (3, 1), (28, 28, 128)),
+    ("max", None, (2, 2), (14, 14, 128)),
+    ("dropout", None, None, (14, 14, 128)),
+    ("conv", 256, (3, 1), (14, 14, 256)),
+    ("conv", 256, (3, 1), (14, 14, 256)),
+    ("conv", 256, (3, 1), (14, 14, 256)),
+    ("max", None, (2, 2), (7, 7, 256)),
+    ("dropout", None, None, (7, 7, 256)),
+    ("conv", 512, (3, 1), (7, 7, 512)),
+    ("conv", 512, (3, 1), (7, 7, 512)),
+    ("conv", 512, (3, 1), (7, 7, 512)),
+    ("dropout", None, None, (7, 7, 512)),
+    ("conv", 10, (1, 1), (7, 7, 10)),
+    ("avg", None, None, (10,)),
+    ("softmax", None, None, (10,)),
+    ("cost", None, None, (10,)),
+]
+
+
+def _check_table(network, table):
+    assert len(network.layers) == len(table)
+    shapes = network.layer_output_shapes()
+    for i, (kind, filters, size_stride, out_shape) in enumerate(table):
+        layer = network.layers[i]
+        assert layer.kind == kind, f"layer {i + 1}"
+        if filters is not None:
+            assert layer.filters == filters, f"layer {i + 1}"
+        if size_stride is not None and kind in ("conv", "max"):
+            assert (layer.size, layer.stride) == size_stride, f"layer {i + 1}"
+        assert shapes[i] == out_shape, f"layer {i + 1}"
+
+
+class TestTableArchitectures:
+    def test_table_i_exact(self):
+        net = cifar10_10layer(np.random.default_rng(0), width_scale=1.0)
+        assert net.input_shape == CIFAR_INPUT_SHAPE == (28, 28, 3)
+        _check_table(net, TABLE_I)
+
+    def test_table_ii_exact(self):
+        net = cifar10_18layer(np.random.default_rng(0), width_scale=1.0)
+        _check_table(net, TABLE_II)
+
+    def test_table_ii_dropout_probability(self):
+        net = cifar10_18layer(np.random.default_rng(0), width_scale=1.0)
+        dropouts = [l for l in net.layers if isinstance(l, DropoutLayer)]
+        assert len(dropouts) == 3
+        assert all(l.probability == 0.5 for l in dropouts)
+
+    def test_width_scaling_preserves_topology(self):
+        full = cifar10_18layer(np.random.default_rng(0), width_scale=1.0)
+        slim = cifar10_18layer(np.random.default_rng(0), width_scale=0.1)
+        assert [l.kind for l in full.layers] == [l.kind for l in slim.layers]
+        assert slim.num_params < full.num_params
+        # The class head stays at 10 regardless of scaling.
+        assert slim.layer_output_shapes()[-1] == (10,)
+
+    @pytest.mark.parametrize("factory", [cifar10_10layer, cifar10_18layer])
+    def test_forward_runs(self, factory):
+        net = factory(np.random.default_rng(0), width_scale=0.05)
+        out = net.forward(np.zeros((2,) + CIFAR_INPUT_SHAPE, dtype=np.float32))
+        assert out.shape == (2, 10)
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(2), atol=1e-5)
+
+
+class TestOtherModels:
+    def test_face_net_penultimate_is_class_logits(self):
+        """The fingerprint layer has one dimension per class, as VGG-Face's
+        fc8 (2622 = number of identities) does in the paper."""
+        net = face_recognition_net(num_classes=7, rng=np.random.default_rng(0))
+        penultimate = net.penultimate_index()
+        assert net.layer_output_shapes()[penultimate] == (7,)
+
+    def test_tiny_testnet_shapes(self):
+        net = tiny_testnet(np.random.default_rng(0))
+        out = net.forward(np.zeros((1, 8, 8, 3), dtype=np.float32))
+        assert out.shape == (1, 4)

@@ -1,0 +1,44 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.command == "train"
+        assert args.architecture == "cifar10-10layer"
+        assert args.seed == 7
+
+    def test_seed_flag(self):
+        args = build_parser().parse_args(["--seed", "42", "info"])
+        assert args.seed == 42
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--architecture", "vgg"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table II" in out
+        assert "28x28x128" in out
+
+    def test_train_end_to_end(self, capsys):
+        code = main([
+            "--seed", "3", "train", "--epochs", "1", "--width-scale", "0.05",
+            "--train-size", "60", "--test-size", "20", "--participants", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MRENCLAVE" in out
+        assert "accepted 60 records" in out
+        assert "linkage database: 60 records" in out

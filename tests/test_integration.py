@@ -1,0 +1,197 @@
+"""Cross-module integration scenarios.
+
+These tests exercise full multi-subsystem flows that no single module test
+covers: the audited pipeline, a poisoned participant caught end-to-end,
+the sealed linkage database surviving an enclave restart, and hub training
+feeding the accountability stage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.caltrain import CalTrain, CalTrainConfig
+from repro.data.datasets import Dataset, synthetic_cifar
+from repro.federation.participant import TrainingParticipant
+from repro.nn.zoo import tiny_testnet
+from repro.utils.rng import RngStream
+
+
+@pytest.fixture
+def world():
+    rng = RngStream(321, "integration")
+    train, test = synthetic_cifar(rng.child("data"), num_train=240,
+                                  num_test=60, num_classes=4, shape=(8, 8, 3))
+    return rng, train, test
+
+
+def _system(epochs=2, **kwargs):
+    return CalTrain(CalTrainConfig(
+        seed=7, epochs=epochs, batch_size=16, partition=1, augment=False,
+        network_factory=lambda gen: tiny_testnet(gen, input_shape=(8, 8, 3),
+                                                 num_classes=4),
+        **kwargs,
+    ))
+
+
+class TestAuditedPipeline:
+    def test_every_stage_recorded_and_chain_verifies(self, world):
+        rng, train, test = world
+        system = _system()
+        for i, share in enumerate(train.split([0.5, 0.5],
+                                              rng=rng.child("s").generator)):
+            participant = TrainingParticipant(f"p{i}", share, rng.child(f"p{i}"))
+            system.register_participant(participant)
+            system.submit_data(participant)
+        system.train()
+        system.fingerprint_stage()
+
+        kinds = [e.kind for e in system.audit_log.events()]
+        assert kinds[0] == "setup"
+        assert kinds.count("participant-registered") == 2
+        assert kinds.count("data-submitted") == 2
+        assert "decryption" in kinds
+        assert "training-complete" in kinds
+        assert kinds[-1] == "fingerprint-stage"
+        assert system.audit_log.verify_chain()
+
+    def test_audit_records_rejections(self, world):
+        """An unregistered injector's records appear in the audit trail."""
+        rng, train, _ = world
+        system = _system()
+        honest = TrainingParticipant("honest", train.subset(range(100)),
+                                     rng.child("h"))
+        system.register_participant(honest)
+        system.submit_data(honest)
+        # The intruder bypasses registration and submits directly.
+        intruder = TrainingParticipant("intruder", train.subset(range(100, 140)),
+                                       rng.child("i"))
+        system.server.submit(intruder.encrypt_dataset())
+        system.train()
+        (event,) = system.audit_log.events("decryption")
+        assert event.details["accepted"] == 100
+        assert event.details["rejected_unregistered"] == 40
+
+    def test_audit_log_sealable_in_training_enclave(self, world):
+        from repro.core.audit import AuditLog
+        from repro.enclave.sealing import seal, unseal
+
+        rng, train, _ = world
+        system = _system()
+        participant = TrainingParticipant("p0", train, rng.child("p0"))
+        system.register_participant(participant)
+        blob = seal(system.training_enclave, system.audit_log.to_bytes())
+        restored = AuditLog.from_bytes(unseal(system.training_enclave, blob))
+        assert restored.verify_chain()
+        assert restored.head == system.audit_log.head
+
+
+class TestPoisonedParticipantEndToEnd:
+    def test_badnets_participant_is_implicated(self, world):
+        """The headline accountability flow against BadNets poisoning, on
+        the full facade: attack -> training -> fingerprints -> query ->
+        implication -> verified disclosure."""
+        from repro.attacks.badnets import BadNetsAttack
+
+        rng, train, test = world
+        attack = BadNetsAttack(target_label=0, patch=3)
+        shares = train.split([0.5, 0.5], rng=rng.child("s").generator)
+        shares[1] = attack.poison_dataset(shares[1], fraction=0.4,
+                                          rng=rng.child("poison").generator)
+        system = _system(epochs=6)
+        kinds = {}
+        for i, share in enumerate(shares):
+            participant = TrainingParticipant(f"p{i}", share, rng.child(f"p{i}"))
+            system.register_participant(participant)
+            system.submit_data(participant)
+            flags = share.flags.get("poisoned", np.zeros(len(share), bool))
+            kinds[f"p{i}"] = np.where(flags, "poisoned", "normal")
+        system.train()
+        system.fingerprint_stage(kinds_by_source=kinds)
+
+        stamped = attack.stamp_test_set(test)
+        result = system.investigator().investigate(
+            stamped.x[:6], participants=system.participants,
+        )
+        assert "p1" in result.implicated_sources
+        assert all(result.verified_disclosures.values())
+        # Most flagged records genuinely carry the trigger.
+        db = system.linkage_db
+        flagged_kinds = [db.record(i).kind for i in result.suspicious_records]
+        assert flagged_kinds.count("poisoned") > len(flagged_kinds) / 2
+
+
+class TestSealedLinkagePersistence:
+    def test_linkage_db_survives_enclave_restart(self, world):
+        """Fingerprinting enclave seals the DB; an identically-built
+        enclave on the same platform unseals it and answers queries with
+        a verifiable Merkle commitment."""
+        from repro.core.linkage import LinkageDatabase
+        from repro.core.query import QueryService
+        from repro.enclave.sealing import seal, unseal
+
+        rng, train, test = world
+        system = _system()
+        participant = TrainingParticipant("p0", train, rng.child("p0"))
+        system.register_participant(participant)
+        system.submit_data(participant)
+        system.train()
+        database = system.fingerprint_stage()
+        commitment = database.merkle_commitment()
+
+        # Seal in one fingerprint enclave...
+        enclave_a = system.platform.create_enclave("fp-store")
+        enclave_a.init()
+        blob = seal(enclave_a, database.to_bytes())
+        # ...restart: an identical enclave unseals.
+        enclave_b = system.platform.create_enclave("fp-store")
+        enclave_b.init()
+        restored = LinkageDatabase.from_bytes(unseal(enclave_b, blob))
+        assert len(restored) == len(database)
+        # Queries over the restored DB verify against the old commitment.
+        service = QueryService(restored, index="kdtree")
+        labels, _, fps = system.fingerprinter.predict_with_fingerprint(
+            test.x[:1]
+        )
+        neighbors = service.query(fps[0], int(labels[0]), k=3)
+        for neighbor in neighbors:
+            proof = restored.prove_record(commitment, neighbor.record_index)
+            assert restored.verify_record_inclusion(
+                commitment.root, neighbor.record_index, proof
+            )
+
+
+class TestHubsFeedAccountability:
+    def test_hub_trained_model_supports_fingerprinting(self, world):
+        """A model trained by the hub aggregator plugs into the
+        fingerprint/query stages like a single-enclave model."""
+        from repro.core.fingerprint import Fingerprinter
+        from repro.core.linkage import LinkageDatabase, instance_digest
+        from repro.core.query import QueryService
+        from repro.federation.hubs import HubAggregator, LearningHub
+
+        rng, train, test = world
+        from repro.enclave.platform import SgxPlatform
+
+        factory = lambda: tiny_testnet(rng.child("init").fork_generator(),
+                                       input_shape=(8, 8, 3), num_classes=4)
+        groups = train.split([0.5, 0.5], rng=rng.child("g").generator)
+        hubs = [
+            LearningHub(f"hub{i}", SgxPlatform(rng=rng.child(f"plat{i}")),
+                        factory, partition=1, datasets=[groups[i]],
+                        rng=rng.child(f"hub{i}"), batch_size=16,
+                        learning_rate=0.02)
+            for i in range(2)
+        ]
+        model = HubAggregator(hubs, global_model=factory()).train(rounds=3)
+
+        fingerprinter = Fingerprinter(model)
+        database = LinkageDatabase()
+        fingerprints = fingerprinter.fingerprint(train.x)
+        database.add_batch(
+            fingerprints, train.y.tolist(), ["pool"] * len(train),
+            [instance_digest(train.x[i]) for i in range(len(train))],
+            source_indices=list(range(len(train))),
+        )
+        labels, _, fps = fingerprinter.predict_with_fingerprint(test.x[:2])
+        neighbors = QueryService(database).query(fps[0], int(labels[0]), k=5)
+        assert len(neighbors) == 5

@@ -1,0 +1,18 @@
+"""Tests for the logging helpers."""
+
+import logging
+
+from repro.utils.logging import get_logger
+
+
+def test_namespaced_under_repro():
+    assert get_logger("enclave").name == "repro.enclave"
+
+
+def test_already_namespaced_untouched():
+    assert get_logger("repro.core").name == "repro.core"
+
+
+def test_root_has_null_handler():
+    root = logging.getLogger("repro")
+    assert any(isinstance(h, logging.NullHandler) for h in root.handlers)

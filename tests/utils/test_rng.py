@@ -1,0 +1,62 @@
+"""Tests for deterministic RNG streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.rng import RngStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "a") == derive_seed(7, "a")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1), st.text(max_size=30))
+    def test_always_64bit(self, seed, name):
+        derived = derive_seed(seed, name)
+        assert 0 <= derived < 2**64
+
+
+class TestRngStream:
+    def test_same_seed_same_draws(self):
+        a = RngStream(5).generator.standard_normal(8)
+        b = RngStream(5).generator.standard_normal(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_children_are_independent(self):
+        root = RngStream(5)
+        a = root.child("a").generator.standard_normal(64)
+        b = root.child("b").generator.standard_normal(64)
+        assert not np.allclose(a, b)
+
+    def test_children_insensitive_to_creation_order(self):
+        root1 = RngStream(5)
+        first_a = root1.child("a").generator.standard_normal()
+        root2 = RngStream(5)
+        root2.child("b")  # create b first this time
+        second_a = root2.child("a").generator.standard_normal()
+        assert first_a == second_a
+
+    def test_randbytes_length(self):
+        assert len(RngStream(1).randbytes(37)) == 37
+
+    def test_fork_generator_replays(self):
+        stream = RngStream(9)
+        stream.generator.standard_normal(10)  # advance the main generator
+        fresh = stream.fork_generator().standard_normal(3)
+        np.testing.assert_array_equal(
+            fresh, RngStream(9).generator.standard_normal(3)
+        )
+
+    def test_nested_children(self):
+        root = RngStream(2, name="root")
+        grandchild = root.child("x").child("y")
+        assert grandchild.name == "root/x/y"
+        assert grandchild.seed == RngStream(2).child("x").child("y").seed

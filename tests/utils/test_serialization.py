@@ -1,0 +1,73 @@
+"""Tests for canonical serialization and stable hashing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.utils.serialization import (
+    array_from_bytes,
+    array_to_bytes,
+    canonical_json,
+    stable_hash,
+)
+
+
+class TestArrayRoundtrip:
+    @given(
+        hnp.arrays(
+            dtype=st.sampled_from([np.float32, np.float64, np.int64, np.uint8]),
+            shape=hnp.array_shapes(max_dims=4, max_side=6),
+        )
+    )
+    def test_roundtrip(self, array):
+        restored = array_from_bytes(array_to_bytes(array))
+        assert restored.dtype == array.dtype
+        assert restored.shape == array.shape
+        np.testing.assert_array_equal(restored, array)
+
+    def test_non_contiguous_equals_contiguous(self):
+        base = np.arange(24, dtype=np.float32).reshape(4, 6)
+        view = base[:, ::2]
+        assert array_to_bytes(view) == array_to_bytes(view.copy())
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            array_from_bytes(b"nope" + b"\x00" * 32)
+
+    def test_zero_size_array(self):
+        empty = np.zeros((0, 3), dtype=np.float32)
+        restored = array_from_bytes(array_to_bytes(empty))
+        assert restored.shape == (0, 3)
+
+
+class TestCanonicalJson:
+    def test_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_no_whitespace(self):
+        assert b" " not in canonical_json({"a": [1, 2], "b": "x y"}).replace(b'"x y"', b"")
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        arr = np.ones((3, 3), dtype=np.float32)
+        assert stable_hash(arr, "label", 5) == stable_hash(arr, "label", 5)
+
+    def test_array_content_sensitivity(self):
+        a = np.zeros(4, dtype=np.float32)
+        b = np.zeros(4, dtype=np.float32)
+        b[0] = 1e-6
+        assert stable_hash(a) != stable_hash(b)
+
+    def test_dtype_sensitivity(self):
+        a = np.zeros(4, dtype=np.float32)
+        assert stable_hash(a) != stable_hash(a.astype(np.float64))
+
+    def test_length_prefixing_prevents_concat_collisions(self):
+        assert stable_hash(b"ab", b"c") != stable_hash(b"a", b"bc")
+
+    def test_mixed_parts(self):
+        digest = stable_hash(np.arange(3), b"raw", {"k": 1})
+        assert isinstance(digest, bytes) and len(digest) == 32
