@@ -110,6 +110,10 @@ class LinkageDatabase:
     def labels(self) -> List[int]:
         return sorted(self._by_label)
 
+    def count(self, label: int) -> int:
+        """Number of records for one class label (O(1), no matrix copy)."""
+        return len(self._by_label.get(int(label), []))
+
     def by_label(self, label: int) -> Tuple[np.ndarray, List[int]]:
         """(fingerprint matrix, record indices) for one class label."""
         indices = self._by_label.get(int(label), [])

@@ -10,7 +10,7 @@ to summon for the forensic stage.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.spatial import cKDTree
@@ -48,17 +48,22 @@ class QueryService:
             raise ConfigurationError(f"unknown query index {index!r}")
         self.database = database
         self.index = index
-        self._trees: Dict[int, Tuple[cKDTree, List[int]]] = {}
+        self._trees: Dict[int, Tuple[cKDTree, List[int], int]] = {}
 
     def _tree_for(self, label: int) -> Tuple[cKDTree, List[int]]:
-        if label not in self._trees:
+        count = self.database.count(label)
+        if count == 0:
+            raise QueryError(
+                f"no training fingerprints recorded for label {label}"
+            )
+        cached = self._trees.get(label)
+        if cached is None or cached[2] != count:
+            # The database is append-only, so a changed per-label count is
+            # the complete invalidation signal for this label's tree.
             matrix, indices = self.database.by_label(label)
-            if matrix.shape[0] == 0:
-                raise QueryError(
-                    f"no training fingerprints recorded for label {label}"
-                )
-            self._trees[label] = (cKDTree(matrix), indices)
-        return self._trees[label]
+            cached = (cKDTree(matrix), indices, count)
+            self._trees[label] = cached
+        return cached[0], cached[1]
 
     def _query_kdtree(self, fingerprint: np.ndarray, label: int,
                       k: int) -> List[Neighbor]:
@@ -93,7 +98,9 @@ class QueryService:
         if self.index == "kdtree":
             return self._query_kdtree(fingerprint, label, k)
         distances = cdist(fingerprint, matrix)[0]
-        order = np.argsort(distances)[:k]
+        # Stable sort: equal-distance neighbours rank in insertion order, so
+        # forensics reports are reproducible run to run.
+        order = np.argsort(distances, kind="stable")[:k]
         return [
             Neighbor(
                 rank=rank + 1,
@@ -106,8 +113,53 @@ class QueryService:
 
     def query_batch(self, fingerprints: np.ndarray, labels: Sequence[int],
                     k: int = 9) -> List[List[Neighbor]]:
-        """Query several mispredictions at once."""
-        return [
-            self.query(fingerprints[i], int(labels[i]), k=k)
-            for i in range(fingerprints.shape[0])
-        ]
+        """Query several mispredictions at once.
+
+        Queries are grouped by label and answered with one vectorized
+        distance computation per group; output order, ranking, and
+        tie-breaking are identical to querying one at a time.
+        """
+        if k < 1:
+            raise QueryError("k must be >= 1")
+        fingerprints = np.asarray(fingerprints, dtype=np.float32)
+        n = fingerprints.shape[0]
+        fingerprints = fingerprints.reshape(n, -1)
+        if len(labels) != n:
+            raise QueryError(
+                f"{n} fingerprints but {len(labels)} labels in batch"
+            )
+        groups: Dict[int, List[int]] = {}
+        for position, label in enumerate(labels):
+            groups.setdefault(int(label), []).append(position)
+        results: List[Optional[List[Neighbor]]] = [None] * n
+        for label, positions in groups.items():
+            batch = fingerprints[positions]
+            matrix, indices = self.database.by_label(label)
+            if matrix.shape[0] == 0:
+                raise QueryError(
+                    f"no training fingerprints recorded for label {label}"
+                )
+            if batch.shape[1] != matrix.shape[1]:
+                raise QueryError(
+                    f"fingerprint dimension {batch.shape[1]} does not match "
+                    f"database dimension {matrix.shape[1]}"
+                )
+            if self.index == "kdtree":
+                for row, position in enumerate(positions):
+                    results[position] = self._query_kdtree(
+                        batch[row].reshape(1, -1), label, k
+                    )
+                continue
+            distances = cdist(batch, matrix)
+            order = np.argsort(distances, axis=1, kind="stable")[:, :k]
+            for row, position in enumerate(positions):
+                results[position] = [
+                    Neighbor(
+                        rank=rank + 1,
+                        distance=float(distances[row, i]),
+                        record_index=indices[i],
+                        record=self.database.record(indices[i]),
+                    )
+                    for rank, i in enumerate(order[row])
+                ]
+        return results  # type: ignore[return-value]

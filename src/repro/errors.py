@@ -79,3 +79,20 @@ class LinkageError(CalTrainError):
 
 class QueryError(CalTrainError):
     """A misprediction accountability query could not be answered."""
+
+
+class QueryRejected(QueryError):
+    """The serving engine refused a query because it is overloaded.
+
+    Raised at submission time when the bounded request queue is full, so
+    callers get typed backpressure instead of silently dropped queries.
+    """
+
+
+class ServingError(CalTrainError):
+    """Base class for failures in the query-serving subsystem."""
+
+
+class StoreError(ServingError):
+    """The persistent linkage store rejected an operation or failed an
+    integrity check against its content-addressed segment digests."""

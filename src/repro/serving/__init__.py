@@ -1,0 +1,40 @@
+"""`repro.serving` — the production-scale accountability query plane.
+
+The paper's accountability workflow ends in a runtime query stage: every
+misprediction triggers a same-class nearest-fingerprint search over the
+Omega = [F, Y, S, H] linkage database. :mod:`repro.core.query` implements
+that stage faithfully but as a single-process, in-memory service. This
+package grows it into a serving subsystem that can absorb heavy traffic:
+
+* :mod:`repro.serving.store` — a persistent, versioned, append-only
+  segment store with memory-mapped fingerprint matrices and
+  content-addressed segment digests. The manifest digest is sealable via
+  :mod:`repro.enclave.sealing`, so the fingerprinting enclave can attest
+  exactly what the out-of-enclave index serves (the Citadel-style narrow
+  attested interface between enclave and bulk data plane).
+* :mod:`repro.serving.index` — a per-label sharded ANN index: coarse
+  k-means bucketing with exact L2 re-ranking. In its default (exact)
+  mode, triangle-inequality bounds guarantee top-k results identical to
+  brute force; a probing mode trades a documented recall floor for speed.
+* :mod:`repro.serving.engine` — a query engine with micro-batching, an
+  LRU result cache, a worker pool, bounded-queue backpressure (typed
+  :class:`~repro.errors.QueryRejected` on overload), and a hash-chained
+  audit trail so every forensic query is itself accountable.
+* :mod:`repro.serving.telemetry` — per-stage latency / hit-rate /
+  occupancy counters for the whole plane.
+"""
+
+from repro.serving.engine import EngineConfig, ServingEngine
+from repro.serving.index import IndexHit, ShardedAnnIndex
+from repro.serving.store import LinkageStore, SegmentInfo
+from repro.serving.telemetry import ServingTelemetry
+
+__all__ = [
+    "EngineConfig",
+    "ServingEngine",
+    "IndexHit",
+    "ShardedAnnIndex",
+    "LinkageStore",
+    "SegmentInfo",
+    "ServingTelemetry",
+]

@@ -1,0 +1,302 @@
+"""The batched, cached, audited query engine.
+
+This is the traffic-facing layer: callers submit (fingerprint, label, k)
+queries and get futures back. Internally the engine
+
+* **micro-batches** — worker threads drain the bounded request queue and
+  coalesce concurrent same-(label, k) queries into one vectorized
+  distance computation against the sharded index;
+* **caches** — an LRU keyed by (fingerprint digest, label, k) absorbs
+  repeated queries (the same viral misprediction queried by thousands of
+  users) without touching the index at all;
+* **applies backpressure** — the request queue is bounded; when it is
+  full, :meth:`ServingEngine.submit` raises the typed
+  :class:`~repro.errors.QueryRejected` *at submission time* rather than
+  silently dropping work (fail-closed, like the audited control plane
+  exemplar this subsystem follows);
+* **audits itself** — every answered query (cache hit or miss) appends a
+  hash-chained event to an :class:`~repro.core.audit.AuditLog`, recording
+  the query digest, the result digest, and how it was served. Forensic
+  queries are thereby themselves accountable: a verifier can replay the
+  chain and detect any retroactively altered answer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from queue import Empty, Full, Queue
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.audit import AuditLog
+from repro.errors import ConfigurationError, QueryRejected, ServingError
+from repro.serving.index import IndexHit, ShardedAnnIndex
+from repro.serving.telemetry import ServingTelemetry
+from repro.utils.serialization import stable_hash
+
+__all__ = ["EngineConfig", "ServingEngine"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tuning knobs for the serving engine."""
+
+    workers: int = 2            # worker threads draining the queue
+    max_batch: int = 64         # micro-batch coalescing bound
+    queue_depth: int = 256      # bounded queue = the backpressure limit
+    cache_size: int = 4096      # LRU entries; 0 disables the cache
+    poll_interval: float = 0.02  # worker wait for the first queue item
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if self.max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        if self.queue_depth < 1:
+            raise ConfigurationError("queue_depth must be >= 1")
+        if self.cache_size < 0:
+            raise ConfigurationError("cache_size must be >= 0")
+
+
+class _LruCache:
+    """A small thread-safe LRU for query results."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+
+    def get(self, key: tuple) -> Optional[tuple]:
+        if self.capacity == 0:
+            return None
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+            return value
+
+    def put(self, key: tuple, value: tuple) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+@dataclass
+class _Pending:
+    key: tuple
+    fingerprint: np.ndarray
+    label: int
+    k: int
+    future: "Future[Tuple[IndexHit, ...]]"
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+class ServingEngine:
+    """Micro-batching, caching, audited front end over a sharded index.
+
+    Use as a context manager (``with ServingEngine(index) as engine:``) or
+    call :meth:`start` / :meth:`stop` explicitly. Results are tuples of
+    :class:`~repro.serving.index.IndexHit`; resolve them to full Omega
+    tuples through the store when building a forensics report.
+    """
+
+    def __init__(self, index: ShardedAnnIndex,
+                 config: Optional[EngineConfig] = None,
+                 audit: Optional[AuditLog] = None,
+                 telemetry: Optional[ServingTelemetry] = None) -> None:
+        self.index = index
+        self.config = config or EngineConfig()
+        self.audit = audit if audit is not None else AuditLog()
+        self.telemetry = telemetry if telemetry is not None else ServingTelemetry()
+        self._audit_lock = threading.Lock()
+        self._cache = _LruCache(self.config.cache_size)
+        self._queue: "Queue[_Pending]" = Queue(maxsize=self.config.queue_depth)
+        self._threads: List[threading.Thread] = []
+        self._stopping = threading.Event()
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "ServingEngine":
+        if self._started:
+            raise ServingError("engine already started")
+        self._stopping.clear()
+        self._threads = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"serving-worker-{i}", daemon=True)
+            for i in range(self.config.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+        self._started = True
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the workers; with ``drain`` (default) answer queued work first."""
+        if not self._started:
+            return
+        if drain:
+            self._queue.join()
+        self._stopping.set()
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+        self._started = False
+
+    def __enter__(self) -> "ServingEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- submission --------------------------------------------------------------
+
+    def _key(self, fingerprint: np.ndarray, label: int, k: int) -> tuple:
+        return (stable_hash(fingerprint), int(label), int(k))
+
+    def _audit_event(self, key: tuple, served_by: str,
+                     hits: Tuple[IndexHit, ...]) -> None:
+        result_digest = stable_hash(
+            [[hit.index, hit.distance] for hit in hits]
+        )
+        with self._audit_lock:
+            self.audit.append(
+                "serving-query",
+                query_digest=key[0].hex(),
+                label=key[1],
+                k=key[2],
+                served_by=served_by,
+                results=result_digest.hex(),
+                num_results=len(hits),
+            )
+
+    def submit(self, fingerprint: np.ndarray, label: int,
+               k: int = 9) -> "Future[Tuple[IndexHit, ...]]":
+        """Enqueue one query; returns a future of the hit tuple.
+
+        Raises :class:`QueryRejected` immediately if the engine is
+        overloaded — rejected queries are counted, never silently dropped.
+        """
+        if not self._started:
+            raise ServingError("engine is not running — call start()")
+        fingerprint = np.ascontiguousarray(
+            np.asarray(fingerprint, dtype=np.float32).ravel()
+        )
+        key = self._key(fingerprint, label, k)
+        self.telemetry.count("queries")
+        future: "Future[Tuple[IndexHit, ...]]" = Future()
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.telemetry.count("cache_hits")
+            self._audit_event(key, "cache", cached)
+            future.set_result(cached)
+            return future
+        self.telemetry.count("cache_misses")
+        pending = _Pending(key=key, fingerprint=fingerprint,
+                           label=int(label), k=int(k), future=future)
+        try:
+            self._queue.put_nowait(pending)
+        except Full:
+            self.telemetry.count("rejected")
+            raise QueryRejected(
+                f"serving queue full ({self.config.queue_depth} pending); "
+                "retry with backoff"
+            ) from None
+        return future
+
+    def query(self, fingerprint: np.ndarray, label: int,
+              k: int = 9, timeout: Optional[float] = None
+              ) -> Tuple[IndexHit, ...]:
+        """Blocking single query."""
+        return self.submit(fingerprint, label, k).result(timeout=timeout)
+
+    def query_many(self, fingerprints: np.ndarray, labels: Sequence[int],
+                   k: int = 9, timeout: Optional[float] = None
+                   ) -> List[Tuple[IndexHit, ...]]:
+        """Submit a batch and gather results in submission order."""
+        fingerprints = np.asarray(fingerprints, dtype=np.float32)
+        n = fingerprints.shape[0]
+        fingerprints = fingerprints.reshape(n, -1)
+        if len(labels) != n:
+            raise ServingError(
+                f"{n} fingerprints but {len(labels)} labels"
+            )
+        futures = [
+            self.submit(fingerprints[i], int(labels[i]), k) for i in range(n)
+        ]
+        return [future.result(timeout=timeout) for future in futures]
+
+    # -- the worker side ---------------------------------------------------------
+
+    def _drain_batch(self) -> List[_Pending]:
+        try:
+            first = self._queue.get(timeout=self.config.poll_interval)
+        except Empty:
+            return []
+        batch = [first]
+        while len(batch) < self.config.max_batch:
+            try:
+                batch.append(self._queue.get_nowait())
+            except Empty:
+                break
+        return batch
+
+    def _worker_loop(self) -> None:
+        while not self._stopping.is_set():
+            batch = self._drain_batch()
+            if not batch:
+                continue
+            self.telemetry.count("batches")
+            self.telemetry.count("batched_queries", len(batch))
+            self.telemetry.observe("queue_occupancy", self._queue.qsize())
+            groups: Dict[Tuple[int, int], List[_Pending]] = {}
+            for pending in batch:
+                groups.setdefault((pending.label, pending.k), []).append(pending)
+            for (label, k), members in groups.items():
+                self._answer_group(label, k, members)
+            for _ in batch:
+                self._queue.task_done()
+
+    def _answer_group(self, label: int, k: int,
+                      members: List[_Pending]) -> None:
+        matrix = np.stack([m.fingerprint for m in members])
+        started = time.perf_counter()
+        try:
+            result = self.index.search_batch(matrix, label, k)
+        except Exception as exc:  # typed errors propagate to each caller
+            for member in members:
+                self.telemetry.count("errors")
+                member.future.set_exception(exc)
+            return
+        elapsed = time.perf_counter() - started
+        self.telemetry.observe("search", elapsed)
+        self.telemetry.count("candidates_scanned", result.candidates_scanned)
+        self.telemetry.count("brute_equivalent_rows",
+                             result.shard_rows * len(members))
+        now = time.perf_counter()
+        for member, hits in zip(members, result.hits):
+            answer = tuple(hits)
+            self._cache.put(member.key, answer)
+            self._audit_event(member.key, "index", answer)
+            self.telemetry.observe("total", now - member.enqueued_at)
+            member.future.set_result(answer)
+
+    # -- verification ------------------------------------------------------------
+
+    def verify_audit_chain(self) -> bool:
+        """Validate the hash chain over every served query so far."""
+        with self._audit_lock:
+            return self.audit.verify_chain()

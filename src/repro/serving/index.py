@@ -1,0 +1,329 @@
+"""Per-label sharded ANN index with exact L2 re-ranking.
+
+Every query is label-scoped (the paper only searches within class ``Y``),
+so the natural sharding key is the label. Each shard is either:
+
+* a **brute shard** (below ``shard_threshold`` records): one dense matrix,
+  exact distances — small classes don't deserve index overhead; or
+* a **clustered shard**: coarse k-means buckets with per-bucket centroids
+  and radii. A query first ranks buckets by centroid distance, then
+  re-ranks candidate rows with exact L2 distances.
+
+Two candidate-selection modes:
+
+* ``probes=None`` (the default, *exact* mode) — triangle-inequality
+  pruning. A bucket with centroid ``c`` and radius ``r`` can only contain
+  a top-k hit if ``d(q, c) - r <= ub_k``, where ``ub_k`` is a proven
+  upper bound on the k-th nearest distance (from the buckets whose
+  ``d(q, c) + r`` is smallest and that jointly hold >= k points). Any
+  pruned point is *strictly* farther than the k-th neighbour, so the
+  returned top-k membership — and, with the stable insertion-order
+  tie-break, the exact ordering — is identical to brute force. Recall is
+  1.0 by construction at this default re-rank width.
+* ``probes=p`` (approximate mode) — scan only the ``p`` buckets with the
+  nearest centroids (expanding while fewer than ``k`` candidates are
+  reachable). Recall depends on how clustered the fingerprints are; the
+  documented floor, enforced by the test suite on clustered and random
+  data, is ``RECALL_FLOOR``.
+
+Batched searches (:meth:`ShardedAnnIndex.search_batch`) compute one
+vectorized distance evaluation over the union of every query's candidate
+rows — this is what the engine's micro-batching coalesces into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, NamedTuple, Optional
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+from repro.errors import ConfigurationError, QueryError
+
+__all__ = ["IndexHit", "ShardSearchResult", "ShardedAnnIndex", "RECALL_FLOOR"]
+
+# The documented recall floor for approximate (probing) mode with the
+# default build parameters, enforced by tests/serving/test_index.py.
+RECALL_FLOOR = 0.9
+
+
+class IndexHit(NamedTuple):
+    """One nearest-neighbour hit: global record index + exact L2 distance."""
+
+    index: int
+    distance: float
+
+
+@dataclass
+class ShardSearchResult:
+    """Results for one batched shard search plus work accounting."""
+
+    hits: List[List[IndexHit]]
+    candidates_scanned: int  # exact distance evaluations performed
+    shard_rows: int          # rows a brute-force scan would have touched
+
+
+class _BruteShard:
+    def __init__(self, matrix: np.ndarray, indices: np.ndarray) -> None:
+        self.matrix = matrix
+        self.indices = indices
+
+    @property
+    def rows(self) -> int:
+        return self.matrix.shape[0]
+
+    def search(self, batch: np.ndarray, k: int) -> ShardSearchResult:
+        k_eff = min(k, self.rows)
+        distances = cdist(batch, self.matrix)
+        order = np.argsort(distances, axis=1, kind="stable")[:, :k_eff]
+        hits = [
+            [IndexHit(int(self.indices[column]), float(distances[row, column]))
+             for column in order[row]]
+            for row in range(batch.shape[0])
+        ]
+        return ShardSearchResult(
+            hits=hits,
+            candidates_scanned=batch.shape[0] * self.rows,
+            shard_rows=self.rows,
+        )
+
+
+class _ClusteredShard:
+    """Coarse k-means buckets over one label's fingerprints.
+
+    ``row_order`` sorts rows ascending by global index inside the
+    concatenated bucket layout, so a stable argsort over candidate
+    distances tie-breaks identically to brute force over the full shard.
+    """
+
+    def __init__(self, matrix: np.ndarray, indices: np.ndarray,
+                 centroids: np.ndarray, buckets: List[np.ndarray],
+                 radii: np.ndarray) -> None:
+        self.matrix = matrix
+        self.indices = indices
+        self.centroids = centroids
+        self.buckets = buckets  # per bucket: row ids into matrix, ascending
+        self.radii = radii
+        self.sizes = np.array([len(b) for b in buckets], dtype=np.int64)
+
+    @property
+    def rows(self) -> int:
+        return self.matrix.shape[0]
+
+    def _candidate_mask(self, dc: np.ndarray, k: int,
+                        probes: Optional[int]) -> np.ndarray:
+        """(q, m) bool — which buckets each query must scan."""
+        q = dc.shape[0]
+        m = len(self.buckets)
+        k_eff = min(k, self.rows)
+        if probes is not None:
+            # Approximate: the `probes` nearest centroids, expanded per
+            # query until at least k candidates are reachable.
+            order = np.argsort(dc, axis=1, kind="stable")
+            mask = np.zeros((q, m), dtype=bool)
+            for row in range(q):
+                needed = 0
+                taken = 0
+                for bucket in order[row]:
+                    if taken >= probes and needed >= k_eff:
+                        break
+                    mask[row, bucket] = True
+                    needed += self.sizes[bucket]
+                    taken += 1
+            return mask
+        # Exact: bound the k-th nearest distance from above with the
+        # smallest-upper-bound buckets jointly holding >= k points, then
+        # keep every bucket whose lower bound does not exceed it.
+        upper = dc + self.radii[None, :]
+        lower = np.maximum(dc - self.radii[None, :], 0.0)
+        order = np.argsort(upper, axis=1, kind="stable")
+        cum = np.cumsum(self.sizes[order], axis=1)
+        # First column where the cumulative bucket population reaches k.
+        first = np.argmax(cum >= k_eff, axis=1)
+        ub_k = upper[np.arange(q), order[np.arange(q), first]]
+        return lower <= ub_k[:, None]
+
+    def search(self, batch: np.ndarray, k: int,
+               probes: Optional[int]) -> ShardSearchResult:
+        k_eff = min(k, self.rows)
+        dc = cdist(batch, self.centroids)
+        mask = self._candidate_mask(dc, k, probes)
+        union_buckets = np.flatnonzero(mask.any(axis=0))
+        # One vectorized distance computation over the union of candidates,
+        # with rows sorted ascending so stable ties match brute force.
+        union_rows = np.sort(
+            np.concatenate([self.buckets[b] for b in union_buckets])
+        )
+        bucket_of_row = np.empty(self.rows, dtype=np.int64)
+        for bucket, rows in enumerate(self.buckets):
+            bucket_of_row[rows] = bucket
+        union_bucket_ids = bucket_of_row[union_rows]
+        distances = cdist(batch, self.matrix[union_rows])
+        hits: List[List[IndexHit]] = []
+        scanned = 0
+        for row in range(batch.shape[0]):
+            columns = np.flatnonzero(mask[row][union_bucket_ids])
+            scanned += columns.shape[0]
+            own = distances[row, columns]
+            take = min(k_eff, columns.shape[0])
+            order = np.argsort(own, kind="stable")[:take]
+            rows_hit = union_rows[columns[order]]
+            hits.append([
+                IndexHit(int(self.indices[r]), float(d))
+                for r, d in zip(rows_hit, own[order])
+            ])
+        return ShardSearchResult(hits=hits, candidates_scanned=scanned,
+                                 shard_rows=self.rows)
+
+
+class ShardedAnnIndex:
+    """The per-label sharded index over a linkage store (or database).
+
+    Args:
+        store: anything exposing ``labels()``, ``count(label)``, and
+            ``by_label(label)`` — both :class:`~repro.serving.store.LinkageStore`
+            and :class:`~repro.core.linkage.LinkageDatabase` qualify.
+        shard_threshold: labels with fewer records stay brute-force.
+        buckets_per_shard: number of k-means buckets, or ``None`` for
+            ``ceil(sqrt(n))`` per shard.
+        probes: ``None`` for the exact bound-pruned mode (recall 1.0);
+            an integer for approximate probing (recall >= ``RECALL_FLOOR``
+            on clustered data with default build parameters).
+        seed: k-means initialisation seed (build is deterministic).
+    """
+
+    def __init__(self, store, shard_threshold: int = 2048,
+                 buckets_per_shard: Optional[int] = None,
+                 probes: Optional[int] = None, seed: int = 0,
+                 kmeans_iterations: int = 6,
+                 kmeans_sample: int = 20000) -> None:
+        if probes is not None and probes < 1:
+            raise ConfigurationError("probes must be >= 1 (or None for exact)")
+        if shard_threshold < 1:
+            raise ConfigurationError("shard_threshold must be >= 1")
+        self.store = store
+        self.shard_threshold = shard_threshold
+        self.buckets_per_shard = buckets_per_shard
+        self.probes = probes
+        self.seed = seed
+        self.kmeans_iterations = kmeans_iterations
+        self.kmeans_sample = kmeans_sample
+        self._shards: Dict[int, object] = {}
+        self.built_version: Optional[int] = None
+
+    # -- build -------------------------------------------------------------------
+
+    def build(self) -> "ShardedAnnIndex":
+        """(Re)build every label shard from the store; returns self."""
+        self._shards = {}
+        for label in self.store.labels():
+            matrix, indices = self.store.by_label(label)
+            matrix = np.ascontiguousarray(matrix, dtype=np.float32)
+            index_array = np.asarray(indices, dtype=np.int64)
+            if matrix.shape[0] <= self.shard_threshold:
+                self._shards[label] = _BruteShard(matrix, index_array)
+            else:
+                self._shards[label] = self._cluster(label, matrix, index_array)
+        self.built_version = getattr(self.store, "version", None)
+        return self
+
+    def _cluster(self, label: int, matrix: np.ndarray,
+                 indices: np.ndarray) -> _ClusteredShard:
+        n = matrix.shape[0]
+        m = self.buckets_per_shard or int(np.ceil(np.sqrt(n)))
+        m = max(1, min(m, n))
+        rng = np.random.default_rng(self.seed + int(label))
+        # Lloyd iterations on a subsample keep builds linear-ish in n.
+        fit_rows = (
+            rng.choice(n, size=self.kmeans_sample, replace=False)
+            if n > self.kmeans_sample else np.arange(n)
+        )
+        fit = matrix[fit_rows]
+        centroids = fit[rng.choice(fit.shape[0], size=m, replace=False)].copy()
+        for _ in range(self.kmeans_iterations):
+            assign = np.argmin(cdist(fit, centroids), axis=1)
+            for bucket in range(m):
+                members = fit[assign == bucket]
+                if members.shape[0]:
+                    centroids[bucket] = members.mean(axis=0)
+                else:
+                    centroids[bucket] = fit[rng.integers(fit.shape[0])]
+        assign = np.argmin(cdist(matrix, centroids), axis=1)
+        buckets: List[np.ndarray] = []
+        radii = np.zeros(m, dtype=np.float64)
+        keep: List[int] = []
+        for bucket in range(m):
+            rows = np.flatnonzero(assign == bucket)
+            if rows.shape[0] == 0:
+                continue
+            keep.append(bucket)
+            buckets.append(rows)
+            deltas = matrix[rows] - centroids[bucket]
+            radii[bucket] = float(np.sqrt((deltas * deltas).sum(axis=1)).max())
+        centroids = centroids[keep]
+        radii = radii[keep]
+        return _ClusteredShard(matrix, indices, centroids, buckets, radii)
+
+    # -- search ------------------------------------------------------------------
+
+    def shard_kind(self, label: int) -> str:
+        shard = self._shards.get(int(label))
+        if shard is None:
+            return "missing"
+        return "brute" if isinstance(shard, _BruteShard) else "clustered"
+
+    def labels(self) -> List[int]:
+        return sorted(self._shards)
+
+    def _shard_for(self, label: int):
+        shard = self._shards.get(int(label))
+        if shard is None:
+            raise QueryError(
+                f"no training fingerprints indexed for label {label}"
+            )
+        return shard
+
+    def search_batch(self, batch: np.ndarray, label: int,
+                     k: int = 9) -> ShardSearchResult:
+        """Answer a coalesced same-label batch with one vectorized pass."""
+        if self.built_version is None:
+            raise QueryError("index not built — call build() first")
+        if k < 1:
+            raise QueryError("k must be >= 1")
+        shard = self._shard_for(label)
+        batch = np.asarray(batch, dtype=np.float32)
+        batch = batch.reshape(batch.shape[0] if batch.ndim > 1 else 1, -1)
+        if batch.shape[1] != shard.matrix.shape[1]:
+            raise QueryError(
+                f"fingerprint dimension {batch.shape[1]} does not match "
+                f"index dimension {shard.matrix.shape[1]}"
+            )
+        if isinstance(shard, _BruteShard):
+            return shard.search(batch, k)
+        return shard.search(batch, k, self.probes)
+
+    def search(self, fingerprint: np.ndarray, label: int,
+               k: int = 9) -> List[IndexHit]:
+        """Single-query convenience wrapper around :meth:`search_batch`."""
+        return self.search_batch(
+            np.asarray(fingerprint, dtype=np.float32).reshape(1, -1), label, k
+        ).hits[0]
+
+    def stats(self) -> Dict[str, object]:
+        """Per-shard composition summary (for CLI / telemetry surfaces)."""
+        shards = {}
+        for label, shard in sorted(self._shards.items()):
+            entry = {"rows": shard.rows,
+                     "kind": "brute" if isinstance(shard, _BruteShard)
+                             else "clustered"}
+            if isinstance(shard, _ClusteredShard):
+                entry["buckets"] = len(shard.buckets)
+                entry["mean_radius"] = float(np.mean(shard.radii))
+            shards[int(label)] = entry
+        return {
+            "labels": len(self._shards),
+            "mode": "exact" if self.probes is None else f"probes={self.probes}",
+            "built_version": self.built_version,
+            "shards": shards,
+        }

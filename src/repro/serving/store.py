@@ -1,0 +1,345 @@
+"""Persistent, versioned on-disk linkage store.
+
+The in-memory :class:`~repro.core.linkage.LinkageDatabase` holds every
+Omega tuple as a Python object — fine for the paper's experiments, fatal
+at millions of fingerprints. :class:`LinkageStore` keeps the bulk data on
+disk instead:
+
+* **append-only segments** — every :meth:`LinkageStore.append` writes one
+  immutable segment: a fingerprint matrix (``.npy``, reopened
+  memory-mapped) plus a canonical-JSON metadata sidecar with the labels,
+  sources, instance digests, source indices, and kinds;
+* **content addressing** — each segment is identified by a SHA-256 digest
+  over its matrix and metadata; the manifest lists segments in order and
+  the whole store state is committed by :meth:`manifest_digest`;
+* **sealing boundary** — the fingerprinting enclave can seal the manifest
+  digest to its identity (:meth:`seal_manifest`), so a verifier can later
+  check that the out-of-enclave serving plane answers queries from
+  exactly the database the enclave produced (:meth:`verify_sealed_manifest`).
+
+Integrity checks are fail-closed: :meth:`verify` raises
+:class:`~repro.errors.StoreError` on the first digest mismatch.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.linkage import LinkageDatabase, LinkageRecord
+from repro.errors import SealingError, StoreError
+from repro.utils.serialization import canonical_json, stable_hash
+
+__all__ = ["SegmentInfo", "LinkageStore"]
+
+_MANIFEST = "manifest.json"
+_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """One manifest entry: an immutable, content-addressed segment."""
+
+    name: str
+    records: int
+    digest: str  # hex SHA-256 over (fingerprint matrix, metadata JSON)
+
+
+class _Segment:
+    """A loaded segment: memory-mapped matrix plus decoded metadata."""
+
+    def __init__(self, info: SegmentInfo, fingerprints: np.ndarray,
+                 meta: Dict[str, list], offset: int) -> None:
+        self.info = info
+        self.fingerprints = fingerprints  # (n, d) float32, usually a memmap
+        self.labels = np.asarray(meta["labels"], dtype=np.int64)
+        self.sources: List[str] = meta["sources"]
+        self.digests: List[str] = meta["digests"]
+        self.source_indices: List[int] = meta["source_indices"]
+        self.kinds: List[str] = meta["kinds"]
+        self.offset = offset  # global index of this segment's first record
+
+
+class LinkageStore:
+    """Append-only segment store for Omega tuples, mmap-backed for queries.
+
+    Use :meth:`create` to start a store, :meth:`open` to load one, and
+    :meth:`append` to add records; already-written segments are never
+    modified. ``version`` increases by one per append, so index layers can
+    cheaply detect growth.
+    """
+
+    def __init__(self, path: Path, manifest: dict,
+                 segments: List[_Segment]) -> None:
+        self.path = path
+        self._manifest = manifest
+        self._segments = segments
+        self._offsets = [s.offset for s in segments]
+        self._by_label: Dict[int, List[Tuple[int, int]]] = {}
+        for seg_pos, segment in enumerate(segments):
+            self._index_segment(seg_pos, segment)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: os.PathLike) -> "LinkageStore":
+        """Initialise an empty store at ``path`` (created if missing)."""
+        root = Path(path)
+        root.mkdir(parents=True, exist_ok=True)
+        if (root / _MANIFEST).exists():
+            raise StoreError(f"a linkage store already exists at {root}")
+        manifest = {"format": _FORMAT, "version": 0, "dimension": None,
+                    "segments": []}
+        store = cls(root, manifest, [])
+        store._write_manifest()
+        return store
+
+    @classmethod
+    def open(cls, path: os.PathLike, verify: bool = True) -> "LinkageStore":
+        """Load a store, memory-mapping every segment matrix.
+
+        ``verify=True`` (the default) recomputes every segment digest
+        against the manifest before serving anything — fail-closed.
+        """
+        root = Path(path)
+        manifest_path = root / _MANIFEST
+        if not manifest_path.exists():
+            raise StoreError(f"no linkage store at {root}")
+        manifest = json.loads(manifest_path.read_text())
+        if manifest.get("format") != _FORMAT:
+            raise StoreError(
+                f"unsupported store format {manifest.get('format')!r}"
+            )
+        segments: List[_Segment] = []
+        offset = 0
+        for entry in manifest["segments"]:
+            info = SegmentInfo(name=entry["name"], records=entry["records"],
+                               digest=entry["digest"])
+            segment = cls._load_segment(root, info, offset)
+            segments.append(segment)
+            offset += info.records
+        store = cls(root, manifest, segments)
+        if verify:
+            store.verify()
+        return store
+
+    @classmethod
+    def _load_segment(cls, root: Path, info: SegmentInfo,
+                      offset: int) -> _Segment:
+        matrix_path = root / f"{info.name}.npy"
+        meta_path = root / f"{info.name}.meta.json"
+        if not matrix_path.exists() or not meta_path.exists():
+            raise StoreError(f"segment {info.name} is missing on disk")
+        fingerprints = np.load(matrix_path, mmap_mode="r")
+        meta = json.loads(meta_path.read_text())
+        if fingerprints.shape[0] != info.records:
+            raise StoreError(
+                f"segment {info.name} has {fingerprints.shape[0]} rows, "
+                f"manifest says {info.records}"
+            )
+        return _Segment(info, fingerprints, meta, offset)
+
+    def _index_segment(self, seg_pos: int, segment: _Segment) -> None:
+        for row, label in enumerate(segment.labels):
+            self._by_label.setdefault(int(label), []).append((seg_pos, row))
+
+    def _write_manifest(self) -> None:
+        payload = json.dumps(self._manifest, indent=2, sort_keys=True)
+        tmp = self.path / (_MANIFEST + ".tmp")
+        tmp.write_text(payload)
+        os.replace(tmp, self.path / _MANIFEST)
+
+    # -- writes ------------------------------------------------------------------
+
+    def append(self, fingerprints: np.ndarray, labels: Sequence[int],
+               sources: Sequence[str], digests: Sequence[bytes],
+               source_indices: Optional[Sequence[int]] = None,
+               kinds: Optional[Sequence[str]] = None) -> SegmentInfo:
+        """Write one immutable segment; returns its manifest entry."""
+        matrix = np.ascontiguousarray(
+            np.asarray(fingerprints, dtype=np.float32)
+        )
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise StoreError("a segment needs a non-empty (n, d) matrix")
+        n = matrix.shape[0]
+        if not (len(labels) == len(sources) == len(digests) == n):
+            raise StoreError("segment columns have mismatched lengths")
+        dimension = self._manifest["dimension"]
+        if dimension is None:
+            self._manifest["dimension"] = int(matrix.shape[1])
+        elif matrix.shape[1] != dimension:
+            raise StoreError(
+                f"fingerprint dimension {matrix.shape[1]} does not match "
+                f"store dimension {dimension}"
+            )
+        meta = {
+            "labels": [int(label) for label in labels],
+            "sources": [str(s) for s in sources],
+            "digests": [bytes(d).hex() for d in digests],
+            "source_indices": (
+                [int(i) for i in source_indices]
+                if source_indices is not None else [-1] * n
+            ),
+            "kinds": [str(k) for k in kinds] if kinds is not None
+                     else ["normal"] * n,
+        }
+        meta_bytes = canonical_json(meta)
+        name = f"segment-{len(self._segments):06d}"
+        np.save(self.path / f"{name}.npy", matrix)
+        (self.path / f"{name}.meta.json").write_bytes(meta_bytes)
+        info = SegmentInfo(
+            name=name, records=n,
+            digest=stable_hash(matrix, meta_bytes).hex(),
+        )
+        self._manifest["segments"].append(
+            {"name": info.name, "records": info.records, "digest": info.digest}
+        )
+        self._manifest["version"] += 1
+        self._write_manifest()
+        offset = len(self)
+        segment = self._load_segment(self.path, info, offset)
+        self._segments.append(segment)
+        self._offsets.append(offset)
+        self._index_segment(len(self._segments) - 1, segment)
+        return info
+
+    @classmethod
+    def from_database(cls, path: os.PathLike, database: LinkageDatabase,
+                      segment_records: int = 65536) -> "LinkageStore":
+        """Persist an in-memory database, chunked into segments."""
+        store = cls.create(path)
+        records = database.records()
+        for start in range(0, len(records), segment_records):
+            chunk = records[start : start + segment_records]
+            store.append(
+                np.stack([r.fingerprint for r in chunk]).astype(np.float32),
+                [r.label for r in chunk],
+                [r.source for r in chunk],
+                [r.digest for r in chunk],
+                source_indices=[r.source_index for r in chunk],
+                kinds=[r.kind for r in chunk],
+            )
+        return store
+
+    # -- reads -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(s.info.records for s in self._segments)
+
+    @property
+    def version(self) -> int:
+        return self._manifest["version"]
+
+    @property
+    def dimension(self) -> Optional[int]:
+        return self._manifest["dimension"]
+
+    @property
+    def segments(self) -> List[SegmentInfo]:
+        return [s.info for s in self._segments]
+
+    def labels(self) -> List[int]:
+        return sorted(self._by_label)
+
+    def count(self, label: int) -> int:
+        return len(self._by_label.get(int(label), []))
+
+    def by_label(self, label: int) -> Tuple[np.ndarray, List[int]]:
+        """(fingerprint matrix, global record indices) for one label.
+
+        Rows are gathered from the memory-mapped segments in insertion
+        order, matching :meth:`LinkageDatabase.by_label` semantics.
+        """
+        locations = self._by_label.get(int(label), [])
+        if not locations:
+            return np.zeros((0, self.dimension or 0), dtype=np.float32), []
+        matrix = np.empty((len(locations), self.dimension), dtype=np.float32)
+        indices: List[int] = []
+        for out_row, (seg_pos, row) in enumerate(locations):
+            segment = self._segments[seg_pos]
+            matrix[out_row] = segment.fingerprints[row]
+            indices.append(segment.offset + row)
+        return matrix, indices
+
+    def record(self, index: int) -> LinkageRecord:
+        """Materialise one Omega tuple by its global record index."""
+        if not 0 <= index < len(self):
+            raise StoreError(f"record index {index} out of range")
+        seg_pos = bisect.bisect_right(self._offsets, index) - 1
+        segment = self._segments[seg_pos]
+        row = index - segment.offset
+        return LinkageRecord(
+            fingerprint=np.array(segment.fingerprints[row], dtype=np.float32),
+            label=int(segment.labels[row]),
+            source=segment.sources[row],
+            digest=bytes.fromhex(segment.digests[row]),
+            source_index=segment.source_indices[row],
+            kind=segment.kinds[row],
+        )
+
+    def to_database(self) -> LinkageDatabase:
+        """Load the whole store back into an in-memory database."""
+        database = LinkageDatabase()
+        for index in range(len(self)):
+            database.add(self.record(index))
+        return database
+
+    # -- integrity and the sealing boundary --------------------------------------
+
+    def verify(self) -> bool:
+        """Recompute every segment digest from disk bytes; fail-closed."""
+        for segment in self._segments:
+            matrix = np.ascontiguousarray(
+                np.asarray(segment.fingerprints, dtype=np.float32)
+            )
+            meta_bytes = (
+                self.path / f"{segment.info.name}.meta.json"
+            ).read_bytes()
+            actual = stable_hash(matrix, meta_bytes).hex()
+            if actual != segment.info.digest:
+                raise StoreError(
+                    f"segment {segment.info.name} failed its digest check "
+                    f"(tampered or corrupted)"
+                )
+        return True
+
+    def manifest_digest(self) -> bytes:
+        """A content address for the entire store state.
+
+        Commits to the ordered segment digests, the dimension, and the
+        version — two stores with the same manifest digest serve
+        byte-identical fingerprint data.
+        """
+        return stable_hash({
+            "format": self._manifest["format"],
+            "version": self._manifest["version"],
+            "dimension": self._manifest["dimension"],
+            "segments": [s["digest"] for s in self._manifest["segments"]],
+        })
+
+    def seal_manifest(self, enclave):
+        """Seal the manifest digest to ``enclave``'s identity.
+
+        The fingerprinting enclave calls this after producing the store;
+        anyone holding the sealed blob can later prove (via
+        :meth:`verify_sealed_manifest` inside the same enclave identity)
+        that the serving plane still answers from that exact database.
+        """
+        from repro.enclave.sealing import seal
+
+        return seal(enclave, self.manifest_digest())
+
+    def verify_sealed_manifest(self, enclave, blob) -> bool:
+        """Check the current store state against a sealed manifest digest."""
+        from repro.enclave.sealing import unseal
+
+        try:
+            return unseal(enclave, blob) == self.manifest_digest()
+        except SealingError:
+            return False

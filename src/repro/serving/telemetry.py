@@ -1,0 +1,127 @@
+"""Per-stage counters for the serving plane.
+
+A serving system is only operable if you can see it: how many queries
+arrived, how many the cache absorbed, how many the backpressure bound
+rejected, how big the coalesced batches run, how long each stage takes,
+and what fraction of each shard the ANN index actually scanned. All
+counters are thread-safe; :meth:`ServingTelemetry.snapshot` returns a
+plain dict and :meth:`render` a human-readable table for the CLI.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+__all__ = ["StageStats", "ServingTelemetry"]
+
+
+class StageStats:
+    """Streaming latency statistics for one pipeline stage."""
+
+    __slots__ = ("count", "total", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.maximum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"count": self.count, "mean": self.mean,
+                "max": self.maximum, "total": self.total}
+
+
+class ServingTelemetry:
+    """Counters + per-stage latency for the query engine."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._stages: Dict[str, StageStats] = {}
+
+    def count(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def observe(self, stage: str, value: float) -> None:
+        with self._lock:
+            stats = self._stages.get(stage)
+            if stats is None:
+                stats = self._stages[stage] = StageStats()
+            stats.observe(value)
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def stage(self, name: str) -> Optional[StageStats]:
+        with self._lock:
+            return self._stages.get(name)
+
+    # -- derived rates -----------------------------------------------------------
+
+    @property
+    def cache_hit_rate(self) -> float:
+        with self._lock:
+            hits = self._counters.get("cache_hits", 0)
+            misses = self._counters.get("cache_misses", 0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        with self._lock:
+            batches = self._counters.get("batches", 0)
+            batched = self._counters.get("batched_queries", 0)
+        return batched / batches if batches else 0.0
+
+    @property
+    def scan_fraction(self) -> float:
+        """Candidate rows actually scanned vs. a full brute-force scan."""
+        with self._lock:
+            scanned = self._counters.get("candidates_scanned", 0)
+            full = self._counters.get("brute_equivalent_rows", 0)
+        return scanned / full if full else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            counters = dict(self._counters)
+            stages = {name: stats.as_dict()
+                      for name, stats in self._stages.items()}
+        snapshot: Dict[str, object] = {"counters": counters, "stages": stages}
+        snapshot["cache_hit_rate"] = self.cache_hit_rate
+        snapshot["mean_batch_size"] = self.mean_batch_size
+        snapshot["scan_fraction"] = self.scan_fraction
+        return snapshot
+
+    def render(self) -> str:
+        snapshot = self.snapshot()
+        lines = ["serving telemetry"]
+        for name in sorted(snapshot["counters"]):
+            lines.append(f"  {name:<24} {snapshot['counters'][name]:>10}")
+        lines.append(f"  {'cache_hit_rate':<24} {snapshot['cache_hit_rate']:>10.2%}")
+        lines.append(f"  {'mean_batch_size':<24} {snapshot['mean_batch_size']:>10.2f}")
+        lines.append(f"  {'scan_fraction':<24} {snapshot['scan_fraction']:>10.2%}")
+        for name in sorted(snapshot["stages"]):
+            stage = snapshot["stages"][name]
+            if name.endswith("occupancy"):
+                lines.append(
+                    f"  stage {name:<16} n={stage['count']:<7} "
+                    f"mean={stage['mean']:8.1f}   max={stage['max']:8.1f}"
+                )
+            else:
+                lines.append(
+                    f"  stage {name:<16} n={stage['count']:<7} "
+                    f"mean={stage['mean'] * 1e3:8.3f}ms max={stage['max'] * 1e3:8.3f}ms"
+                )
+        return "\n".join(lines)

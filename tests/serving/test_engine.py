@@ -1,0 +1,174 @@
+"""Query engine tests: correctness, caching, backpressure, audit."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.linkage import LinkageDatabase, LinkageRecord
+from repro.core.query import QueryService
+from repro.errors import (ConfigurationError, QueryError, QueryRejected,
+                          ServingError)
+from repro.serving import (EngineConfig, LinkageStore, ServingEngine,
+                           ShardedAnnIndex)
+
+from tests.serving.conftest import clustered_corpus, fill_store
+
+
+@pytest.fixture
+def world(tmp_path, generator):
+    fingerprints, labels = clustered_corpus(generator, 1200)
+    store = fill_store(LinkageStore.create(tmp_path / "engine-store"),
+                       fingerprints, labels)
+    index = ShardedAnnIndex(store, shard_threshold=200).build()
+    return fingerprints, labels, store, index
+
+
+class _GatedIndex:
+    """Wraps an index; search blocks until the gate opens (for backpressure)."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.gate = threading.Event()
+
+    def search_batch(self, batch, label, k=9):
+        self.gate.wait()
+        return self.inner.search_batch(batch, label, k)
+
+
+class TestCorrectness:
+    def test_engine_matches_brute_force(self, world, generator):
+        fingerprints, labels, store, index = world
+        database = LinkageDatabase()
+        for i in range(fingerprints.shape[0]):
+            database.add(LinkageRecord(
+                fingerprint=fingerprints[i], label=int(labels[i]),
+                source="p0", digest=b"h" * 32, source_index=i,
+            ))
+        brute = QueryService(database, index="brute")
+        sample = generator.integers(0, fingerprints.shape[0], size=30)
+        queries = fingerprints[sample] + 0.05
+        with ServingEngine(index, EngineConfig(workers=2)) as engine:
+            results = engine.query_many(queries, labels[sample], k=5)
+        for i in range(30):
+            expected = [n.record_index for n in
+                        brute.query(queries[i], int(labels[sample][i]), k=5)]
+            assert [hit.index for hit in results[i]] == expected
+
+    def test_unknown_label_propagates_typed_error(self, world):
+        fingerprints, _, _, index = world
+        with ServingEngine(index) as engine:
+            future = engine.submit(fingerprints[0], label=99, k=3)
+            with pytest.raises(QueryError):
+                future.result(timeout=5)
+
+    def test_submit_requires_started_engine(self, world):
+        fingerprints, labels, _, index = world
+        engine = ServingEngine(index)
+        with pytest.raises(ServingError):
+            engine.submit(fingerprints[0], int(labels[0]))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(workers=0)
+        with pytest.raises(ConfigurationError):
+            EngineConfig(queue_depth=0)
+
+
+class TestCache:
+    def test_repeat_query_served_by_cache(self, world):
+        fingerprints, labels, _, index = world
+        query, label = fingerprints[3], int(labels[3])
+        with ServingEngine(index) as engine:
+            first = engine.query(query, label, k=5, timeout=5)
+            assert engine.telemetry.counter("cache_hits") == 0
+            second = engine.query(query, label, k=5, timeout=5)
+            assert second == first
+            assert engine.telemetry.counter("cache_hits") == 1
+            # A different k is a different cache key.
+            engine.query(query, label, k=3, timeout=5)
+            assert engine.telemetry.counter("cache_hits") == 1
+        cached_events = [e for e in engine.audit.events("serving-query")
+                         if e.details["served_by"] == "cache"]
+        assert len(cached_events) == 1
+
+    def test_cache_disabled(self, world):
+        fingerprints, labels, _, index = world
+        config = EngineConfig(cache_size=0)
+        with ServingEngine(index, config) as engine:
+            engine.query(fingerprints[0], int(labels[0]), timeout=5)
+            engine.query(fingerprints[0], int(labels[0]), timeout=5)
+            assert engine.telemetry.counter("cache_hits") == 0
+
+
+class TestBackpressure:
+    def test_overload_rejects_not_drops(self, world):
+        fingerprints, labels, _, index = world
+        gated = _GatedIndex(index)
+        config = EngineConfig(workers=1, max_batch=1, queue_depth=4,
+                              cache_size=0, poll_interval=0.005)
+        engine = ServingEngine(gated, config).start()
+        try:
+            futures = []
+            rejected = 0
+            # One query occupies the worker (gate closed); the queue then
+            # fills; further submissions must be rejected, not dropped.
+            for i in range(32):
+                try:
+                    futures.append(
+                        engine.submit(fingerprints[i], int(labels[i]), k=3)
+                    )
+                except QueryRejected:
+                    rejected += 1
+            assert rejected > 0
+            assert engine.telemetry.counter("rejected") == rejected
+            gated.gate.set()
+            # Every accepted query still gets an answer.
+            for future in futures:
+                assert len(future.result(timeout=10)) == 3
+        finally:
+            gated.gate.set()
+            engine.stop()
+        assert engine.telemetry.counter("queries") == 32
+        assert len(engine.audit) == len(futures)
+
+
+class TestAuditTrail:
+    def test_every_query_appends_a_verifiable_event(self, world, generator):
+        fingerprints, labels, _, index = world
+        sample = generator.integers(0, fingerprints.shape[0], size=40)
+        with ServingEngine(index, EngineConfig(workers=3)) as engine:
+            engine.query_many(fingerprints[sample] + 0.01, labels[sample],
+                              k=4)
+        assert len(engine.audit) == 40
+        assert engine.verify_audit_chain()
+        for event in engine.audit.events("serving-query"):
+            assert event.details["k"] == 4
+            assert event.details["served_by"] in ("index", "cache")
+            assert len(event.details["results"]) == 64  # hex sha256
+
+    def test_tampered_audit_event_breaks_the_chain(self, world):
+        fingerprints, labels, _, index = world
+        with ServingEngine(index) as engine:
+            engine.query(fingerprints[0], int(labels[0]), timeout=5)
+        event = engine.audit.events()[0]
+        object.__setattr__(event, "details",
+                           {**event.details, "label": 12345})
+        assert not engine.verify_audit_chain()
+
+
+class TestTelemetry:
+    def test_counters_and_stages_populate(self, world, generator):
+        fingerprints, labels, _, index = world
+        sample = generator.integers(0, fingerprints.shape[0], size=25)
+        with ServingEngine(index, EngineConfig(workers=2)) as engine:
+            engine.query_many(fingerprints[sample], labels[sample], k=3)
+        snapshot = engine.telemetry.snapshot()
+        assert snapshot["counters"]["queries"] == 25
+        assert snapshot["counters"]["batches"] >= 1
+        assert snapshot["counters"]["batched_queries"] == 25
+        assert snapshot["stages"]["search"]["count"] >= 1
+        assert snapshot["stages"]["total"]["count"] == 25
+        assert 0 < snapshot["scan_fraction"] <= 1.0
+        rendered = engine.telemetry.render()
+        assert "queries" in rendered and "stage search" in rendered

@@ -1,0 +1,154 @@
+"""Sharded ANN index tests: exactness, recall floor, batching parity."""
+
+import numpy as np
+import pytest
+
+from repro.core.linkage import LinkageDatabase, LinkageRecord
+from repro.core.query import QueryService
+from repro.errors import ConfigurationError, QueryError
+from repro.serving import LinkageStore, ShardedAnnIndex
+from repro.serving.index import RECALL_FLOOR
+
+from tests.serving.conftest import (clustered_corpus, fill_store,
+                                    random_corpus)
+
+
+def _brute_service(fingerprints, labels):
+    database = LinkageDatabase()
+    for i in range(fingerprints.shape[0]):
+        database.add(LinkageRecord(
+            fingerprint=fingerprints[i], label=int(labels[i]),
+            source="p0", digest=b"h" * 32, source_index=i,
+        ))
+    return QueryService(database, index="brute")
+
+
+def _built_index(tmp_path, fingerprints, labels, **kwargs):
+    store = fill_store(LinkageStore.create(tmp_path / "idx-store"),
+                       fingerprints, labels)
+    return ShardedAnnIndex(store, **kwargs).build()
+
+
+def _queries(generator, fingerprints, labels, count, noise=0.2):
+    sample = generator.integers(0, fingerprints.shape[0], size=count)
+    queries = fingerprints[sample] + generator.standard_normal(
+        (count, fingerprints.shape[1])).astype(np.float32) * noise
+    return queries, labels[sample]
+
+
+class TestExactMode:
+    @pytest.mark.parametrize("corpus", ["clustered", "random"])
+    def test_topk_identical_to_brute_force(self, tmp_path, generator, corpus):
+        make = clustered_corpus if corpus == "clustered" else random_corpus
+        fingerprints, labels = make(generator, 3000)
+        index = _built_index(tmp_path, fingerprints, labels,
+                             shard_threshold=200)
+        brute = _brute_service(fingerprints, labels)
+        queries, query_labels = _queries(generator, fingerprints, labels, 40)
+        for i in range(40):
+            expected = brute.query(queries[i], int(query_labels[i]), k=7)
+            got = index.search(queries[i], int(query_labels[i]), k=7)
+            assert [h.index for h in got] == [n.record_index for n in expected]
+            np.testing.assert_allclose(
+                [h.distance for h in got],
+                [n.distance for n in expected], rtol=1e-5,
+            )
+
+    def test_small_shards_fall_back_to_brute(self, tmp_path, generator):
+        fingerprints, labels = clustered_corpus(generator, 300)
+        index = _built_index(tmp_path, fingerprints, labels,
+                             shard_threshold=2048)
+        for label in index.labels():
+            assert index.shard_kind(label) == "brute"
+
+    def test_large_shards_cluster(self, tmp_path, generator):
+        fingerprints, labels = clustered_corpus(generator, 3000)
+        index = _built_index(tmp_path, fingerprints, labels,
+                             shard_threshold=200)
+        assert all(index.shard_kind(label) == "clustered"
+                   for label in index.labels())
+
+    def test_exact_mode_prunes_clustered_data(self, tmp_path, generator):
+        fingerprints, labels = clustered_corpus(generator, 4000, spread=0.2)
+        index = _built_index(tmp_path, fingerprints, labels,
+                             shard_threshold=200)
+        queries, query_labels = _queries(generator, fingerprints, labels, 20,
+                                         noise=0.1)
+        result = index.search_batch(queries[:1], int(query_labels[0]), k=5)
+        assert result.candidates_scanned < result.shard_rows
+
+    def test_k_larger_than_shard(self, tmp_path, generator):
+        fingerprints, labels = clustered_corpus(generator, 400)
+        index = _built_index(tmp_path, fingerprints, labels,
+                             shard_threshold=50)
+        label = int(labels[0])
+        hits = index.search(fingerprints[0], label, k=10_000)
+        assert len(hits) == index.store.count(label)
+
+
+class TestApproximateMode:
+    def test_recall_floor_on_clustered_and_random(self, tmp_path, generator):
+        for make, noise in ((clustered_corpus, 0.1), (random_corpus, 0.05)):
+            fingerprints, labels = make(generator, 3000)
+            index = _built_index(tmp_path / make.__name__, fingerprints,
+                                 labels, shard_threshold=200, probes=4)
+            brute = _brute_service(fingerprints, labels)
+            queries, query_labels = _queries(generator, fingerprints, labels,
+                                             60, noise=noise)
+            found = total = 0
+            for i in range(60):
+                expected = {n.record_index for n in
+                            brute.query(queries[i], int(query_labels[i]), k=5)}
+                got = {h.index for h in
+                       index.search(queries[i], int(query_labels[i]), k=5)}
+                found += len(expected & got)
+                total += len(expected)
+            assert found / total >= RECALL_FLOOR
+
+    def test_probes_expand_to_cover_k(self, tmp_path, generator):
+        fingerprints, labels = clustered_corpus(generator, 3000)
+        index = _built_index(tmp_path, fingerprints, labels,
+                             shard_threshold=200, probes=1)
+        label = int(labels[0])
+        hits = index.search(fingerprints[0], label, k=500)
+        assert len(hits) == min(500, index.store.count(label))
+
+    def test_invalid_probes_rejected(self, small_store):
+        store, _, _ = small_store
+        with pytest.raises(ConfigurationError):
+            ShardedAnnIndex(store, probes=0)
+
+
+class TestBatching:
+    def test_batch_matches_single_queries(self, tmp_path, generator):
+        fingerprints, labels = clustered_corpus(generator, 3000)
+        index = _built_index(tmp_path, fingerprints, labels,
+                             shard_threshold=200)
+        label = int(labels[0])
+        rows = np.flatnonzero(labels == label)[:16]
+        batch = fingerprints[rows] + 0.05
+        batched = index.search_batch(batch, label, k=5).hits
+        singles = [index.search(batch[i], label, k=5) for i in range(16)]
+        assert batched == singles
+
+    def test_unknown_label_rejected(self, tmp_path, generator):
+        fingerprints, labels = clustered_corpus(generator, 300)
+        index = _built_index(tmp_path, fingerprints, labels)
+        with pytest.raises(QueryError):
+            index.search(fingerprints[0], label=99)
+
+    def test_unbuilt_index_rejected(self, small_store):
+        store, fingerprints, _ = small_store
+        with pytest.raises(QueryError):
+            ShardedAnnIndex(store).search(fingerprints[0], label=0)
+
+    def test_dimension_mismatch_rejected(self, tmp_path, generator):
+        fingerprints, labels = clustered_corpus(generator, 300)
+        index = _built_index(tmp_path, fingerprints, labels)
+        with pytest.raises(QueryError):
+            index.search(np.zeros(3, dtype=np.float32), int(labels[0]))
+
+    def test_build_records_store_version(self, small_store):
+        store, _, _ = small_store
+        index = ShardedAnnIndex(store).build()
+        assert index.built_version == store.version

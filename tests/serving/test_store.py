@@ -1,0 +1,152 @@
+"""Persistent linkage store tests: round-trips, integrity, sealing."""
+
+import numpy as np
+import pytest
+
+from repro.core.linkage import LinkageDatabase, LinkageRecord
+from repro.errors import StoreError
+from repro.serving import LinkageStore
+
+from tests.serving.conftest import clustered_corpus, fill_store
+
+
+class TestLifecycle:
+    def test_create_then_open_empty(self, store_path):
+        LinkageStore.create(store_path)
+        store = LinkageStore.open(store_path)
+        assert len(store) == 0
+        assert store.version == 0
+        assert store.dimension is None
+
+    def test_create_twice_rejected(self, store_path):
+        LinkageStore.create(store_path)
+        with pytest.raises(StoreError):
+            LinkageStore.create(store_path)
+
+    def test_open_missing_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            LinkageStore.open(tmp_path / "nope")
+
+    def test_append_bumps_version(self, small_store):
+        store, fingerprints, labels = small_store
+        assert store.version == 3  # 600 records / 250 per segment
+        before = store.version
+        store.append(fingerprints[:10], labels[:10].tolist(),
+                     ["p0"] * 10, [b"h" * 32] * 10)
+        assert store.version == before + 1
+
+
+class TestRoundTrip:
+    def test_reopened_mmap_store_is_lossless(self, store_path, small_store):
+        store, fingerprints, labels = small_store
+        reopened = LinkageStore.open(store_path)
+        assert len(reopened) == len(store) == 600
+        for index in (0, 249, 250, 599):  # segment interiors and boundaries
+            record = reopened.record(index)
+            np.testing.assert_array_equal(record.fingerprint,
+                                          fingerprints[index])
+            assert record.label == int(labels[index])
+            assert record.source == f"p{index % 3}"
+            assert record.digest == bytes([index % 256]) * 32
+            assert record.source_index == index
+            assert record.kind == ("poisoned" if index % 7 == 0 else "normal")
+
+    def test_by_label_matches_database_semantics(self, store_path,
+                                                 small_store):
+        store, fingerprints, labels = small_store
+        database = LinkageDatabase()
+        for i in range(600):
+            database.add(LinkageRecord(
+                fingerprint=fingerprints[i], label=int(labels[i]),
+                source=f"p{i % 3}", digest=b"h" * 32, source_index=i,
+            ))
+        reopened = LinkageStore.open(store_path)
+        assert reopened.labels() == database.labels()
+        for label in database.labels():
+            store_matrix, store_indices = reopened.by_label(label)
+            db_matrix, db_indices = database.by_label(label)
+            np.testing.assert_array_equal(store_matrix, db_matrix)
+            assert store_indices == db_indices
+            assert reopened.count(label) == database.count(label)
+
+    def test_from_database_and_back(self, tmp_path, generator):
+        fingerprints, labels = clustered_corpus(generator, 120)
+        database = LinkageDatabase()
+        for i in range(120):
+            database.add(LinkageRecord(
+                fingerprint=fingerprints[i], label=int(labels[i]),
+                source="p0", digest=b"d" * 32, source_index=i,
+            ))
+        store = LinkageStore.from_database(tmp_path / "s", database,
+                                           segment_records=50)
+        assert len(store.segments) == 3
+        restored = store.to_database()
+        assert len(restored) == 120
+        for i in (0, 60, 119):
+            np.testing.assert_array_equal(restored.record(i).fingerprint,
+                                          database.record(i).fingerprint)
+
+    def test_dimension_mismatch_rejected(self, small_store):
+        store, _, _ = small_store
+        with pytest.raises(StoreError):
+            store.append(np.zeros((2, 3), dtype=np.float32), [0, 0],
+                         ["p", "p"], [b"h" * 32] * 2)
+
+
+class TestIntegrity:
+    def test_verify_passes_untouched(self, store_path, small_store):
+        assert LinkageStore.open(store_path).verify()
+
+    def test_tampered_matrix_fails_closed(self, store_path, small_store):
+        matrix_file = store_path / "segment-000001.npy"
+        matrix = np.load(matrix_file)
+        matrix[0, 0] += 1.0
+        np.save(matrix_file, matrix)
+        with pytest.raises(StoreError):
+            LinkageStore.open(store_path)  # verify=True is the default
+
+    def test_tampered_metadata_fails_closed(self, store_path, small_store):
+        meta_file = store_path / "segment-000000.meta.json"
+        meta_file.write_text(meta_file.read_text().replace("p0", "pX", 1))
+        with pytest.raises(StoreError):
+            LinkageStore.open(store_path)
+
+    def test_manifest_digest_commits_to_content(self, store_path,
+                                                small_store):
+        store, fingerprints, labels = small_store
+        digest = store.manifest_digest()
+        assert LinkageStore.open(store_path).manifest_digest() == digest
+        store.append(fingerprints[:5], labels[:5].tolist(), ["p0"] * 5,
+                     [b"h" * 32] * 5)
+        assert store.manifest_digest() != digest
+
+
+class TestSealing:
+    def _enclave(self, platform, name="fingerprinting"):
+        enclave = platform.create_enclave(name)
+        enclave.init()
+        return enclave
+
+    def test_sealed_manifest_roundtrip(self, platform, small_store):
+        store, _, _ = small_store
+        enclave = self._enclave(platform)
+        blob = store.seal_manifest(enclave)
+        assert store.verify_sealed_manifest(enclave, blob)
+
+    def test_sealed_manifest_detects_growth(self, platform, small_store):
+        store, fingerprints, labels = small_store
+        enclave = self._enclave(platform)
+        blob = store.seal_manifest(enclave)
+        store.append(fingerprints[:5], labels[:5].tolist(), ["p0"] * 5,
+                     [b"h" * 32] * 5)
+        assert not store.verify_sealed_manifest(enclave, blob)
+
+    def test_wrong_enclave_identity_cannot_verify(self, platform,
+                                                  small_store):
+        store, _, _ = small_store
+        sealer = self._enclave(platform, "fingerprinting")
+        other = platform.create_enclave("other")
+        other.add_data("x", 1)  # different build => different MRENCLAVE
+        other.init()
+        blob = store.seal_manifest(sealer)
+        assert not store.verify_sealed_manifest(other, blob)

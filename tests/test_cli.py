@@ -42,3 +42,28 @@ class TestCommands:
         assert "MRENCLAVE" in out
         assert "accepted 60 records" in out
         assert "linkage database: 60 records" in out
+
+
+class TestServingCommands:
+    def test_build_index(self, capsys, tmp_path):
+        code = main([
+            "build-index", "--path", str(tmp_path / "store"),
+            "--records", "3000", "--dim", "8", "--labels", "3",
+            "--segment-size", "1500", "--shard-threshold", "500",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3000 records in 2 segments" in out
+        assert "segment digests: verified" in out
+        assert "manifest sealed" in out and "valid" in out
+
+    def test_serve_queries(self, capsys):
+        code = main([
+            "serve-queries", "--records", "3000", "--dim", "8",
+            "--labels", "3", "--queries", "64", "--k", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "answered 64 queries" in out
+        assert "cache_hit_rate" in out
+        assert "chain VERIFIED" in out
