@@ -34,7 +34,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.audit import AuditLog
-from repro.errors import ConfigurationError, QueryRejected, ServingError
+from repro.errors import (ConfigurationError, QueryError, QueryRejected,
+                          ServingError)
 from repro.serving.index import IndexHit, ShardedAnnIndex
 from repro.serving.telemetry import ServingTelemetry
 from repro.utils.serialization import stable_hash
@@ -145,7 +146,12 @@ class ServingEngine:
         return self
 
     def stop(self, drain: bool = True) -> None:
-        """Stop the workers; with ``drain`` (default) answer queued work first."""
+        """Stop the workers; with ``drain`` (default) answer queued work first.
+
+        Without ``drain``, requests still sitting in the queue are not
+        dropped silently: their futures fail with :class:`ServingError`
+        so no caller blocks forever on an abandoned query.
+        """
         if not self._started:
             return
         if drain:
@@ -155,6 +161,17 @@ class ServingEngine:
             thread.join()
         self._threads = []
         self._started = False
+        while True:
+            try:
+                pending = self._queue.get_nowait()
+            except Empty:
+                break
+            self.telemetry.count("abandoned")
+            if not pending.future.done():
+                pending.future.set_exception(
+                    ServingError("engine stopped before serving this query")
+                )
+            self._queue.task_done()
 
     def __enter__(self) -> "ServingEngine":
         return self.start()
@@ -165,7 +182,13 @@ class ServingEngine:
     # -- submission --------------------------------------------------------------
 
     def _key(self, fingerprint: np.ndarray, label: int, k: int) -> tuple:
-        return (stable_hash(fingerprint), int(label), int(k))
+        # The index snapshot (built_version) and the store version are part
+        # of the key: a rebuild invalidates every cached answer, and a store
+        # that outgrew the index can never be answered from the cache — the
+        # query falls through to the index, which fails closed on staleness.
+        return (stable_hash(fingerprint), int(label), int(k),
+                getattr(self.index, "built_version", None),
+                getattr(getattr(self.index, "store", None), "version", None))
 
     def _audit_event(self, key: tuple, served_by: str,
                      hits: Tuple[IndexHit, ...]) -> None:
@@ -195,6 +218,12 @@ class ServingEngine:
         fingerprint = np.ascontiguousarray(
             np.asarray(fingerprint, dtype=np.float32).ravel()
         )
+        dimension = getattr(self.index, "dimension", None)
+        if dimension is not None and fingerprint.shape[0] != dimension:
+            raise QueryError(
+                f"fingerprint dimension {fingerprint.shape[0]} does not "
+                f"match index dimension {dimension}"
+            )
         key = self._key(fingerprint, label, k)
         self.telemetry.count("queries")
         future: "Future[Tuple[IndexHit, ...]]" = Future()
@@ -255,26 +284,37 @@ class ServingEngine:
         return batch
 
     def _worker_loop(self) -> None:
+        # Fail-closed worker: whatever happens while answering a batch, every
+        # future is resolved and task_done() runs, so one malformed query can
+        # neither kill the worker nor wedge stop(drain=True) on queue.join().
         while not self._stopping.is_set():
             batch = self._drain_batch()
             if not batch:
                 continue
-            self.telemetry.count("batches")
-            self.telemetry.count("batched_queries", len(batch))
-            self.telemetry.observe("queue_occupancy", self._queue.qsize())
-            groups: Dict[Tuple[int, int], List[_Pending]] = {}
-            for pending in batch:
-                groups.setdefault((pending.label, pending.k), []).append(pending)
-            for (label, k), members in groups.items():
-                self._answer_group(label, k, members)
-            for _ in batch:
-                self._queue.task_done()
+            try:
+                self.telemetry.count("batches")
+                self.telemetry.count("batched_queries", len(batch))
+                self.telemetry.observe("queue_occupancy", self._queue.qsize())
+                groups: Dict[Tuple[int, int], List[_Pending]] = {}
+                for pending in batch:
+                    groups.setdefault((pending.label, pending.k),
+                                      []).append(pending)
+                for (label, k), members in groups.items():
+                    self._answer_group(label, k, members)
+            except Exception as exc:
+                for pending in batch:
+                    if not pending.future.done():
+                        self.telemetry.count("errors")
+                        pending.future.set_exception(exc)
+            finally:
+                for _ in batch:
+                    self._queue.task_done()
 
     def _answer_group(self, label: int, k: int,
                       members: List[_Pending]) -> None:
-        matrix = np.stack([m.fingerprint for m in members])
         started = time.perf_counter()
         try:
+            matrix = np.stack([m.fingerprint for m in members])
             result = self.index.search_batch(matrix, label, k)
         except Exception as exc:  # typed errors propagate to each caller
             for member in members:

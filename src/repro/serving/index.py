@@ -211,6 +211,7 @@ class ShardedAnnIndex:
         self.kmeans_sample = kmeans_sample
         self._shards: Dict[int, object] = {}
         self.built_version: Optional[int] = None
+        self._built = False
 
     # -- build -------------------------------------------------------------------
 
@@ -226,7 +227,18 @@ class ShardedAnnIndex:
             else:
                 self._shards[label] = self._cluster(label, matrix, index_array)
         self.built_version = getattr(self.store, "version", None)
+        self._built = True
         return self
+
+    @property
+    def dimension(self) -> Optional[int]:
+        """Fingerprint dimension this index serves (None before build)."""
+        dim = getattr(self.store, "dimension", None)
+        if dim is not None:
+            return int(dim)
+        for shard in self._shards.values():
+            return int(shard.matrix.shape[1])
+        return None
 
     def _cluster(self, label: int, matrix: np.ndarray,
                  indices: np.ndarray) -> _ClusteredShard:
@@ -240,6 +252,7 @@ class ShardedAnnIndex:
             if n > self.kmeans_sample else np.arange(n)
         )
         fit = matrix[fit_rows]
+        m = min(m, fit.shape[0])
         centroids = fit[rng.choice(fit.shape[0], size=m, replace=False)].copy()
         for _ in range(self.kmeans_iterations):
             assign = np.argmin(cdist(fit, centroids), axis=1)
@@ -287,8 +300,14 @@ class ShardedAnnIndex:
     def search_batch(self, batch: np.ndarray, label: int,
                      k: int = 9) -> ShardSearchResult:
         """Answer a coalesced same-label batch with one vectorized pass."""
-        if self.built_version is None:
+        if not self._built:
             raise QueryError("index not built — call build() first")
+        store_version = getattr(self.store, "version", None)
+        if store_version is not None and store_version != self.built_version:
+            raise QueryError(
+                f"index is stale: built at store version {self.built_version} "
+                f"but the store is now at {store_version} — call build() again"
+            )
         if k < 1:
             raise QueryError("k must be >= 1")
         shard = self._shard_for(label)

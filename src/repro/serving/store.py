@@ -170,6 +170,13 @@ class LinkageStore:
         n = matrix.shape[0]
         if not (len(labels) == len(sources) == len(digests) == n):
             raise StoreError("segment columns have mismatched lengths")
+        if source_indices is not None and len(source_indices) != n:
+            raise StoreError(
+                f"source_indices has {len(source_indices)} entries "
+                f"for {n} records"
+            )
+        if kinds is not None and len(kinds) != n:
+            raise StoreError(f"kinds has {len(kinds)} entries for {n} records")
         dimension = self._manifest["dimension"]
         if dimension is None:
             self._manifest["dimension"] = int(matrix.shape[1])

@@ -1,6 +1,7 @@
 """Query engine tests: correctness, caching, backpressure, audit."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -131,6 +132,87 @@ class TestBackpressure:
             engine.stop()
         assert engine.telemetry.counter("queries") == 32
         assert len(engine.audit) == len(futures)
+
+
+class TestRobustness:
+    def test_dimension_mismatch_rejected_at_submit(self, world):
+        fingerprints, labels, _, index = world
+        with ServingEngine(index) as engine:
+            with pytest.raises(QueryError):
+                engine.submit(np.zeros(3, dtype=np.float32), int(labels[0]))
+            # The engine keeps serving well-formed queries afterwards.
+            hits = engine.query(fingerprints[0], int(labels[0]), k=3,
+                                timeout=5)
+            assert len(hits) == 3
+
+    def test_worker_survives_malformed_coalesced_batch(self, world):
+        # The wrapper hides `dimension`, bypassing submit-time validation,
+        # so a same-(label, k) micro-batch can mix fingerprint dimensions.
+        # The batch must fail per-future — not kill the worker thread or
+        # wedge stop(drain=True) on queue.join().
+        fingerprints, labels, _, index = world
+        gated = _GatedIndex(index)
+        config = EngineConfig(workers=1, max_batch=8, cache_size=0,
+                              poll_interval=0.005)
+        engine = ServingEngine(gated, config).start()
+        label = int(labels[0])
+        try:
+            blocker = engine.submit(fingerprints[0], label, k=3)
+            time.sleep(0.05)  # the worker picks it up and blocks on the gate
+            bad = [engine.submit(np.zeros(d, dtype=np.float32), label, k=5)
+                   for d in (3, 5)]
+            survivor = engine.submit(fingerprints[1], label, k=3)
+            gated.gate.set()
+            assert len(blocker.result(timeout=5)) == 3
+            for future in bad:
+                with pytest.raises(Exception):
+                    future.result(timeout=5)
+            assert len(survivor.result(timeout=5)) == 3
+        finally:
+            gated.gate.set()
+            engine.stop()  # drain=True must terminate, not deadlock
+
+    def test_stop_without_drain_fails_pending_futures(self, world):
+        fingerprints, labels, _, index = world
+        gated = _GatedIndex(index)
+        config = EngineConfig(workers=1, max_batch=1, cache_size=0,
+                              poll_interval=0.005)
+        engine = ServingEngine(gated, config).start()
+        label = int(labels[0])
+        in_flight = engine.submit(fingerprints[0], label, k=3)
+        time.sleep(0.05)  # the worker picks it up and blocks on the gate
+        queued = [engine.submit(fingerprints[i], label, k=3)
+                  for i in range(1, 5)]
+        opener = threading.Timer(0.1, gated.gate.set)
+        opener.start()
+        engine.stop(drain=False)
+        opener.join()
+        assert len(in_flight.result(timeout=5)) == 3
+        # Abandoned queries fail with a typed error instead of hanging.
+        for future in queued:
+            with pytest.raises(ServingError):
+                future.result(timeout=5)
+        assert engine.telemetry.counter("abandoned") == len(queued)
+
+
+class TestStaleness:
+    def test_store_growth_fails_closed_then_rebuild_recovers(self, world):
+        fingerprints, labels, store, index = world
+        label = int(labels[0])
+        query = fingerprints[0]
+        with ServingEngine(index) as engine:
+            engine.query(query, label, k=1, timeout=5)
+            store.append(query.reshape(1, -1), [label], ["p9"], [b"z" * 32])
+            # Neither the cache nor the index may serve the old snapshot.
+            with pytest.raises(QueryError):
+                engine.query(query, label, k=1, timeout=5)
+            index.build()
+            # Same (fingerprint, label, k) as the first query, but the
+            # rebuild changed the cache key: recomputed, not a stale hit.
+            engine.query(query, label, k=1, timeout=5)
+            assert engine.telemetry.counter("cache_hits") == 0
+            hits = engine.query(query, label, k=2, timeout=5)
+            assert 1200 in [h.index for h in hits]  # the appended record
 
 
 class TestAuditTrail:

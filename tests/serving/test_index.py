@@ -152,3 +152,36 @@ class TestBatching:
         store, _, _ = small_store
         index = ShardedAnnIndex(store).build()
         assert index.built_version == store.version
+
+
+class TestStaleness:
+    def test_store_growth_fails_closed_until_rebuild(self, small_store):
+        store, fingerprints, labels = small_store
+        index = ShardedAnnIndex(store).build()
+        label = int(labels[0])
+        assert index.search(fingerprints[0], label, k=1)
+        store.append(fingerprints[:1], [label], ["p9"], [b"z" * 32])
+        with pytest.raises(QueryError):
+            index.search(fingerprints[0], label, k=1)
+        index.build()
+        hits = index.search(fingerprints[0], label, k=2)
+        # The appended duplicate (global record 600) is now visible.
+        assert 600 in [h.index for h in hits]
+
+
+class TestBuildEdgeCases:
+    def test_buckets_exceeding_kmeans_sample(self, tmp_path, generator):
+        # buckets_per_shard > kmeans_sample: centroid seeding must clamp to
+        # the subsample size instead of raising at build time.
+        fingerprints, labels = clustered_corpus(generator, 3000)
+        index = _built_index(tmp_path, fingerprints, labels,
+                             shard_threshold=200, buckets_per_shard=120,
+                             kmeans_sample=60)
+        assert all(index.shard_kind(label) == "clustered"
+                   for label in index.labels())
+        brute = _brute_service(fingerprints, labels)
+        queries, query_labels = _queries(generator, fingerprints, labels, 10)
+        for i in range(10):
+            expected = brute.query(queries[i], int(query_labels[i]), k=5)
+            got = index.search(queries[i], int(query_labels[i]), k=5)
+            assert [h.index for h in got] == [n.record_index for n in expected]

@@ -92,6 +92,19 @@ class TestRoundTrip:
             store.append(np.zeros((2, 3), dtype=np.float32), [0, 0],
                          ["p", "p"], [b"h" * 32] * 2)
 
+    def test_mismatched_optional_columns_rejected(self, small_store):
+        store, fingerprints, labels = small_store
+        before = (len(store), store.version)
+        with pytest.raises(StoreError):
+            store.append(fingerprints[:4], labels[:4].tolist(), ["p0"] * 4,
+                         [b"h" * 32] * 4, source_indices=[0, 1])
+        with pytest.raises(StoreError):
+            store.append(fingerprints[:4], labels[:4].tolist(), ["p0"] * 4,
+                         [b"h" * 32] * 4, kinds=["normal"])
+        # Nothing was written or sealed into the manifest.
+        assert (len(store), store.version) == before
+        assert store.verify()
+
 
 class TestIntegrity:
     def test_verify_passes_untouched(self, store_path, small_store):
