@@ -84,10 +84,13 @@ def _engine_qps(engine, queries, query_labels, repeats=1):
 
 
 def test_serving_throughput(bench_rng, tmp_path_factory, benchmark):
-    sizes = [10_000, 100_000]
+    if os.environ.get("REPRO_BENCH_SMOKE") == "1":
+        sizes = [10_000]  # the CI smoke job: shape checks, no 100k claims
+    else:
+        sizes = [10_000, 100_000]
     if os.environ.get("REPRO_BENCH_LARGE") == "1":
         sizes.append(1_000_000)
-    else:
+    elif os.environ.get("REPRO_BENCH_SMOKE") != "1":
         print("\n(1M corpus skipped — set REPRO_BENCH_LARGE=1 to include it)")
 
     rng = bench_rng.child("serving")
@@ -130,15 +133,18 @@ def test_serving_throughput(bench_rng, tmp_path_factory, benchmark):
         results[size] = (qps_brute, qps_engine, fingerprints, labels, queries,
                          query_labels, brute, store, index)
 
-    # Claim 1: >= 5x brute single-query throughput at 100k.
-    qps_brute, qps_engine = results[100_000][0], results[100_000][1]
-    assert qps_engine >= 5 * qps_brute, (
-        f"engine {qps_engine:.0f} qps < 5x brute {qps_brute:.0f} qps"
-    )
+    # Claim 1: >= 5x brute single-query throughput at 100k (full runs only;
+    # the smoke configuration keeps the parity/audit claims at 10k).
+    claim_size = max(sizes)
+    if 100_000 in results:
+        qps_brute, qps_engine = results[100_000][0], results[100_000][1]
+        assert qps_engine >= 5 * qps_brute, (
+            f"engine {qps_engine:.0f} qps < 5x brute {qps_brute:.0f} qps"
+        )
 
     # Claim 2: exact parity — recall 1.0 at the default re-rank width.
     _, _, fingerprints, labels, queries, query_labels, brute, store, index = \
-        results[100_000]
+        results[claim_size]
     for i in range(32):
         expected = [n.record_index
                     for n in brute.query(queries[i], int(query_labels[i]), k=K)]

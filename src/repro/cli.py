@@ -8,6 +8,10 @@ Run ``python -m repro <command>``:
 * ``forensics`` — the Trojaning-attack accountability pipeline.
 * ``build-index`` — persist a linkage store and build the sharded ANN index.
 * ``serve-queries`` — run the batched/cached/audited query engine.
+* ``ingest`` — multi-contributor chunked ingest through the gateway,
+  validation pipeline, and contribution ledger (with optional
+  fault-injection to demo crash/resume).
+* ``ingest-status`` — inspect and verify an on-disk contribution ledger.
 
 Every command is deterministic given ``--seed``.
 """
@@ -78,11 +82,32 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=2)
     serve.add_argument("--probes", type=int, default=None,
                        help="ANN probe count (default: exact mode)")
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="chunked, attestation-gated multi-contributor data ingestion",
+    )
+    ingest.add_argument("--path", default=None,
+                        help="ledger directory (default: a temp directory)")
+    ingest.add_argument("--contributors", type=int, default=3)
+    ingest.add_argument("--records-per", type=int, default=120)
+    ingest.add_argument("--chunk-records", type=int, default=32)
+    ingest.add_argument("--tamper", type=int, default=2,
+                        help="records per contributor to tamper in transit")
+    ingest.add_argument("--fault", action="store_true",
+                        help="kill one upload mid-transfer and resume it")
+
+    status = sub.add_parser(
+        "ingest-status",
+        help="inspect and verify an on-disk contribution ledger",
+    )
+    status.add_argument("--path", required=True, help="ledger directory")
     return parser
 
 
 def _cmd_info(args) -> int:
     import repro
+    from repro.ingest import LEDGER_FORMAT
     from repro.nn.zoo import cifar10_10layer, cifar10_18layer
 
     print(f"repro-caltrain {repro.__version__}")
@@ -90,6 +115,13 @@ def _cmd_info(args) -> int:
     print(cifar10_10layer(np.random.default_rng(0), width_scale=1.0).summary())
     print("\nTable II — 18-layer CIFAR-10 network:")
     print(cifar10_18layer(np.random.default_rng(0), width_scale=1.0).summary())
+    print("\nIngestion plane (repro.ingest):")
+    print(f"  ledger segment format    v{LEDGER_FORMAT} "
+          "(append-only, content-addressed, sealable manifest)")
+    print("  repro ingest             chunked attestation-gated multi-"
+          "contributor ingest")
+    print("  repro ingest-status      inspect/verify an on-disk "
+          "contribution ledger")
     return 0
 
 
@@ -342,6 +374,134 @@ def _cmd_serve_queries(args) -> int:
     return 0 if chain_ok else 1
 
 
+def _cmd_ingest(args) -> int:
+    import dataclasses
+    import tempfile
+
+    from repro.data.datasets import synthetic_cifar
+    from repro.data.encryption import iter_encrypted_records
+    from repro.enclave.platform import SgxPlatform
+    from repro.enclave.attestation import AttestationService
+    from repro.federation.participant import TrainingParticipant
+    from repro.federation.provisioning import provision_key
+    from repro.federation.server import TrainingServer
+    from repro.ingest import (ContributionLedger, GatewayConfig,
+                              IngestGateway, ValidationConfig,
+                              ValidationPool, chunk_stream)
+    from repro.utils.rng import RngStream
+
+    rng = RngStream(args.seed, name="cli-ingest")
+    path = args.path or tempfile.mkdtemp(prefix="caltrain-ledger-")
+
+    platform = SgxPlatform(rng=rng.child("platform"))
+    attestation = AttestationService()
+    server = TrainingServer(platform, attestation, rng.child("server"))
+    server.build_training_enclave("[net]\ninput = 8,8,3\n[softmax]\n[cost]\n")
+    enclave = server.enclave
+    print(f"training enclave MRENCLAVE: {enclave.mrenclave.hex()[:16]}…")
+
+    contributors = []
+    for i in range(args.contributors):
+        data, _ = synthetic_cifar(rng.child(f"data-{i}"),
+                                  num_train=args.records_per, num_test=1,
+                                  num_classes=4, shape=(8, 8, 3))
+        participant = TrainingParticipant(f"c{i}", data, rng.child(f"c{i}"))
+        provision_key(participant, enclave, attestation,
+                      expected_mrenclave=enclave.mrenclave)
+        contributors.append(participant)
+    print(f"{len(contributors)} contributors provisioned over attested TLS")
+
+    ledger = ContributionLedger.create(path)
+    validator = ValidationPool(
+        enclave, ValidationConfig(num_classes=4, input_shape=(8, 8, 3)),
+        ledger=ledger,
+    )
+    gateway = IngestGateway(
+        ledger, validator, spool_dir=path + ".spool",
+        config=GatewayConfig(chunk_records=args.chunk_records),
+    )
+
+    def upload(participant, fault=False):
+        chunks = list(chunk_stream(
+            iter_encrypted_records(participant.dataset, participant.key,
+                                   participant.participant_id),
+            args.chunk_records,
+        ))
+        # Tamper a few records in transit: they must land in quarantine.
+        for t in range(min(args.tamper, len(chunks[0]))):
+            record = chunks[0][t]
+            chunks[0][t] = dataclasses.replace(
+                record,
+                sealed=bytes([record.sealed[0] ^ 0xFF]) + record.sealed[1:],
+            )
+        session = gateway.open_session(participant.participant_id)
+        if fault and len(chunks) > 1:
+            crash_after = len(chunks) // 2
+            for chunk in chunks[:crash_after]:
+                session.send_chunk(chunk)
+            print(f"  {participant.participant_id}: CRASH after "
+                  f"{crash_after} chunks ({session.acked_records} records "
+                  "acked)")
+            gateway.evict_session(participant.participant_id)
+            session = gateway.resume_session(participant.participant_id)
+            print(f"  {participant.participant_id}: resumed at chunk "
+                  f"{session.next_seq}")
+            for chunk in chunks[crash_after:]:
+                session.send_chunk(chunk)
+        else:
+            for chunk in chunks:
+                session.send_chunk(chunk)
+        return session.complete()
+
+    for i, participant in enumerate(contributors):
+        receipt = upload(participant, fault=args.fault and i == 0)
+        print(f"  {participant.participant_id}: committed "
+              f"{receipt.committed}, quarantined {receipt.quarantined}")
+
+    print(gateway.telemetry.render())
+    print(f"ledger: {len(ledger)} records in {len(ledger.segments)} "
+          f"segments (+{ledger.quarantined_records} quarantined)")
+    sealed = ledger.seal_manifest(enclave)
+    print(f"manifest sealed to enclave identity: "
+          f"{'valid' if ledger.verify_sealed_manifest(enclave, sealed) else 'INVALID'}")
+    chain_ok = validator.verify_audit_chain()
+    print(f"ingest audit trail: {len(validator.audit)} events, chain "
+          f"{'VERIFIED' if chain_ok else 'BROKEN'}")
+
+    staged = server.from_ledger(ledger)
+    summary = server.decrypt_submissions()
+    print(f"training intake: staged {staged} ledger records, enclave "
+          f"accepted {summary.accepted} "
+          f"({summary.rejected_tampered} tampered slipped through)")
+    return 0 if chain_ok and summary.rejected_tampered == 0 else 1
+
+
+def _cmd_ingest_status(args) -> int:
+    from repro.errors import LedgerError
+    from repro.ingest import ContributionLedger
+
+    try:
+        ledger = ContributionLedger.open(args.path)
+    except LedgerError as exc:
+        print(f"ledger INVALID: {exc}")
+        return 1
+    status = ledger.status()
+    print(f"contribution ledger at {args.path}")
+    print(f"  format                   v{status['format']}")
+    print(f"  version                  {status['version']}")
+    print(f"  committed segments       {status['committed_segments']}")
+    print(f"  committed records        {status['committed_records']}")
+    print(f"  quarantine segments      {status['quarantine_segments']}")
+    print(f"  quarantine records       {status['quarantine_records']}")
+    print(f"  contributors             {', '.join(status['contributors']) or '-'}")
+    print(f"  manifest digest          {status['manifest_digest']}")
+    for info in ledger.quarantined:
+        print(f"  quarantine {info.name}: {info.records} records from "
+              f"{info.contributor} ({info.reason})")
+    print("segment digests: verified")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "train": _cmd_train,
@@ -349,6 +509,8 @@ _COMMANDS = {
     "forensics": _cmd_forensics,
     "build-index": _cmd_build_index,
     "serve-queries": _cmd_serve_queries,
+    "ingest": _cmd_ingest,
+    "ingest-status": _cmd_ingest_status,
 }
 
 

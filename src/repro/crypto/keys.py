@@ -27,6 +27,16 @@ class SymmetricKey:
         self._counter += 1
         return self._counter.to_bytes(NONCE_LEN, "big")
 
+    def advance_past(self, nonce: bytes) -> None:
+        """Never emit ``nonce`` or anything before it again.
+
+        A contributor resuming an interrupted upload from a fresh process
+        advances its key past the highest nonce the server journaled, so
+        the resumed stream cannot reuse a counter value already spent on
+        acknowledged records.
+        """
+        self._counter = max(self._counter, int.from_bytes(nonce, "big"))
+
 
 def random_key(rng: RngStream, key_id: str = "key", length: int = 16) -> SymmetricKey:
     """Generate a fresh symmetric key from an RNG stream."""

@@ -12,7 +12,7 @@ or splicing a record is detected exactly like a forged payload.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Iterator, List, Tuple
 
 import numpy as np
 
@@ -21,7 +21,14 @@ from repro.crypto.keys import SymmetricKey
 from repro.data.datasets import Dataset
 from repro.utils.serialization import array_from_bytes, array_to_bytes, canonical_json
 
-__all__ = ["EncryptedRecord", "EncryptedDataset", "encrypt_dataset", "decrypt_record", "record_aad"]
+__all__ = [
+    "EncryptedRecord",
+    "EncryptedDataset",
+    "encrypt_dataset",
+    "iter_encrypted_records",
+    "decrypt_record",
+    "record_aad",
+]
 
 
 @dataclass(frozen=True)
@@ -51,23 +58,39 @@ def record_aad(source_id: str, index: int, label: int) -> bytes:
     return canonical_json({"source": source_id, "index": index, "label": label})
 
 
-def encrypt_dataset(dataset: Dataset, key: SymmetricKey, source_id: str,
-                    cipher: str = "hmac-ctr") -> EncryptedDataset:
-    """Seal every instance of ``dataset`` under the participant's key."""
+def iter_encrypted_records(dataset: Dataset, key: SymmetricKey, source_id: str,
+                           cipher: str = "hmac-ctr",
+                           start_index: int = 0) -> Iterator[EncryptedRecord]:
+    """Lazily seal ``dataset`` one instance at a time.
+
+    Unlike :func:`encrypt_dataset`, nothing is materialised: each
+    :class:`EncryptedRecord` is produced on demand, so a million-record
+    dataset streams through a chunked upload with O(chunk) memory.
+
+    ``start_index`` supports resuming an interrupted upload: records before
+    it are skipped without being re-encrypted (the caller is responsible
+    for advancing ``key`` past any already-spent nonces first — see
+    :meth:`~repro.crypto.keys.SymmetricKey.advance_past`).
+    """
     aead = new_aead(key.material, cipher=cipher)
-    records = []
-    for i in range(len(dataset)):
+    for i in range(start_index, len(dataset)):
         nonce = key.next_nonce()
         label = int(dataset.y[i])
         sealed = aead.seal(
             nonce, array_to_bytes(dataset.x[i]), record_aad(source_id, i, label)
         )
-        records.append(
-            EncryptedRecord(
-                source_id=source_id, index=i, label=label, nonce=nonce, sealed=sealed
-            )
+        yield EncryptedRecord(
+            source_id=source_id, index=i, label=label, nonce=nonce, sealed=sealed
         )
-    return EncryptedDataset(source_id=source_id, records=records)
+
+
+def encrypt_dataset(dataset: Dataset, key: SymmetricKey, source_id: str,
+                    cipher: str = "hmac-ctr") -> EncryptedDataset:
+    """Seal every instance of ``dataset`` under the participant's key."""
+    return EncryptedDataset(
+        source_id=source_id,
+        records=list(iter_encrypted_records(dataset, key, source_id, cipher=cipher)),
+    )
 
 
 def decrypt_record(record: EncryptedRecord, aead: Aead) -> Tuple[np.ndarray, int]:

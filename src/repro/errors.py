@@ -65,6 +65,12 @@ class TrainingError(CalTrainError):
     """Training-time failure (divergence, bad batch, misuse of the API)."""
 
 
+class DuplicateSubmissionError(TrainingError):
+    """A source re-submitted a dataset, or a dataset carries colliding
+    record indices — either would silently double records' weight in
+    training, so both are rejected at the transport layer."""
+
+
 class PartitionError(CalTrainError):
     """A FrontNet/BackNet partition point is invalid for the network."""
 
@@ -95,4 +101,28 @@ class ServingError(CalTrainError):
 
 class StoreError(ServingError):
     """The persistent linkage store rejected an operation or failed an
+    integrity check against its content-addressed segment digests."""
+
+
+class IngestError(CalTrainError):
+    """Base class for failures in the data-ingestion subsystem."""
+
+
+class UploadRejected(IngestError):
+    """The ingest gateway refused work because of backpressure, a
+    per-contributor quota, or rate limiting.
+
+    Raised at submission time (mirroring :class:`QueryRejected` on the
+    serving plane) so contributors get typed backpressure and can retry
+    with backoff instead of having chunks silently dropped."""
+
+
+class TransferError(IngestError):
+    """A chunked upload violated the transfer protocol: an out-of-order
+    chunk, a digest conflict on a replayed sequence number, or records
+    whose nonces were already journaled."""
+
+
+class LedgerError(IngestError):
+    """The contribution ledger rejected an operation or failed an
     integrity check against its content-addressed segment digests."""

@@ -20,7 +20,8 @@ from repro.data.encryption import EncryptedDataset, decrypt_record
 from repro.enclave.attestation import AttestationService
 from repro.enclave.enclave import Enclave
 from repro.enclave.platform import SgxPlatform
-from repro.errors import AuthenticationError, ProvisioningError, TrainingError
+from repro.errors import (AuthenticationError, DuplicateSubmissionError,
+                          ProvisioningError, TrainingError)
 from repro.federation.provisioning import (
     install_provisioning_ecalls,
     provisioned_key,
@@ -112,8 +113,11 @@ class TrainingServer:
         into MRENCLAVE, so participants validating the quote are validating
         the exact training procedure they agreed on (paper, Section III).
         """
+        from repro.ingest.validate import install_ingest_ecalls
+
         enclave = self.platform.create_enclave(name)
         install_provisioning_ecalls(enclave)
+        install_ingest_ecalls(enclave)
         enclave.add_code("decrypt_datasets", _ecall_decrypt_datasets)
         enclave.add_data("network-config", network_config,
                          nbytes=len(network_config))
@@ -127,20 +131,55 @@ class TrainingServer:
     def submit(self, encrypted_dataset: EncryptedDataset) -> None:
         """Accept one participant's encrypted submission (legit channel).
 
-        Duplicate submissions from the same source are rejected at the
-        transport layer: re-playing a dataset would double every instance's
-        weight in training (a cheap influence attack even without forging
-        a single record).
+        Duplicate submissions from the same source — and datasets whose
+        record indices collide — are rejected at the transport layer:
+        re-playing a dataset (or one record inside it) would double an
+        instance's weight in training (a cheap influence attack even
+        without forging a single record).
         """
         if any(
             existing.source_id == encrypted_dataset.source_id
             for existing in self._submissions
         ):
-            raise TrainingError(
+            raise DuplicateSubmissionError(
                 f"source {encrypted_dataset.source_id!r} already submitted "
                 "(replayed submissions are rejected)"
             )
+        seen: set = set()
+        collisions: set = set()
+        for record in encrypted_dataset.records:
+            (collisions if record.index in seen else seen).add(record.index)
+        if collisions:
+            raise DuplicateSubmissionError(
+                f"submission from {encrypted_dataset.source_id!r} carries "
+                f"colliding record indices {sorted(collisions)[:5]} "
+                "(replayed records are rejected)"
+            )
         self._submissions.append(encrypted_dataset)
+
+    def from_ledger(self, ledger) -> int:
+        """Stage every validated ledger record for training.
+
+        This is the production intake path: instead of per-participant
+        in-memory submissions, training consumes the committed lane of a
+        :class:`~repro.ingest.ledger.ContributionLedger` — records that
+        already passed the attestation-gated gateway and the validation
+        pipeline. The ledger's segment digests are re-verified
+        (fail-closed) before anything is staged; quarantined records are
+        never read. Returns the number of records staged.
+        """
+        ledger.verify()
+        by_source: Dict[str, List] = {}
+        for record in ledger.iter_records():
+            by_source.setdefault(record.source_id, []).append(record)
+        staged = 0
+        for source_id in sorted(by_source):
+            self.submit(EncryptedDataset(source_id=source_id,
+                                         records=by_source[source_id]))
+            staged += len(by_source[source_id])
+        _LOG.info("staged %d ledger records from %d contributors",
+                  staged, len(by_source))
+        return staged
 
     def decrypt_submissions(self, cipher: str = "hmac-ctr") -> DecryptionSummary:
         """Authenticate + decrypt everything submitted, inside the enclave."""

@@ -1,0 +1,336 @@
+"""The append-only, content-addressed contribution ledger.
+
+Validated encrypted records are the system of record for training: a
+segment is written once — at upload-session commit — and never modified.
+The format mirrors :class:`repro.serving.store.LinkageStore`:
+
+* **append-only segments** — a ``.bin`` file of concatenated sealed
+  payloads plus a canonical-JSON metadata sidecar carrying sources,
+  indices, labels, nonces, payload offsets, and per-record digests;
+* **content addressing** — each segment is identified by a SHA-256 digest
+  over its payload bytes and metadata; the manifest lists committed
+  segments and quarantined segments in separate lanes, and the whole
+  ledger state is committed by :meth:`manifest_digest`;
+* **sealing boundary** — the training enclave can seal the manifest
+  digest to its identity (:meth:`seal_manifest`), so a verifier can later
+  prove training consumed exactly the records the validation pipeline
+  admitted (:meth:`verify_sealed_manifest`).
+
+Quarantined records (tampered, relabelled, malformed, duplicated) live in
+their own lane: they are preserved as forensic evidence with the reason
+they were refused, but :meth:`iter_records` — the path training reads —
+never yields them.
+
+Integrity checks are fail-closed: :meth:`verify` raises
+:class:`~repro.errors.LedgerError` on the first digest mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from repro.data.encryption import EncryptedRecord
+from repro.errors import LedgerError, SealingError
+from repro.utils.serialization import canonical_json, stable_hash
+
+__all__ = [
+    "LEDGER_FORMAT",
+    "LedgerSegmentInfo",
+    "ContributionLedger",
+    "pack_records",
+    "unpack_records",
+    "record_digest",
+]
+
+_MANIFEST = "manifest.json"
+LEDGER_FORMAT = 1
+
+
+def record_digest(record: EncryptedRecord) -> bytes:
+    """Content address of one encrypted record (dedup + audit identity)."""
+    return stable_hash(
+        {"source": record.source_id, "index": record.index,
+         "label": record.label, "nonce": record.nonce.hex()},
+        record.sealed,
+    )
+
+
+def pack_records(records: Sequence[EncryptedRecord]) -> bytes:
+    """Serialize records to one canonical blob (chunk and segment payloads).
+
+    Layout: ``count | (meta-len | meta-json | sealed-len | sealed)...`` —
+    everything length-prefixed, so equal record sequences always produce
+    equal bytes.
+    """
+    out = [struct.pack("<I", len(records))]
+    for record in records:
+        meta = canonical_json({
+            "source": record.source_id, "index": record.index,
+            "label": record.label, "nonce": record.nonce.hex(),
+        })
+        out.append(struct.pack("<I", len(meta)))
+        out.append(meta)
+        out.append(struct.pack("<Q", len(record.sealed)))
+        out.append(record.sealed)
+    return b"".join(out)
+
+
+def unpack_records(blob: bytes) -> List[EncryptedRecord]:
+    """Inverse of :func:`pack_records`."""
+    (count,) = struct.unpack_from("<I", blob, 0)
+    offset = 4
+    records: List[EncryptedRecord] = []
+    for _ in range(count):
+        (meta_len,) = struct.unpack_from("<I", blob, offset)
+        offset += 4
+        meta = json.loads(blob[offset : offset + meta_len].decode("utf-8"))
+        offset += meta_len
+        (sealed_len,) = struct.unpack_from("<Q", blob, offset)
+        offset += 8
+        sealed = blob[offset : offset + sealed_len]
+        offset += sealed_len
+        records.append(EncryptedRecord(
+            source_id=meta["source"], index=meta["index"],
+            label=meta["label"], nonce=bytes.fromhex(meta["nonce"]),
+            sealed=sealed,
+        ))
+    if offset != len(blob):
+        raise LedgerError("trailing bytes after the last packed record")
+    return records
+
+
+@dataclass(frozen=True)
+class LedgerSegmentInfo:
+    """One manifest entry: an immutable, content-addressed segment."""
+
+    name: str
+    records: int
+    contributor: str
+    digest: str  # hex SHA-256 over (payload bytes, metadata JSON)
+    lane: str = "committed"  # "committed" | "quarantine"
+    reason: str = ""         # quarantine lane only
+
+
+class ContributionLedger:
+    """Append-only segment store for validated encrypted contributions."""
+
+    def __init__(self, path: Path, manifest: dict) -> None:
+        self.path = path
+        self._manifest = manifest
+        self._digests: Set[str] = set()
+        for entry in manifest["segments"]:
+            for digest in self._segment_record_digests(entry["name"]):
+                self._digests.add(digest)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: os.PathLike) -> "ContributionLedger":
+        """Initialise an empty ledger at ``path`` (created if missing)."""
+        root = Path(path)
+        root.mkdir(parents=True, exist_ok=True)
+        if (root / _MANIFEST).exists():
+            raise LedgerError(f"a contribution ledger already exists at {root}")
+        manifest = {"format": LEDGER_FORMAT, "version": 0,
+                    "segments": [], "quarantine": []}
+        ledger = cls(root, manifest)
+        ledger._write_manifest()
+        return ledger
+
+    @classmethod
+    def open(cls, path: os.PathLike, verify: bool = True) -> "ContributionLedger":
+        """Load a ledger; ``verify=True`` recomputes every digest first."""
+        root = Path(path)
+        manifest_path = root / _MANIFEST
+        if not manifest_path.exists():
+            raise LedgerError(f"no contribution ledger at {root}")
+        manifest = json.loads(manifest_path.read_text())
+        if manifest.get("format") != LEDGER_FORMAT:
+            raise LedgerError(
+                f"unsupported ledger format {manifest.get('format')!r}"
+            )
+        ledger = cls(root, manifest)
+        if verify:
+            ledger.verify()
+        return ledger
+
+    def _write_manifest(self) -> None:
+        payload = json.dumps(self._manifest, indent=2, sort_keys=True)
+        tmp = self.path / (_MANIFEST + ".tmp")
+        tmp.write_text(payload)
+        os.replace(tmp, self.path / _MANIFEST)
+
+    # -- writes ------------------------------------------------------------------
+
+    def _append_segment(self, lane: str, records: Sequence[EncryptedRecord],
+                        contributor: str, reason: str = "") -> LedgerSegmentInfo:
+        if not records:
+            raise LedgerError("a segment needs at least one record")
+        entries = self._manifest["segments" if lane == "committed"
+                                 else "quarantine"]
+        prefix = "segment" if lane == "committed" else "quarantine"
+        name = f"{prefix}-{len(entries):06d}"
+        payload = pack_records(records)
+        meta = {
+            "contributor": contributor,
+            "records": len(records),
+            "digests": [record_digest(r).hex() for r in records],
+            "reason": reason,
+        }
+        meta_bytes = canonical_json(meta)
+        (self.path / f"{name}.bin").write_bytes(payload)
+        (self.path / f"{name}.meta.json").write_bytes(meta_bytes)
+        info = LedgerSegmentInfo(
+            name=name, records=len(records), contributor=contributor,
+            digest=stable_hash(payload, meta_bytes).hex(),
+            lane=lane, reason=reason,
+        )
+        entries.append({
+            "name": info.name, "records": info.records,
+            "contributor": info.contributor, "digest": info.digest,
+            "reason": reason,
+        })
+        self._manifest["version"] += 1
+        self._write_manifest()
+        if lane == "committed":
+            for digest in meta["digests"]:
+                self._digests.add(digest)
+        return info
+
+    def append(self, records: Sequence[EncryptedRecord],
+               contributor: str) -> LedgerSegmentInfo:
+        """Commit one validated segment; returns its manifest entry."""
+        return self._append_segment("committed", records, contributor)
+
+    def quarantine(self, records: Sequence[EncryptedRecord], contributor: str,
+                   reason: str) -> LedgerSegmentInfo:
+        """Preserve refused records in the quarantine lane with the reason."""
+        return self._append_segment("quarantine", records, contributor,
+                                    reason=reason)
+
+    # -- reads -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(entry["records"] for entry in self._manifest["segments"])
+
+    @property
+    def version(self) -> int:
+        return self._manifest["version"]
+
+    @property
+    def segments(self) -> List[LedgerSegmentInfo]:
+        return [
+            LedgerSegmentInfo(name=e["name"], records=e["records"],
+                              contributor=e["contributor"], digest=e["digest"])
+            for e in self._manifest["segments"]
+        ]
+
+    @property
+    def quarantined(self) -> List[LedgerSegmentInfo]:
+        return [
+            LedgerSegmentInfo(name=e["name"], records=e["records"],
+                              contributor=e["contributor"], digest=e["digest"],
+                              lane="quarantine", reason=e["reason"])
+            for e in self._manifest["quarantine"]
+        ]
+
+    @property
+    def quarantined_records(self) -> int:
+        return sum(e["records"] for e in self._manifest["quarantine"])
+
+    def contributors(self) -> List[str]:
+        return sorted({e["contributor"] for e in self._manifest["segments"]})
+
+    def _segment_record_digests(self, name: str) -> List[str]:
+        meta_path = self.path / f"{name}.meta.json"
+        if not meta_path.exists():
+            raise LedgerError(f"segment {name} metadata is missing on disk")
+        return json.loads(meta_path.read_text())["digests"]
+
+    def has_ciphertext(self, digest: bytes) -> bool:
+        """Has a record with this content digest already been committed?
+
+        The validation pipeline uses this to catch the same sealed
+        ciphertext arriving twice — whether replayed by one contributor or
+        relayed wholesale by another.
+        """
+        return digest.hex() in self._digests
+
+    def iter_records(self, lane: str = "committed") -> Iterator[EncryptedRecord]:
+        """Yield records in commit order (training's read path).
+
+        ``lane="quarantine"`` iterates the forensic lane instead; the
+        default never yields a quarantined record.
+        """
+        entries = (self._manifest["segments"] if lane == "committed"
+                   else self._manifest["quarantine"])
+        for entry in entries:
+            blob = (self.path / f"{entry['name']}.bin").read_bytes()
+            for record in unpack_records(blob):
+                yield record
+
+    # -- integrity and the sealing boundary --------------------------------------
+
+    def verify(self) -> bool:
+        """Recompute every segment digest from disk bytes; fail-closed."""
+        for entry in (self._manifest["segments"] + self._manifest["quarantine"]):
+            payload_path = self.path / f"{entry['name']}.bin"
+            meta_path = self.path / f"{entry['name']}.meta.json"
+            if not payload_path.exists() or not meta_path.exists():
+                raise LedgerError(f"segment {entry['name']} is missing on disk")
+            actual = stable_hash(payload_path.read_bytes(),
+                                 meta_path.read_bytes()).hex()
+            if actual != entry["digest"]:
+                raise LedgerError(
+                    f"segment {entry['name']} failed its digest check "
+                    f"(tampered or corrupted)"
+                )
+        return True
+
+    def manifest_digest(self) -> bytes:
+        """A content address for the entire ledger state.
+
+        Commits to the ordered committed-lane digests and the quarantine
+        lane — two ledgers with the same manifest digest hold
+        byte-identical contributions *and* refused the same records.
+        """
+        return stable_hash({
+            "format": self._manifest["format"],
+            "segments": [e["digest"] for e in self._manifest["segments"]],
+            "quarantine": [e["digest"] for e in self._manifest["quarantine"]],
+        })
+
+    def seal_manifest(self, enclave):
+        """Seal the manifest digest to ``enclave``'s identity."""
+        from repro.enclave.sealing import seal
+
+        return seal(enclave, self.manifest_digest())
+
+    def verify_sealed_manifest(self, enclave, blob) -> bool:
+        """Check the current ledger state against a sealed manifest digest."""
+        from repro.enclave.sealing import unseal
+
+        try:
+            return unseal(enclave, blob) == self.manifest_digest()
+        except SealingError:
+            return False
+
+    # -- reporting ---------------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        """A plain-dict summary for the CLI and telemetry surfaces."""
+        return {
+            "format": LEDGER_FORMAT,
+            "version": self.version,
+            "committed_segments": len(self._manifest["segments"]),
+            "committed_records": len(self),
+            "quarantine_segments": len(self._manifest["quarantine"]),
+            "quarantine_records": self.quarantined_records,
+            "contributors": self.contributors(),
+            "manifest_digest": self.manifest_digest().hex(),
+        }

@@ -1,0 +1,234 @@
+"""Chunked, resumable upload transfer with a write-ahead journal.
+
+A contributor streams encrypted records in size-bounded chunks. Each
+chunk is made durable *before* it is acknowledged:
+
+1. the packed chunk payload is written to ``chunk-NNNNNN.bin``;
+2. one line is appended to ``journal.jsonl`` recording the sequence
+   number, the chunk digest, the record count, and every record nonce;
+3. only then does the server acknowledge the sequence number.
+
+A crashed upload therefore resumes exactly at the first unacknowledged
+chunk: :meth:`UploadTransfer.resume` replays the journal, re-verifies
+every chunk file against its journaled digest (fail-closed — a torn
+half-written chunk is discarded, not trusted), and reports
+``next_seq`` / ``max_nonce`` so the client can continue the stream
+without re-encrypting or re-sending acknowledged records.
+
+The journal is also the replay barrier: re-sending an acknowledged chunk
+(same sequence, same digest) is idempotent — acknowledged again, never
+double-committed — while a *conflicting* replay (same sequence, different
+bytes) or a new chunk carrying already-journaled nonces raises the typed
+:class:`~repro.errors.TransferError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from repro.data.encryption import EncryptedRecord
+from repro.errors import TransferError
+from repro.ingest.ledger import pack_records, unpack_records
+from repro.utils.serialization import stable_hash
+
+__all__ = ["ChunkReceipt", "UploadTransfer", "chunk_stream"]
+
+_JOURNAL = "journal.jsonl"
+
+
+@dataclass(frozen=True)
+class ChunkReceipt:
+    """The server's acknowledgement for one chunk."""
+
+    seq: int
+    digest: str
+    records: int
+    replayed: bool = False  # an acknowledged chunk sent again (idempotent)
+
+
+@dataclass(frozen=True)
+class _JournalEntry:
+    seq: int
+    digest: str
+    records: int
+    nonces: List[str]
+
+
+def chunk_stream(records: Iterator[EncryptedRecord],
+                 chunk_records: int) -> Iterator[List[EncryptedRecord]]:
+    """Group a (possibly lazy) record stream into bounded chunks."""
+    if chunk_records < 1:
+        raise TransferError("chunk_records must be >= 1")
+    chunk: List[EncryptedRecord] = []
+    for record in records:
+        chunk.append(record)
+        if len(chunk) >= chunk_records:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+class UploadTransfer:
+    """Server-side state of one chunked upload session."""
+
+    def __init__(self, session_dir: os.PathLike, entries: List[_JournalEntry],
+                 nonces: Set[str]) -> None:
+        self.path = Path(session_dir)
+        self._entries = entries
+        self._nonces = nonces
+        self._finalized = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @classmethod
+    def create(cls, session_dir: os.PathLike) -> "UploadTransfer":
+        """Start a fresh transfer spool at ``session_dir``."""
+        path = Path(session_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        if (path / _JOURNAL).exists():
+            raise TransferError(
+                f"a transfer journal already exists at {path} — resume it"
+            )
+        (path / _JOURNAL).touch()
+        return cls(path, [], set())
+
+    @classmethod
+    def resume(cls, session_dir: os.PathLike) -> "UploadTransfer":
+        """Reopen a crashed transfer from its journal.
+
+        Every journaled chunk file is re-verified against its recorded
+        digest; a chunk written but never journaled (the crash window) is
+        deleted so the client re-sends it.
+        """
+        path = Path(session_dir)
+        journal_path = path / _JOURNAL
+        if not journal_path.exists():
+            raise TransferError(f"no transfer journal at {path}")
+        entries: List[_JournalEntry] = []
+        nonces: Set[str] = set()
+        for line in journal_path.read_text().splitlines():
+            if not line.strip():
+                continue
+            raw = json.loads(line)
+            entry = _JournalEntry(seq=raw["seq"], digest=raw["digest"],
+                                  records=raw["records"], nonces=raw["nonces"])
+            chunk_path = path / cls._chunk_name(entry.seq)
+            if not chunk_path.exists():
+                raise TransferError(
+                    f"journaled chunk {entry.seq} is missing on disk"
+                )
+            if stable_hash(chunk_path.read_bytes()).hex() != entry.digest:
+                raise TransferError(
+                    f"journaled chunk {entry.seq} failed its digest check"
+                )
+            entries.append(entry)
+            nonces.update(entry.nonces)
+        # Drop any chunk file past the journal head: written, never acked.
+        acked = {cls._chunk_name(e.seq) for e in entries}
+        for stray in path.glob("chunk-*.bin"):
+            if stray.name not in acked:
+                stray.unlink()
+        return cls(path, entries, nonces)
+
+    @staticmethod
+    def _chunk_name(seq: int) -> str:
+        return f"chunk-{seq:06d}.bin"
+
+    # -- the chunk protocol ------------------------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the server expects next."""
+        return len(self._entries)
+
+    @property
+    def acked_records(self) -> int:
+        return sum(e.records for e in self._entries)
+
+    def max_nonce(self) -> Optional[bytes]:
+        """The highest journaled nonce (resume point for the client's key)."""
+        if not self._nonces:
+            return None
+        return max(bytes.fromhex(n) for n in self._nonces)
+
+    def append_chunk(self, records: Sequence[EncryptedRecord]) -> ChunkReceipt:
+        """Durably journal one chunk; returns the acknowledgement.
+
+        Raises :class:`TransferError` on protocol violations (replayed
+        records under a new sequence number, or a conflicting resend of an
+        acknowledged one).
+        """
+        if self._finalized:
+            raise TransferError("transfer already finalized")
+        if not records:
+            raise TransferError("a chunk needs at least one record")
+        payload = pack_records(records)
+        digest = stable_hash(payload).hex()
+        for entry in self._entries:
+            if entry.digest == digest:
+                # Idempotent resend of an acknowledged chunk (the client
+                # never saw our ack): acknowledge again, commit nothing.
+                return ChunkReceipt(seq=entry.seq, digest=digest,
+                                    records=entry.records, replayed=True)
+        nonces = [r.nonce.hex() for r in records]
+        already = [n for n in nonces if n in self._nonces]
+        if already:
+            raise TransferError(
+                f"chunk replays {len(already)} already-journaled record "
+                "nonce(s) under a new sequence number"
+            )
+        if len(set(nonces)) != len(nonces):
+            raise TransferError("chunk contains duplicate record nonces")
+        seq = self.next_seq
+        chunk_path = self.path / self._chunk_name(seq)
+        chunk_path.write_bytes(payload)
+        entry = _JournalEntry(seq=seq, digest=digest, records=len(records),
+                              nonces=nonces)
+        with open(self.path / _JOURNAL, "a") as journal:
+            journal.write(json.dumps({
+                "seq": seq, "digest": digest, "records": len(records),
+                "nonces": nonces,
+            }) + "\n")
+            journal.flush()
+            os.fsync(journal.fileno())
+        self._entries.append(entry)
+        self._nonces.update(nonces)
+        return ChunkReceipt(seq=seq, digest=digest, records=len(records))
+
+    # -- finalize ----------------------------------------------------------------
+
+    def iter_records(self) -> Iterator[EncryptedRecord]:
+        """Yield every journaled record in chunk order."""
+        for entry in self._entries:
+            blob = (self.path / self._chunk_name(entry.seq)).read_bytes()
+            if stable_hash(blob).hex() != entry.digest:
+                raise TransferError(
+                    f"chunk {entry.seq} failed its digest check at read time"
+                )
+            for record in unpack_records(blob):
+                yield record
+
+    def finalize(self) -> List[EncryptedRecord]:
+        """Close the transfer and hand all journaled records downstream."""
+        if self._finalized:
+            raise TransferError("transfer already finalized")
+        records = list(self.iter_records())
+        self._finalized = True
+        return records
+
+    def discard(self) -> None:
+        """Delete the spool (after the session committed or was aborted)."""
+        for stray in self.path.glob("chunk-*.bin"):
+            stray.unlink()
+        journal = self.path / _JOURNAL
+        if journal.exists():
+            journal.unlink()
+        try:
+            self.path.rmdir()
+        except OSError:  # pragma: no cover - directory shared or non-empty
+            pass

@@ -1,0 +1,241 @@
+"""The concurrent validation pipeline between transfer and ledger.
+
+Every journaled record must pass four gates before it is committed:
+
+1. **AEAD authentication, inside the enclave** — the sealed payload is
+   opened via the ``ingest_verify_records`` ECALL under the contributor's
+   provisioned key; a forged payload, a relabelled record, or a spliced
+   index fails its tag and is *quarantined*, never crashing the pipeline
+   and never reaching the training ledger;
+2. **label domain** — the cleartext label must lie in the agreed domain;
+3. **tensor shape** — the decrypted instance (its shape is reported from
+   inside the enclave; the plaintext itself never leaves) must match the
+   agreed input shape;
+4. **duplicate detection** — a sealed ciphertext whose content digest was
+   already committed (by this or any other contributor) is quarantined:
+   replaying another participant's records is a cheap influence attack
+   even without forging a single byte.
+
+Batches are fanned out across a worker pool, and every decision — accept
+or quarantine, with the reason — appends a hash-chained event to the
+ingest :class:`~repro.core.audit.AuditLog`, so the admission history is
+itself tamper-evident.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.audit import AuditLog
+from repro.crypto.aead import new_aead
+from repro.data.encryption import EncryptedRecord, decrypt_record
+from repro.enclave.enclave import Enclave
+from repro.errors import AuthenticationError, ConfigurationError
+from repro.federation.provisioning import provisioned_key
+from repro.ingest.ledger import ContributionLedger, record_digest
+from repro.ingest.telemetry import IngestTelemetry
+
+__all__ = ["ValidationConfig", "QuarantinedRecord", "ValidationReport",
+           "ValidationPool", "install_ingest_ecalls"]
+
+
+# -- trusted (in-enclave) function ---------------------------------------------
+
+
+def _ecall_verify_records(enclave: Enclave, contributor_id: str,
+                          records: Sequence[EncryptedRecord],
+                          cipher: str) -> List[Tuple[str, Optional[Tuple[int, ...]], Optional[int]]]:
+    """Trusted: authenticate each record; report (verdict, shape, label).
+
+    The plaintext never crosses the boundary — only the tag verdict and
+    the decrypted tensor's shape, which the untrusted validation workers
+    need for the shape gate.
+    """
+    key_material = provisioned_key(enclave, contributor_id)
+    aead = new_aead(key_material, cipher=cipher)
+    verdicts: List[Tuple[str, Optional[Tuple[int, ...]], Optional[int]]] = []
+    for record in records:
+        try:
+            image, label = decrypt_record(record, aead)
+        except AuthenticationError:
+            verdicts.append(("tampered", None, None))
+            continue
+        verdicts.append(("ok", tuple(image.shape), int(label)))
+    return verdicts
+
+
+def install_ingest_ecalls(enclave: Enclave) -> None:
+    """Register the ingest ECALLs (call during enclave build)."""
+    enclave.add_code("ingest_verify_records", _ecall_verify_records)
+
+
+# -- untrusted pipeline ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ValidationConfig:
+    """The admission contract every contribution is checked against."""
+
+    num_classes: int                   # label domain: 0 <= label < num_classes
+    input_shape: Tuple[int, ...]       # agreed instance tensor shape
+    workers: int = 2                   # validation worker threads
+    batch_records: int = 128           # records per ECALL batch
+    cipher: str = "hmac-ctr"
+
+    def __post_init__(self) -> None:
+        if self.num_classes < 1:
+            raise ConfigurationError("num_classes must be >= 1")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if self.batch_records < 1:
+            raise ConfigurationError("batch_records must be >= 1")
+
+
+@dataclass(frozen=True)
+class QuarantinedRecord:
+    """One refused record and the gate that refused it."""
+
+    record: EncryptedRecord
+    reason: str  # "tampered" | "label-domain" | "shape" | "duplicate"
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one upload session's records."""
+
+    contributor: str
+    accepted: List[EncryptedRecord] = field(default_factory=list)
+    quarantined: List[QuarantinedRecord] = field(default_factory=list)
+
+    @property
+    def quarantined_by_reason(self) -> Dict[str, int]:
+        reasons: Dict[str, int] = {}
+        for item in self.quarantined:
+            reasons[item.reason] = reasons.get(item.reason, 0) + 1
+        return reasons
+
+
+class ValidationPool:
+    """Fans record batches across workers and applies the admission gates."""
+
+    def __init__(self, enclave: Enclave, config: ValidationConfig,
+                 ledger: Optional[ContributionLedger] = None,
+                 audit: Optional[AuditLog] = None,
+                 telemetry: Optional[IngestTelemetry] = None) -> None:
+        self.enclave = enclave
+        self.config = config
+        self.ledger = ledger
+        self.audit = audit if audit is not None else AuditLog()
+        self.telemetry = telemetry if telemetry is not None else IngestTelemetry()
+        self._audit_lock = threading.Lock()
+        self._ecall_lock = threading.Lock()
+
+    # -- per-batch work (runs on pool workers) ------------------------------------
+
+    def _verify_batch(self, contributor: str,
+                      batch: Sequence[EncryptedRecord]):
+        started = time.perf_counter()
+        # The enclave simulator's ECALL boundary is not reentrant; the
+        # authenticate stage serializes on it while digesting/gating below
+        # still overlaps across workers.
+        with self._ecall_lock:
+            verdicts = self.enclave.ecall(
+                "ingest_verify_records", contributor, list(batch),
+                self.config.cipher,
+                payload_bytes=sum(len(r.sealed) for r in batch),
+            )
+        self.telemetry.observe("authenticate", time.perf_counter() - started)
+        return verdicts
+
+    def _gate_batch(self, contributor: str, batch: Sequence[EncryptedRecord],
+                    verdicts) -> List[Tuple[EncryptedRecord, str, bytes]]:
+        """Apply the label/shape gates; returns (record, verdict, digest)."""
+        started = time.perf_counter()
+        out = []
+        for record, (verdict, shape, label) in zip(batch, verdicts):
+            digest = record_digest(record)
+            if verdict != "ok":
+                out.append((record, "tampered", digest))
+                continue
+            if not 0 <= label < self.config.num_classes:
+                out.append((record, "label-domain", digest))
+                continue
+            if tuple(shape) != tuple(self.config.input_shape):
+                out.append((record, "shape", digest))
+                continue
+            out.append((record, "ok", digest))
+        self.telemetry.observe("gate", time.perf_counter() - started)
+        return out
+
+    # -- the pipeline -------------------------------------------------------------
+
+    def validate(self, contributor: str,
+                 records: Sequence[EncryptedRecord]) -> ValidationReport:
+        """Run every gate over ``records``; never raises on bad data.
+
+        Tampered, relabelled, out-of-domain, misshapen, and duplicated
+        records land in the report's quarantine list (and the audit
+        trail), not in an exception: one malicious record must not stall
+        the ingestion of everyone else's data.
+        """
+        if not records:
+            return ValidationReport(contributor=contributor)
+        started = time.perf_counter()
+        batches = [
+            records[start : start + self.config.batch_records]
+            for start in range(0, len(records), self.config.batch_records)
+        ]
+        report = ValidationReport(contributor=contributor)
+        with ThreadPoolExecutor(max_workers=self.config.workers,
+                                thread_name_prefix="ingest-validate") as pool:
+            gated = pool.map(
+                lambda batch: self._gate_batch(
+                    contributor, batch, self._verify_batch(contributor, batch)
+                ),
+                batches,
+            )
+            results = [item for batch in gated for item in batch]
+        # Duplicate detection is cross-batch and cross-contributor state,
+        # so it runs single-threaded over the gated stream: first within
+        # this session, then against everything the ledger ever committed.
+        seen: Set[bytes] = set()
+        for record, verdict, digest in results:
+            if verdict == "ok":
+                duplicate = digest in seen or (
+                    self.ledger is not None and self.ledger.has_ciphertext(digest)
+                )
+                if duplicate:
+                    verdict = "duplicate"
+                else:
+                    seen.add(digest)
+            if verdict == "ok":
+                report.accepted.append(record)
+                self.telemetry.count("records_accepted")
+            else:
+                report.quarantined.append(
+                    QuarantinedRecord(record=record, reason=verdict)
+                )
+                self.telemetry.count("records_quarantined")
+                self.telemetry.count(f"quarantined_{verdict.replace('-', '_')}")
+            self._audit_record(contributor, digest, verdict)
+        self.telemetry.observe("validate", time.perf_counter() - started)
+        return report
+
+    def _audit_record(self, contributor: str, digest: bytes,
+                      verdict: str) -> None:
+        with self._audit_lock:
+            self.audit.append(
+                "ingest-validate",
+                contributor=contributor,
+                record_digest=digest.hex(),
+                verdict=verdict,
+            )
+
+    def verify_audit_chain(self) -> bool:
+        """Validate the hash chain over every admission decision so far."""
+        with self._audit_lock:
+            return self.audit.verify_chain()

@@ -8,7 +8,8 @@ import pytest
 from repro.crypto.aead import new_aead
 from repro.crypto.keys import SymmetricKey
 from repro.data.datasets import Dataset
-from repro.data.encryption import decrypt_record, encrypt_dataset
+from repro.data.encryption import (decrypt_record, encrypt_dataset,
+                                   iter_encrypted_records)
 from repro.errors import AuthenticationError
 
 
@@ -49,6 +50,35 @@ class TestEncryptDecrypt:
         aead = new_aead(key.material, cipher="aes-128-gcm")
         image, _ = decrypt_record(encrypted.records[0], aead)
         np.testing.assert_array_equal(image, small.x[0])
+
+
+class TestStreamingEncryption:
+    def test_matches_encrypt_dataset(self, dataset, key):
+        streamed = list(iter_encrypted_records(dataset, key, "p0"))
+        fresh = SymmetricKey(key_id=key.key_id, material=key.material)
+        assert streamed == encrypt_dataset(dataset, fresh, "p0").records
+
+    def test_lazy(self, dataset, key):
+        """Nothing is sealed until the stream is pulled."""
+        stream = iter_encrypted_records(dataset, key, "p0")
+        assert key._counter == 0
+        next(stream)
+        assert key._counter == 1
+
+    def test_start_index_skips_without_spending_nonces(self, dataset, key):
+        full = list(iter_encrypted_records(dataset, key, "p0"))
+        resumed_key = SymmetricKey(key_id=key.key_id, material=key.material)
+        resumed_key.advance_past(full[3].nonce)
+        tail = list(iter_encrypted_records(dataset, resumed_key, "p0",
+                                           start_index=4))
+        assert tail == full[4:]
+
+    def test_decryptable(self, dataset, key):
+        aead = new_aead(key.material, cipher="hmac-ctr")
+        for i, record in enumerate(iter_encrypted_records(dataset, key, "p0")):
+            image, label = decrypt_record(record, aead)
+            np.testing.assert_array_equal(image, dataset.x[i])
+            assert record.index == i
 
 
 class TestTamperDetection:

@@ -8,7 +8,7 @@ import pytest
 from repro.data.datasets import Dataset
 from repro.data.encryption import EncryptedDataset, encrypt_dataset
 from repro.crypto.keys import SymmetricKey
-from repro.errors import TrainingError
+from repro.errors import DuplicateSubmissionError, LedgerError, TrainingError
 from repro.federation.participant import TrainingParticipant
 from repro.federation.provisioning import provision_key
 from repro.federation.server import TrainingServer
@@ -118,8 +118,21 @@ class TestReplayGuard:
         provision_key(p, server.enclave, attestation_service,
                       expected_mrenclave=server.enclave.mrenclave)
         server.submit(p.encrypt_dataset())
-        with pytest.raises(TrainingError):
+        with pytest.raises(DuplicateSubmissionError):
             server.submit(p.encrypt_dataset())
+
+    def test_colliding_record_indices_rejected(self, server, rng,
+                                               attestation_service):
+        """One replayed record inside an otherwise fresh dataset would
+        double its training weight — refused at the transport layer."""
+        p = _participant(rng, "p0")
+        provision_key(p, server.enclave, attestation_service,
+                      expected_mrenclave=server.enclave.mrenclave)
+        encrypted = p.encrypt_dataset()
+        encrypted.records.append(encrypted.records[2])
+        with pytest.raises(DuplicateSubmissionError, match="colliding"):
+            server.submit(encrypted)
+        assert server._submissions == []
 
     def test_distinct_sources_fine(self, server, rng, attestation_service):
         for name in ("p0", "p1"):
@@ -128,3 +141,44 @@ class TestReplayGuard:
                           expected_mrenclave=server.enclave.mrenclave)
             server.submit(p.encrypt_dataset())
         assert server.decrypt_submissions().accepted == 10
+
+
+class TestFromLedger:
+    def _build_ledger(self, server, rng, attestation_service, tmp_path):
+        from repro.ingest import ContributionLedger
+
+        ledger = ContributionLedger.create(tmp_path / "ledger")
+        for name in ("p0", "p1"):
+            p = _participant(rng, name)
+            provision_key(p, server.enclave, attestation_service,
+                          expected_mrenclave=server.enclave.mrenclave)
+            ledger.append(p.encrypt_dataset().records, name)
+        return ledger
+
+    def test_stages_committed_lane(self, server, rng, attestation_service,
+                                   tmp_path):
+        ledger = self._build_ledger(server, rng, attestation_service, tmp_path)
+        assert server.from_ledger(ledger) == 10
+        summary = server.decrypt_submissions()
+        assert summary.accepted == 10
+        assert summary.accepted_by_source == {"p0": 5, "p1": 5}
+
+    def test_quarantine_lane_never_staged(self, server, rng,
+                                          attestation_service, tmp_path):
+        ledger = self._build_ledger(server, rng, attestation_service, tmp_path)
+        bad = _participant(rng, "hostile")
+        ledger.quarantine(bad.encrypt_dataset().records, "hostile",
+                          reason="tampered")
+        assert server.from_ledger(ledger) == 10
+        assert server.decrypt_submissions().rejected_tampered == 0
+
+    def test_tampered_ledger_fails_closed(self, server, rng,
+                                          attestation_service, tmp_path):
+        ledger = self._build_ledger(server, rng, attestation_service, tmp_path)
+        target = next((tmp_path / "ledger").glob("segment-*.bin"))
+        blob = bytearray(target.read_bytes())
+        blob[10] ^= 0xFF
+        target.write_bytes(bytes(blob))
+        with pytest.raises(LedgerError):
+            server.from_ledger(ledger)
+        assert server._submissions == []

@@ -1,0 +1,227 @@
+"""Gateway tests: attestation gate, backpressure, quotas, rate limits."""
+
+import pytest
+
+from repro.crypto.keys import SymmetricKey
+from repro.data.encryption import iter_encrypted_records
+from repro.errors import ConfigurationError, IngestError, UploadRejected
+from repro.ingest import GatewayConfig, IngestGateway, TokenBucket
+
+
+def _records(contributor):
+    # A fresh key object per call keeps the nonce stream deterministic, so
+    # repeated calls reproduce identical ciphertexts for comparison.
+    key = SymmetricKey(contributor.key.key_id, contributor.key.material)
+    return list(iter_encrypted_records(contributor.dataset, key,
+                                       contributor.participant_id))
+
+
+def _upload_all(gateway, contributor, chunk=4):
+    session = gateway.open_session(contributor.participant_id)
+    records = _records(contributor)
+    for start in range(0, len(records), chunk):
+        session.send_chunk(records[start : start + chunk])
+    return session.complete()
+
+
+class TestConfig:
+    @pytest.mark.parametrize("overrides", [
+        {"max_open_sessions": 0},
+        {"max_records_per_contributor": 0},
+        {"max_bytes_per_contributor": 0},
+        {"rate_capacity": 0.0},
+        {"rate_refill_per_s": -1.0},
+        {"chunk_records": 0},
+    ])
+    def test_bad_config_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            GatewayConfig(**overrides)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        now = [0.0]
+        bucket = TokenBucket(capacity=10, refill_per_s=5, clock=lambda: now[0])
+        assert bucket.try_take(10)
+        assert not bucket.try_take(1)
+        now[0] = 1.0  # 5 tokens refilled
+        assert bucket.try_take(5)
+        assert not bucket.try_take(1)
+
+    def test_capacity_caps_refill(self):
+        now = [0.0]
+        bucket = TokenBucket(capacity=4, refill_per_s=100, clock=lambda: now[0])
+        now[0] = 60.0
+        assert bucket.try_take(4)
+        assert not bucket.try_take(1)
+
+
+class TestAttestationGate:
+    def test_unprovisioned_contributor_refused(self, gateway, stranger):
+        with pytest.raises(UploadRejected, match="provisioned"):
+            gateway.open_session(stranger.participant_id)
+        assert gateway.telemetry.counter("rejected_unprovisioned") == 1
+
+    def test_unprovisioned_resume_refused(self, gateway, stranger):
+        with pytest.raises(UploadRejected):
+            gateway.resume_session(stranger.participant_id)
+
+    def test_provisioned_contributor_admitted(self, gateway, contributors):
+        session = gateway.open_session(contributors[0].participant_id)
+        assert gateway.open_sessions == 1
+        session.abort()
+
+
+class TestBackpressure:
+    def test_bounded_sessions(self, gateway, contributors):
+        held = [gateway.open_session(contributors[0].participant_id, f"s{i}")
+                for i in range(4)]
+        with pytest.raises(UploadRejected, match="in flight"):
+            gateway.open_session(contributors[1].participant_id)
+        assert gateway.telemetry.counter("rejected_backpressure") == 1
+        held[0].abort()
+        gateway.open_session(contributors[1].participant_id)
+
+    def test_duplicate_session_refused(self, gateway, contributors):
+        gateway.open_session(contributors[0].participant_id, "s")
+        with pytest.raises(UploadRejected, match="already"):
+            gateway.open_session(contributors[0].participant_id, "s")
+
+    def test_oversized_chunk_refused(self, gateway, contributors):
+        session = gateway.open_session(contributors[0].participant_id)
+        with pytest.raises(UploadRejected, match="bound"):
+            session.send_chunk(_records(contributors[0])[:5])
+        assert gateway.telemetry.counter("rejected_oversized_chunk") == 1
+
+
+class TestQuotas:
+    def test_record_quota_cuts_stream_midflight(self, ledger, validator,
+                                                tmp_path, contributors):
+        gateway = IngestGateway(
+            ledger, validator, spool_dir=tmp_path / "spool",
+            config=GatewayConfig(chunk_records=4,
+                                 max_records_per_contributor=8),
+        )
+        session = gateway.open_session(contributors[0].participant_id)
+        records = _records(contributors[0])
+        session.send_chunk(records[:4])
+        session.send_chunk(records[4:8])
+        with pytest.raises(UploadRejected, match="quota"):
+            session.send_chunk(records[8:12])
+        assert gateway.telemetry.counter("rejected_quota") == 1
+
+    def test_record_quota_spans_sessions(self, ledger, validator, tmp_path,
+                                         contributors):
+        gateway = IngestGateway(
+            ledger, validator, spool_dir=tmp_path / "spool",
+            config=GatewayConfig(chunk_records=8,
+                                 max_records_per_contributor=14),
+        )
+        receipt = _upload_all(gateway, contributors[0], chunk=8)
+        assert receipt.committed == 12
+        session = gateway.open_session(contributors[0].participant_id, "more")
+        with pytest.raises(UploadRejected, match="quota"):
+            session.send_chunk(_records(contributors[1])[:4])
+
+    def test_byte_quota(self, ledger, validator, tmp_path, contributors):
+        gateway = IngestGateway(
+            ledger, validator, spool_dir=tmp_path / "spool",
+            config=GatewayConfig(chunk_records=4,
+                                 max_bytes_per_contributor=64),
+        )
+        session = gateway.open_session(contributors[0].participant_id)
+        with pytest.raises(UploadRejected, match="byte quota"):
+            session.send_chunk(_records(contributors[0])[:1])
+
+    def test_quota_state_rebuilt_from_ledger(self, ledger, validator,
+                                             tmp_path, contributors):
+        ledger.append(_records(contributors[0]), "c0")
+        gateway = IngestGateway(
+            ledger, validator, spool_dir=tmp_path / "spool",
+            config=GatewayConfig(chunk_records=4,
+                                 max_records_per_contributor=14),
+        )
+        assert gateway.committed_records("c0") == 12
+        session = gateway.open_session("c0")
+        with pytest.raises(UploadRejected, match="quota"):
+            session.send_chunk(_records(contributors[1])[:4])
+
+
+class TestRateLimit:
+    def test_sustained_rate_capped(self, ledger, validator, tmp_path,
+                                   contributors):
+        now = [0.0]
+        gateway = IngestGateway(
+            ledger, validator, spool_dir=tmp_path / "spool",
+            config=GatewayConfig(chunk_records=4, rate_capacity=8.0,
+                                 rate_refill_per_s=4.0),
+            clock=lambda: now[0],
+        )
+        session = gateway.open_session(contributors[0].participant_id)
+        records = _records(contributors[0])
+        session.send_chunk(records[:4])
+        session.send_chunk(records[4:8])  # burst capacity exhausted
+        with pytest.raises(UploadRejected, match="rate"):
+            session.send_chunk(records[8:12])
+        assert gateway.telemetry.counter("rejected_rate") == 1
+        now[0] = 1.0  # 4 records/s refill
+        session.send_chunk(records[8:12])
+
+
+class TestLifecycle:
+    def test_complete_commits_to_ledger(self, gateway, ledger, contributors):
+        receipt = _upload_all(gateway, contributors[0])
+        assert receipt.committed == 12 and receipt.quarantined == 0
+        assert receipt.segment is not None
+        assert receipt.manifest_digest == ledger.manifest_digest().hex()
+        assert list(ledger.iter_records()) == _records(contributors[0])
+        assert gateway.open_sessions == 0
+        assert gateway.committed_records("c0") == 12
+        assert gateway.telemetry.counter("sessions_committed") == 1
+
+    def test_complete_discards_spool(self, gateway, contributors, tmp_path):
+        _upload_all(gateway, contributors[0])
+        assert not list((tmp_path / "spool").rglob("*.bin"))
+        assert not list((tmp_path / "spool").rglob("journal.jsonl"))
+
+    def test_closed_session_rejects_traffic(self, gateway, contributors):
+        session = gateway.open_session(contributors[0].participant_id)
+        records = _records(contributors[0])
+        session.send_chunk(records[:4])
+        session.complete()
+        with pytest.raises(IngestError):
+            session.send_chunk(records[4:8])
+        with pytest.raises(IngestError):
+            session.complete()
+
+    def test_abort_frees_slot_and_spool(self, gateway, contributors,
+                                        tmp_path):
+        session = gateway.open_session(contributors[0].participant_id)
+        session.send_chunk(_records(contributors[0])[:4])
+        session.abort()
+        assert gateway.open_sessions == 0
+        assert not list((tmp_path / "spool").rglob("journal.jsonl"))
+        assert gateway.telemetry.counter("sessions_aborted") == 1
+
+    def test_evict_then_resume(self, gateway, contributors, tmp_path):
+        """A crashed client's slot is reclaimed; its journal survives for
+        resume, and the resumed session continues at the journal head."""
+        session = gateway.open_session(contributors[0].participant_id)
+        records = _records(contributors[0])
+        session.send_chunk(records[:4])
+        assert gateway.evict_session(contributors[0].participant_id)
+        assert gateway.open_sessions == 0
+        assert list((tmp_path / "spool").rglob("journal.jsonl"))
+
+        resumed = gateway.resume_session(contributors[0].participant_id)
+        assert resumed.resumed and resumed.next_seq == 1
+        assert resumed.acked_records == 4
+        assert resumed.max_nonce() == max(r.nonce for r in records[:4])
+        resumed.send_chunk(records[4:8])
+        resumed.send_chunk(records[8:12])
+        receipt = resumed.complete()
+        assert receipt.committed == 12
+        assert gateway.telemetry.counter("sessions_resumed") == 1
+
+    def test_evict_unknown_session(self, gateway):
+        assert not gateway.evict_session("nobody")

@@ -1,0 +1,119 @@
+"""Contribution-ledger tests: lanes, content addressing, sealing."""
+
+import pytest
+
+from repro.data.encryption import iter_encrypted_records
+from repro.errors import LedgerError
+from repro.ingest import (ContributionLedger, pack_records, record_digest,
+                          unpack_records)
+
+
+def _records(contributor, n=None):
+    records = list(iter_encrypted_records(contributor.dataset,
+                                          contributor.key,
+                                          contributor.participant_id))
+    return records if n is None else records[:n]
+
+
+class TestPacking:
+    def test_roundtrip(self, contributors):
+        records = _records(contributors[0], 5)
+        assert unpack_records(pack_records(records)) == records
+
+    def test_canonical(self, contributors):
+        records = _records(contributors[0], 5)
+        assert pack_records(records) == pack_records(list(records))
+
+    def test_trailing_bytes_rejected(self, contributors):
+        blob = pack_records(_records(contributors[0], 2))
+        with pytest.raises(LedgerError):
+            unpack_records(blob + b"x")
+
+
+class TestLanes:
+    def test_append_and_iterate(self, ledger, contributors):
+        records = _records(contributors[0])
+        info = ledger.append(records, "c0")
+        assert info.records == len(records)
+        assert list(ledger.iter_records()) == records
+        assert len(ledger) == len(records)
+        assert ledger.contributors() == ["c0"]
+
+    def test_quarantine_never_reaches_committed_lane(self, ledger,
+                                                     contributors):
+        good = _records(contributors[0], 6)
+        bad = _records(contributors[1], 3)
+        ledger.append(good, "c0")
+        ledger.quarantine(bad, "c1", reason="tampered")
+        assert list(ledger.iter_records()) == good
+        assert list(ledger.iter_records(lane="quarantine")) == bad
+        assert ledger.quarantined_records == 3
+        assert ledger.quarantined[0].reason == "tampered"
+
+    def test_has_ciphertext_commits_only(self, ledger, contributors):
+        good = _records(contributors[0], 3)
+        bad = _records(contributors[1], 2)
+        ledger.append(good, "c0")
+        ledger.quarantine(bad, "c1", reason="duplicate")
+        assert ledger.has_ciphertext(record_digest(good[0]))
+        assert not ledger.has_ciphertext(record_digest(bad[0]))
+
+    def test_empty_segment_rejected(self, ledger):
+        with pytest.raises(LedgerError):
+            ledger.append([], "c0")
+
+
+class TestDurability:
+    def test_reopen_preserves_state(self, ledger, contributors, tmp_path):
+        records = _records(contributors[0])
+        ledger.append(records, "c0")
+        digest = ledger.manifest_digest()
+        reopened = ContributionLedger.open(tmp_path / "ledger")
+        assert list(reopened.iter_records()) == records
+        assert reopened.manifest_digest() == digest
+        assert reopened.has_ciphertext(record_digest(records[0]))
+
+    def test_create_over_existing_rejected(self, ledger, tmp_path):
+        with pytest.raises(LedgerError):
+            ContributionLedger.create(tmp_path / "ledger")
+
+    def test_tampered_segment_fails_closed(self, ledger, contributors,
+                                           tmp_path):
+        ledger.append(_records(contributors[0]), "c0")
+        target = next((tmp_path / "ledger").glob("segment-*.bin"))
+        blob = bytearray(target.read_bytes())
+        blob[10] ^= 0xFF
+        target.write_bytes(bytes(blob))
+        with pytest.raises(LedgerError):
+            ContributionLedger.open(tmp_path / "ledger")
+
+    def test_missing_segment_fails_closed(self, ledger, contributors,
+                                          tmp_path):
+        ledger.append(_records(contributors[0]), "c0")
+        next((tmp_path / "ledger").glob("segment-*.bin")).unlink()
+        with pytest.raises(LedgerError):
+            ContributionLedger.open(tmp_path / "ledger")
+
+
+class TestManifestDigest:
+    def test_commits_to_both_lanes(self, ledger, contributors):
+        before = ledger.manifest_digest()
+        ledger.append(_records(contributors[0], 4), "c0")
+        mid = ledger.manifest_digest()
+        assert mid != before
+        ledger.quarantine(_records(contributors[1], 2), "c1", "tampered")
+        assert ledger.manifest_digest() != mid
+
+    def test_seal_and_verify(self, ledger, contributors, server):
+        ledger.append(_records(contributors[0]), "c0")
+        sealed = ledger.seal_manifest(server.enclave)
+        assert ledger.verify_sealed_manifest(server.enclave, sealed)
+        ledger.append(_records(contributors[1]), "c1")
+        assert not ledger.verify_sealed_manifest(server.enclave, sealed)
+
+    def test_status(self, ledger, contributors):
+        ledger.append(_records(contributors[0], 4), "c0")
+        status = ledger.status()
+        assert status["committed_records"] == 4
+        assert status["quarantine_records"] == 0
+        assert status["contributors"] == ["c0"]

@@ -1,0 +1,133 @@
+"""Chunked-transfer tests: journal durability, resume, replay discipline."""
+
+import json
+
+import pytest
+
+from repro.data.encryption import iter_encrypted_records
+from repro.errors import TransferError
+from repro.ingest import UploadTransfer, chunk_stream
+
+
+@pytest.fixture
+def records(contributors):
+    return list(iter_encrypted_records(contributors[0].dataset,
+                                       contributors[0].key,
+                                       contributors[0].participant_id))
+
+
+class TestChunkStream:
+    def test_bounds_chunks(self, records):
+        chunks = list(chunk_stream(iter(records), 5))
+        assert [len(c) for c in chunks] == [5, 5, 2]
+        assert [r for c in chunks for r in c] == records
+
+    def test_bad_bound_rejected(self, records):
+        with pytest.raises(TransferError):
+            list(chunk_stream(iter(records), 0))
+
+
+class TestAppend:
+    def test_ack_sequence(self, tmp_path, records):
+        transfer = UploadTransfer.create(tmp_path / "t")
+        r0 = transfer.append_chunk(records[:4])
+        r1 = transfer.append_chunk(records[4:8])
+        assert (r0.seq, r1.seq) == (0, 1)
+        assert transfer.next_seq == 2
+        assert transfer.acked_records == 8
+        assert list(transfer.iter_records()) == records[:8]
+
+    def test_empty_chunk_rejected(self, tmp_path):
+        transfer = UploadTransfer.create(tmp_path / "t")
+        with pytest.raises(TransferError):
+            transfer.append_chunk([])
+
+    def test_replayed_chunk_idempotent(self, tmp_path, records):
+        """Same nonce, same ciphertext: ack again, never double-commit."""
+        transfer = UploadTransfer.create(tmp_path / "t")
+        transfer.append_chunk(records[:4])
+        receipt = transfer.append_chunk(records[:4])
+        assert receipt.replayed and receipt.seq == 0
+        assert transfer.acked_records == 4
+        assert list(transfer.iter_records()) == records[:4]
+
+    def test_nonce_replay_under_new_seq_rejected(self, tmp_path, records):
+        """Old records smuggled into a fresh chunk are a protocol breach."""
+        transfer = UploadTransfer.create(tmp_path / "t")
+        transfer.append_chunk(records[:4])
+        with pytest.raises(TransferError):
+            transfer.append_chunk([records[0]] + records[4:6])
+
+    def test_duplicate_nonces_within_chunk_rejected(self, tmp_path, records):
+        transfer = UploadTransfer.create(tmp_path / "t")
+        with pytest.raises(TransferError):
+            transfer.append_chunk([records[0], records[0]])
+
+
+class TestResume:
+    def test_resume_reports_journal_head(self, tmp_path, records):
+        transfer = UploadTransfer.create(tmp_path / "t")
+        transfer.append_chunk(records[:4])
+        transfer.append_chunk(records[4:8])
+        resumed = UploadTransfer.resume(tmp_path / "t")
+        assert resumed.next_seq == 2
+        assert resumed.acked_records == 8
+        assert resumed.max_nonce() == max(r.nonce for r in records[:8])
+        resumed.append_chunk(records[8:])
+        assert list(resumed.iter_records()) == records
+
+    def test_torn_unjournaled_chunk_discarded(self, tmp_path, records):
+        """A chunk file written but never journaled (the crash window) is
+        deleted on resume so the client re-sends it."""
+        transfer = UploadTransfer.create(tmp_path / "t")
+        transfer.append_chunk(records[:4])
+        (tmp_path / "t" / "chunk-000001.bin").write_bytes(b"half-written")
+        resumed = UploadTransfer.resume(tmp_path / "t")
+        assert resumed.next_seq == 1
+        assert not (tmp_path / "t" / "chunk-000001.bin").exists()
+
+    def test_corrupted_acked_chunk_fails_closed(self, tmp_path, records):
+        transfer = UploadTransfer.create(tmp_path / "t")
+        transfer.append_chunk(records[:4])
+        chunk = tmp_path / "t" / "chunk-000000.bin"
+        blob = bytearray(chunk.read_bytes())
+        blob[8] ^= 0xFF
+        chunk.write_bytes(bytes(blob))
+        with pytest.raises(TransferError):
+            UploadTransfer.resume(tmp_path / "t")
+
+    def test_missing_acked_chunk_fails_closed(self, tmp_path, records):
+        transfer = UploadTransfer.create(tmp_path / "t")
+        transfer.append_chunk(records[:4])
+        (tmp_path / "t" / "chunk-000000.bin").unlink()
+        with pytest.raises(TransferError):
+            UploadTransfer.resume(tmp_path / "t")
+
+    def test_resume_without_journal_rejected(self, tmp_path):
+        with pytest.raises(TransferError):
+            UploadTransfer.resume(tmp_path / "nothing")
+
+    def test_journal_records_nonces(self, tmp_path, records):
+        transfer = UploadTransfer.create(tmp_path / "t")
+        transfer.append_chunk(records[:4])
+        line = json.loads(
+            (tmp_path / "t" / "journal.jsonl").read_text().splitlines()[0]
+        )
+        assert line["nonces"] == [r.nonce.hex() for r in records[:4]]
+
+
+class TestFinalize:
+    def test_finalize_closes_transfer(self, tmp_path, records):
+        transfer = UploadTransfer.create(tmp_path / "t")
+        transfer.append_chunk(records[:4])
+        assert transfer.finalize() == records[:4]
+        with pytest.raises(TransferError):
+            transfer.append_chunk(records[4:8])
+        with pytest.raises(TransferError):
+            transfer.finalize()
+
+    def test_discard_removes_spool(self, tmp_path, records):
+        transfer = UploadTransfer.create(tmp_path / "t")
+        transfer.append_chunk(records[:4])
+        transfer.discard()
+        assert not (tmp_path / "t").exists()
