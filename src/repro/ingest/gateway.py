@@ -32,7 +32,8 @@ from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.data.encryption import EncryptedRecord
-from repro.errors import ConfigurationError, IngestError, UploadRejected
+from repro.errors import (ConfigurationError, IngestError, TransferError,
+                          UploadRejected)
 from repro.federation.provisioning import provisioned_key, ProvisioningError
 from repro.ingest.ledger import ContributionLedger, LedgerSegmentInfo
 from repro.ingest.telemetry import IngestTelemetry
@@ -127,6 +128,10 @@ class UploadSession:
     @property
     def acked_records(self) -> int:
         return self.transfer.acked_records
+
+    @property
+    def acked_bytes(self) -> int:
+        return self.transfer.acked_bytes
 
     def max_nonce(self) -> Optional[bytes]:
         return self.transfer.max_nonce()
@@ -225,9 +230,20 @@ class IngestGateway:
                     f"session {session_id!r} for {contributor!r} is already "
                     "open"
                 )
-            transfer = UploadTransfer.create(
-                self._session_dir(contributor, session_id)
-            )
+            try:
+                transfer = UploadTransfer.create(
+                    self._session_dir(contributor, session_id)
+                )
+            except TransferError as exc:
+                # A crashed session's spool is present; keep the gateway's
+                # typed-error contract and point the client at the
+                # actionable path instead of leaking the internal error.
+                self.telemetry.count("rejected_stale_spool")
+                raise UploadRejected(
+                    f"session {session_id!r} for {contributor!r} has an "
+                    "interrupted upload spooled — call resume_session to "
+                    "continue it"
+                ) from exc
             session = UploadSession(self, contributor, session_id, transfer)
             self._open[key] = session
         self.telemetry.count("sessions_opened")
@@ -255,9 +271,13 @@ class IngestGateway:
                     f"session {session_id!r} for {contributor!r} is already "
                     "open"
                 )
-            transfer = UploadTransfer.resume(
-                self._session_dir(contributor, session_id)
-            )
+            session_dir = self._session_dir(contributor, session_id)
+            if not UploadTransfer.exists(session_dir):
+                raise UploadRejected(
+                    f"session {session_id!r} for {contributor!r} has no "
+                    "spooled upload to resume — open a fresh session"
+                )
+            transfer = UploadTransfer.resume(session_dir)
             session = UploadSession(self, contributor, session_id, transfer,
                                     resumed=True)
             self._open[key] = session
@@ -284,7 +304,14 @@ class IngestGateway:
         with self._lock:
             committed = self._committed_records.get(contributor, 0)
             committed_bytes = self._committed_bytes.get(contributor, 0)
-        pending = session.acked_records
+            # Quotas must see what is already spooled but not yet
+            # committed — across every open session this contributor
+            # holds — or a contributor could spool arbitrarily many
+            # bytes past the cap inside open sessions (disk exhaustion).
+            pending = sum(s.acked_records for s in self._open.values()
+                          if s.contributor == contributor)
+            pending_bytes = sum(s.acked_bytes for s in self._open.values()
+                                if s.contributor == contributor)
         if committed + pending + len(records) > \
                 self.config.max_records_per_contributor:
             self.telemetry.count("rejected_quota")
@@ -292,7 +319,8 @@ class IngestGateway:
                 f"contributor {contributor!r} would exceed its "
                 f"{self.config.max_records_per_contributor}-record quota"
             )
-        if committed_bytes + nbytes > self.config.max_bytes_per_contributor:
+        if committed_bytes + pending_bytes + nbytes > \
+                self.config.max_bytes_per_contributor:
             self.telemetry.count("rejected_quota")
             raise UploadRejected(
                 f"contributor {contributor!r} would exceed its byte quota"
@@ -321,9 +349,22 @@ class IngestGateway:
         try:
             records = session.transfer.finalize()
             report = self.validator.validate(contributor, records)
-            segment = None
+            # The dedup gate and the append are atomic under the ledger
+            # lock: concurrent completions racing on the same ciphertext
+            # cannot both commit it. Whatever the lock-side gate refuses
+            # is quarantined and audited like any pipeline refusal.
+            segment, duplicates = self.ledger.commit_deduplicated(
+                report.accepted, contributor
+            )
+            if duplicates:
+                refused_ids = {id(r) for r in duplicates}
+                report.accepted = [r for r in report.accepted
+                                   if id(r) not in refused_ids]
+                report.quarantined.extend(
+                    self.validator.quarantine_at_commit(contributor,
+                                                        duplicates)
+                )
             if report.accepted:
-                segment = self.ledger.append(report.accepted, contributor)
                 self.telemetry.count("records_committed",
                                      len(report.accepted))
             for reason, count in sorted(report.quarantined_by_reason.items()):

@@ -30,9 +30,10 @@ from __future__ import annotations
 import json
 import os
 import struct
+import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.data.encryption import EncryptedRecord
 from repro.errors import LedgerError, SealingError
@@ -122,6 +123,12 @@ class ContributionLedger:
     def __init__(self, path: Path, manifest: dict) -> None:
         self.path = path
         self._manifest = manifest
+        # Writers mutate the manifest lists, the version counter, the
+        # digest set, and manifest.json with I/O in between; sessions may
+        # commit concurrently, so every write (and every read of that
+        # state) holds this lock. Reentrant because append/quarantine
+        # nest inside commit_deduplicated.
+        self._lock = threading.RLock()
         self._digests: Set[str] = set()
         for entry in manifest["segments"]:
             for digest in self._segment_record_digests(entry["name"]):
@@ -171,36 +178,37 @@ class ContributionLedger:
                         contributor: str, reason: str = "") -> LedgerSegmentInfo:
         if not records:
             raise LedgerError("a segment needs at least one record")
-        entries = self._manifest["segments" if lane == "committed"
-                                 else "quarantine"]
-        prefix = "segment" if lane == "committed" else "quarantine"
-        name = f"{prefix}-{len(entries):06d}"
-        payload = pack_records(records)
-        meta = {
-            "contributor": contributor,
-            "records": len(records),
-            "digests": [record_digest(r).hex() for r in records],
-            "reason": reason,
-        }
-        meta_bytes = canonical_json(meta)
-        (self.path / f"{name}.bin").write_bytes(payload)
-        (self.path / f"{name}.meta.json").write_bytes(meta_bytes)
-        info = LedgerSegmentInfo(
-            name=name, records=len(records), contributor=contributor,
-            digest=stable_hash(payload, meta_bytes).hex(),
-            lane=lane, reason=reason,
-        )
-        entries.append({
-            "name": info.name, "records": info.records,
-            "contributor": info.contributor, "digest": info.digest,
-            "reason": reason,
-        })
-        self._manifest["version"] += 1
-        self._write_manifest()
-        if lane == "committed":
-            for digest in meta["digests"]:
-                self._digests.add(digest)
-        return info
+        with self._lock:
+            entries = self._manifest["segments" if lane == "committed"
+                                     else "quarantine"]
+            prefix = "segment" if lane == "committed" else "quarantine"
+            name = f"{prefix}-{len(entries):06d}"
+            payload = pack_records(records)
+            meta = {
+                "contributor": contributor,
+                "records": len(records),
+                "digests": [record_digest(r).hex() for r in records],
+                "reason": reason,
+            }
+            meta_bytes = canonical_json(meta)
+            (self.path / f"{name}.bin").write_bytes(payload)
+            (self.path / f"{name}.meta.json").write_bytes(meta_bytes)
+            info = LedgerSegmentInfo(
+                name=name, records=len(records), contributor=contributor,
+                digest=stable_hash(payload, meta_bytes).hex(),
+                lane=lane, reason=reason,
+            )
+            entries.append({
+                "name": info.name, "records": info.records,
+                "contributor": info.contributor, "digest": info.digest,
+                "reason": reason,
+            })
+            self._manifest["version"] += 1
+            self._write_manifest()
+            if lane == "committed":
+                for digest in meta["digests"]:
+                    self._digests.add(digest)
+            return info
 
     def append(self, records: Sequence[EncryptedRecord],
                contributor: str) -> LedgerSegmentInfo:
@@ -213,38 +221,74 @@ class ContributionLedger:
         return self._append_segment("quarantine", records, contributor,
                                     reason=reason)
 
+    def commit_deduplicated(
+        self, records: Sequence[EncryptedRecord], contributor: str,
+    ) -> Tuple[Optional[LedgerSegmentInfo], List[EncryptedRecord]]:
+        """Atomically dedup-check and commit one session's records.
+
+        The duplicate gate and the append happen under one lock, so two
+        sessions racing to commit the same sealed ciphertext cannot both
+        pass a check-then-commit window: exactly one wins and the loser's
+        copies come back in the duplicates list for the caller to
+        quarantine. Returns ``(segment_or_None, duplicates)``.
+        """
+        with self._lock:
+            fresh: List[EncryptedRecord] = []
+            duplicates: List[EncryptedRecord] = []
+            batch: Set[str] = set()
+            for record in records:
+                digest = record_digest(record).hex()
+                if digest in self._digests or digest in batch:
+                    duplicates.append(record)
+                else:
+                    batch.add(digest)
+                    fresh.append(record)
+            segment = (self._append_segment("committed", fresh, contributor)
+                       if fresh else None)
+            return segment, duplicates
+
     # -- reads -------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return sum(entry["records"] for entry in self._manifest["segments"])
+        with self._lock:
+            return sum(entry["records"]
+                       for entry in self._manifest["segments"])
 
     @property
     def version(self) -> int:
-        return self._manifest["version"]
+        with self._lock:
+            return self._manifest["version"]
 
     @property
     def segments(self) -> List[LedgerSegmentInfo]:
-        return [
-            LedgerSegmentInfo(name=e["name"], records=e["records"],
-                              contributor=e["contributor"], digest=e["digest"])
-            for e in self._manifest["segments"]
-        ]
+        with self._lock:
+            return [
+                LedgerSegmentInfo(name=e["name"], records=e["records"],
+                                  contributor=e["contributor"],
+                                  digest=e["digest"])
+                for e in self._manifest["segments"]
+            ]
 
     @property
     def quarantined(self) -> List[LedgerSegmentInfo]:
-        return [
-            LedgerSegmentInfo(name=e["name"], records=e["records"],
-                              contributor=e["contributor"], digest=e["digest"],
-                              lane="quarantine", reason=e["reason"])
-            for e in self._manifest["quarantine"]
-        ]
+        with self._lock:
+            return [
+                LedgerSegmentInfo(name=e["name"], records=e["records"],
+                                  contributor=e["contributor"],
+                                  digest=e["digest"],
+                                  lane="quarantine", reason=e["reason"])
+                for e in self._manifest["quarantine"]
+            ]
 
     @property
     def quarantined_records(self) -> int:
-        return sum(e["records"] for e in self._manifest["quarantine"])
+        with self._lock:
+            return sum(e["records"] for e in self._manifest["quarantine"])
 
     def contributors(self) -> List[str]:
-        return sorted({e["contributor"] for e in self._manifest["segments"]})
+        with self._lock:
+            return sorted({e["contributor"]
+                           for e in self._manifest["segments"]})
 
     def _segment_record_digests(self, name: str) -> List[str]:
         meta_path = self.path / f"{name}.meta.json"
@@ -255,11 +299,13 @@ class ContributionLedger:
     def has_ciphertext(self, digest: bytes) -> bool:
         """Has a record with this content digest already been committed?
 
-        The validation pipeline uses this to catch the same sealed
-        ciphertext arriving twice — whether replayed by one contributor or
-        relayed wholesale by another.
+        The validation pipeline uses this as an early, advisory check;
+        the authoritative, race-free gate is
+        :meth:`commit_deduplicated`, which re-checks under the ledger
+        lock at commit time.
         """
-        return digest.hex() in self._digests
+        with self._lock:
+            return digest.hex() in self._digests
 
     def iter_records(self, lane: str = "committed") -> Iterator[EncryptedRecord]:
         """Yield records in commit order (training's read path).
@@ -267,8 +313,9 @@ class ContributionLedger:
         ``lane="quarantine"`` iterates the forensic lane instead; the
         default never yields a quarantined record.
         """
-        entries = (self._manifest["segments"] if lane == "committed"
-                   else self._manifest["quarantine"])
+        with self._lock:
+            entries = list(self._manifest["segments"] if lane == "committed"
+                           else self._manifest["quarantine"])
         for entry in entries:
             blob = (self.path / f"{entry['name']}.bin").read_bytes()
             for record in unpack_records(blob):
@@ -278,7 +325,10 @@ class ContributionLedger:
 
     def verify(self) -> bool:
         """Recompute every segment digest from disk bytes; fail-closed."""
-        for entry in (self._manifest["segments"] + self._manifest["quarantine"]):
+        with self._lock:
+            entries = (self._manifest["segments"]
+                       + self._manifest["quarantine"])
+        for entry in entries:
             payload_path = self.path / f"{entry['name']}.bin"
             meta_path = self.path / f"{entry['name']}.meta.json"
             if not payload_path.exists() or not meta_path.exists():
@@ -299,11 +349,14 @@ class ContributionLedger:
         lane — two ledgers with the same manifest digest hold
         byte-identical contributions *and* refused the same records.
         """
-        return stable_hash({
-            "format": self._manifest["format"],
-            "segments": [e["digest"] for e in self._manifest["segments"]],
-            "quarantine": [e["digest"] for e in self._manifest["quarantine"]],
-        })
+        with self._lock:
+            return stable_hash({
+                "format": self._manifest["format"],
+                "segments": [e["digest"]
+                             for e in self._manifest["segments"]],
+                "quarantine": [e["digest"]
+                               for e in self._manifest["quarantine"]],
+            })
 
     def seal_manifest(self, enclave):
         """Seal the manifest digest to ``enclave``'s identity."""
@@ -324,13 +377,14 @@ class ContributionLedger:
 
     def status(self) -> Dict[str, object]:
         """A plain-dict summary for the CLI and telemetry surfaces."""
-        return {
-            "format": LEDGER_FORMAT,
-            "version": self.version,
-            "committed_segments": len(self._manifest["segments"]),
-            "committed_records": len(self),
-            "quarantine_segments": len(self._manifest["quarantine"]),
-            "quarantine_records": self.quarantined_records,
-            "contributors": self.contributors(),
-            "manifest_digest": self.manifest_digest().hex(),
-        }
+        with self._lock:
+            return {
+                "format": LEDGER_FORMAT,
+                "version": self.version,
+                "committed_segments": len(self._manifest["segments"]),
+                "committed_records": len(self),
+                "quarantine_segments": len(self._manifest["quarantine"]),
+                "quarantine_records": self.quarantined_records,
+                "contributors": self.contributors(),
+                "manifest_digest": self.manifest_digest().hex(),
+            }

@@ -3,9 +3,12 @@
 A contributor streams encrypted records in size-bounded chunks. Each
 chunk is made durable *before* it is acknowledged:
 
-1. the packed chunk payload is written to ``chunk-NNNNNN.bin``;
-2. one line is appended to ``journal.jsonl`` recording the sequence
-   number, the chunk digest, the record count, and every record nonce;
+1. the packed chunk payload is written to ``chunk-NNNNNN.bin`` and
+   fsynced (the file and its directory), so the payload is on stable
+   storage before any journal entry can name it;
+2. one line is appended to ``journal.jsonl`` — recording the sequence
+   number, the chunk digest, the record count, the payload bytes, and
+   every record nonce — and fsynced;
 3. only then does the server acknowledge the sequence number.
 
 A crashed upload therefore resumes exactly at the first unacknowledged
@@ -13,7 +16,12 @@ chunk: :meth:`UploadTransfer.resume` replays the journal, re-verifies
 every chunk file against its journaled digest (fail-closed — a torn
 half-written chunk is discarded, not trusted), and reports
 ``next_seq`` / ``max_nonce`` so the client can continue the stream
-without re-encrypting or re-sending acknowledged records.
+without re-encrypting or re-sending acknowledged records. If the
+*tail* journal entry names a chunk that is missing or fails its digest
+(the crash landed between the two fsyncs), that entry was never
+acknowledged: resume truncates the journal back to the last consistent
+entry and the client re-sends the chunk. A failed chunk *behind* the
+journal head can only mean post-ack corruption, and stays fail-closed.
 
 The journal is also the replay barrier: re-sending an acknowledged chunk
 (same sequence, same digest) is idempotent — acknowledged again, never
@@ -40,6 +48,17 @@ __all__ = ["ChunkReceipt", "UploadTransfer", "chunk_stream"]
 _JOURNAL = "journal.jsonl"
 
 
+def _fsync_dir(path: Path) -> None:
+    """Make a directory entry (new file name) durable."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without directory fsync
+        pass
+    finally:
+        os.close(fd)
+
+
 @dataclass(frozen=True)
 class ChunkReceipt:
     """The server's acknowledgement for one chunk."""
@@ -55,6 +74,7 @@ class _JournalEntry:
     seq: int
     digest: str
     records: int
+    nbytes: int  # sum of sealed-payload bytes (quota accounting)
     nonces: List[str]
 
 
@@ -98,36 +118,75 @@ class UploadTransfer:
         return cls(path, [], set())
 
     @classmethod
+    def exists(cls, session_dir: os.PathLike) -> bool:
+        """Is there a resumable spool (a journal) at ``session_dir``?"""
+        return (Path(session_dir) / _JOURNAL).exists()
+
+    @classmethod
     def resume(cls, session_dir: os.PathLike) -> "UploadTransfer":
         """Reopen a crashed transfer from its journal.
 
         Every journaled chunk file is re-verified against its recorded
         digest; a chunk written but never journaled (the crash window) is
-        deleted so the client re-sends it.
+        deleted so the client re-sends it. A *tail* entry whose chunk is
+        missing or fails the digest was journaled but never acknowledged
+        durably — the journal is truncated back to the last consistent
+        entry so the session stays resumable. The same failure behind the
+        head is post-acknowledgement corruption and fail-closes.
         """
         path = Path(session_dir)
         journal_path = path / _JOURNAL
         if not journal_path.exists():
             raise TransferError(f"no transfer journal at {path}")
+        lines = [line for line in journal_path.read_text().splitlines()
+                 if line.strip()]
+        parsed: List[_JournalEntry] = []
+        for line in lines:
+            raw = json.loads(line)
+            parsed.append(_JournalEntry(
+                seq=raw["seq"], digest=raw["digest"],
+                records=raw["records"], nbytes=raw.get("bytes", 0),
+                nonces=raw["nonces"],
+            ))
         entries: List[_JournalEntry] = []
         nonces: Set[str] = set()
-        for line in journal_path.read_text().splitlines():
-            if not line.strip():
-                continue
-            raw = json.loads(line)
-            entry = _JournalEntry(seq=raw["seq"], digest=raw["digest"],
-                                  records=raw["records"], nonces=raw["nonces"])
+        truncated = False
+        for position, entry in enumerate(parsed):
             chunk_path = path / cls._chunk_name(entry.seq)
-            if not chunk_path.exists():
-                raise TransferError(
-                    f"journaled chunk {entry.seq} is missing on disk"
-                )
-            if stable_hash(chunk_path.read_bytes()).hex() != entry.digest:
-                raise TransferError(
-                    f"journaled chunk {entry.seq} failed its digest check"
-                )
+            failure = None
+            if chunk_path.exists():
+                blob = chunk_path.read_bytes()
+                if stable_hash(blob).hex() != entry.digest:
+                    failure = (f"journaled chunk {entry.seq} failed its "
+                               "digest check")
+                elif not entry.nbytes:
+                    # Journal line predates byte accounting: recompute so
+                    # quota checks never undercount a resumed session.
+                    entry = _JournalEntry(
+                        seq=entry.seq, digest=entry.digest,
+                        records=entry.records,
+                        nbytes=sum(len(r.sealed)
+                                   for r in unpack_records(blob)),
+                        nonces=entry.nonces,
+                    )
+            else:
+                failure = f"journaled chunk {entry.seq} is missing on disk"
+            if failure is not None:
+                if position == len(parsed) - 1:
+                    truncated = True  # unacked tail: drop it, stay resumable
+                    break
+                raise TransferError(failure)
             entries.append(entry)
             nonces.update(entry.nonces)
+        if truncated:
+            tmp = path / (_JOURNAL + ".tmp")
+            with open(tmp, "w") as journal:
+                journal.writelines(line + "\n"
+                                   for line in lines[: len(entries)])
+                journal.flush()
+                os.fsync(journal.fileno())
+            os.replace(tmp, journal_path)
+            _fsync_dir(path)
         # Drop any chunk file past the journal head: written, never acked.
         acked = {cls._chunk_name(e.seq) for e in entries}
         for stray in path.glob("chunk-*.bin"):
@@ -149,6 +208,11 @@ class UploadTransfer:
     @property
     def acked_records(self) -> int:
         return sum(e.records for e in self._entries)
+
+    @property
+    def acked_bytes(self) -> int:
+        """Sealed-payload bytes already journaled (quota accounting)."""
+        return sum(e.nbytes for e in self._entries)
 
     def max_nonce(self) -> Optional[bytes]:
         """The highest journaled nonce (resume point for the client's key)."""
@@ -185,14 +249,22 @@ class UploadTransfer:
         if len(set(nonces)) != len(nonces):
             raise TransferError("chunk contains duplicate record nonces")
         seq = self.next_seq
+        nbytes = sum(len(r.sealed) for r in records)
         chunk_path = self.path / self._chunk_name(seq)
-        chunk_path.write_bytes(payload)
+        # Chunk bytes must be durable BEFORE the journal names them: a
+        # power cut between the two steps must never leave a durable
+        # journal line pointing at undurable chunk bytes.
+        with open(chunk_path, "wb") as chunk:
+            chunk.write(payload)
+            chunk.flush()
+            os.fsync(chunk.fileno())
+        _fsync_dir(self.path)
         entry = _JournalEntry(seq=seq, digest=digest, records=len(records),
-                              nonces=nonces)
+                              nbytes=nbytes, nonces=nonces)
         with open(self.path / _JOURNAL, "a") as journal:
             journal.write(json.dumps({
                 "seq": seq, "digest": digest, "records": len(records),
-                "nonces": nonces,
+                "bytes": nbytes, "nonces": nonces,
             }) + "\n")
             journal.flush()
             os.fsync(journal.fileno())

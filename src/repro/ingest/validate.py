@@ -225,6 +225,30 @@ class ValidationPool:
         self.telemetry.observe("validate", time.perf_counter() - started)
         return report
 
+    def quarantine_at_commit(
+        self, contributor: str, records: Sequence[EncryptedRecord],
+        reason: str = "duplicate",
+    ) -> List[QuarantinedRecord]:
+        """Re-verdict records the ledger refused at commit time.
+
+        The in-pipeline duplicate check is advisory; the authoritative
+        gate runs under the ledger lock at commit
+        (:meth:`~repro.ingest.ledger.ContributionLedger.commit_deduplicated`).
+        When that gate catches a race the pipeline could not see — two
+        sessions committing the same ciphertext concurrently — the loser's
+        records come through here so the audit chain and telemetry record
+        the refusal exactly like any other quarantine.
+        """
+        out = []
+        for record in records:
+            digest = record_digest(record)
+            self.telemetry.count("records_accepted", -1)
+            self.telemetry.count("records_quarantined")
+            self.telemetry.count(f"quarantined_{reason.replace('-', '_')}")
+            self._audit_record(contributor, digest, reason)
+            out.append(QuarantinedRecord(record=record, reason=reason))
+        return out
+
     def _audit_record(self, contributor: str, digest: bytes,
                       verdict: str) -> None:
         with self._audit_lock:

@@ -1,5 +1,7 @@
 """Gateway tests: attestation gate, backpressure, quotas, rate limits."""
 
+from concurrent.futures import ThreadPoolExecutor
+
 import pytest
 
 from repro.crypto.keys import SymmetricKey
@@ -133,6 +135,44 @@ class TestQuotas:
         with pytest.raises(UploadRejected, match="byte quota"):
             session.send_chunk(_records(contributors[0])[:1])
 
+    def test_byte_quota_counts_spooled_bytes(self, ledger, validator,
+                                             tmp_path, contributors):
+        """Bytes journaled but not yet committed count against the byte
+        quota, so a contributor cannot spool past the cap inside one
+        session (the disk-exhaustion vector)."""
+        records = _records(contributors[0])
+        chunk_bytes = sum(len(r.sealed) for r in records[:4])
+        gateway = IngestGateway(
+            ledger, validator, spool_dir=tmp_path / "spool",
+            config=GatewayConfig(
+                chunk_records=4,
+                max_bytes_per_contributor=chunk_bytes + chunk_bytes // 2,
+            ),
+        )
+        session = gateway.open_session(contributors[0].participant_id)
+        session.send_chunk(records[:4])
+        with pytest.raises(UploadRejected, match="byte quota"):
+            session.send_chunk(records[4:8])
+        assert gateway.telemetry.counter("rejected_quota") == 1
+
+    def test_quotas_span_concurrent_open_sessions(self, ledger, validator,
+                                                  tmp_path, contributors):
+        """Pending records in *other* open sessions of the same
+        contributor count too — quotas cannot be dodged by sharding an
+        upload across parallel sessions."""
+        gateway = IngestGateway(
+            ledger, validator, spool_dir=tmp_path / "spool",
+            config=GatewayConfig(chunk_records=4,
+                                 max_records_per_contributor=10),
+        )
+        records = _records(contributors[0])
+        first = gateway.open_session(contributors[0].participant_id, "s1")
+        second = gateway.open_session(contributors[0].participant_id, "s2")
+        first.send_chunk(records[:4])
+        second.send_chunk(records[4:8])
+        with pytest.raises(UploadRejected, match="quota"):
+            first.send_chunk(records[8:12])
+
     def test_quota_state_rebuilt_from_ledger(self, ledger, validator,
                                              tmp_path, contributors):
         ledger.append(_records(contributors[0]), "c0")
@@ -225,3 +265,69 @@ class TestLifecycle:
 
     def test_evict_unknown_session(self, gateway):
         assert not gateway.evict_session("nobody")
+
+    def test_open_over_stale_spool_typed_rejection(self, gateway,
+                                                   contributors):
+        """A crashed session's spool makes a fresh open fail with the
+        gateway's typed backpressure error pointing at resume_session,
+        not a raw internal TransferError."""
+        session = gateway.open_session(contributors[0].participant_id)
+        session.send_chunk(_records(contributors[0])[:4])
+        gateway.evict_session(contributors[0].participant_id)
+        with pytest.raises(UploadRejected, match="resume_session"):
+            gateway.open_session(contributors[0].participant_id)
+        assert gateway.telemetry.counter("rejected_stale_spool") == 1
+        resumed = gateway.resume_session(contributors[0].participant_id)
+        assert resumed.next_seq == 1
+
+    def test_resume_without_spool_typed_rejection(self, gateway,
+                                                  contributors):
+        with pytest.raises(UploadRejected, match="no spooled"):
+            gateway.resume_session(contributors[0].participant_id)
+
+
+class TestConcurrentCompletion:
+    def test_racing_duplicate_sessions_commit_once(self, gateway, ledger,
+                                                   validator, contributors):
+        """Two sessions carrying the same sealed ciphertexts complete
+        concurrently: exactly one copy is committed, the other is
+        quarantined as a duplicate, and both ledger and audit chain stay
+        consistent."""
+        records = _records(contributors[0])
+        sessions = []
+        for name in ("s1", "s2"):
+            session = gateway.open_session(contributors[0].participant_id,
+                                           name)
+            for start in range(0, len(records), 4):
+                session.send_chunk(records[start : start + 4])
+            sessions.append(session)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            receipts = list(pool.map(lambda s: s.complete(), sessions))
+        assert sum(r.committed for r in receipts) == len(records)
+        assert sum(r.quarantined for r in receipts) == len(records)
+        assert len(ledger) == len(records)
+        assert list(ledger.iter_records()) == records
+        assert ledger.quarantined_records == len(records)
+        assert all(info.reason == "duplicate" for info in ledger.quarantined)
+        assert ledger.verify()
+        assert validator.verify_audit_chain()
+        assert gateway.committed_records("c0") == len(records)
+
+    def test_many_contributor_sessions_complete_in_parallel(
+            self, gateway, ledger, validator, contributors):
+        """Distinct contributors completing at once — the benchmark's
+        shape — must each land exactly their own records."""
+        sessions = []
+        for contributor in contributors:
+            records = _records(contributor)
+            session = gateway.open_session(contributor.participant_id)
+            for start in range(0, len(records), 4):
+                session.send_chunk(records[start : start + 4])
+            sessions.append(session)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            receipts = list(pool.map(lambda s: s.complete(), sessions))
+        assert all(r.committed == 12 and r.quarantined == 0
+                   for r in receipts)
+        assert len(ledger) == 24
+        assert ledger.verify()
+        assert validator.verify_audit_chain()

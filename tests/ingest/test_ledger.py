@@ -1,5 +1,7 @@
 """Contribution-ledger tests: lanes, content addressing, sealing."""
 
+from concurrent.futures import ThreadPoolExecutor
+
 import pytest
 
 from repro.data.encryption import iter_encrypted_records
@@ -61,6 +63,70 @@ class TestLanes:
     def test_empty_segment_rejected(self, ledger):
         with pytest.raises(LedgerError):
             ledger.append([], "c0")
+
+
+class TestCommitDeduplicated:
+    def test_partitions_fresh_from_committed(self, ledger, contributors):
+        records = _records(contributors[0], 6)
+        ledger.append(records[:3], "c0")
+        segment, duplicates = ledger.commit_deduplicated(records, "c0")
+        assert segment is not None and segment.records == 3
+        assert duplicates == records[:3]
+        assert list(ledger.iter_records()) == records
+
+    def test_catches_duplicates_within_the_batch(self, ledger, contributors):
+        records = _records(contributors[0], 3)
+        segment, duplicates = ledger.commit_deduplicated(
+            records + [records[0]], "c0"
+        )
+        assert segment.records == 3
+        assert duplicates == [records[0]]
+
+    def test_all_duplicates_commits_nothing(self, ledger, contributors):
+        records = _records(contributors[0], 3)
+        ledger.append(records, "c0")
+        segment, duplicates = ledger.commit_deduplicated(records, "c0")
+        assert segment is None and duplicates == records
+        assert len(ledger) == 3
+
+    def test_racing_commits_admit_exactly_one_copy(self, ledger,
+                                                   contributors):
+        """Two sessions committing the same ciphertexts concurrently must
+        not both pass a check-then-commit window: one wins, the loser
+        gets every record back as a duplicate."""
+        records = _records(contributors[0])
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            outcomes = list(pool.map(
+                lambda name: ledger.commit_deduplicated(records, name),
+                ["c0", "c1"],
+            ))
+        committed = [seg for seg, _ in outcomes if seg is not None]
+        assert len(committed) == 1 and committed[0].records == len(records)
+        refused = [dups for _, dups in outcomes if dups]
+        assert refused == [records]
+        assert len(ledger) == len(records)
+        assert ledger.verify()
+
+
+class TestConcurrency:
+    def test_concurrent_appends_keep_ledger_consistent(self, ledger,
+                                                       contributors):
+        """Parallel session commits must never reuse a segment name or
+        leave manifest digests out of sync with disk (the gateway allows
+        up to max_open_sessions completions in flight)."""
+        batches = [
+            [r] for r in _records(contributors[0]) + _records(contributors[1])
+        ]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            infos = list(pool.map(
+                lambda batch: ledger.append(batch, batch[0].source_id),
+                batches,
+            ))
+        assert len({info.name for info in infos}) == len(batches)
+        assert len(ledger) == len(batches)
+        assert ledger.verify()
+        reopened = ContributionLedger.open(ledger.path)
+        assert reopened.manifest_digest() == ledger.manifest_digest()
 
 
 class TestDurability:

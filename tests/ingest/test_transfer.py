@@ -87,8 +87,12 @@ class TestResume:
         assert not (tmp_path / "t" / "chunk-000001.bin").exists()
 
     def test_corrupted_acked_chunk_fails_closed(self, tmp_path, records):
+        """A failed chunk *behind* the journal head was acknowledged —
+        corruption after the fact, never a crash window — so resume
+        refuses rather than silently dropping committed data."""
         transfer = UploadTransfer.create(tmp_path / "t")
         transfer.append_chunk(records[:4])
+        transfer.append_chunk(records[4:8])
         chunk = tmp_path / "t" / "chunk-000000.bin"
         blob = bytearray(chunk.read_bytes())
         blob[8] ^= 0xFF
@@ -99,9 +103,49 @@ class TestResume:
     def test_missing_acked_chunk_fails_closed(self, tmp_path, records):
         transfer = UploadTransfer.create(tmp_path / "t")
         transfer.append_chunk(records[:4])
+        transfer.append_chunk(records[4:8])
         (tmp_path / "t" / "chunk-000000.bin").unlink()
         with pytest.raises(TransferError):
             UploadTransfer.resume(tmp_path / "t")
+
+    def test_torn_tail_chunk_truncates_journal(self, tmp_path, records):
+        """A journal line whose chunk never became durable (power loss
+        between the chunk fsync and the journal fsync being observed by
+        the client) was never acknowledged: resume truncates back to the
+        last consistent entry instead of failing the session forever."""
+        transfer = UploadTransfer.create(tmp_path / "t")
+        transfer.append_chunk(records[:4])
+        transfer.append_chunk(records[4:8])
+        chunk = tmp_path / "t" / "chunk-000001.bin"
+        blob = bytearray(chunk.read_bytes())
+        blob[8] ^= 0xFF
+        chunk.write_bytes(bytes(blob))
+        resumed = UploadTransfer.resume(tmp_path / "t")
+        assert resumed.next_seq == 1
+        assert resumed.acked_records == 4
+        assert not chunk.exists()
+        journal = (tmp_path / "t" / "journal.jsonl").read_text().splitlines()
+        assert len(journal) == 1
+        # The client re-sends the dropped chunk and the stream continues.
+        resumed.append_chunk(records[4:8])
+        resumed.append_chunk(records[8:])
+        assert list(resumed.iter_records()) == records
+
+    def test_missing_tail_chunk_truncates_journal(self, tmp_path, records):
+        transfer = UploadTransfer.create(tmp_path / "t")
+        transfer.append_chunk(records[:4])
+        transfer.append_chunk(records[4:8])
+        (tmp_path / "t" / "chunk-000001.bin").unlink()
+        resumed = UploadTransfer.resume(tmp_path / "t")
+        assert resumed.next_seq == 1
+        assert resumed.max_nonce() == max(r.nonce for r in records[:4])
+
+    def test_journal_tracks_bytes(self, tmp_path, records):
+        transfer = UploadTransfer.create(tmp_path / "t")
+        transfer.append_chunk(records[:4])
+        assert transfer.acked_bytes == sum(len(r.sealed) for r in records[:4])
+        resumed = UploadTransfer.resume(tmp_path / "t")
+        assert resumed.acked_bytes == transfer.acked_bytes
 
     def test_resume_without_journal_rejected(self, tmp_path):
         with pytest.raises(TransferError):
