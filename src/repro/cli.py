@@ -12,6 +12,12 @@ Run ``python -m repro <command>``:
   validation pipeline, and contribution ledger (with optional
   fault-injection to demo crash/resume).
 * ``ingest-status`` — inspect and verify an on-disk contribution ledger.
+* ``checkpoints`` — inspect the sealed checkpoints of a training run.
+
+``train`` additionally understands ``--checkpoint-dir``/``--resume``/
+``--checkpoint-every``/``--inject`` for fault-tolerant training: sealed
+epoch-boundary (and mid-epoch) checkpoints, supervised recovery from
+injected enclave faults, and bitwise-identical resume.
 
 Every command is deterministic given ``--seed``.
 """
@@ -46,6 +52,20 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--participants", type=int, default=3)
     train.add_argument("--train-size", type=int, default=300)
     train.add_argument("--test-size", type=int, default=100)
+    train.add_argument("--checkpoint-dir", default=None,
+                       help="run under the resilience runtime, checkpointing "
+                            "into this directory")
+    train.add_argument("--resume", action="store_true",
+                       help="continue from the newest valid checkpoint")
+    train.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="BATCHES",
+                       help="also checkpoint mid-epoch every N batches")
+    train.add_argument("--inject", action="append", default=[],
+                       metavar="KIND@EPOCH[:BATCH]",
+                       help="inject a fault, e.g. enclave-abort@1:3 "
+                            "(repeatable); kinds: enclave-abort, "
+                            "epc-pressure, ir-corrupt, delta-corrupt, "
+                            "checkpoint-crash")
 
     assess = sub.add_parser("assess", help="exposure assessment")
     assess.add_argument("--epochs", type=int, default=3)
@@ -102,6 +122,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="inspect and verify an on-disk contribution ledger",
     )
     status.add_argument("--path", required=True, help="ledger directory")
+
+    checkpoints = sub.add_parser(
+        "checkpoints",
+        help="inspect the sealed checkpoints of a training run",
+    )
+    checkpoints.add_argument("--path", required=True,
+                             help="checkpoint directory")
     return parser
 
 
@@ -122,7 +149,33 @@ def _cmd_info(args) -> int:
           "contributor ingest")
     print("  repro ingest-status      inspect/verify an on-disk "
           "contribution ledger")
+    print("\nResilience runtime (repro.resilience):")
+    print("  repro train --checkpoint-dir DIR "
+          "sealed checkpoint/resume + supervised retries")
+    print("  repro train --inject KIND@EPOCH[:BATCH] "
+          "deterministic fault injection")
+    print("  repro checkpoints        inspect a checkpoint directory")
     return 0
+
+
+def _parse_fault_specs(specs):
+    from repro.errors import ConfigurationError
+    from repro.resilience import FaultPlan, FaultSpec
+
+    if not specs:
+        return None
+    faults = []
+    for text in specs:
+        try:
+            kind, _, where = text.partition("@")
+            epoch, _, batch = where.partition(":")
+            faults.append(FaultSpec(kind=kind, epoch=int(epoch),
+                                    batch=int(batch) if batch else 0))
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"bad --inject spec {text!r}; expected KIND@EPOCH[:BATCH]"
+            ) from exc
+    return FaultPlan(faults)
 
 
 def _cmd_train(args) -> int:
@@ -146,7 +199,13 @@ def _cmd_train(args) -> int:
         participant = TrainingParticipant(f"p{i}", share, rng.child(f"p{i}"))
         system.register_participant(participant)
         system.submit_data(participant)
-    reports = system.train(test_x=test.x, test_y=test.y)
+    reports = system.train(
+        test_x=test.x, test_y=test.y,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        checkpoint_every_batches=args.checkpoint_every,
+        fault_plan=_parse_fault_specs(args.inject),
+    )
     summary = system.decryption_summary
     print(f"accepted {summary.accepted} records "
           f"({summary.rejected_tampered} tampered, "
@@ -155,9 +214,38 @@ def _cmd_train(args) -> int:
         print(f"epoch {report.epoch + 1:>2}: loss {report.mean_loss:.4f}  "
               f"top-1 {report.top1:.2%}  top-2 {report.top2:.2%}  "
               f"simulated {report.simulated_seconds:.3f}s")
+    if system.run_telemetry is not None:
+        print(system.run_telemetry.render())
+        print(f"audit chain: {len(system.audit_log)} events, "
+              f"{'VERIFIED' if system.audit_log.verify_chain() else 'BROKEN'}")
     database = system.fingerprint_stage()
     print(f"linkage database: {len(database)} records "
           f"(dimension {database.dimension})")
+    return 0
+
+
+def _cmd_checkpoints(args) -> int:
+    from repro.resilience import CheckpointManager
+
+    manager = CheckpointManager(args.path)
+    infos = manager.checkpoints()
+    torn = sum(
+        1 for entry in sorted(manager.directory.iterdir())
+        if entry.is_dir() and entry.name.startswith("ckpt-")
+    ) - len(infos)
+    print(f"checkpoint directory {args.path}")
+    print(f"  valid checkpoints        {len(infos)}")
+    print(f"  torn/invalid directories {torn}")
+    for info in infos:
+        size = sum(f.stat().st_size for f in info.path.iterdir() if f.is_file())
+        point = (f"epoch {info.epoch} boundary" if info.batch == 0
+                 else f"epoch {info.epoch}, batch {info.batch}")
+        print(f"  seq {info.seq:>4}: {point:<24} batch_size {info.batch_size:>4} "
+              f"partition {info.partition}  {size:>8} bytes  "
+              f"mrenclave {info.manifest['mrenclave'][:16]}…")
+    latest = manager.latest()
+    if latest is not None:
+        print(f"  resume target: {latest.path.name}")
     return 0
 
 
@@ -511,6 +599,7 @@ _COMMANDS = {
     "serve-queries": _cmd_serve_queries,
     "ingest": _cmd_ingest,
     "ingest-status": _cmd_ingest_status,
+    "checkpoints": _cmd_checkpoints,
 }
 
 

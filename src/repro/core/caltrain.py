@@ -47,8 +47,13 @@ from repro.nn.config import network_to_config
 from repro.nn.network import Network
 from repro.nn.optimizers import Sgd
 from repro.nn.zoo import cifar10_10layer, cifar10_18layer, face_recognition_net
+from repro.resilience.checkpoint import CheckpointManager, TrainingState
+from repro.resilience.faults import FaultPlan
+from repro.resilience.supervisor import ResilientTrainer, RetryPolicy
+from repro.resilience.telemetry import RunTelemetry
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngStream
+from repro.utils.serialization import stable_hash
 
 __all__ = ["CalTrainConfig", "CalTrain"]
 
@@ -116,12 +121,7 @@ class CalTrain:
         self.network_config = network_to_config(self._reference_network)
         self.training_enclave: Enclave = self.server.build_training_enclave(
             self.network_config,
-            hyperparameters={
-                "epochs": config.epochs,
-                "batch_size": config.batch_size,
-                "learning_rate": config.learning_rate,
-                "momentum": config.momentum,
-            },
+            hyperparameters=self._hyperparameters(),
         )
         self.participants: Dict[str, TrainingParticipant] = {}
         #: Hash-chained record of every pipeline event (sealable).
@@ -140,6 +140,16 @@ class CalTrain:
         self.fingerprinter: Optional[Fingerprinter] = None
         self._assessor: Optional[ExposureAssessor] = None
         self.decryption_summary: Optional[DecryptionSummary] = None
+        #: Fault/retry/checkpoint counters of the last supervised run.
+        self.run_telemetry: Optional[RunTelemetry] = None
+
+    def _hyperparameters(self) -> Dict[str, float]:
+        return {
+            "epochs": self.config.epochs,
+            "batch_size": self.config.batch_size,
+            "learning_rate": self.config.learning_rate,
+            "momentum": self.config.momentum,
+        }
 
     def _resolve_factory(self) -> Callable[[np.random.Generator], Network]:
         if self.config.network_factory is not None:
@@ -212,10 +222,59 @@ class CalTrain:
                                   old=trainer.partitioned.partition, new=agreed)
             trainer.partitioned.set_partition(agreed)
 
+    def _rebuild_training_enclave(self) -> Enclave:
+        """Recreate the training enclave after an abort (same MRENCLAVE).
+
+        The architecture config and hyperparameters are measured back in
+        exactly as during setup, so the replacement carries the agreed
+        measurement and re-attestation (plus unsealing) can succeed.
+        """
+        return self.server.build_training_enclave(
+            self.network_config, hyperparameters=self._hyperparameters()
+        )
+
+    def _adopt_enclave(self, enclave: Enclave) -> None:
+        """Recovery re-onboarding after an enclave rebuild.
+
+        The provisioned data keys and the staged plaintext were enclave
+        secrets and died with the aborted enclave. Every registered
+        participant re-provisions its key over attested TLS (the rebuilt
+        enclave carries the agreed MRENCLAVE, so the same checks pass),
+        and the still-encrypted submissions are re-authenticated and
+        re-staged — the fingerprint stage later reads them from the live
+        enclave. Provisioning only consumes per-purpose child RNG
+        streams, so re-running it cannot perturb training determinism.
+        """
+        self.training_enclave = enclave
+        for participant in self.participants.values():
+            provision_key(
+                participant, enclave, self.attestation_service,
+                expected_mrenclave=self.expected_measurement,
+            )
+        summary = self.server.decrypt_submissions(cipher=self.config.cipher)
+        self.audit_log.append("recovery-restage",
+                              participants=len(self.participants),
+                              accepted=summary.accepted)
+
     def train(self, test_x: Optional[np.ndarray] = None,
               test_y: Optional[np.ndarray] = None,
-              keep_snapshots: bool = False) -> List[EpochReport]:
-        """Run the full training stage on everything submitted so far."""
+              keep_snapshots: bool = False,
+              checkpoint_dir: Optional[str] = None,
+              resume: bool = False,
+              checkpoint_every_batches: Optional[int] = None,
+              fault_plan: Optional[FaultPlan] = None,
+              retry_policy: Optional[RetryPolicy] = None,
+              ) -> List[EpochReport]:
+        """Run the full training stage on everything submitted so far.
+
+        With ``checkpoint_dir`` set, training runs under the resilience
+        runtime: sealed checkpoints at every epoch boundary (and every
+        ``checkpoint_every_batches`` batches mid-epoch), supervised
+        recovery from enclave/transfer/checkpoint faults (optionally
+        injected via ``fault_plan``), and ``resume=True`` continuing a
+        previous run bitwise-identically from its newest valid
+        checkpoint — including the checkpointed audit-log history.
+        """
         self.decryption_summary = self.server.decrypt_submissions(
             cipher=self.config.cipher
         )
@@ -251,10 +310,20 @@ class CalTrain:
             freeze_schedule=freeze,
             on_epoch_end=self._reassess if self.config.reassess_every_epoch else None,
         )
-        reports = self.trainer.train(
-            x, y, self.config.epochs, test_x=test_x, test_y=test_y,
-            keep_snapshots=keep_snapshots,
-        )
+        if checkpoint_dir is None:
+            if resume or fault_plan is not None:
+                raise ConfigurationError(
+                    "resume/fault injection need checkpoint_dir set"
+                )
+            reports = self.trainer.train(
+                x, y, self.config.epochs, test_x=test_x, test_y=test_y,
+                keep_snapshots=keep_snapshots,
+            )
+        else:
+            reports = self._train_supervised(
+                x, y, test_x, test_y, keep_snapshots, checkpoint_dir,
+                resume, checkpoint_every_batches, fault_plan, retry_policy,
+            )
         self.audit_log.append(
             "training-complete",
             epochs=len(reports),
@@ -262,6 +331,47 @@ class CalTrain:
             final_partition=self.partitioned.partition,
         )
         return reports
+
+    def _train_supervised(self, x, y, test_x, test_y, keep_snapshots,
+                          checkpoint_dir, resume, checkpoint_every_batches,
+                          fault_plan, retry_policy) -> List[EpochReport]:
+        manager = CheckpointManager(
+            checkpoint_dir,
+            config_digest=stable_hash(
+                self.network_config, self._hyperparameters()
+            ),
+        )
+        adopted_audit = not resume
+
+        def _on_restore(state: TrainingState) -> None:
+            # Cross-process resume adopts the checkpointed audit chain as
+            # the authoritative timeline; in-run recoveries keep the live
+            # log (faults are history, not something to rewind).
+            nonlocal adopted_audit
+            if adopted_audit:
+                return
+            adopted_audit = True
+            if state.audit_bytes:
+                self.audit_log = AuditLog.from_bytes(state.audit_bytes)
+
+        resilient = ResilientTrainer(
+            self.trainer,
+            manager,
+            enclave_factory=self._rebuild_training_enclave,
+            expected_mrenclave=self.expected_measurement,
+            attestation_service=self.attestation_service,
+            policy=retry_policy,
+            fault_plan=fault_plan,
+            audit_provider=lambda: self.audit_log,
+            on_enclave_rebuilt=self._adopt_enclave,
+            on_restore=_on_restore,
+        )
+        self.run_telemetry = resilient.telemetry
+        return resilient.run(
+            x, y, self.config.epochs, test_x=test_x, test_y=test_y,
+            keep_snapshots=keep_snapshots, resume=resume,
+            checkpoint_every_batches=checkpoint_every_batches,
+        )
 
     def evaluate(self, test_x: np.ndarray, test_y: np.ndarray):
         """Full classification report of the trained model."""

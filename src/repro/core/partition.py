@@ -15,13 +15,14 @@ FrontNet working set exceeds the EPC.
 
 from __future__ import annotations
 
-from typing import Optional
+import zlib
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.crypto.aead import Aead
 from repro.enclave.enclave import Enclave
-from repro.errors import PartitionError
+from repro.errors import PartitionError, TransferIntegrityError
 from repro.nn.network import Network
 
 __all__ = ["PartitionedNetwork"]
@@ -49,6 +50,13 @@ class PartitionedNetwork:
                  enclave: Optional[Enclave] = None) -> None:
         self.network = network
         self.enclave = enclave
+        #: Verify a CRC over every IR/delta tensor crossing the boundary;
+        #: a mismatch raises :class:`TransferIntegrityError` fail-closed.
+        self.transfer_checksums = True
+        #: Fault-injection tap ``(site, tensor) -> tensor`` applied while a
+        #: tensor is "in flight" between the checksum and its verification
+        #: (models corruption in the untrusted ECALL/OCALL copy path).
+        self.boundary_tap: Optional[Callable[[str, np.ndarray], np.ndarray]] = None
         self._partition = -1
         self.set_partition(partition)
 
@@ -74,6 +82,16 @@ class PartitionedNetwork:
                 self.enclave.epc.free("data/frontnet")
             self.enclave.epc.alloc("data/frontnet", self._frontnet_bytes(partition))
         self._partition = partition
+
+    def rebind_enclave(self, enclave: Optional[Enclave]) -> None:
+        """Point this partitioned network at a freshly built enclave.
+
+        The recovery path after an enclave abort: the replacement enclave
+        (same MRENCLAVE, re-attested by the caller) takes over the
+        FrontNet's EPC footprint at the current partition.
+        """
+        self.enclave = enclave
+        self.set_partition(self._partition)
 
     def _frontnet_bytes(self, partition: int, batch_size: int = 0) -> int:
         params = sum(
@@ -121,6 +139,31 @@ class PartitionedNetwork:
 
     # -- execution -----------------------------------------------------------------
 
+    def _cross_boundary(self, site: str, tensor: np.ndarray) -> np.ndarray:
+        """Checksum one boundary transfer; detect in-flight corruption.
+
+        The sending side computes a CRC before the tensor leaves, the
+        receiving side re-verifies after the copy (where ``boundary_tap``
+        may have corrupted it). SGX itself authenticates EPC memory but
+        the untrusted marshalling buffers are fair game — a flipped bit
+        there must fail closed, not silently poison training.
+        """
+        if not self.transfer_checksums and self.boundary_tap is None:
+            return tensor
+        checksum = None
+        if self.transfer_checksums:
+            checksum = zlib.crc32(np.ascontiguousarray(tensor).tobytes())
+        if self.boundary_tap is not None:
+            tensor = self.boundary_tap(site, tensor)
+        if checksum is not None and checksum != zlib.crc32(
+            np.ascontiguousarray(tensor).tobytes()
+        ):
+            raise TransferIntegrityError(
+                f"{site} tensor failed its transfer checksum crossing the "
+                "enclave boundary"
+            )
+        return tensor
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         """Full forward pass: FrontNet in-enclave, IR out, BackNet outside."""
         n = x.shape[0]
@@ -131,6 +174,7 @@ class PartitionedNetwork:
         ir = self.network.forward(x, training=training, start=0, stop=k)
         if self.enclave is not None and k > 0:
             self.enclave.ocall_cost(payload_bytes=ir.nbytes)
+            ir = self._cross_boundary("ir", ir)
         self._charge_compute(
             self._range_flops(k, len(self.network.layers), n), in_enclave=False
         )
@@ -153,6 +197,7 @@ class PartitionedNetwork:
             self.enclave.platform.clock.advance(
                 self.enclave.platform.cost_model.transition_cost(boundary_delta.nbytes)
             )
+            boundary_delta = self._cross_boundary("delta", boundary_delta)
         frontnet_frozen = all(layer.frozen for layer in self.frontnet_layers)
         if frontnet_frozen:
             # Bottom-up convergence freezing (paper, "Performance"): no

@@ -10,7 +10,7 @@ accounting for the performance experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -75,6 +75,11 @@ class ConfidentialTrainer:
         self.early_stop_patience = early_stop_patience
         self.best_weights = None
         self.best_top1: Optional[float] = None
+        #: Epochs since the last test-top-1 improvement (checkpointable).
+        self.stale_epochs = 0
+        #: Set once the early-stop patience is exhausted; :meth:`train`
+        #: (and the resilience runtime) stop at the next epoch boundary.
+        self.stop_training = False
         self.reports: List[EpochReport] = []
         #: Per-epoch weight snapshots (semi-trained models) for assessment.
         self.snapshots: List[List[Dict[str, np.ndarray]]] = []
@@ -84,22 +89,51 @@ class ConfidentialTrainer:
             return 0.0
         return self.partitioned.enclave.platform.clock.now
 
-    def train_epoch(self, x: np.ndarray, y: np.ndarray, epoch: int) -> float:
-        """One epoch of partitioned mini-batch SGD; returns the mean loss."""
+    def train_epoch(self, x: np.ndarray, y: np.ndarray, epoch: int,
+                    start_batch: int = 0,
+                    carried_losses: Optional[Sequence[float]] = None,
+                    batch_callback: Optional[
+                        Callable[[str, int, int, List[float]], None]] = None,
+                    ) -> Tuple[float, bool]:
+        """One epoch of partitioned mini-batch SGD.
+
+        Returns ``(mean_loss, frontnet_frozen)`` — the frozen flag that
+        actually governed the epoch, so the report can never disagree with
+        what ran.
+
+        ``start_batch``/``carried_losses`` resume an interrupted epoch:
+        the caller must first restore :attr:`batch_rng` to the state it had
+        when the epoch originally started, so the shuffle permutation
+        replays and the remaining batches are bitwise-identical to the
+        uninterrupted run. ``carried_losses`` are the per-batch losses the
+        interrupted attempt already banked; they count toward the mean.
+
+        ``batch_callback(phase, epoch, batch, losses)`` fires with phase
+        ``"start"`` before and ``"end"`` after every batch — the resilience
+        runtime's fault-injection and mid-epoch checkpoint hook.
+        """
         frozen = False
         if self.freeze_schedule is not None:
             frozen = self.freeze_schedule.apply(self.partitioned, epoch)
         if self.lr_schedule is not None and self._base_learning_rate is not None:
             self.lr_schedule.apply(self.optimizer, self._base_learning_rate, epoch)
-        losses = []
-        for xb, yb in iterate_minibatches(x, y, self.batch_size, rng=self.batch_rng):
+        losses = list(carried_losses) if carried_losses else []
+        batch = start_batch
+        for xb, yb in iterate_minibatches(x, y, self.batch_size,
+                                          rng=self.batch_rng,
+                                          start_batch=start_batch):
+            if batch_callback is not None:
+                batch_callback("start", epoch, batch, losses)
             if self.augmenter is not None:
                 xb = self.augmenter.augment_batch(xb)
             losses.append(self.partitioned.train_batch(xb, yb, self.optimizer))
+            if batch_callback is not None:
+                batch_callback("end", epoch, batch, losses)
+            batch += 1
         mean_loss = float(np.mean(losses)) if losses else 0.0
         _LOG.info("epoch %d: loss %.4f%s", epoch, mean_loss,
                   " (frontnet frozen)" if frozen else "")
-        return mean_loss
+        return mean_loss, frozen
 
     def evaluate(self, x: np.ndarray, y: np.ndarray) -> Dict[str, float]:
         probs = self.partitioned.network.predict(x)
@@ -108,55 +142,79 @@ class ConfidentialTrainer:
             "top2": top_k_accuracy(probs, y, k=2),
         }
 
+    def run_epoch(self, x: np.ndarray, y: np.ndarray, epoch: int,
+                  test_x: Optional[np.ndarray] = None,
+                  test_y: Optional[np.ndarray] = None,
+                  keep_snapshots: bool = False,
+                  start_batch: int = 0,
+                  carried_losses: Optional[Sequence[float]] = None,
+                  batch_callback: Optional[
+                      Callable[[str, int, int, List[float]], None]] = None,
+                  ) -> EpochReport:
+        """One complete epoch: train, evaluate, report, bookkeep.
+
+        Encapsulates everything :meth:`train` does per iteration so that a
+        resumable/supervised runtime can drive epochs one at a time and
+        re-enter mid-epoch. Appends to :attr:`reports`, maintains the
+        early-stop state (:attr:`best_top1`, :attr:`stale_epochs`,
+        :attr:`stop_training`), and returns the epoch's report. The
+        frozen flag in the report is the one :meth:`train_epoch` actually
+        applied — a single source of truth.
+        """
+        clock_start = self._simulated_now()
+        mean_loss, frozen = self.train_epoch(
+            x, y, epoch, start_batch=start_batch,
+            carried_losses=carried_losses, batch_callback=batch_callback,
+        )
+        accuracy = (
+            self.evaluate(test_x, test_y)
+            if test_x is not None and test_y is not None
+            else {"top1": None, "top2": None}
+        )
+        report = EpochReport(
+            epoch=epoch,
+            mean_loss=mean_loss,
+            top1=accuracy["top1"],
+            top2=accuracy["top2"],
+            partition=self.partitioned.partition,
+            simulated_seconds=self._simulated_now() - clock_start,
+            frontnet_frozen=frozen,
+        )
+        self.reports.append(report)
+        if keep_snapshots:
+            self.snapshots.append(self.partitioned.network.get_weights())
+        if self.on_epoch_end is not None:
+            self.on_epoch_end(epoch, self)
+        top1 = accuracy["top1"]
+        if top1 is not None:
+            if self.best_top1 is None or top1 > self.best_top1:
+                self.best_top1 = top1
+                self.best_weights = self.partitioned.network.get_weights()
+                self.stale_epochs = 0
+            else:
+                self.stale_epochs += 1
+            if (self.early_stop_patience is not None
+                    and self.stale_epochs >= self.early_stop_patience):
+                _LOG.info("early stop at epoch %d (best top-1 %.3f)",
+                          epoch, self.best_top1)
+                self.stop_training = True
+        return report
+
     def train(self, x: np.ndarray, y: np.ndarray, epochs: int,
               test_x: Optional[np.ndarray] = None,
               test_y: Optional[np.ndarray] = None,
-              keep_snapshots: bool = False) -> List[EpochReport]:
+              keep_snapshots: bool = False,
+              start_epoch: int = 0) -> List[EpochReport]:
         """The full training stage; returns the per-epoch reports.
 
         With ``early_stop_patience`` set (and test data given), training
         stops once test top-1 has not improved for that many epochs, and
         the best-seen weights are tracked in :attr:`best_weights`.
+        ``start_epoch`` resumes a restored trainer at a later epoch.
         """
-        stale_epochs = 0
-        for epoch in range(epochs):
-            clock_start = self._simulated_now()
-            frozen = (
-                self.freeze_schedule is not None
-                and epoch >= self.freeze_schedule.freeze_at_epoch
-            )
-            mean_loss = self.train_epoch(x, y, epoch)
-            accuracy = (
-                self.evaluate(test_x, test_y)
-                if test_x is not None and test_y is not None
-                else {"top1": None, "top2": None}
-            )
-            self.reports.append(
-                EpochReport(
-                    epoch=epoch,
-                    mean_loss=mean_loss,
-                    top1=accuracy["top1"],
-                    top2=accuracy["top2"],
-                    partition=self.partitioned.partition,
-                    simulated_seconds=self._simulated_now() - clock_start,
-                    frontnet_frozen=frozen,
-                )
-            )
-            if keep_snapshots:
-                self.snapshots.append(self.partitioned.network.get_weights())
-            if self.on_epoch_end is not None:
-                self.on_epoch_end(epoch, self)
-            top1 = accuracy["top1"]
-            if top1 is not None:
-                if self.best_top1 is None or top1 > self.best_top1:
-                    self.best_top1 = top1
-                    self.best_weights = self.partitioned.network.get_weights()
-                    stale_epochs = 0
-                else:
-                    stale_epochs += 1
-                if (self.early_stop_patience is not None
-                        and stale_epochs >= self.early_stop_patience):
-                    _LOG.info("early stop at epoch %d (best top-1 %.3f)",
-                              epoch, self.best_top1)
-                    break
+        for epoch in range(start_epoch, epochs):
+            self.run_epoch(x, y, epoch, test_x=test_x, test_y=test_y,
+                           keep_snapshots=keep_snapshots)
+            if self.stop_training:
+                break
         return self.reports

@@ -14,18 +14,26 @@ __all__ = ["iterate_minibatches"]
 def iterate_minibatches(x: np.ndarray, y: np.ndarray, batch_size: int,
                         rng: Optional[np.random.Generator] = None,
                         drop_last: bool = False,
+                        start_batch: int = 0,
                         ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
     """Yield shuffled ``(x, y)`` mini-batches.
 
     The paper shuffles and combines the *decrypted* training data from all
     participants into mini-batches inside the enclave; ``rng`` should then
     be the enclave's trusted generator.
+
+    ``start_batch`` skips the first ``start_batch`` batches *after* the
+    shuffle permutation is drawn: a resumed run that restores ``rng`` to
+    its epoch-start state replays the identical order and continues at the
+    exact batch an interrupted epoch reached.
     """
     if batch_size <= 0:
         raise ConfigurationError("batch_size must be positive")
+    if start_batch < 0:
+        raise ConfigurationError("start_batch must be >= 0")
     n = x.shape[0]
     order = rng.permutation(n) if rng is not None else np.arange(n)
-    for start in range(0, n, batch_size):
+    for start in range(start_batch * batch_size, n, batch_size):
         idx = order[start : start + batch_size]
         if drop_last and idx.shape[0] < batch_size:
             return

@@ -10,6 +10,7 @@ and query stages.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.crypto.aead import AesGcm
 from repro.crypto.hkdf import hkdf
@@ -36,9 +37,20 @@ def _seal_key(enclave: Enclave) -> bytes:
     )
 
 
-def seal(enclave: Enclave, plaintext: bytes) -> SealedBlob:
-    """Seal ``plaintext`` to this enclave's identity."""
-    nonce = enclave.trusted_rng.random_bytes(12)
+def seal(enclave: Enclave, plaintext: bytes,
+         nonce: Optional[bytes] = None) -> SealedBlob:
+    """Seal ``plaintext`` to this enclave's identity.
+
+    ``nonce`` lets callers supply a deterministic, content-derived nonce
+    (e.g. the checkpoint runtime, which must not consume the trusted
+    training RNG — drawing from it would perturb the minibatch/augmentation
+    stream and break bitwise resume parity). Callers providing a nonce are
+    responsible for its uniqueness per plaintext.
+    """
+    if nonce is None:
+        nonce = enclave.trusted_rng.random_bytes(12)
+    elif len(nonce) != 12:
+        raise SealingError("seal nonce must be 12 bytes")
     cipher = AesGcm(_seal_key(enclave))
     return SealedBlob(nonce=nonce, ciphertext=cipher.seal(nonce, plaintext))
 

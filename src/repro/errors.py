@@ -45,6 +45,24 @@ class EnclaveMemoryError(EnclaveError):
     """The Enclave Page Cache could not satisfy an allocation."""
 
 
+class EnclaveAbort(EnclaveError):
+    """The enclave was torn down out from under its host process.
+
+    SGX enclaves die without warning on EPC eviction under memory
+    pressure, power transitions, and microcode updates; every secret and
+    all in-enclave state are lost and the enclave must be re-created and
+    re-attested before work can continue."""
+
+
+class EpcPressureError(EnclaveMemoryError):
+    """EPC paging escalated into an enclave-fatal thrashing storm."""
+
+
+class TransferIntegrityError(EnclaveError):
+    """An IR or delta tensor failed its transfer checksum while crossing
+    the enclave boundary (corruption in the untrusted copy path)."""
+
+
 class AttestationError(EnclaveError):
     """A remote-attestation quote failed verification."""
 
@@ -126,3 +144,22 @@ class TransferError(IngestError):
 class LedgerError(IngestError):
     """The contribution ledger rejected an operation or failed an
     integrity check against its content-addressed segment digests."""
+
+
+class ResilienceError(CalTrainError):
+    """Base class for failures in the fault-tolerant training runtime."""
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint is torn, tampered with, or bound to a different
+    enclave identity/architecture than the one trying to restore it."""
+
+
+class CheckpointWriteCrash(CheckpointError):
+    """A (possibly injected) crash interrupted a checkpoint write; the
+    partial checkpoint must never be trusted on recovery."""
+
+
+class TrainingAborted(ResilienceError):
+    """The supervised training runtime exhausted its retry budget and
+    failed closed rather than continue on unverifiable state."""

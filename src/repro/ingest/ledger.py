@@ -37,6 +37,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.data.encryption import EncryptedRecord
 from repro.errors import LedgerError, SealingError
+from repro.utils.fileio import atomic_write_text
 from repro.utils.serialization import canonical_json, stable_hash
 
 __all__ = [
@@ -168,9 +169,7 @@ class ContributionLedger:
 
     def _write_manifest(self) -> None:
         payload = json.dumps(self._manifest, indent=2, sort_keys=True)
-        tmp = self.path / (_MANIFEST + ".tmp")
-        tmp.write_text(payload)
-        os.replace(tmp, self.path / _MANIFEST)
+        atomic_write_text(self.path / _MANIFEST, payload)
 
     # -- writes ------------------------------------------------------------------
 

@@ -17,6 +17,7 @@ import numpy as np
 from repro.errors import NetworkDefinitionError
 from repro.nn.config import network_from_config, network_to_config
 from repro.nn.network import Network
+from repro.utils.fileio import atomic_write_bytes
 from repro.utils.serialization import stable_hash
 
 __all__ = ["save_model", "load_model", "model_to_bytes", "model_from_bytes"]
@@ -62,9 +63,13 @@ def model_from_bytes(blob: bytes,
 
 
 def save_model(network: Network, path: Union[str, os.PathLike]) -> None:
-    """Write a network to ``path`` (conventionally ``*.caltrain.npz``)."""
-    with open(path, "wb") as handle:
-        handle.write(model_to_bytes(network))
+    """Write a network to ``path`` (conventionally ``*.caltrain.npz``).
+
+    The write is atomic (temp file + fsync + rename): a crash mid-save
+    leaves either the previous model file or the new one, never a torn
+    file that fails its integrity check on load.
+    """
+    atomic_write_bytes(path, model_to_bytes(network))
 
 
 def load_model(path: Union[str, os.PathLike]) -> Network:

@@ -7,7 +7,8 @@ standard SGD with Differential Private SGD".
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import copy
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -16,11 +17,42 @@ from repro.errors import ConfigurationError
 __all__ = ["Optimizer", "Sgd", "Adam", "DpSgd", "PerExampleDpSgd"]
 
 
+def _buffers_out(buffers: Dict[Tuple[int, str], np.ndarray]) -> Dict[str, np.ndarray]:
+    """Flatten ``(layer, param)``-keyed buffers to string keys for I/O."""
+    return {f"{i}/{name}": arr.copy() for (i, name), arr in buffers.items()}
+
+
+def _buffers_in(flat: Dict[str, np.ndarray]) -> Dict[Tuple[int, str], np.ndarray]:
+    """Inverse of :func:`_buffers_out`."""
+    buffers: Dict[Tuple[int, str], np.ndarray] = {}
+    for key, arr in flat.items():
+        layer, name = key.split("/", 1)
+        buffers[(int(layer), name)] = np.array(arr, copy=True)
+    return buffers
+
+
 class Optimizer:
     """Interface: apply accumulated gradients to a network's parameters."""
 
     def step(self, network) -> None:
         raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Checkpointable internal state (moment buffers, step counters).
+
+        Hyperparameters are *not* included — they belong to the run
+        configuration, not the accumulated training state. A stateless
+        optimizer returns ``{}``.
+        """
+        return {}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore state captured by :meth:`state_dict` (exact resume)."""
+        if state:
+            raise ConfigurationError(
+                f"{type(self).__name__} carries no state but got keys "
+                f"{sorted(state)}"
+            )
 
     def _iter_params(self, network):
         for i, layer in enumerate(network.layers):
@@ -46,6 +78,12 @@ class Sgd(Optimizer):
         self.weight_decay = weight_decay
         self.max_grad_norm = max_grad_norm
         self._velocity: Dict[Tuple[int, str], np.ndarray] = {}
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"velocity": _buffers_out(self._velocity)}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._velocity = _buffers_in(state.get("velocity", {}))
 
     def _clip_scale(self, network) -> float:
         if self.max_grad_norm is None:
@@ -90,6 +128,15 @@ class Adam(Optimizer):
         self._v: Dict[Tuple[int, str], np.ndarray] = {}
         self._t = 0
 
+    def state_dict(self) -> Dict[str, Any]:
+        return {"m": _buffers_out(self._m), "v": _buffers_out(self._v),
+                "t": self._t}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self._m = _buffers_in(state.get("m", {}))
+        self._v = _buffers_in(state.get("v", {}))
+        self._t = int(state.get("t", 0))
+
     def step(self, network) -> None:
         self._t += 1
         bias1 = 1.0 - self.beta1 ** self._t
@@ -131,6 +178,18 @@ class DpSgd(Sgd):
         self.noise_multiplier = noise_multiplier
         self.batch_size = batch_size
         self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state["rng"] = copy.deepcopy(self.rng.bit_generator.state)
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        state = dict(state)
+        rng_state = state.pop("rng", None)
+        super().load_state_dict(state)
+        if rng_state is not None:
+            self.rng.bit_generator.state = copy.deepcopy(rng_state)
 
     def step(self, network) -> None:
         entries = list(self._iter_params(network))
@@ -175,6 +234,18 @@ class PerExampleDpSgd:
     @learning_rate.setter
     def learning_rate(self, value: float) -> None:
         self._sgd.learning_rate = value
+
+    def state_dict(self) -> Dict[str, Any]:
+        state = self._sgd.state_dict()
+        state["rng"] = copy.deepcopy(self.rng.bit_generator.state)
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        state = dict(state)
+        rng_state = state.pop("rng", None)
+        self._sgd.load_state_dict(state)
+        if rng_state is not None:
+            self.rng.bit_generator.state = copy.deepcopy(rng_state)
 
     def train_batch(self, model, x: np.ndarray, labels: np.ndarray) -> float:
         """One DP-SGD step over a mini-batch; returns the mean loss.

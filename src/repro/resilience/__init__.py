@@ -1,0 +1,30 @@
+"""repro.resilience — fault-tolerant partitioned training.
+
+Sealed checkpoint/resume (:mod:`repro.resilience.checkpoint`),
+deterministic enclave fault injection (:mod:`repro.resilience.faults`),
+the supervised retry runtime (:mod:`repro.resilience.supervisor`), and
+run telemetry (:mod:`repro.resilience.telemetry`).
+"""
+
+from repro.resilience.checkpoint import (CheckpointInfo, CheckpointManager,
+                                         TrainingState, capture_state,
+                                         restore_state)
+from repro.resilience.faults import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.resilience.supervisor import (ResilientTrainer, RetryPolicy,
+                                         classify_fault)
+from repro.resilience.telemetry import RunTelemetry
+
+__all__ = [
+    "CheckpointInfo",
+    "CheckpointManager",
+    "TrainingState",
+    "capture_state",
+    "restore_state",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "ResilientTrainer",
+    "RetryPolicy",
+    "classify_fault",
+    "RunTelemetry",
+]

@@ -1,0 +1,171 @@
+"""Deterministic fault injection for the training stage.
+
+A :class:`FaultPlan` is a seeded, reproducible schedule of failures the
+resilience runtime must survive:
+
+* ``enclave-abort`` — the training enclave is destroyed out from under
+  the host process (machine reboot, enclave-killing microcode update,
+  AEX storm) at an exact (epoch, batch);
+* ``epc-pressure`` — EPC paging escalates into an enclave-fatal
+  thrashing storm (models sustained memory pressure on the platform);
+* ``ir-corrupt`` / ``delta-corrupt`` — one boundary tensor is flipped in
+  the untrusted marshalling buffer, which the transfer checksums in
+  :class:`~repro.core.partition.PartitionedNetwork` must catch;
+* ``checkpoint-crash`` — the process dies mid-checkpoint-write, leaving
+  a torn directory that recovery must skip.
+
+Every fault fires exactly once at its scheduled point, so the same plan
+replayed against the same seed produces the same failure trace — the
+property the crash/resume parity tests build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.partition import PartitionedNetwork
+from repro.errors import (CheckpointWriteCrash, ConfigurationError,
+                          EnclaveAbort, EpcPressureError)
+from repro.utils.logging import get_logger
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan"]
+
+_LOG = get_logger("resilience.faults")
+
+FAULT_KINDS = (
+    "enclave-abort",
+    "epc-pressure",
+    "ir-corrupt",
+    "delta-corrupt",
+    "checkpoint-crash",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: fire ``kind`` at batch ``batch`` of ``epoch``."""
+
+    kind: str
+    epoch: int
+    batch: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; pick one of {FAULT_KINDS}"
+            )
+        if self.epoch < 0 or self.batch < 0:
+            raise ConfigurationError("fault epoch/batch must be >= 0")
+
+
+class FaultPlan:
+    """A deterministic schedule of :class:`FaultSpec` injections.
+
+    Wire it into a run by calling :meth:`attach` on the partitioned
+    network (installs the boundary corruption tap), passing
+    :meth:`before_batch` as the trainer's batch callback hook, and
+    :meth:`on_checkpoint_write` as the checkpoint manager's write fault
+    hook — the resilience runtime does all three when given a plan.
+    """
+
+    def __init__(self, faults: Sequence[FaultSpec] = ()) -> None:
+        self._pending: Dict[Tuple[int, int], List[FaultSpec]] = {}
+        for spec in faults:
+            self._pending.setdefault((spec.epoch, spec.batch), []).append(spec)
+        self.fired: List[FaultSpec] = []
+        self._armed_corruption: Optional[str] = None
+        self._armed_checkpoint_crash = False
+        self._partitioned: Optional[PartitionedNetwork] = None
+
+    @classmethod
+    def seeded(cls, seed: int, epochs: int, batches_per_epoch: int,
+               n_faults: int = 3,
+               kinds: Sequence[str] = FAULT_KINDS) -> "FaultPlan":
+        """A reproducible random schedule (same seed, same faults)."""
+        if epochs <= 0 or batches_per_epoch <= 0:
+            raise ConfigurationError("seeded plan needs positive dimensions")
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ConfigurationError(f"unknown fault kind {kind!r}")
+        rng = np.random.default_rng(seed)
+        seen = set()
+        faults = []
+        while len(faults) < n_faults:
+            spec = FaultSpec(
+                kind=str(rng.choice(list(kinds))),
+                epoch=int(rng.integers(0, epochs)),
+                batch=int(rng.integers(0, batches_per_epoch)),
+            )
+            if (spec.epoch, spec.batch) in seen:
+                continue
+            seen.add((spec.epoch, spec.batch))
+            faults.append(spec)
+        return cls(faults)
+
+    @property
+    def remaining(self) -> int:
+        return sum(len(specs) for specs in self._pending.values())
+
+    def attach(self, partitioned: PartitionedNetwork) -> None:
+        """Install the boundary corruption tap on the partitioned network."""
+        self._partitioned = partitioned
+        partitioned.boundary_tap = self._tap
+
+    # -- injection points --------------------------------------------------------
+
+    def before_batch(self, epoch: int, batch: int) -> None:
+        """Fire any faults scheduled at this (epoch, batch).
+
+        Abort-class faults raise immediately; corruption faults arm the
+        boundary tap for this batch's transfers; checkpoint crashes arm
+        the next checkpoint write.
+        """
+        specs = self._pending.pop((epoch, batch), None)
+        if not specs:
+            return
+        raising: Optional[FaultSpec] = None
+        for spec in specs:
+            _LOG.info("injecting fault %s at epoch %d batch %d",
+                      spec.kind, epoch, batch)
+            self.fired.append(spec)
+            if spec.kind in ("ir-corrupt", "delta-corrupt"):
+                self._armed_corruption = spec.kind.split("-", 1)[0]
+            elif spec.kind == "checkpoint-crash":
+                self._armed_checkpoint_crash = True
+            else:
+                raising = spec
+        if raising is None:
+            return
+        if raising.kind == "enclave-abort":
+            if (self._partitioned is not None
+                    and self._partitioned.enclave is not None):
+                # The enclave really is gone: secrets unreachable, every
+                # subsequent ECALL fails until a rebuild + re-attest.
+                self._partitioned.enclave.destroy()
+            raise EnclaveAbort(
+                f"injected enclave abort at epoch {epoch} batch {batch}"
+            )
+        raise EpcPressureError(
+            f"injected EPC thrashing storm at epoch {epoch} batch {batch}"
+        )
+
+    def _tap(self, site: str, tensor: np.ndarray) -> np.ndarray:
+        if self._armed_corruption != site:
+            return tensor
+        self._armed_corruption = None
+        corrupted = np.array(tensor, copy=True)
+        flat = corrupted.reshape(-1)
+        flat[0] = flat[0] + 1.0 if np.isfinite(flat[0]) else 0.0
+        _LOG.info("corrupting %s tensor in flight", site)
+        return corrupted
+
+    def on_checkpoint_write(self, stage: str, path) -> None:
+        """Crash (once) between the data files and the manifest write."""
+        if stage == "manifest" and self._armed_checkpoint_crash:
+            self._armed_checkpoint_crash = False
+            raise CheckpointWriteCrash(
+                f"injected crash while writing checkpoint {path}"
+            )

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.core.linkage import LinkageDatabase, LinkageRecord
 from repro.errors import SealingError, StoreError
+from repro.utils.fileio import atomic_write_text
 from repro.utils.serialization import canonical_json, stable_hash
 
 __all__ = ["SegmentInfo", "LinkageStore"]
@@ -151,9 +152,7 @@ class LinkageStore:
 
     def _write_manifest(self) -> None:
         payload = json.dumps(self._manifest, indent=2, sort_keys=True)
-        tmp = self.path / (_MANIFEST + ".tmp")
-        tmp.write_text(payload)
-        os.replace(tmp, self.path / _MANIFEST)
+        atomic_write_text(self.path / _MANIFEST, payload)
 
     # -- writes ------------------------------------------------------------------
 

@@ -10,17 +10,37 @@ insensitive to creation order.
 
 from __future__ import annotations
 
+import copy
 import hashlib
+from typing import Any, Dict
 
 import numpy as np
 
-__all__ = ["derive_seed", "RngStream"]
+__all__ = ["derive_seed", "RngStream", "get_generator_state",
+           "set_generator_state"]
 
 
 def derive_seed(parent_seed: int, name: str) -> int:
     """Derive a 64-bit child seed from a parent seed and a stream name."""
     digest = hashlib.sha256(f"{parent_seed}/{name}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+def get_generator_state(generator: np.random.Generator) -> Dict[str, Any]:
+    """Capture a generator's exact position as a JSON-able dict.
+
+    Restoring the returned state via :func:`set_generator_state` makes the
+    generator replay the identical draw sequence — which is what lets a
+    resumed training run reproduce the same minibatch shuffles and
+    augmentation decisions as an uninterrupted one.
+    """
+    return copy.deepcopy(generator.bit_generator.state)
+
+
+def set_generator_state(generator: np.random.Generator,
+                        state: Dict[str, Any]) -> None:
+    """Restore a state captured by :func:`get_generator_state` in place."""
+    generator.bit_generator.state = copy.deepcopy(state)
 
 
 class RngStream:
@@ -43,6 +63,14 @@ class RngStream:
     def child(self, name: str) -> "RngStream":
         """Return an independent stream derived from this one."""
         return RngStream(derive_seed(self.seed, name), name=f"{self.name}/{name}")
+
+    def get_state(self) -> Dict[str, Any]:
+        """Capture this stream's generator position (checkpointable)."""
+        return get_generator_state(self.generator)
+
+    def set_state(self, state: Dict[str, Any]) -> None:
+        """Restore a position captured by :meth:`get_state`."""
+        set_generator_state(self.generator, state)
 
     def randbytes(self, n: int) -> bytes:
         """Return ``n`` uniformly random bytes from this stream."""

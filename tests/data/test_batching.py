@@ -60,3 +60,33 @@ class TestIterateMinibatches:
         seen = [yb for _, yb in iterate_minibatches(x, y, batch,
                                                     rng=np.random.default_rng(0))]
         assert sorted(np.concatenate(seen).tolist()) == list(range(n))
+
+
+class TestStartBatch:
+    def test_resumes_exactly_where_interrupted(self):
+        """With the RNG rewound to its epoch-start state, ``start_batch=k``
+        yields exactly the batches an uninterrupted epoch would after k."""
+        x, y = _data(50)
+        full = list(iterate_minibatches(x, y, 8, rng=np.random.default_rng(9)))
+        for k in range(len(full) + 1):
+            resumed = list(iterate_minibatches(
+                x, y, 8, rng=np.random.default_rng(9), start_batch=k))
+            assert len(resumed) == len(full) - k
+            for (xa, ya), (xb, yb) in zip(resumed, full[k:]):
+                np.testing.assert_array_equal(xa, xb)
+                np.testing.assert_array_equal(ya, yb)
+
+    def test_rng_consumed_even_when_all_batches_skipped(self):
+        """The shuffle permutation is always drawn, so the generator ends
+        the epoch at the same position however far the resume skipped."""
+        rng_full = np.random.default_rng(9)
+        rng_skip = np.random.default_rng(9)
+        x, y = _data(24)
+        list(iterate_minibatches(x, y, 8, rng=rng_full))
+        list(iterate_minibatches(x, y, 8, rng=rng_skip, start_batch=3))
+        np.testing.assert_array_equal(rng_full.random(4), rng_skip.random(4))
+
+    def test_negative_start_batch_rejected(self):
+        x, y = _data(8)
+        with pytest.raises(ConfigurationError):
+            list(iterate_minibatches(x, y, 4, start_batch=-1))

@@ -47,6 +47,28 @@ class TestModelIo:
         np.testing.assert_allclose(restored.predict(x), net.predict(x),
                                    rtol=1e-6)
 
+    def test_interrupted_save_preserves_previous_model(self, rng, tmp_path,
+                                                       monkeypatch):
+        """save_model is atomic: a crash mid-write leaves the old file."""
+        import os
+
+        net_old = tiny_testnet(rng.child("old").generator)
+        net_new = tiny_testnet(rng.child("new").generator)
+        path = tmp_path / "model.caltrain.npz"
+        save_model(net_old, path)
+
+        def crash(src, dst):
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr(os, "replace", crash)
+        with pytest.raises(OSError):
+            save_model(net_new, path)
+        monkeypatch.undo()
+        restored = load_model(path)
+        np.testing.assert_array_equal(restored.layers[0].weights,
+                                      net_old.layers[0].weights)
+        assert [p.name for p in tmp_path.iterdir()] == ["model.caltrain.npz"]
+
     def test_corruption_detected(self, rng):
         net = tiny_testnet(rng.child("n").generator)
         blob = bytearray(model_to_bytes(net))

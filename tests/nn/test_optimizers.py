@@ -114,3 +114,93 @@ class TestDpSgd:
             DpSgd(clip_norm=0.0)
         with pytest.raises(ConfigurationError):
             DpSgd(noise_multiplier=-1.0)
+
+
+class TestStateDicts:
+    """Round-trip contract: load_state_dict makes a fresh optimizer
+    continue bitwise-identically — the property checkpoint/resume needs."""
+
+    def _run(self, net, optimizer, batch, steps):
+        x, y = batch
+        for _ in range(steps):
+            net.train_batch(x, y, optimizer)
+
+    def _twins(self, rng, batch, make_optimizer, warmup=3):
+        """Train one net, then clone (weights + optimizer state) a twin."""
+        net_a = tiny_testnet(rng.child("twin").generator)
+        opt_a = make_optimizer()
+        self._run(net_a, opt_a, batch, warmup)
+        net_b = tiny_testnet(rng.child("twin").generator)
+        net_b.set_weights(net_a.get_weights())
+        opt_b = make_optimizer()
+        opt_b.load_state_dict(opt_a.state_dict())
+        return net_a, opt_a, net_b, opt_b
+
+    def _assert_same_weights(self, net_a, net_b):
+        for layer_a, layer_b in zip(net_a.get_weights(), net_b.get_weights()):
+            for name in layer_a:
+                np.testing.assert_array_equal(layer_a[name], layer_b[name],
+                                              err_msg=name)
+
+    def test_sgd_roundtrip(self, rng, batch):
+        net_a, opt_a, net_b, opt_b = self._twins(
+            rng, batch, lambda: Sgd(0.05, momentum=0.9))
+        self._run(net_a, opt_a, batch, 4)
+        self._run(net_b, opt_b, batch, 4)
+        self._assert_same_weights(net_a, net_b)
+
+    def test_adam_roundtrip(self, rng, batch):
+        net_a, opt_a, net_b, opt_b = self._twins(
+            rng, batch, lambda: Adam(1e-3))
+        assert opt_b._t == opt_a._t  # bias-correction step counter
+        self._run(net_a, opt_a, batch, 4)
+        self._run(net_b, opt_b, batch, 4)
+        self._assert_same_weights(net_a, net_b)
+
+    def test_dpsgd_roundtrip_replays_noise(self, rng, batch):
+        net_a, opt_a, net_b, opt_b = self._twins(
+            rng, batch,
+            lambda: DpSgd(0.01, noise_multiplier=1.0, batch_size=16,
+                          rng=np.random.default_rng(7)))
+        self._run(net_a, opt_a, batch, 4)
+        self._run(net_b, opt_b, batch, 4)
+        self._assert_same_weights(net_a, net_b)
+
+    def test_perexample_dpsgd_roundtrip_replays_noise(self, rng):
+        from repro.nn.optimizers import PerExampleDpSgd
+
+        x = rng.child("px").generator.normal(
+            size=(4, 8, 8, 3)).astype(np.float32)
+        y = rng.child("py").generator.integers(0, 4, size=4)
+        make = lambda: PerExampleDpSgd(0.01, noise_multiplier=1.0,
+                                       rng=np.random.default_rng(7))
+        net_a = tiny_testnet(rng.child("twin").generator)
+        opt_a = make()
+        opt_a.train_batch(net_a, x, y)
+        net_b = tiny_testnet(rng.child("twin").generator)
+        net_b.set_weights(net_a.get_weights())
+        opt_b = make()
+        opt_b.load_state_dict(opt_a.state_dict())
+        opt_a.train_batch(net_a, x, y)
+        opt_b.train_batch(net_b, x, y)
+        for layer_a, layer_b in zip(net_a.get_weights(), net_b.get_weights()):
+            for name in layer_a:
+                np.testing.assert_array_equal(layer_a[name], layer_b[name])
+
+    def test_state_dict_is_a_snapshot(self, rng, batch):
+        """Further training must not mutate a captured state dict."""
+        net = tiny_testnet(rng.child("n").generator)
+        optimizer = Sgd(0.05, momentum=0.9)
+        self._run(net, optimizer, batch, 2)
+        state = optimizer.state_dict()
+        frozen = {key: arr.copy() for key, arr in state["velocity"].items()}
+        self._run(net, optimizer, batch, 2)
+        for key in frozen:
+            np.testing.assert_array_equal(state["velocity"][key], frozen[key])
+
+    def test_stateless_base_rejects_foreign_state(self):
+        from repro.nn.optimizers import Optimizer
+
+        Optimizer().load_state_dict({})  # fine
+        with pytest.raises(ConfigurationError):
+            Optimizer().load_state_dict({"velocity": {}})

@@ -1,0 +1,125 @@
+"""Fault-plan tests: scheduling, determinism, and each injection point."""
+
+import numpy as np
+import pytest
+
+from repro.enclave.enclave import EnclaveState
+from repro.errors import (CheckpointWriteCrash, ConfigurationError,
+                          EnclaveAbort, EpcPressureError,
+                          TransferIntegrityError)
+from repro.resilience import (FAULT_KINDS, CheckpointManager, FaultPlan,
+                              FaultSpec, capture_state)
+
+from tests.resilience.worlds import SupervisedWorld
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("meteor-strike", epoch=0)
+
+    def test_negative_coordinates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("enclave-abort", epoch=-1)
+        with pytest.raises(ConfigurationError):
+            FaultSpec("enclave-abort", epoch=0, batch=-1)
+
+
+class TestSeededPlans:
+    def test_same_seed_same_schedule(self):
+        first = FaultPlan.seeded(5, epochs=4, batches_per_epoch=6)
+        second = FaultPlan.seeded(5, epochs=4, batches_per_epoch=6)
+        assert sorted(first._pending) == sorted(second._pending)
+        specs = lambda plan: sorted(
+            (s.kind, s.epoch, s.batch)
+            for group in plan._pending.values() for s in group
+        )
+        assert specs(first) == specs(second)
+
+    def test_different_seed_different_schedule(self):
+        first = FaultPlan.seeded(5, epochs=10, batches_per_epoch=10,
+                                 n_faults=5)
+        second = FaultPlan.seeded(6, epochs=10, batches_per_epoch=10,
+                                  n_faults=5)
+        specs = lambda plan: sorted(
+            (s.kind, s.epoch, s.batch)
+            for group in plan._pending.values() for s in group
+        )
+        assert specs(first) != specs(second)
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.seeded(1, epochs=0, batches_per_epoch=4)
+        with pytest.raises(ConfigurationError):
+            FaultPlan.seeded(1, epochs=2, batches_per_epoch=4,
+                             kinds=["nonsense"])
+
+    def test_kinds_restricted(self):
+        plan = FaultPlan.seeded(3, epochs=8, batches_per_epoch=8, n_faults=6,
+                                kinds=["epc-pressure"])
+        assert all(s.kind == "epc-pressure"
+                   for group in plan._pending.values() for s in group)
+
+
+class TestInjectionPoints:
+    def test_enclave_abort_destroys_enclave_and_fires_once(self):
+        world = SupervisedWorld()
+        plan = FaultPlan([FaultSpec("enclave-abort", epoch=0, batch=1)])
+        plan.attach(world.trainer.partitioned)
+        plan.before_batch(0, 0)  # not scheduled: no-op
+        assert plan.remaining == 1
+        with pytest.raises(EnclaveAbort):
+            plan.before_batch(0, 1)
+        assert world.enclave.state is EnclaveState.DESTROYED
+        assert plan.remaining == 0
+        assert [s.kind for s in plan.fired] == ["enclave-abort"]
+        plan.before_batch(0, 1)  # already fired: no-op
+
+    def test_epc_pressure_raises(self):
+        plan = FaultPlan([FaultSpec("epc-pressure", epoch=2, batch=0)])
+        with pytest.raises(EpcPressureError):
+            plan.before_batch(2, 0)
+
+    @pytest.mark.parametrize("kind", ["ir-corrupt", "delta-corrupt"])
+    def test_boundary_corruption_caught_by_transfer_checksums(self, kind):
+        world = SupervisedWorld()
+        partitioned = world.trainer.partitioned
+        plan = FaultPlan([FaultSpec(kind, epoch=0, batch=0)])
+        plan.attach(partitioned)
+        plan.before_batch(0, 0)  # arms the tap, does not raise
+        x = world.train.x[:4]
+        with pytest.raises(TransferIntegrityError):
+            probs = partitioned.forward(x, training=True)
+            if kind == "delta-corrupt":
+                delta = np.zeros_like(probs)
+                delta[:, 0] = 1.0
+                partitioned.backward(delta)
+
+    def test_corruption_fires_once_then_transfers_recover(self):
+        world = SupervisedWorld()
+        partitioned = world.trainer.partitioned
+        plan = FaultPlan([FaultSpec("ir-corrupt", epoch=0, batch=0)])
+        plan.attach(partitioned)
+        plan.before_batch(0, 0)
+        with pytest.raises(TransferIntegrityError):
+            partitioned.forward(world.train.x[:4], training=True)
+        # Disarmed after one strike: the retry goes through clean.
+        partitioned.forward(world.train.x[:4], training=True)
+
+    def test_checkpoint_crash_leaves_torn_directory(self, tmp_path):
+        world = SupervisedWorld()
+        world.trainer.train(world.train.x, world.train.y, 1)
+        plan = FaultPlan([FaultSpec("checkpoint-crash", epoch=0, batch=0)])
+        manager = CheckpointManager(tmp_path,
+                                    write_fault_hook=plan.on_checkpoint_write)
+        plan.before_batch(0, 0)  # arms the crash
+        state = capture_state(world.trainer, epoch=1, batch=0)
+        with pytest.raises(CheckpointWriteCrash):
+            manager.save(state, world.enclave)
+        # Torn directory on disk, but not a valid checkpoint.
+        assert len(list(tmp_path.iterdir())) == 1
+        assert manager.checkpoints() == []
+        # The crash fires once; the retry succeeds under a fresh seq.
+        path = manager.save(state, world.enclave)
+        assert manager.latest() is not None
+        assert path.name.startswith("ckpt-000001")

@@ -1,0 +1,87 @@
+"""Reproducible training worlds shared by the resilience test suite.
+
+Two identically-seeded worlds train bitwise-identically, which is the
+ground truth the crash/resume parity tests compare against.
+"""
+
+import numpy as np
+
+from repro.core.caltrain import CalTrain, CalTrainConfig
+from repro.core.partition import PartitionedNetwork
+from repro.core.partitioned_training import ConfidentialTrainer
+from repro.data.datasets import synthetic_cifar
+from repro.enclave.platform import SgxPlatform
+from repro.federation.participant import TrainingParticipant
+from repro.nn.optimizers import Sgd
+from repro.nn.zoo import tiny_testnet
+from repro.utils.rng import RngStream
+
+EPOCHS = 3
+BATCH_SIZE = 16
+N_TRAIN = 96
+N_TEST = 32
+
+
+class SupervisedWorld:
+    """A bare enclave-backed trainer (no federation layer on top)."""
+
+    def __init__(self, seed: int = 31):
+        self.stream = RngStream(seed, "resilience")
+        self.platform = SgxPlatform(rng=self.stream.child("platform"))
+        self.enclave = self.platform.create_enclave("train")
+        self.enclave.init()
+        net = tiny_testnet(self.stream.child("net").generator)
+        # Dropout draws from the enclave's trusted RNG (as CalTrain wires
+        # it), so checkpoints capture and restore every stochastic input.
+        net.set_dropout_rng(self.enclave.trusted_rng.generator)
+        self.trainer = ConfidentialTrainer(
+            PartitionedNetwork(net, 1, self.enclave), Sgd(0.05, 0.9),
+            batch_rng=self.enclave.trusted_rng.stream.child("batches").generator,
+            batch_size=BATCH_SIZE,
+        )
+        self.train, self.test = synthetic_cifar(
+            self.stream.child("data"), num_train=N_TRAIN, num_test=N_TEST,
+            num_classes=4, shape=(8, 8, 3),
+        )
+
+    def rebuild_enclave(self):
+        """Enclave factory: same name on the same platform reproduces both
+        the MRENCLAVE and the trusted-RNG derivation."""
+        enclave = self.platform.create_enclave("train")
+        enclave.init()
+        return enclave
+
+    def weights(self):
+        return self.trainer.partitioned.network.get_weights()
+
+
+def make_caltrain_world(seed: int = 7):
+    """A full CalTrain deployment with one registered participant."""
+    config = CalTrainConfig(
+        seed=seed, epochs=EPOCHS, batch_size=BATCH_SIZE, partition=1,
+        augment=True,
+        network_factory=lambda gen: tiny_testnet(
+            gen, input_shape=(8, 8, 3), num_classes=4),
+    )
+    rng = RngStream(99, "world")
+    train, test = synthetic_cifar(rng.child("data"), num_train=N_TRAIN,
+                                  num_test=N_TEST, num_classes=4,
+                                  shape=(8, 8, 3))
+    system = CalTrain(config)
+    participant = TrainingParticipant("p0", train, rng.child("p0"))
+    system.register_participant(participant)
+    system.submit_data(participant)
+    return system, test
+
+
+def losses(reports):
+    return [r.mean_loss for r in reports]
+
+
+def assert_same_weights(got, expected):
+    assert len(got) == len(expected)
+    for layer_got, layer_expected in zip(got, expected):
+        assert set(layer_got) == set(layer_expected)
+        for name in layer_got:
+            np.testing.assert_array_equal(layer_got[name],
+                                          layer_expected[name], err_msg=name)

@@ -130,3 +130,55 @@ class TestIngestCommands:
         assert main(["ingest-status", "--path",
                      str(tmp_path / "nothing")]) == 1
         assert "ledger INVALID" in capsys.readouterr().out
+
+
+class TestResilienceCommands:
+    def test_train_flag_parsing(self):
+        args = build_parser().parse_args([
+            "train", "--checkpoint-dir", "/tmp/ck", "--resume",
+            "--checkpoint-every", "4",
+            "--inject", "enclave-abort@1:3", "--inject", "epc-pressure@2",
+        ])
+        assert args.checkpoint_dir == "/tmp/ck"
+        assert args.resume is True
+        assert args.checkpoint_every == 4
+        assert args.inject == ["enclave-abort@1:3", "epc-pressure@2"]
+
+    def test_inject_spec_parsing(self):
+        from repro.cli import _parse_fault_specs
+        from repro.errors import ConfigurationError
+
+        assert _parse_fault_specs([]) is None
+        plan = _parse_fault_specs(["enclave-abort@1:3", "ir-corrupt@2"])
+        assert plan.remaining == 2
+        with pytest.raises(ConfigurationError):
+            _parse_fault_specs(["enclave-abort@one"])
+        with pytest.raises(ConfigurationError):
+            _parse_fault_specs(["meteor@1:1"])
+
+    def test_train_with_faults_and_checkpoint_inspection(self, capsys,
+                                                         tmp_path):
+        code = main([
+            "--seed", "3", "train", "--epochs", "2", "--width-scale", "0.05",
+            "--train-size", "60", "--test-size", "20", "--participants", "2",
+            "--checkpoint-dir", str(tmp_path), "--checkpoint-every", "2",
+            "--inject", "enclave-abort@1:1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resilience telemetry" in out
+        assert "fault_enclave" in out
+        assert "audit chain" in out and "VERIFIED" in out
+        assert "linkage database: 60 records" in out
+
+        code = main(["checkpoints", "--path", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "valid checkpoints" in out
+        assert "resume target: ckpt-" in out
+        assert "boundary" in out
+
+    def test_checkpoints_empty_directory(self, capsys, tmp_path):
+        assert main(["checkpoints", "--path", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "valid checkpoints        0" in out
