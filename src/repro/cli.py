@@ -13,11 +13,18 @@ Run ``python -m repro <command>``:
   fault-injection to demo crash/resume).
 * ``ingest-status`` — inspect and verify an on-disk contribution ledger.
 * ``checkpoints`` — inspect the sealed checkpoints of a training run.
+* ``metrics`` — run a small training scenario and export the unified
+  metrics registry (Prometheus text or JSON).
 
 ``train`` additionally understands ``--checkpoint-dir``/``--resume``/
 ``--checkpoint-every``/``--inject`` for fault-tolerant training: sealed
 epoch-boundary (and mid-epoch) checkpoints, supervised recovery from
 injected enclave faults, and bitwise-identical resume.
+
+``train`` and ``serve-queries`` accept ``--trace PATH`` to record the
+run as a span tree (``.json`` for structured output, anything else for
+the rendered tree). Training traces use the *simulated* platform clock,
+so they are deterministic given the seed.
 
 Every command is deterministic given ``--seed``.
 """
@@ -66,6 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(repeatable); kinds: enclave-abort, "
                             "epc-pressure, ir-corrupt, delta-corrupt, "
                             "checkpoint-crash")
+    train.add_argument("--trace", default=None, metavar="PATH",
+                       help="record the run as a span tree on the simulated "
+                            "clock (.json = structured, else rendered text)")
 
     assess = sub.add_parser("assess", help="exposure assessment")
     assess.add_argument("--epochs", type=int, default=3)
@@ -102,6 +112,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=2)
     serve.add_argument("--probes", type=int, default=None,
                        help="ANN probe count (default: exact mode)")
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="record the serving run as a wall-clock span "
+                            "tree (.json = structured, else rendered text)")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a small training scenario and export the unified "
+             "metrics registry",
+    )
+    metrics.add_argument("--format", default="prom", choices=["prom", "json"],
+                         help="Prometheus text exposition or a JSON snapshot")
+    metrics.add_argument("--output", default=None, metavar="PATH",
+                         help="write the export here instead of stdout")
+    metrics.add_argument("--epochs", type=int, default=2)
+    metrics.add_argument("--width-scale", type=float, default=0.1)
+    metrics.add_argument("--participants", type=int, default=2)
+    metrics.add_argument("--train-size", type=int, default=120)
+    metrics.add_argument("--test-size", type=int, default=40)
 
     ingest = sub.add_parser(
         "ingest",
@@ -158,6 +186,24 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _write_trace(tracer, path: str, time_unit: str = "s") -> None:
+    """Write a finished trace: structured for ``.json``, rendered otherwise."""
+    import json
+    from pathlib import Path
+
+    if path.endswith(".json"):
+        Path(path).write_text(json.dumps(tracer.to_dict(), indent=1))
+    else:
+        Path(path).write_text(tracer.render(time_unit=time_unit) + "\n")
+    totals = tracer.kind_totals()
+    attribution = "  ".join(
+        f"{kind} {totals[kind]:.4f}{time_unit}"
+        for kind in sorted(totals) if totals[kind] > 0.0
+    )
+    print(f"trace written to {path} ({len(tracer.roots)} root spans; "
+          f"{attribution})")
+
+
 def _parse_fault_specs(specs):
     from repro.errors import ConfigurationError
     from repro.resilience import FaultPlan, FaultSpec
@@ -199,12 +245,20 @@ def _cmd_train(args) -> int:
         participant = TrainingParticipant(f"p{i}", share, rng.child(f"p{i}"))
         system.register_participant(participant)
         system.submit_data(participant)
+    tracer = None
+    if args.trace:
+        from repro.observability import Tracer
+
+        # Simulated platform seconds, not wall time: the trace is part of
+        # the deterministic run, identical for identical seeds.
+        tracer = Tracer(clock=lambda: system.platform.clock.now)
     reports = system.train(
         test_x=test.x, test_y=test.y,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         checkpoint_every_batches=args.checkpoint_every,
         fault_plan=_parse_fault_specs(args.inject),
+        tracer=tracer,
     )
     summary = system.decryption_summary
     print(f"accepted {summary.accepted} records "
@@ -218,6 +272,8 @@ def _cmd_train(args) -> int:
         print(system.run_telemetry.render())
         print(f"audit chain: {len(system.audit_log)} events, "
               f"{'VERIFIED' if system.audit_log.verify_chain() else 'BROKEN'}")
+    if tracer is not None:
+        _write_trace(tracer, args.trace, time_unit="s")
     database = system.fingerprint_stage()
     print(f"linkage database: {len(database)} records "
           f"(dimension {database.dimension})")
@@ -444,13 +500,30 @@ def _cmd_serve_queries(args) -> int:
                     _time.sleep(0.002)
         return [future.result() for future in futures]
 
+    tracer = None
+    if args.trace:
+        from repro.observability import Tracer
+
+        tracer = Tracer()  # wall clock: serving is real concurrency
+
+    from contextlib import nullcontext
+
+    def _span(name, **attrs):
+        if tracer is None:
+            return nullcontext()
+        return tracer.span(name, kind="untrusted", **attrs)
+
     config = EngineConfig(workers=args.workers)
     with ServingEngine(index, config) as engine:
-        results = submit_with_backoff(engine, queries, query_labels)
-        # A second wave over a slice of the same traffic: the viral-
-        # misprediction pattern the LRU cache absorbs.
-        repeats = max(1, args.queries // 4)
-        submit_with_backoff(engine, queries[:repeats], query_labels[:repeats])
+        with _span("serve-queries", queries=args.queries, k=args.k):
+            with _span("wave-initial", queries=args.queries):
+                results = submit_with_backoff(engine, queries, query_labels)
+            # A second wave over a slice of the same traffic: the viral-
+            # misprediction pattern the LRU cache absorbs.
+            repeats = max(1, args.queries // 4)
+            with _span("wave-repeat", queries=repeats):
+                submit_with_backoff(engine, queries[:repeats],
+                                    query_labels[:repeats])
     print(f"answered {len(results)} queries "
           f"(sample top hit: record {results[0][0].index} "
           f"at L2 {results[0][0].distance:.3f})")
@@ -459,6 +532,8 @@ def _cmd_serve_queries(args) -> int:
     print(f"audit trail: {len(engine.audit)} events, chain "
           f"{'VERIFIED' if chain_ok else 'BROKEN'} "
           f"(head {engine.audit.head.hex()[:16]}…)")
+    if tracer is not None:
+        _write_trace(tracer, args.trace, time_unit="s")
     return 0 if chain_ok else 1
 
 
@@ -564,6 +639,51 @@ def _cmd_ingest(args) -> int:
     return 0 if chain_ok and summary.rejected_tampered == 0 else 1
 
 
+def _cmd_metrics(args) -> int:
+    """Run a small supervised training scenario, export the registry."""
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.caltrain import CalTrain, CalTrainConfig
+    from repro.data.datasets import synthetic_cifar
+    from repro.federation.participant import TrainingParticipant
+    from repro.utils.rng import RngStream
+
+    rng = RngStream(args.seed, name="cli-metrics")
+    train, test = synthetic_cifar(rng.child("data"),
+                                  num_train=args.train_size,
+                                  num_test=args.test_size)
+    system = CalTrain(CalTrainConfig(
+        seed=args.seed, architecture="cifar10-10layer",
+        width_scale=args.width_scale, epochs=args.epochs, augment=False,
+    ))
+    fractions = [1.0 / args.participants] * args.participants
+    for i, share in enumerate(train.split(fractions,
+                                          rng=rng.child("split").generator)):
+        participant = TrainingParticipant(f"p{i}", share, rng.child(f"p{i}"))
+        system.register_participant(participant)
+        system.submit_data(participant)
+    # A supervised run exercises the full metric surface: partition
+    # boundary traffic, EPC paging, checkpoint I/O, resilience counters.
+    with tempfile.TemporaryDirectory(prefix="caltrain-metrics-") as ckpt:
+        system.train(test_x=test.x, test_y=test.y, checkpoint_dir=ckpt)
+    if args.format == "json":
+        text = json.dumps(system.metrics.snapshot(), indent=1, sort_keys=True)
+    else:
+        text = system.metrics.render_prometheus()
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        snapshot = system.metrics.snapshot()
+        print(f"metrics written to {args.output} "
+              f"({len(snapshot['counters'])} counters, "
+              f"{len(snapshot['gauges'])} gauges, "
+              f"{len(snapshot['histograms'])} histograms)")
+    else:
+        print(text)
+    return 0
+
+
 def _cmd_ingest_status(args) -> int:
     from repro.errors import LedgerError
     from repro.ingest import ContributionLedger
@@ -600,6 +720,7 @@ _COMMANDS = {
     "ingest": _cmd_ingest,
     "ingest-status": _cmd_ingest_status,
     "checkpoints": _cmd_checkpoints,
+    "metrics": _cmd_metrics,
 }
 
 

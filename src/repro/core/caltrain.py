@@ -47,6 +47,8 @@ from repro.nn.config import network_to_config
 from repro.nn.network import Network
 from repro.nn.optimizers import Sgd
 from repro.nn.zoo import cifar10_10layer, cifar10_18layer, face_recognition_net
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import Tracer
 from repro.resilience.checkpoint import CheckpointManager, TrainingState
 from repro.resilience.faults import FaultPlan
 from repro.resilience.supervisor import ResilientTrainer, RetryPolicy
@@ -142,6 +144,10 @@ class CalTrain:
         self.decryption_summary: Optional[DecryptionSummary] = None
         #: Fault/retry/checkpoint counters of the last supervised run.
         self.run_telemetry: Optional[RunTelemetry] = None
+        #: Deployment-wide metrics registry. Training binds the partition
+        #: hot path, EPC paging, checkpoint I/O, and the resilience
+        #: telemetry into it, so one Prometheus export covers the run.
+        self.metrics = MetricsRegistry()
 
     def _hyperparameters(self) -> Dict[str, float]:
         return {
@@ -264,6 +270,7 @@ class CalTrain:
               checkpoint_every_batches: Optional[int] = None,
               fault_plan: Optional[FaultPlan] = None,
               retry_policy: Optional[RetryPolicy] = None,
+              tracer: Optional[Tracer] = None,
               ) -> List[EpochReport]:
         """Run the full training stage on everything submitted so far.
 
@@ -274,6 +281,10 @@ class CalTrain:
         injected via ``fault_plan``), and ``resume=True`` continuing a
         previous run bitwise-identically from its newest valid
         checkpoint — including the checkpointed audit-log history.
+
+        ``tracer`` (optional) records the run as nested spans — epochs
+        over batches over enclave/boundary-crossing/untrusted phases.
+        Metrics always land in :attr:`metrics`, tracer or not.
         """
         self.decryption_summary = self.server.decrypt_submissions(
             cipher=self.config.cipher
@@ -310,6 +321,7 @@ class CalTrain:
             freeze_schedule=freeze,
             on_epoch_end=self._reassess if self.config.reassess_every_epoch else None,
         )
+        self.trainer.bind_observability(tracer=tracer, metrics=self.metrics)
         if checkpoint_dir is None:
             if resume or fault_plan is not None:
                 raise ConfigurationError(
@@ -362,6 +374,7 @@ class CalTrain:
             attestation_service=self.attestation_service,
             policy=retry_policy,
             fault_plan=fault_plan,
+            telemetry=RunTelemetry(registry=self.metrics),
             audit_provider=lambda: self.audit_log,
             on_enclave_rebuilt=self._adopt_enclave,
             on_restore=_on_restore,

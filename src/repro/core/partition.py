@@ -16,7 +16,7 @@ FrontNet working set exceeds the EPC.
 from __future__ import annotations
 
 import zlib
-from typing import Callable, Optional
+from typing import Callable, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -25,7 +25,26 @@ from repro.enclave.enclave import Enclave
 from repro.errors import PartitionError, TransferIntegrityError
 from repro.nn.network import Network
 
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from repro.observability.metrics import MetricsRegistry
+    from repro.observability.tracing import Tracer
+
 __all__ = ["PartitionedNetwork"]
+
+
+class _NullSpan:
+    """Zero-cost stand-in when no tracer is bound."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
 
 #: Backward passes cost roughly twice the forward FLOPs (dX and dW GEMMs).
 _BACKWARD_FLOP_FACTOR = 2.0
@@ -57,8 +76,33 @@ class PartitionedNetwork:
         #: tensor is "in flight" between the checksum and its verification
         #: (models corruption in the untrusted ECALL/OCALL copy path).
         self.boundary_tap: Optional[Callable[[str, np.ndarray], np.ndarray]] = None
+        #: Optional observability sinks; see :meth:`bind_observability`.
+        self.tracer: Optional["Tracer"] = None
+        self.metrics: Optional["MetricsRegistry"] = None
         self._partition = -1
         self.set_partition(partition)
+
+    def bind_observability(self, tracer: Optional["Tracer"] = None,
+                           metrics: Optional["MetricsRegistry"] = None) -> None:
+        """Attach a tracer and/or metrics registry to the hot path.
+
+        Traced, every forward/backward emits ``enclave`` /
+        ``boundary-crossing`` / ``untrusted`` spans so a training step
+        decomposes into FrontNet, IR/delta transfer, and BackNet time.
+        With metrics bound, boundary traffic lands in
+        ``repro_partition_*`` counters/histograms and the enclave's EPC
+        mirrors paging into the same registry. Unbound networks pay only
+        a ``None`` check per phase.
+        """
+        self.tracer = tracer
+        self.metrics = metrics
+        if metrics is not None and self.enclave is not None:
+            self.enclave.epc.bind_metrics(metrics)
+
+    def _span(self, name: str, kind: str, **attributes):
+        if self.tracer is None:
+            return _NULL_SPAN
+        return self.tracer.span(name, kind=kind, **attributes)
 
     # -- partition management -------------------------------------------------
 
@@ -92,6 +136,8 @@ class PartitionedNetwork:
         """
         self.enclave = enclave
         self.set_partition(self._partition)
+        if self.metrics is not None and enclave is not None:
+            enclave.epc.bind_metrics(self.metrics)
 
     def _frontnet_bytes(self, partition: int, batch_size: int = 0) -> int:
         params = sum(
@@ -168,45 +214,65 @@ class PartitionedNetwork:
         """Full forward pass: FrontNet in-enclave, IR out, BackNet outside."""
         n = x.shape[0]
         k = self._partition
-        if k > 0:
-            self._charge_paging(n)
-            self._charge_compute(self._range_flops(0, k, n), in_enclave=True)
-        ir = self.network.forward(x, training=training, start=0, stop=k)
+        with self._span("frontnet.forward", "enclave", batch=n):
+            if k > 0:
+                self._charge_paging(n)
+                self._charge_compute(self._range_flops(0, k, n), in_enclave=True)
+            ir = self.network.forward(x, training=training, start=0, stop=k)
         if self.enclave is not None and k > 0:
-            self.enclave.ocall_cost(payload_bytes=ir.nbytes)
-            ir = self._cross_boundary("ir", ir)
-        self._charge_compute(
-            self._range_flops(k, len(self.network.layers), n), in_enclave=False
-        )
-        return self.network.forward(ir, training=training, start=k)
+            with self._span("ir-transfer", "boundary-crossing",
+                            bytes=ir.nbytes):
+                self.enclave.ocall_cost(payload_bytes=ir.nbytes)
+                ir = self._cross_boundary("ir", ir)
+            if self.metrics is not None:
+                self.metrics.inc("repro_partition_ir_bytes_total", ir.nbytes)
+                self.metrics.inc("repro_partition_boundary_crossings_total")
+        with self._span("backnet.forward", "untrusted", batch=n):
+            self._charge_compute(
+                self._range_flops(k, len(self.network.layers), n),
+                in_enclave=False,
+            )
+            return self.network.forward(ir, training=training, start=k)
 
     def backward(self, delta: np.ndarray) -> np.ndarray:
         """Full backward pass: BackNet outside, delta in, FrontNet inside."""
         n = delta.shape[0]
         k = self._partition
-        self._charge_compute(
-            self._range_flops(k, len(self.network.layers), n) * _BACKWARD_FLOP_FACTOR,
-            in_enclave=False,
-        )
-        boundary_delta = self.network.backward(delta, start=None, stop=k)
+        with self._span("backnet.backward", "untrusted", batch=n):
+            self._charge_compute(
+                self._range_flops(k, len(self.network.layers), n)
+                * _BACKWARD_FLOP_FACTOR,
+                in_enclave=False,
+            )
+            boundary_delta = self.network.backward(delta, start=None, stop=k)
         if k == 0:
             return boundary_delta
         if self.enclave is not None:
-            # The delta tensor is copied into the enclave (modelled as part
-            # of an ECALL transition).
-            self.enclave.platform.clock.advance(
-                self.enclave.platform.cost_model.transition_cost(boundary_delta.nbytes)
-            )
-            boundary_delta = self._cross_boundary("delta", boundary_delta)
+            with self._span("delta-transfer", "boundary-crossing",
+                            bytes=boundary_delta.nbytes):
+                # The delta tensor is copied into the enclave (modelled as
+                # part of an ECALL transition).
+                self.enclave.platform.clock.advance(
+                    self.enclave.platform.cost_model.transition_cost(
+                        boundary_delta.nbytes
+                    )
+                )
+                boundary_delta = self._cross_boundary("delta", boundary_delta)
+            if self.metrics is not None:
+                self.metrics.inc("repro_partition_delta_bytes_total",
+                                 boundary_delta.nbytes)
+                self.metrics.inc("repro_partition_boundary_crossings_total")
         frontnet_frozen = all(layer.frozen for layer in self.frontnet_layers)
         if frontnet_frozen:
             # Bottom-up convergence freezing (paper, "Performance"): no
             # FrontNet backward work at all once it is frozen.
             return boundary_delta
-        self._charge_compute(
-            self._range_flops(0, k, n) * _BACKWARD_FLOP_FACTOR, in_enclave=True
-        )
-        return self.network.backward(boundary_delta, start=k, stop=0)
+        with self._span("frontnet.backward", "enclave", batch=n):
+            self._charge_compute(
+                self._range_flops(0, k, n) * _BACKWARD_FLOP_FACTOR,
+                in_enclave=True,
+            )
+            return self.network.backward(boundary_delta, start=k, stop=0)
 
     def train_batch(self, x: np.ndarray, labels: np.ndarray, optimizer) -> float:
         """One partitioned SGD step; returns the batch loss."""

@@ -9,6 +9,7 @@ accounting for the performance experiments.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -20,11 +21,15 @@ from repro.core.partition import PartitionedNetwork
 from repro.data.augmentation import Augmenter
 from repro.data.batching import iterate_minibatches
 from repro.nn.optimizers import Optimizer
+from repro.observability.tracing import Tracer
 from repro.utils.logging import get_logger
 
 __all__ = ["EpochReport", "ConfidentialTrainer"]
 
 _LOG = get_logger("core.training")
+
+#: Reusable no-op context for the untraced path (nullcontext is stateless).
+_NO_TRACE = nullcontext()
 
 
 @dataclass
@@ -83,6 +88,16 @@ class ConfidentialTrainer:
         self.reports: List[EpochReport] = []
         #: Per-epoch weight snapshots (semi-trained models) for assessment.
         self.snapshots: List[List[Dict[str, np.ndarray]]] = []
+        #: Optional tracer; set via :meth:`bind_observability`. Epochs and
+        #: batches become parent spans over the partitioned network's
+        #: enclave/boundary/untrusted spans.
+        self.tracer: Optional[Tracer] = None
+
+    def bind_observability(self, tracer: Optional[Tracer] = None,
+                           metrics=None) -> None:
+        """Trace this trainer (and its partitioned network's hot path)."""
+        self.tracer = tracer
+        self.partitioned.bind_observability(tracer=tracer, metrics=metrics)
 
     def _simulated_now(self) -> float:
         if self.partitioned.enclave is None:
@@ -119,17 +134,30 @@ class ConfidentialTrainer:
             self.lr_schedule.apply(self.optimizer, self._base_learning_rate, epoch)
         losses = list(carried_losses) if carried_losses else []
         batch = start_batch
-        for xb, yb in iterate_minibatches(x, y, self.batch_size,
-                                          rng=self.batch_rng,
-                                          start_batch=start_batch):
-            if batch_callback is not None:
-                batch_callback("start", epoch, batch, losses)
-            if self.augmenter is not None:
-                xb = self.augmenter.augment_batch(xb)
-            losses.append(self.partitioned.train_batch(xb, yb, self.optimizer))
-            if batch_callback is not None:
-                batch_callback("end", epoch, batch, losses)
-            batch += 1
+        epoch_span = (
+            self.tracer.span(f"epoch-{epoch}", kind="internal",
+                             start_batch=start_batch)
+            if self.tracer is not None else _NO_TRACE
+        )
+        with epoch_span:
+            for xb, yb in iterate_minibatches(x, y, self.batch_size,
+                                              rng=self.batch_rng,
+                                              start_batch=start_batch):
+                if batch_callback is not None:
+                    batch_callback("start", epoch, batch, losses)
+                batch_span = (
+                    self.tracer.span(f"batch-{batch}", kind="internal")
+                    if self.tracer is not None else _NO_TRACE
+                )
+                with batch_span:
+                    if self.augmenter is not None:
+                        xb = self.augmenter.augment_batch(xb)
+                    losses.append(
+                        self.partitioned.train_batch(xb, yb, self.optimizer)
+                    )
+                if batch_callback is not None:
+                    batch_callback("end", epoch, batch, losses)
+                batch += 1
         mean_loss = float(np.mean(losses)) if losses else 0.0
         _LOG.info("epoch %d: loss %.4f%s", epoch, mean_loss,
                   " (frontnet frozen)" if frozen else "")

@@ -69,17 +69,29 @@ class QueryService:
                       k: int) -> List[Neighbor]:
         tree, indices = self._tree_for(label)
         count = min(k, len(indices))
-        distances, positions = tree.query(fingerprint[0], k=count)
-        distances = np.atleast_1d(distances)
-        positions = np.atleast_1d(positions)
+        # The tree only bounds the k-th distance; its own ordering of
+        # equal-distance points follows tree topology, not insertion order,
+        # so it can disagree with brute mode on ties. Collect every point
+        # within (just past) the k-th distance and re-rank with the same
+        # distance computation and stable sort the brute path uses —
+        # identical math, identical tie-breaking.
+        kth_distance = np.atleast_1d(tree.query(fingerprint[0], k=count)[0])[-1]
+        radius = kth_distance * (1.0 + 1e-6) + 1e-12
+        candidates = np.asarray(
+            sorted(tree.query_ball_point(fingerprint[0], radius)), dtype=int
+        )
+        distances = cdist(fingerprint, tree.data[candidates])[0]
+        sort = np.argsort(distances, kind="stable")[:count]
+        order = candidates[sort]
+        ranked = distances[sort]
         return [
             Neighbor(
                 rank=rank + 1,
-                distance=float(distances[rank]),
-                record_index=indices[int(positions[rank])],
-                record=self.database.record(indices[int(positions[rank])]),
+                distance=float(ranked[rank]),
+                record_index=indices[int(position)],
+                record=self.database.record(indices[int(position)]),
             )
-            for rank in range(count)
+            for rank, position in enumerate(order)
         ]
 
     def query(self, fingerprint: np.ndarray, label: int, k: int = 9) -> List[Neighbor]:

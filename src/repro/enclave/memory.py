@@ -15,9 +15,12 @@ cost model converts into simulated time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional, TYPE_CHECKING
 
 from repro.errors import EnclaveMemoryError
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard, typing only
+    from repro.observability.metrics import MetricsRegistry
 
 __all__ = ["PAGE_SIZE", "EPC_USABLE_BYTES", "EpcMemory"]
 
@@ -49,6 +52,24 @@ class EpcMemory:
         self._allocations: Dict[str, _Allocation] = {}
         self.paged_bytes_total = 0
         self.page_faults = 0
+        #: Optional shared registry; see :meth:`bind_metrics`.
+        self.metrics: Optional["MetricsRegistry"] = None
+
+    def bind_metrics(self, registry: "MetricsRegistry") -> None:
+        """Mirror paging events into a shared metrics registry.
+
+        Publishes ``repro_epc_resident_bytes`` (gauge, updated on every
+        alloc/free/resize) plus ``repro_epc_paged_bytes_total`` and
+        ``repro_epc_page_faults_total`` (counters, updated on
+        :meth:`touch`). Unbound instances pay no overhead.
+        """
+        self.metrics = registry
+        self._publish_resident()
+
+    def _publish_resident(self) -> None:
+        if self.metrics is not None:
+            self.metrics.set_gauge("repro_epc_resident_bytes",
+                                   self.resident_bytes)
 
     # -- allocation ---------------------------------------------------------
 
@@ -70,17 +91,32 @@ class EpcMemory:
             raise EnclaveMemoryError("allocation size must be non-negative")
         pages = max(1, -(-nbytes // PAGE_SIZE))
         self._allocations[name] = _Allocation(nbytes=nbytes, pages=pages)
+        self._publish_resident()
 
     def free(self, name: str) -> None:
         """Release a named allocation."""
         if name not in self._allocations:
             raise EnclaveMemoryError(f"allocation {name!r} does not exist")
         del self._allocations[name]
+        self._publish_resident()
 
     def resize(self, name: str, nbytes: int) -> None:
-        """Resize a named allocation (EAUG/EREMOVE-style dynamic memory)."""
-        self.free(name)
-        self.alloc(name, nbytes)
+        """Resize a named allocation (EAUG/EREMOVE-style dynamic memory).
+
+        Atomic: the new size is validated *before* the old allocation is
+        touched, so a rejected resize leaves the allocation — and the
+        EPC accounting built on it — exactly as it was. (The previous
+        free-then-alloc implementation destroyed the allocation when the
+        new size was invalid, corrupting ``resident_bytes`` mid-training.)
+        """
+        if name not in self._allocations:
+            raise EnclaveMemoryError(f"allocation {name!r} does not exist")
+        if nbytes < 0:
+            raise EnclaveMemoryError("allocation size must be non-negative")
+        allocation = self._allocations[name]
+        allocation.nbytes = nbytes
+        allocation.pages = max(1, -(-nbytes // PAGE_SIZE))
+        self._publish_resident()
 
     # -- access & paging ----------------------------------------------------
 
@@ -96,8 +132,12 @@ class EpcMemory:
         """Record an access of ``nbytes``; return bytes served by paging."""
         paged = int(nbytes * self.overflow_fraction)
         if paged:
+            faults = -(-paged // PAGE_SIZE)
             self.paged_bytes_total += paged
-            self.page_faults += -(-paged // PAGE_SIZE)
+            self.page_faults += faults
+            if self.metrics is not None:
+                self.metrics.inc("repro_epc_paged_bytes_total", paged)
+                self.metrics.inc("repro_epc_page_faults_total", faults)
         return paged
 
     def usage_report(self) -> Dict[str, int]:

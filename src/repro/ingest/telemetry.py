@@ -5,67 +5,45 @@ side: how many sessions opened and resumed, how many chunks were
 journaled (and how many were idempotent replays), what the gateway
 rejected and why (backpressure, quota, rate limit), what validation
 accepted versus quarantined per reason, and how long each stage takes.
-All counters are thread-safe; :meth:`IngestTelemetry.snapshot` returns a
-plain dict and :meth:`render` a human-readable table for the CLI.
+
+A thin adapter over the shared
+:class:`~repro.observability.MetricsRegistry` (metric namespace
+``repro_ingest_*``); :meth:`IngestTelemetry.snapshot` returns a plain
+dict and :meth:`render` a human-readable table for the CLI.
 """
 
 from __future__ import annotations
 
-import threading
 from typing import Dict
 
-from repro.serving.telemetry import StageStats
+from repro.observability.adapter import SubsystemTelemetry
 
 __all__ = ["IngestTelemetry"]
 
 
-class IngestTelemetry:
+class IngestTelemetry(SubsystemTelemetry):
     """Counters + per-stage latency for the ingestion pipeline."""
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters: Dict[str, int] = {}
-        self._stages: Dict[str, StageStats] = {}
-
-    def count(self, name: str, n: int = 1) -> None:
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + n
-
-    def observe(self, stage: str, value: float) -> None:
-        with self._lock:
-            stats = self._stages.get(stage)
-            if stats is None:
-                stats = self._stages[stage] = StageStats()
-            stats.observe(value)
-
-    def counter(self, name: str) -> int:
-        with self._lock:
-            return self._counters.get(name, 0)
+    subsystem = "ingest"
 
     # -- derived rates -----------------------------------------------------------
 
     @property
     def quarantine_rate(self) -> float:
         """Fraction of validated records the pipeline refused."""
-        with self._lock:
-            accepted = self._counters.get("records_accepted", 0)
-            refused = self._counters.get("records_quarantined", 0)
+        accepted = self.counter("records_accepted")
+        refused = self.counter("records_quarantined")
         total = accepted + refused
         return refused / total if total else 0.0
 
     @property
     def mean_chunk_records(self) -> float:
-        with self._lock:
-            chunks = self._counters.get("chunks", 0)
-            records = self._counters.get("chunk_records", 0)
+        chunks = self.counter("chunks")
+        records = self.counter("chunk_records")
         return records / chunks if chunks else 0.0
 
     def snapshot(self) -> Dict[str, object]:
-        with self._lock:
-            counters = dict(self._counters)
-            stages = {name: stats.as_dict()
-                      for name, stats in self._stages.items()}
-        snapshot: Dict[str, object] = {"counters": counters, "stages": stages}
+        snapshot = super().snapshot()
         snapshot["quarantine_rate"] = self.quarantine_rate
         snapshot["mean_chunk_records"] = self.mean_chunk_records
         return snapshot
@@ -82,10 +60,5 @@ class IngestTelemetry:
             f"  {'mean_chunk_records':<24} "
             f"{snapshot['mean_chunk_records']:>10.2f}"
         )
-        for name in sorted(snapshot["stages"]):
-            stage = snapshot["stages"][name]
-            lines.append(
-                f"  stage {name:<16} n={stage['count']:<7} "
-                f"mean={stage['mean'] * 1e3:8.3f}ms max={stage['max'] * 1e3:8.3f}ms"
-            )
+        lines.extend(self._render_stage_lines(snapshot["stages"], width=16))
         return "\n".join(lines)

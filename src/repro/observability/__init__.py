@@ -1,0 +1,42 @@
+"""Unified observability: metrics, tracing, and telemetry adapters.
+
+The shared substrate under every subsystem's telemetry:
+
+* :mod:`repro.observability.metrics` — thread-safe
+  :class:`MetricsRegistry` of counters, gauges, and log-bucket
+  histograms (p50/p95/p99), with Prometheus text exposition and JSON
+  snapshots;
+* :mod:`repro.observability.tracing` — :class:`Tracer` producing nested
+  spans with explicit enclave-boundary kinds (``enclave`` /
+  ``untrusted`` / ``boundary-crossing``) on an injectable clock;
+* :mod:`repro.observability.adapter` — the legacy-compatible
+  :class:`SubsystemTelemetry` base that ``ServingTelemetry``,
+  ``IngestTelemetry``, and ``RunTelemetry`` are thin subclasses of.
+
+Metric naming scheme: ``repro_<subsystem>_<what>[_unit]`` — counters end
+``_total``, latency histograms ``_seconds``, stage histograms are
+``repro_<subsystem>_stage_<stage>_seconds``.
+"""
+
+from repro.observability.adapter import StageStats, SubsystemTelemetry
+from repro.observability.metrics import (Counter, Gauge, Histogram,
+                                         MetricsRegistry,
+                                         default_latency_buckets,
+                                         parse_prometheus)
+from repro.observability.tracing import (SPAN_KINDS, ManualClock, Span,
+                                         Tracer)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_latency_buckets",
+    "parse_prometheus",
+    "SPAN_KINDS",
+    "ManualClock",
+    "Span",
+    "Tracer",
+    "StageStats",
+    "SubsystemTelemetry",
+]

@@ -32,6 +32,7 @@ import json
 import re
 import shutil
 import struct
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional
@@ -255,6 +256,9 @@ class CheckpointManager:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.config_digest = config_digest
         self.write_fault_hook = write_fault_hook
+        #: Optional :class:`~repro.observability.MetricsRegistry`; when set,
+        #: save/load publish ``repro_checkpoint_*`` histograms and counters.
+        self.metrics = None
         self._next_seq = self._scan_next_seq()
 
     def _scan_next_seq(self) -> int:
@@ -274,6 +278,7 @@ class CheckpointManager:
         files are durably in place, so a torn write never yields a
         checkpoint that :meth:`checkpoints` would accept.
         """
+        started = time.perf_counter()
         seq = self._next_seq
         name = f"ckpt-{seq:06d}-e{state.epoch:04d}-b{state.batch:04d}"
         path = self.directory / name
@@ -323,6 +328,12 @@ class CheckpointManager:
         )
         _LOG.info("checkpoint %s written (epoch %d batch %d)",
                   name, state.epoch, state.batch)
+        if self.metrics is not None:
+            self.metrics.observe("repro_checkpoint_save_seconds",
+                                 time.perf_counter() - started)
+            self.metrics.inc("repro_checkpoint_writes_total")
+            self.metrics.inc("repro_checkpoint_bytes_total",
+                             len(sealed_bytes) + len(state_bytes))
         return path
 
     def _seal_frontnet(self, state: TrainingState, enclave: Enclave,
@@ -446,6 +457,7 @@ class CheckpointManager:
         attempted, and the sealed blob must authenticate. A mismatch at
         any gate raises :class:`CheckpointError`.
         """
+        started = time.perf_counter()
         manifest = info.manifest
         if (self.config_digest is not None
                 and manifest.get("config_digest") != self.config_digest.hex()):
@@ -499,6 +511,10 @@ class CheckpointManager:
             if manifest["meta"]["has_best_weights"] else None
         )
         meta = manifest["meta"]
+        if self.metrics is not None:
+            self.metrics.observe("repro_checkpoint_restore_seconds",
+                                 time.perf_counter() - started)
+            self.metrics.inc("repro_checkpoint_restores_total")
         return TrainingState(
             epoch=info.epoch,
             batch=info.batch,

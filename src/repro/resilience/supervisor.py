@@ -149,6 +149,10 @@ class ResilientTrainer:
         self.policy = policy or RetryPolicy()
         self.fault_plan = fault_plan
         self.telemetry = telemetry or RunTelemetry()
+        if self.manager.metrics is None:
+            # Checkpoint I/O metrics land in the same registry as the run
+            # telemetry, so one export covers the whole resilient run.
+            self.manager.metrics = self.telemetry.registry
         self.audit_provider = audit_provider
         self.on_enclave_rebuilt = on_enclave_rebuilt
         self.on_restore = on_restore

@@ -3,63 +3,40 @@
 Mirrors :class:`~repro.ingest.telemetry.IngestTelemetry` on the training
 side: faults observed per kind, retries and enclave rebuilds, checkpoint
 writes (and bytes) versus restores, batch-size degradations, and how
-long checkpoint save/restore take in wall time. Thread-safe;
-:meth:`RunTelemetry.snapshot` returns a plain dict and :meth:`render` a
-human-readable table for the CLI.
+long checkpoint save/restore take in wall time.
+
+A thin adapter over the shared
+:class:`~repro.observability.MetricsRegistry` (metric namespace
+``repro_resilience_*``); :meth:`RunTelemetry.snapshot` returns a plain
+dict and :meth:`render` a human-readable table for the CLI.
 """
 
 from __future__ import annotations
 
-import threading
 from typing import Dict
 
-from repro.serving.telemetry import StageStats
+from repro.observability.adapter import SubsystemTelemetry
 
 __all__ = ["RunTelemetry"]
 
 
-class RunTelemetry:
+class RunTelemetry(SubsystemTelemetry):
     """Counters + stage timings for one supervised training run."""
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters: Dict[str, int] = {}
-        self._stages: Dict[str, StageStats] = {}
-
-    def count(self, name: str, n: int = 1) -> None:
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + n
-
-    def observe(self, stage: str, value: float) -> None:
-        with self._lock:
-            stats = self._stages.get(stage)
-            if stats is None:
-                stats = self._stages[stage] = StageStats()
-            stats.observe(value)
-
-    def counter(self, name: str) -> int:
-        with self._lock:
-            return self._counters.get(name, 0)
+    subsystem = "resilience"
 
     @property
     def fault_count(self) -> int:
         """Total faults observed, across all kinds."""
-        with self._lock:
-            return sum(
-                count for name, count in self._counters.items()
-                if name.startswith("fault_")
-            )
+        with self._names_lock:
+            fault_names = [name for name in self._counter_names
+                           if name.startswith("fault_")]
+        return sum(self.counter(name) for name in fault_names)
 
     def snapshot(self) -> Dict[str, object]:
-        with self._lock:
-            counters = dict(self._counters)
-            stages = {name: stats.as_dict()
-                      for name, stats in self._stages.items()}
-        return {
-            "counters": counters,
-            "stages": stages,
-            "fault_count": self.fault_count,
-        }
+        snapshot = super().snapshot()
+        snapshot["fault_count"] = self.fault_count
+        return snapshot
 
     def render(self) -> str:
         snapshot = self.snapshot()
@@ -67,10 +44,5 @@ class RunTelemetry:
         for name in sorted(snapshot["counters"]):
             lines.append(f"  {name:<26} {snapshot['counters'][name]:>10}")
         lines.append(f"  {'faults_total':<26} {snapshot['fault_count']:>10}")
-        for name in sorted(snapshot["stages"]):
-            stage = snapshot["stages"][name]
-            lines.append(
-                f"  stage {name:<18} n={stage['count']:<7} "
-                f"mean={stage['mean'] * 1e3:8.3f}ms max={stage['max'] * 1e3:8.3f}ms"
-            )
+        lines.extend(self._render_stage_lines(snapshot["stages"], width=18))
         return "\n".join(lines)

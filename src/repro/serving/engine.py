@@ -275,12 +275,16 @@ class ServingEngine:
             first = self._queue.get(timeout=self.config.poll_interval)
         except Empty:
             return []
+        started = time.perf_counter()
         batch = [first]
         while len(batch) < self.config.max_batch:
             try:
                 batch.append(self._queue.get_nowait())
             except Empty:
                 break
+        # Coalescing time only — the blocking wait for the first request is
+        # idle time, not assembly work.
+        self.telemetry.observe("assemble", time.perf_counter() - started)
         return batch
 
     def _worker_loop(self) -> None:

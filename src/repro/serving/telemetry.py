@@ -2,103 +2,58 @@
 
 A serving system is only operable if you can see it: how many queries
 arrived, how many the cache absorbed, how many the backpressure bound
-rejected, how big the coalesced batches run, how long each stage takes,
-and what fraction of each shard the ANN index actually scanned. All
-counters are thread-safe; :meth:`ServingTelemetry.snapshot` returns a
-plain dict and :meth:`render` a human-readable table for the CLI.
+rejected, how big the coalesced batches run, how long each stage takes
+(now with p50/p95/p99, not just mean/max), and what fraction of each
+shard the ANN index actually scanned.
+
+:class:`ServingTelemetry` is a thin adapter over the shared
+:class:`~repro.observability.MetricsRegistry` (metric namespace
+``repro_serving_*``); pass an existing registry to aggregate serving
+metrics with other subsystems into one export. :meth:`snapshot` returns
+a plain dict, :meth:`render` a human-readable table for the CLI, and
+:meth:`ServingTelemetry.stage` an *immutable* statistics snapshot —
+never the live object, so readers can no longer race worker
+``observe()`` calls into torn count/total pairs.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Dict, Optional
+from typing import Dict
+
+from repro.observability.adapter import StageStats, SubsystemTelemetry
 
 __all__ = ["StageStats", "ServingTelemetry"]
 
 
-class StageStats:
-    """Streaming latency statistics for one pipeline stage."""
-
-    __slots__ = ("count", "total", "maximum")
-
-    def __init__(self) -> None:
-        self.count = 0
-        self.total = 0.0
-        self.maximum = 0.0
-
-    def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if value > self.maximum:
-            self.maximum = value
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def as_dict(self) -> Dict[str, float]:
-        return {"count": self.count, "mean": self.mean,
-                "max": self.maximum, "total": self.total}
-
-
-class ServingTelemetry:
+class ServingTelemetry(SubsystemTelemetry):
     """Counters + per-stage latency for the query engine."""
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters: Dict[str, int] = {}
-        self._stages: Dict[str, StageStats] = {}
-
-    def count(self, name: str, n: int = 1) -> None:
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + n
-
-    def observe(self, stage: str, value: float) -> None:
-        with self._lock:
-            stats = self._stages.get(stage)
-            if stats is None:
-                stats = self._stages[stage] = StageStats()
-            stats.observe(value)
-
-    def counter(self, name: str) -> int:
-        with self._lock:
-            return self._counters.get(name, 0)
-
-    def stage(self, name: str) -> Optional[StageStats]:
-        with self._lock:
-            return self._stages.get(name)
+    subsystem = "serving"
 
     # -- derived rates -----------------------------------------------------------
 
     @property
     def cache_hit_rate(self) -> float:
-        with self._lock:
-            hits = self._counters.get("cache_hits", 0)
-            misses = self._counters.get("cache_misses", 0)
+        hits = self.counter("cache_hits")
+        misses = self.counter("cache_misses")
         total = hits + misses
         return hits / total if total else 0.0
 
     @property
     def mean_batch_size(self) -> float:
-        with self._lock:
-            batches = self._counters.get("batches", 0)
-            batched = self._counters.get("batched_queries", 0)
+        batches = self.counter("batches")
+        batched = self.counter("batched_queries")
         return batched / batches if batches else 0.0
 
     @property
     def scan_fraction(self) -> float:
         """Candidate rows actually scanned vs. a full brute-force scan."""
-        with self._lock:
-            scanned = self._counters.get("candidates_scanned", 0)
-            full = self._counters.get("brute_equivalent_rows", 0)
+        scanned = self.counter("candidates_scanned")
+        full = self.counter("brute_equivalent_rows")
         return scanned / full if full else 0.0
 
     def snapshot(self) -> Dict[str, object]:
-        with self._lock:
-            counters = dict(self._counters)
-            stages = {name: stats.as_dict()
-                      for name, stats in self._stages.items()}
-        snapshot: Dict[str, object] = {"counters": counters, "stages": stages}
+        snapshot = super().snapshot()
         snapshot["cache_hit_rate"] = self.cache_hit_rate
         snapshot["mean_batch_size"] = self.mean_batch_size
         snapshot["scan_fraction"] = self.scan_fraction
@@ -112,16 +67,5 @@ class ServingTelemetry:
         lines.append(f"  {'cache_hit_rate':<24} {snapshot['cache_hit_rate']:>10.2%}")
         lines.append(f"  {'mean_batch_size':<24} {snapshot['mean_batch_size']:>10.2f}")
         lines.append(f"  {'scan_fraction':<24} {snapshot['scan_fraction']:>10.2%}")
-        for name in sorted(snapshot["stages"]):
-            stage = snapshot["stages"][name]
-            if name.endswith("occupancy"):
-                lines.append(
-                    f"  stage {name:<16} n={stage['count']:<7} "
-                    f"mean={stage['mean']:8.1f}   max={stage['max']:8.1f}"
-                )
-            else:
-                lines.append(
-                    f"  stage {name:<16} n={stage['count']:<7} "
-                    f"mean={stage['mean'] * 1e3:8.3f}ms max={stage['max'] * 1e3:8.3f}ms"
-                )
+        lines.extend(self._render_stage_lines(snapshot["stages"], width=16))
         return "\n".join(lines)

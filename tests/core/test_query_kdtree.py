@@ -54,6 +54,43 @@ class TestKdTreeIndex:
         with pytest.raises(ConfigurationError):
             QueryService(_db(generator), index="faiss")
 
+    def test_tie_breaking_matches_brute(self, generator):
+        # Regression: with duplicated fingerprints the tree used to rank
+        # equal-distance neighbours by tree topology, not insertion order,
+        # so kdtree and brute mode disagreed on which records to summon.
+        db = LinkageDatabase()
+        base = generator.normal(size=(4, 6)).astype(np.float32)
+        for i in range(20):
+            db.add(LinkageRecord(
+                fingerprint=base[i % 4].copy(),  # 5 exact copies of each
+                label=0, source=f"p{i}", digest=b"h" * 32, source_index=i,
+            ))
+        brute = QueryService(db, index="brute")
+        tree = QueryService(db, index="kdtree")
+        for k in (1, 3, 7, 12, 20):
+            query = generator.normal(size=6).astype(np.float32)
+            a = brute.query(query, 0, k=k)
+            b = tree.query(query, 0, k=k)
+            assert [n.record_index for n in a] == [n.record_index for n in b]
+            assert [n.distance for n in a] == [n.distance for n in b]
+
+    def test_batch_tie_breaking_matches_brute(self, generator):
+        db = LinkageDatabase()
+        point = generator.normal(size=6).astype(np.float32)
+        for i in range(8):
+            db.add(LinkageRecord(
+                fingerprint=point.copy(), label=0, source=f"p{i}",
+                digest=b"h" * 32, source_index=i,
+            ))
+        brute = QueryService(db, index="brute")
+        tree = QueryService(db, index="kdtree")
+        queries = generator.normal(size=(3, 6)).astype(np.float32)
+        a = brute.query_batch(queries, [0, 0, 0], k=5)
+        b = tree.query_batch(queries, [0, 0, 0], k=5)
+        for row_a, row_b in zip(a, b):
+            assert ([n.record_index for n in row_a]
+                    == [n.record_index for n in row_b])
+
     def test_tree_reused_across_queries(self, generator):
         db = _db(generator)
         service = QueryService(db, index="kdtree")

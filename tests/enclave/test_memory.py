@@ -40,6 +40,26 @@ class TestAllocation:
         epc.resize("a", PAGE_SIZE * 10)
         assert epc.resident_bytes == PAGE_SIZE * 10
 
+    def test_resize_unknown_rejected(self):
+        with pytest.raises(EnclaveMemoryError):
+            EpcMemory().resize("ghost", PAGE_SIZE)
+
+    def test_failed_resize_leaves_allocation_intact(self):
+        # Regression: resize used to free the old allocation before
+        # validating the new size, so a rejected resize destroyed the
+        # allocation and corrupted the EPC accounting.
+        epc = EpcMemory()
+        epc.alloc("a", PAGE_SIZE * 4)
+        before_resident = epc.resident_bytes
+        before_report = epc.usage_report()
+        with pytest.raises(EnclaveMemoryError):
+            epc.resize("a", -1)
+        assert epc.resident_bytes == before_resident
+        assert epc.usage_report() == before_report
+        # The allocation is still live and resizable.
+        epc.resize("a", PAGE_SIZE * 2)
+        assert epc.resident_bytes == PAGE_SIZE * 2
+
     def test_zero_capacity_rejected(self):
         with pytest.raises(EnclaveMemoryError):
             EpcMemory(capacity_bytes=0)

@@ -1,0 +1,193 @@
+"""Metrics substrate tests: registry, histogram math, export round-trip."""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability.metrics import (Counter, Gauge, Histogram,
+                                         MetricsRegistry,
+                                         default_latency_buckets,
+                                         parse_prometheus)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter("c_total")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_gauge_set_and_add(self):
+        gauge = Gauge("g")
+        gauge.set(10.0)
+        gauge.add(-3.0)
+        assert gauge.value == 7.0
+
+    def test_histogram_exact_aggregates(self):
+        histogram = Histogram("h_seconds")
+        for value in (0.001, 0.002, 0.004):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(0.007)
+        assert histogram.mean == pytest.approx(0.007 / 3)
+        assert histogram.minimum == 0.001
+        assert histogram.maximum == 0.004
+
+    def test_histogram_empty(self):
+        histogram = Histogram("h_seconds")
+        assert histogram.count == 0
+        assert histogram.percentile(50) == 0.0
+        assert histogram.as_dict()["max"] == 0.0
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=[2.0, 1.0])
+
+    def test_bad_percentile_rejected(self):
+        histogram = Histogram("h_seconds")
+        with pytest.raises(ConfigurationError):
+            histogram.percentile(0.0)
+        with pytest.raises(ConfigurationError):
+            histogram.percentile(101)
+
+
+class TestHistogramPercentiles:
+    def test_percentiles_track_numpy_within_a_bucket(self, generator):
+        # Log-uniform latencies over 4 decades; the bucket-interpolated
+        # percentile must stay within one bucket ratio (10**0.25) of the
+        # exact numpy percentile.
+        samples = 10.0 ** generator.uniform(-4, 0, size=5000)
+        histogram = Histogram("h_seconds")
+        for value in samples:
+            histogram.observe(float(value))
+        ratio = 10.0 ** 0.25
+        for q in (50, 95, 99):
+            exact = float(np.percentile(samples, q))
+            estimate = histogram.percentile(q)
+            assert exact / ratio <= estimate <= exact * ratio, (
+                f"p{q}: exact {exact:.6g}, estimate {estimate:.6g}"
+            )
+
+    def test_percentiles_clamped_to_observed_range(self):
+        histogram = Histogram("h_seconds")
+        for _ in range(100):
+            histogram.observe(0.0033)  # mid-bucket
+        assert histogram.percentile(50) == pytest.approx(0.0033)
+        assert histogram.percentile(99) == pytest.approx(0.0033)
+
+    def test_cumulative_buckets_end_at_total(self):
+        histogram = Histogram("h_seconds", buckets=[1.0, 2.0, 4.0])
+        for value in (0.5, 1.5, 3.0, 100.0):
+            histogram.observe(value)
+        buckets = histogram.cumulative_buckets()
+        assert buckets[-1] == (math.inf, 4)
+        assert [count for _, count in buckets] == [1, 2, 3, 4]
+
+    def test_default_buckets_are_sorted_log_spaced(self):
+        bounds = default_latency_buckets()
+        assert list(bounds) == sorted(bounds)
+        ratios = [b / a for a, b in zip(bounds, bounds[1:])]
+        assert all(r == pytest.approx(10.0 ** 0.25) for r in ratios)
+
+
+class TestRegistry:
+    def test_create_on_first_use_and_reuse(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a_total") is registry.counter("a_total")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h_seconds") is registry.histogram("h_seconds")
+
+    def test_type_conflicts_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("x")
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("bad-name")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.inc("c_total", 3)
+        registry.set_gauge("g", 1.5)
+        registry.observe("h_seconds", 0.01)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c_total": 3}
+        assert snapshot["gauges"] == {"g": 1.5}
+        assert snapshot["histograms"]["h_seconds"]["count"] == 1
+
+    def test_thread_safety_under_contention(self):
+        registry = MetricsRegistry()
+        threads = 8
+        per_thread = 2000
+        barrier = threading.Barrier(threads)
+
+        def hammer(i):
+            barrier.wait()
+            for n in range(per_thread):
+                registry.inc("hits_total")
+                registry.observe("lat_seconds", 1e-4 * (n % 7 + 1))
+                registry.set_gauge("depth", float(n))
+
+        workers = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert registry.counter("hits_total").value == threads * per_thread
+        histogram = registry.histogram("lat_seconds")
+        assert histogram.count == threads * per_thread
+        assert histogram.sum == pytest.approx(
+            sum(1e-4 * (n % 7 + 1) for n in range(per_thread)) * threads
+        )
+
+
+class TestPrometheusExposition:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.inc("repro_demo_events_total", 42)
+        registry.set_gauge("repro_demo_depth", 3.5)
+        for value in (0.001, 0.01, 0.1):
+            registry.observe("repro_demo_lat_seconds", value)
+        return registry
+
+    def test_render_declares_types(self):
+        text = self._populated().render_prometheus()
+        assert "# TYPE repro_demo_events_total counter" in text
+        assert "# TYPE repro_demo_depth gauge" in text
+        assert "# TYPE repro_demo_lat_seconds histogram" in text
+        assert 'repro_demo_lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_demo_lat_seconds_count 3" in text
+
+    def test_parse_round_trip(self):
+        registry = self._populated()
+        parsed = parse_prometheus(registry.render_prometheus())
+        assert parsed["repro_demo_events_total"]["type"] == "counter"
+        assert parsed["repro_demo_events_total"]["samples"][""] == 42
+        assert parsed["repro_demo_depth"]["samples"][""] == 3.5
+        histogram = parsed["repro_demo_lat_seconds"]
+        assert histogram["type"] == "histogram"
+        assert histogram["samples"]["_count"] == 3
+        assert histogram["samples"]["_sum"] == pytest.approx(0.111)
+        assert histogram["samples"]['_bucket{le="+Inf"}'] == 3
+
+    def test_parse_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this is not { exposition\n")
+
+    def test_bucket_counts_are_monotone(self):
+        parsed = parse_prometheus(self._populated().render_prometheus())
+        buckets = [
+            (key, value)
+            for key, value in parsed["repro_demo_lat_seconds"]["samples"].items()
+            if key.startswith("_bucket")
+        ]
+        counts = [value for _, value in buckets]
+        assert counts == sorted(counts)
