@@ -4,6 +4,10 @@ Run ``python -m repro <command>``:
 
 * ``info`` — version, architectures, and the Table I/II summaries.
 * ``train`` — confidential collaborative training on synthetic data.
+* ``train-distributed`` — data-parallel training across N enclave
+  workers with per-round secure FrontNet aggregation; understands
+  ``--kill``/``--straggle``/``--corrupt`` fault drills and prints the
+  aggregator enclave's hash-chained audit trail.
 * ``assess`` — information-exposure assessment of a freshly trained model.
 * ``forensics`` — the Trojaning-attack accountability pipeline.
 * ``build-index`` — persist a linkage store and build the sharded ANN index.
@@ -76,6 +80,46 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--trace", default=None, metavar="PATH",
                        help="record the run as a span tree on the simulated "
                             "clock (.json = structured, else rendered text)")
+
+    dist = sub.add_parser(
+        "train-distributed",
+        help="multi-enclave data-parallel training with secure aggregation",
+    )
+    dist.add_argument("--workers", type=int, default=2,
+                      help="number of enclave workers (ids w0..wN-1)")
+    dist.add_argument("--rounds", type=int, default=3,
+                      help="data-parallel rounds (one local epoch each)")
+    dist.add_argument("--architecture", default="cifar10-10layer",
+                      choices=["cifar10-10layer", "cifar10-18layer"])
+    dist.add_argument("--width-scale", type=float, default=0.1)
+    dist.add_argument("--partition", type=int, default=2)
+    dist.add_argument("--participants", type=int, default=3)
+    dist.add_argument("--train-size", type=int, default=300)
+    dist.add_argument("--test-size", type=int, default=100)
+    dist.add_argument("--checkpoint-dir", default=None,
+                      help="root for the per-worker sealed checkpoints "
+                           "(default: a temp directory)")
+    dist.add_argument("--straggler-factor", type=float, default=2.5,
+                      help="deadline = factor x fastest local epoch")
+    dist.add_argument("--blacklist-after", type=int, default=2,
+                      help="consecutive bad rounds before a worker is "
+                           "blacklisted and its shard reassigned")
+    dist.add_argument("--kill", action="append", default=[],
+                      metavar="WORKER@ROUND[:BATCH]",
+                      help="crash a worker's enclave mid-round, e.g. w1@1:2 "
+                           "(repeatable); it recovers from its sealed "
+                           "checkpoint")
+    dist.add_argument("--straggle", action="append", default=[],
+                      metavar="WORKER@ROUND[:FACTOR]",
+                      help="stretch a worker's round, e.g. w1@0:4.0 "
+                           "(repeatable)")
+    dist.add_argument("--corrupt", action="append", default=[],
+                      metavar="WORKER@ROUND",
+                      help="flip one byte of a worker's masked upload in "
+                           "the coordinator relay (repeatable)")
+    dist.add_argument("--trace", default=None, metavar="PATH",
+                      help="record the run as a span tree (.json = "
+                           "structured, else rendered text)")
 
     assess = sub.add_parser("assess", help="exposure assessment")
     assess.add_argument("--epochs", type=int, default=3)
@@ -277,6 +321,110 @@ def _cmd_train(args) -> int:
     database = system.fingerprint_stage()
     print(f"linkage database: {len(database)} records "
           f"(dimension {database.dimension})")
+    return 0
+
+
+def _parse_injections(args):
+    from repro.distributed import WorkerInjection
+    from repro.errors import ConfigurationError
+
+    injections = []
+
+    def parse(text, kind, arg_name, arg_cast):
+        try:
+            worker, _, where = text.partition("@")
+            round_text, _, extra = where.partition(":")
+            spec = {"kind": kind, "worker": worker, "round": int(round_text)}
+            if extra:
+                spec[arg_name] = arg_cast(extra)
+            return WorkerInjection(**spec)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"bad --{kind if kind != 'crash' else 'kill'} spec "
+                f"{text!r}; expected WORKER@ROUND[:{arg_name.upper()}]"
+            ) from exc
+
+    for text in args.kill:
+        injections.append(parse(text, "crash", "batch", int))
+    for text in args.straggle:
+        injections.append(parse(text, "straggle", "factor", float))
+    for text in args.corrupt:
+        injections.append(parse(text, "corrupt", "batch", int))
+    return tuple(injections)
+
+
+def _cmd_train_distributed(args) -> int:
+    from repro.core.caltrain import CalTrain, CalTrainConfig
+    from repro.data.datasets import synthetic_cifar
+    from repro.federation.participant import TrainingParticipant
+    from repro.utils.rng import RngStream
+
+    rng = RngStream(args.seed, name="cli-train-distributed")
+    train, test = synthetic_cifar(rng.child("data"),
+                                  num_train=args.train_size,
+                                  num_test=args.test_size)
+    system = CalTrain(CalTrainConfig(
+        seed=args.seed, architecture=args.architecture,
+        width_scale=args.width_scale, epochs=args.rounds,
+        partition=args.partition, augment=False,
+    ))
+    print(f"training enclave MRENCLAVE: {system.expected_measurement.hex()}")
+    fractions = [1.0 / args.participants] * args.participants
+    for i, share in enumerate(train.split(fractions,
+                                          rng=rng.child("split").generator)):
+        participant = TrainingParticipant(f"p{i}", share, rng.child(f"p{i}"))
+        system.register_participant(participant)
+        system.submit_data(participant)
+    tracer = None
+    if args.trace:
+        from repro.observability import Tracer
+
+        tracer = Tracer(clock=lambda: system.coordinator.clock.now
+                        if system.coordinator is not None else 0.0)
+    reports = system.train(
+        test_x=test.x, test_y=test.y,
+        workers=args.workers,
+        straggler_factor=args.straggler_factor,
+        blacklist_after=args.blacklist_after,
+        injections=_parse_injections(args),
+        checkpoint_dir=args.checkpoint_dir,
+        tracer=tracer,
+    )
+    coordinator = system.coordinator
+    print(f"aggregator MRENCLAVE: {coordinator.aggregator.mrenclave.hex()}")
+    print(f"shards: " + "  ".join(
+        f"{w.worker_id}={w.examples}" for w in coordinator.workers))
+    for report, round_report in zip(reports, coordinator.reports):
+        extras = []
+        if round_report.stragglers:
+            extras.append(f"stragglers {','.join(round_report.stragglers)}")
+        if round_report.faulted:
+            extras.append(f"faulted {','.join(round_report.faulted)}")
+        if round_report.recovered:
+            extras.append(f"recovered {','.join(round_report.recovered)}")
+        if round_report.corrupted:
+            extras.append(f"corrupted {','.join(round_report.corrupted)}")
+        if round_report.blacklisted:
+            extras.append(f"blacklisted {','.join(round_report.blacklisted)}")
+        suffix = f"  [{'; '.join(extras)}]" if extras else ""
+        print(f"round {report.epoch:>2}: loss {report.mean_loss:.4f}  "
+              f"{len(round_report.participating)}/{args.workers} aggregated  "
+              f"simulated {report.simulated_seconds:.3f}s{suffix}")
+    final = reports[-1]
+    if final.top1 is not None:
+        print(f"final accuracy: top-1 {final.top1:.2%}  top-2 {final.top2:.2%}")
+    print("\naggregation audit trail "
+          f"({'VERIFIED' if coordinator.audit.verify_chain() else 'BROKEN'}):")
+    for event in coordinator.audit.events("aggregation"):
+        details = event.details
+        print(f"  round {details['round']}: participants "
+              f"{','.join(details['participants']) or '-'}  dropped "
+              f"{','.join(details['dropped']) or '-'}  "
+              f"digest {details['digest'][:16]}…")
+    print()
+    print(system.distributed_telemetry.render())
+    if tracer is not None:
+        _write_trace(tracer, args.trace, time_unit="s")
     return 0
 
 
@@ -713,6 +861,7 @@ def _cmd_ingest_status(args) -> int:
 _COMMANDS = {
     "info": _cmd_info,
     "train": _cmd_train,
+    "train-distributed": _cmd_train_distributed,
     "assess": _cmd_assess,
     "forensics": _cmd_forensics,
     "build-index": _cmd_build_index,

@@ -144,6 +144,10 @@ class CalTrain:
         self.decryption_summary: Optional[DecryptionSummary] = None
         #: Fault/retry/checkpoint counters of the last supervised run.
         self.run_telemetry: Optional[RunTelemetry] = None
+        #: Distributed-run state (populated by ``train(workers=N)``).
+        self.coordinator = None
+        self.distributed_telemetry = None
+        self.round_reports: list = []
         #: Deployment-wide metrics registry. Training binds the partition
         #: hot path, EPC paging, checkpoint I/O, and the resilience
         #: telemetry into it, so one Prometheus export covers the run.
@@ -271,6 +275,10 @@ class CalTrain:
               fault_plan: Optional[FaultPlan] = None,
               retry_policy: Optional[RetryPolicy] = None,
               tracer: Optional[Tracer] = None,
+              workers: Optional[int] = None,
+              straggler_factor: float = 2.5,
+              blacklist_after: int = 2,
+              injections: tuple = (),
               ) -> List[EpochReport]:
         """Run the full training stage on everything submitted so far.
 
@@ -282,10 +290,49 @@ class CalTrain:
         previous run bitwise-identically from its newest valid
         checkpoint — including the checkpointed audit-log history.
 
+        With ``workers=N`` the training stage runs data-parallel across
+        N enclave workers under :mod:`repro.distributed`: the encrypted
+        submissions are sharded, each epoch becomes one round of local
+        training plus secure FrontNet aggregation, and
+        ``straggler_factor`` / ``blacklist_after`` / ``injections``
+        govern the straggler and fault machinery. The distributed path
+        carries its own per-round sealed checkpoints, so the
+        single-enclave resilience options (``resume``, ``fault_plan``,
+        ``checkpoint_every_batches``, ``retry_policy``,
+        ``keep_snapshots``) are rejected alongside it.
+
         ``tracer`` (optional) records the run as nested spans — epochs
         over batches over enclave/boundary-crossing/untrusted phases.
         Metrics always land in :attr:`metrics`, tracer or not.
         """
+        if workers is not None:
+            incompatible = {
+                "resume": resume,
+                "fault_plan": fault_plan is not None,
+                "checkpoint_every_batches": checkpoint_every_batches is not None,
+                "retry_policy": retry_policy is not None,
+                "keep_snapshots": keep_snapshots,
+            }
+            offending = sorted(k for k, v in incompatible.items() if v)
+            if offending:
+                raise ConfigurationError(
+                    f"workers={workers} is incompatible with {offending}; "
+                    "distributed training has its own checkpoint/recovery "
+                    "machinery"
+                )
+            if self.config.reassess_every_epoch:
+                raise ConfigurationError(
+                    "reassess_every_epoch is not supported with workers=N "
+                    "(partition votes would diverge across replicas)"
+                )
+            return self._train_distributed(
+                test_x, test_y, workers=workers,
+                straggler_factor=straggler_factor,
+                blacklist_after=blacklist_after,
+                injections=injections,
+                checkpoint_dir=checkpoint_dir,
+                tracer=tracer,
+            )
         self.decryption_summary = self.server.decrypt_submissions(
             cipher=self.config.cipher
         )
@@ -385,6 +432,137 @@ class CalTrain:
             keep_snapshots=keep_snapshots, resume=resume,
             checkpoint_every_batches=checkpoint_every_batches,
         )
+
+    def _provision_enclave(self, enclave: Enclave) -> None:
+        """Provision every registered participant's key into ``enclave``.
+
+        Worker enclaves are built from the same published code, agreed
+        architecture config, and hyperparameters as the main training
+        enclave, so they carry the deployment's expected measurement —
+        the participants' attestation checks pass unchanged.
+        """
+        for participant in self.participants.values():
+            provision_key(
+                participant, enclave, self.attestation_service,
+                expected_mrenclave=self.expected_measurement,
+            )
+
+    def _train_distributed(self, test_x, test_y, *, workers: int,
+                           straggler_factor: float, blacklist_after: int,
+                           injections, checkpoint_dir: Optional[str],
+                           tracer: Optional[Tracer]) -> List[EpochReport]:
+        """Data-parallel training across ``workers`` enclave workers.
+
+        The main training enclave still authenticates and stages the full
+        submission set first (the decryption audit event and the later
+        fingerprint stage read from it); the coordinator then re-shards
+        the *encrypted* submissions across the workers, which decrypt
+        only their own shard inside their own enclaves.
+        """
+        import tempfile
+
+        from repro.distributed import DistributedCoordinator
+
+        self.decryption_summary = self.server.decrypt_submissions(
+            cipher=self.config.cipher
+        )
+        self.audit_log.append(
+            "decryption",
+            accepted=self.decryption_summary.accepted,
+            rejected_tampered=self.decryption_summary.rejected_tampered,
+            rejected_unregistered=self.decryption_summary.rejected_unregistered,
+        )
+        if self.decryption_summary.accepted == 0:
+            raise TrainingError("no training records survived authentication")
+        submissions = list(self.server.submissions)
+
+        root = checkpoint_dir or tempfile.mkdtemp(prefix="caltrain-dist-")
+        self.coordinator = DistributedCoordinator(
+            num_workers=workers,
+            network_factory=self._network_factory,
+            network_config=self.network_config,
+            hyperparameters=self._hyperparameters(),
+            partition=self.config.partition,
+            batch_size=self.config.batch_size,
+            learning_rate=self.config.learning_rate,
+            momentum=self.config.momentum,
+            cipher=self.config.cipher,
+            augment=self.config.augment,
+            rng=self.rng.child("distributed"),
+            attestation_service=self.attestation_service,
+            provisioner=self._provision_enclave,
+            init_generator_factory=lambda: self.rng.child(
+                "model-init").generator,
+            checkpoint_root=root,
+            config_digest=stable_hash(
+                self.network_config, self._hyperparameters()
+            ),
+            straggler_factor=straggler_factor,
+            blacklist_after=blacklist_after,
+            injections=injections,
+            metrics=self.metrics,
+            tracer=tracer,
+            epc_bytes=self.config.epc_bytes,
+        )
+        self.distributed_telemetry = self.coordinator.telemetry
+        self.coordinator.distribute(submissions)
+        self.audit_log.append(
+            "distributed-setup", workers=workers,
+            aggregator_mrenclave=self.coordinator.aggregator.mrenclave.hex(),
+            shards={w.worker_id: w.examples
+                    for w in self.coordinator.workers},
+        )
+        self.round_reports = self.coordinator.run(self.config.epochs)
+
+        # Adopt the converged replica as *the* trained model, hosted by
+        # the main training enclave (fingerprint/query stages continue
+        # exactly as in the single-enclave pipeline).
+        self.model = self._network_factory(
+            self.rng.child("model-init").generator
+        )
+        self.model.set_weights(self.coordinator.final_weights())
+        self.model.set_dropout_rng(self.training_enclave.trusted_rng.generator)
+        self.partitioned = PartitionedNetwork(
+            self.model, self.config.partition, enclave=self.training_enclave
+        )
+        self.trainer = ConfidentialTrainer(
+            self.partitioned,
+            Sgd(self.config.learning_rate, self.config.momentum),
+            batch_rng=self.training_enclave.trusted_rng.stream.child(
+                "batches").generator,
+            batch_size=self.config.batch_size,
+        )
+        accuracy = (
+            self.trainer.evaluate(test_x, test_y)
+            if test_x is not None and test_y is not None
+            else {"top1": None, "top2": None}
+        )
+        reports: List[EpochReport] = []
+        for report in self.round_reports:
+            last = report is self.round_reports[-1]
+            reports.append(EpochReport(
+                epoch=report.round,
+                mean_loss=report.mean_loss,
+                top1=accuracy["top1"] if last else None,
+                top2=accuracy["top2"] if last else None,
+                partition=self.config.partition,
+                simulated_seconds=report.round_seconds,
+            ))
+            self.audit_log.append(
+                "distributed-round",
+                round=report.round,
+                participating=report.participating,
+                stragglers=report.stragglers,
+                faulted=report.faulted,
+                recovered_masks=report.recovered_masks,
+            )
+        self.audit_log.append(
+            "training-complete",
+            epochs=len(reports),
+            final_loss=reports[-1].mean_loss,
+            final_partition=self.partitioned.partition,
+        )
+        return reports
 
     def evaluate(self, test_x: np.ndarray, test_y: np.ndarray):
         """Full classification report of the trained model."""

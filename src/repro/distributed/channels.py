@@ -1,0 +1,96 @@
+"""Attested channels and checksummed records for worker/aggregator traffic.
+
+Every masked update and every broadcast crosses two trust boundaries: out
+of one enclave, through the untrusted coordinator, into another enclave.
+The records are protected twice, for two different failure modes:
+
+* the :class:`~repro.crypto.tls.SecureChannel` AEAD layer authenticates
+  the ciphertext, so tampering with a record in the coordinator's hands
+  raises :class:`~repro.errors.AuthenticationError`;
+* a CRC32 **boundary checksum** travels inside the plaintext (mirroring
+  :meth:`PartitionedNetwork._cross_boundary`), so corruption in the
+  marshalling buffers between vector and channel — before sealing or
+  after opening — raises :class:`~repro.errors.ChannelIntegrityError`.
+
+The coordinator classifies either failure as a *worker fault* (the record
+is dropped, the round proceeds by partial aggregation); neither is ever a
+coordinator crash.
+
+The channel itself is attested exactly like key provisioning
+(:mod:`repro.federation.provisioning`): the aggregator enclave binds its
+handshake DH share into an attestation quote's report-data, and the
+worker verifies quote + binding before trusting the channel.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.crypto.hashing import constant_time_equal, sha256
+from repro.crypto.tls import SecureChannel, TlsClient
+from repro.enclave.attestation import AttestationService
+from repro.errors import AttestationError, ChannelIntegrityError
+from repro.utils.rng import RngStream
+
+__all__ = ["encode_vector", "decode_vector", "open_attested_channel"]
+
+_HEADER = struct.Struct("<II")
+
+
+def encode_vector(vector: np.ndarray) -> bytes:
+    """Marshal a float64 vector with its boundary checksum prepended."""
+    data = np.ascontiguousarray(vector, dtype=np.float64).tobytes()
+    return _HEADER.pack(zlib.crc32(data), int(vector.size)) + data
+
+
+def decode_vector(blob: bytes,
+                  shape: Optional[Tuple[int, ...]] = None) -> np.ndarray:
+    """Unmarshal a vector; fail closed on any boundary corruption."""
+    if len(blob) < _HEADER.size:
+        raise ChannelIntegrityError(
+            f"vector record truncated to {len(blob)} bytes"
+        )
+    checksum, count = _HEADER.unpack_from(blob, 0)
+    data = blob[_HEADER.size:]
+    if len(data) != count * 8:
+        raise ChannelIntegrityError(
+            f"vector record carries {len(data)} payload bytes for a "
+            f"declared {count} float64 elements"
+        )
+    if zlib.crc32(data) != checksum:
+        raise ChannelIntegrityError(
+            "vector record failed its boundary checksum crossing the "
+            "worker/aggregator channel"
+        )
+    vector = np.frombuffer(data, dtype=np.float64).copy()
+    return vector.reshape(shape) if shape is not None else vector
+
+
+def open_attested_channel(rng: RngStream, aggregator, peer_id: str,
+                          attestation_service: AttestationService,
+                          expected_mrenclave: bytes) -> SecureChannel:
+    """Worker-side: establish an attested channel into the aggregator.
+
+    The same RA-TLS flow as key provisioning: the aggregator answers the
+    ClientHello with a ServerHello whose DH share is bound into a quote's
+    report-data; the worker verifies the quote against the attestation
+    service and the agreed aggregator MRENCLAVE, checks the binding, and
+    finishes the handshake. Only then does a record channel exist.
+    """
+    client = TlsClient(rng=rng)
+    hello_c = client.client_hello()
+    hello_s, quote = aggregator.start_handshake(peer_id, hello_c)
+    attestation_service.verify(quote, expected_mrenclave=expected_mrenclave)
+    expected_binding = sha256(hello_s.dh_public.to_bytes(256, "big"))
+    if not constant_time_equal(quote.report_data, expected_binding):
+        raise AttestationError(
+            "aggregator quote is not bound to this channel handshake "
+            "(possible MITM)"
+        )
+    finished = client.process_server_hello(hello_s)
+    aggregator.finish_handshake(peer_id, finished)
+    return client.channel()

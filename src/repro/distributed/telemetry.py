@@ -1,0 +1,32 @@
+"""Counters for the multi-enclave training runtime.
+
+Mirrors :class:`~repro.resilience.telemetry.RunTelemetry` on the
+distributed plane: rounds driven, stragglers excluded, worker faults and
+recoveries, dropout-mask reconstructions, partial aggregations,
+blacklists, and how long rounds and aggregation take in simulated time.
+
+A thin adapter over the shared
+:class:`~repro.observability.MetricsRegistry` (metric namespace
+``repro_distributed_*``); :meth:`DistributedTelemetry.snapshot` returns a
+plain dict and :meth:`render` a human-readable table for the CLI.
+"""
+
+from __future__ import annotations
+
+from repro.observability.adapter import SubsystemTelemetry
+
+__all__ = ["DistributedTelemetry"]
+
+
+class DistributedTelemetry(SubsystemTelemetry):
+    """Counters + stage timings for one distributed training run."""
+
+    subsystem = "distributed"
+
+    def render(self) -> str:
+        snapshot = self.snapshot()
+        lines = ["distributed telemetry"]
+        for name in sorted(snapshot["counters"]):
+            lines.append(f"  {name:<26} {snapshot['counters'][name]:>10}")
+        lines.extend(self._render_stage_lines(snapshot["stages"], width=18))
+        return "\n".join(lines)

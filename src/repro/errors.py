@@ -33,6 +33,17 @@ class HandshakeError(CryptoError):
     """A TLS-like secure-channel handshake failed or was misused."""
 
 
+class AggregationError(CryptoError):
+    """Secure aggregation could not produce an exact, unbiased sum.
+
+    Raised fail-closed whenever a cohort member is unaccounted for, a
+    declared dropout's masks cannot be reconstructed from enough escrowed
+    Shamir shares, or reconstruction yields a key that contradicts the
+    cohort directory. Silently summing in any of these states would leave
+    orphaned pairwise masks in the aggregate — a biased model update that
+    no caller can detect after the fact."""
+
+
 class EnclaveError(CalTrainError):
     """Base class for failures in the SGX enclave simulator."""
 
@@ -163,3 +174,28 @@ class CheckpointWriteCrash(CheckpointError):
 class TrainingAborted(ResilienceError):
     """The supervised training runtime exhausted its retry budget and
     failed closed rather than continue on unverifiable state."""
+
+
+class DistributedError(CalTrainError):
+    """Base class for failures in the multi-enclave training runtime."""
+
+
+class ChannelIntegrityError(DistributedError):
+    """A record crossing an attested worker/aggregator channel failed its
+    boundary checksum after the AEAD layer opened it — corruption in the
+    untrusted marshalling path between the enclave boundary and the
+    channel, detected before the payload could poison aggregation."""
+
+
+class WorkerFault(DistributedError):
+    """One enclave worker failed mid-round and was excluded from the
+    round's aggregate (crash, corrupted channel record, or a straggle
+    past the deadline). The round itself continues via partial
+    aggregation; only the worker is at fault."""
+
+
+class RoundAborted(DistributedError):
+    """A distributed training round could not complete safely: no worker
+    survived to aggregate, replicas diverged, or dropout masks could not
+    be reconstructed. The coordinator fails closed rather than publish a
+    biased or inconsistent model update."""

@@ -18,19 +18,20 @@ precisely the confidentiality/accountability conflict CalTrain resolves.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.crypto.dh import DhKeyPair
 from repro.crypto.hkdf import hkdf
 from repro.crypto.shamir import Share, reconstruct_secret, split_secret
-from repro.errors import ConfigurationError, CryptoError
+from repro.errors import AggregationError, ConfigurationError, CryptoError
 from repro.utils.rng import RngStream
 
 __all__ = [
     "SecureAggregationClient",
     "aggregate",
+    "aggregate_with_dropouts",
     "run_secure_aggregation",
     "recover_dropout",
 ]
@@ -153,6 +154,87 @@ def aggregate(masked_updates: Sequence[np.ndarray]) -> np.ndarray:
     total = np.zeros_like(masked_updates[0])
     for update in masked_updates:
         total += update
+    return total
+
+
+def aggregate_with_dropouts(
+    uploads: Dict[int, np.ndarray],
+    directory: Dict[int, int],
+    dropped: Sequence[int] = (),
+    shares: Optional[Dict[int, Sequence[Share]]] = None,
+    threshold: int = 1,
+    vector_shape: Optional[Tuple[int, ...]] = None,
+) -> np.ndarray:
+    """Dropout-aware aggregation: exact sum of the survivors' vectors.
+
+    A client that established pairs but never uploaded leaves its pairwise
+    masks orphaned in the survivors' sum: survivor ``i`` carries an
+    uncancelled ``±PRG(s_id)`` term for the dropped client ``d``. The sum
+    of those orphaned terms is exactly ``-recover_dropout(d)``, so adding
+    each dropped client's reconstructed total mask restores the exact sum
+    of the surviving uploads (cross-terms between two dropped clients
+    cancel pairwise when both totals are added).
+
+    Fail-closed contract — any of the following raises
+    :class:`~repro.errors.AggregationError` instead of returning a
+    silently biased sum:
+
+    * a directory member neither uploaded nor was declared dropped;
+    * a client was declared both uploaded and dropped, or is unknown;
+    * a dropped client has fewer than ``threshold`` escrowed shares;
+    * the shares reconstruct to a key that contradicts the directory.
+
+    Args:
+        uploads: client_id -> masked upload, for every survivor.
+        directory: client_id -> DH public key for the whole cohort that
+            established pairs this round.
+        dropped: Clients that established pairs but did not upload.
+        shares: dropped client_id -> its escrowed key shares (from
+            :meth:`SecureAggregationClient.escrow_private_key`).
+        threshold: The Shamir threshold the cohort escrowed with.
+        vector_shape: Shape of the update vectors; inferred from the
+            first upload when omitted.
+    """
+    shares = shares or {}
+    dropped_set = set(dropped)
+    if not uploads:
+        raise AggregationError("no surviving uploads to aggregate")
+    both = dropped_set & set(uploads)
+    if both:
+        raise AggregationError(
+            f"clients {sorted(both)} are declared both uploaded and dropped"
+        )
+    accounted = set(uploads) | dropped_set
+    unknown = accounted - set(directory)
+    if unknown:
+        raise AggregationError(
+            f"clients {sorted(unknown)} are not in the cohort directory"
+        )
+    missing = set(directory) - accounted
+    if missing:
+        raise AggregationError(
+            f"clients {sorted(missing)} neither uploaded nor were declared "
+            "dropped; their unresolved masks would bias the aggregate"
+        )
+    total = np.zeros_like(next(iter(uploads.values())), dtype=np.float64)
+    for client_id in sorted(uploads):
+        total = total + uploads[client_id]
+    shape = vector_shape if vector_shape is not None else total.shape
+    for dropped_id in sorted(dropped_set):
+        escrowed = list(shares.get(dropped_id, ()))
+        if len(escrowed) < threshold:
+            raise AggregationError(
+                f"dropout {dropped_id}: {len(escrowed)} escrowed shares "
+                f"available, threshold is {threshold}; refusing to publish "
+                "a biased sum"
+            )
+        try:
+            mask = recover_dropout(dropped_id, escrowed, directory, shape)
+        except CryptoError as exc:
+            raise AggregationError(
+                f"dropout {dropped_id}: mask reconstruction failed: {exc}"
+            ) from exc
+        total = total + mask.reshape(total.shape)
     return total
 
 

@@ -157,6 +157,25 @@ class TrainingServer:
             )
         self._submissions.append(encrypted_dataset)
 
+    @property
+    def submissions(self) -> Tuple[EncryptedDataset, ...]:
+        """The still-encrypted submissions staged so far (read-only)."""
+        return tuple(self._submissions)
+
+    def replace_submissions(self,
+                            datasets: List[EncryptedDataset]) -> None:
+        """Swap in a new submission set (distributed shard assignment).
+
+        The coordinator re-shards encrypted submissions across workers
+        when a shard moves (initial distribution, blacklist
+        reassignment). Every dataset passes the same duplicate/collision
+        gates as :meth:`submit` — re-sharding must not become a replay
+        loophole.
+        """
+        self._submissions = []
+        for dataset in datasets:
+            self.submit(dataset)
+
     def from_ledger(self, ledger) -> int:
         """Stage every validated ledger record for training.
 

@@ -1,0 +1,113 @@
+"""CalTrain facade integration for the distributed training stage."""
+
+import numpy as np
+import pytest
+
+from repro.core.caltrain import CalTrain, CalTrainConfig
+from repro.data.datasets import synthetic_cifar
+from repro.distributed import WorkerInjection
+from repro.errors import ConfigurationError
+from repro.federation.participant import TrainingParticipant
+from repro.nn.zoo import tiny_testnet
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.utils.rng import RngStream
+
+
+def make_world(seed=7, epochs=3, participants=2):
+    config = CalTrainConfig(
+        seed=seed, epochs=epochs, batch_size=16, partition=1, augment=False,
+        network_factory=lambda gen: tiny_testnet(
+            gen, input_shape=(8, 8, 3), num_classes=4),
+    )
+    rng = RngStream(99, "dist-world")
+    train, test = synthetic_cifar(rng.child("data"), num_train=64,
+                                  num_test=32, num_classes=4, shape=(8, 8, 3))
+    system = CalTrain(config)
+    fractions = [1.0 / participants] * participants
+    for i, share in enumerate(
+            train.split(fractions, rng=rng.child("split").generator)):
+        participant = TrainingParticipant(f"p{i}", share, rng.child(f"p{i}"))
+        system.register_participant(participant)
+        system.submit_data(participant)
+    return system, test
+
+
+class TestCalTrainDistributed:
+    def test_two_worker_training_end_to_end(self, tmp_path):
+        system, test = make_world()
+        reports = system.train(test_x=test.x, test_y=test.y, workers=2,
+                               checkpoint_dir=str(tmp_path))
+        assert len(reports) == 3
+        assert reports[-1].top1 is not None
+        assert reports[-1].mean_loss < reports[0].mean_loss
+        assert system.coordinator is not None
+        assert len(system.coordinator.workers) == 2
+        assert system.audit_log.verify_chain()
+
+    def test_loss_parity_with_single_enclave(self, tmp_path):
+        """Same seed, same data: the distributed trajectory stays within a
+        tolerance band of the classic single-enclave path."""
+        dist, test = make_world(seed=7)
+        dist_reports = dist.train(workers=2, checkpoint_dir=str(tmp_path))
+        single, _ = make_world(seed=7)
+        single_reports = single.train()
+        for d, s in zip(dist_reports, single_reports):
+            assert abs(d.mean_loss - s.mean_loss) < 0.5
+        assert dist_reports[-1].mean_loss < dist_reports[0].mean_loss
+
+    def test_fingerprint_stage_runs_after_distributed_training(
+            self, tmp_path):
+        system, _ = make_world()
+        system.train(workers=2, checkpoint_dir=str(tmp_path))
+        database = system.fingerprint_stage()
+        assert len(database) == system.decryption_summary.accepted
+        service = system.query_service()
+        assert service is not None
+
+    def test_distributed_audit_events_present(self, tmp_path):
+        system, _ = make_world(epochs=2)
+        system.train(workers=2, checkpoint_dir=str(tmp_path))
+        kinds = [e.kind for e in system.audit_log.entries] \
+            if hasattr(system.audit_log, "entries") else None
+        setup = system.audit_log.events("distributed-setup")
+        rounds = system.audit_log.events("distributed-round")
+        complete = system.audit_log.events("training-complete")
+        assert len(setup) == 1
+        assert setup[0].details["workers"] == 2
+        assert [e.details["round"] for e in rounds] == [0, 1]
+        assert len(complete) == 1
+
+    def test_injections_flow_through_facade(self, tmp_path):
+        system, _ = make_world()
+        system.train(
+            workers=2, checkpoint_dir=str(tmp_path),
+            injections=(WorkerInjection("crash", "w1", 1, batch=1),),
+            blacklist_after=3,
+        )
+        assert system.round_reports[1].faulted == ["w1"]
+        assert system.round_reports[1].recovered == ["w1"]
+
+    def test_incompatible_resilience_options_rejected(self, tmp_path):
+        system, _ = make_world()
+        with pytest.raises(ConfigurationError, match="incompatible"):
+            system.train(workers=2, resume=True,
+                         checkpoint_dir=str(tmp_path))
+        with pytest.raises(ConfigurationError, match="incompatible"):
+            system.train(
+                workers=2, checkpoint_dir=str(tmp_path),
+                fault_plan=FaultPlan([FaultSpec("enclave-abort", 0, 1)]),
+            )
+        with pytest.raises(ConfigurationError, match="incompatible"):
+            system.train(workers=2, keep_snapshots=True)
+
+    def test_reassessment_rejected_with_workers(self, tmp_path):
+        system, _ = make_world()
+        system.config.reassess_every_epoch = True
+        with pytest.raises(ConfigurationError, match="reassess"):
+            system.train(workers=2)
+
+    def test_distributed_metrics_share_deployment_registry(self, tmp_path):
+        system, _ = make_world(epochs=2)
+        system.train(workers=2, checkpoint_dir=str(tmp_path))
+        assert system.distributed_telemetry.registry is system.metrics
+        assert system.distributed_telemetry.counter("rounds") == 2

@@ -1,0 +1,113 @@
+"""Worker crash/recovery tests: sealed checkpoints, replay, partial rounds."""
+
+import pytest
+
+from repro.distributed import WorkerInjection
+from repro.errors import CheckpointError
+
+from tests.distributed.worlds import (assert_same_weights, losses,
+                                      make_coordinator)
+
+
+class TestCrashRecovery:
+    def test_round_completes_via_partial_aggregation(self, tmp_path):
+        """The acceptance drill: a killed worker's round still aggregates
+        from the survivors, with the dropout's masks reconstructed."""
+        coordinator, _ = make_coordinator(
+            tmp_path, num_workers=3,
+            injections=(WorkerInjection("crash", "w1", 0, batch=1),),
+        )
+        report = coordinator.run(1)[0]
+        assert report.faulted == ["w1"]
+        assert sorted(report.participating) == ["w0", "w2"]
+        assert report.recovered == ["w1"]
+        assert report.recovered_masks == 1
+        assert coordinator.telemetry.counter("worker_faults") == 1
+        assert coordinator.telemetry.counter("worker_recoveries") == 1
+
+    def test_recovered_worker_resumes_from_sealed_checkpoint(self, tmp_path):
+        """After recovery + broadcast the crashed replica is bitwise
+        identical to the survivors — the sealed checkpoint restored the
+        exact round-start state."""
+        coordinator, _ = make_coordinator(
+            tmp_path, num_workers=3,
+            injections=(WorkerInjection("crash", "w1", 0, batch=1),),
+        )
+        coordinator.run(1)
+        reference = coordinator.workers[0].replica_weights()
+        assert_same_weights(coordinator.workers[1].replica_weights(),
+                            reference)
+
+    def test_recovered_worker_participates_next_round(self, tmp_path):
+        coordinator, _ = make_coordinator(
+            tmp_path, num_workers=2,
+            injections=(WorkerInjection("crash", "w1", 0, batch=1),),
+        )
+        reports = coordinator.run(2)
+        assert reports[0].faulted == ["w1"]
+        assert sorted(reports[1].participating) == ["w0", "w1"]
+        assert reports[1].faulted == []
+
+    def test_crash_run_is_deterministic(self, tmp_path):
+        """Same seed + same injection -> identical losses and weights."""
+        injections = (WorkerInjection("crash", "w1", 1, batch=2),)
+        a, _ = make_coordinator(tmp_path / "a", seed=23,
+                                injections=injections)
+        b, _ = make_coordinator(tmp_path / "b", seed=23,
+                                injections=injections)
+        assert losses(a.run(3)) == losses(b.run(3))
+        assert_same_weights(a.final_weights(), b.final_weights())
+
+    def test_lone_worker_crash_aborts_round(self, tmp_path):
+        from repro.errors import RoundAborted
+
+        coordinator, _ = make_coordinator(
+            tmp_path, num_workers=1,
+            injections=(WorkerInjection("crash", "w0", 0, batch=1),),
+        )
+        with pytest.raises(RoundAborted, match="no worker finished"):
+            coordinator.run(1)
+
+    def test_training_continues_after_crash_and_learns(self, tmp_path):
+        coordinator, _ = make_coordinator(
+            tmp_path, num_workers=2,
+            injections=(WorkerInjection("crash", "w0", 1, batch=1),),
+        )
+        reports = coordinator.run(3)
+        assert reports[-1].mean_loss < reports[0].mean_loss
+
+    def test_recovery_without_checkpoint_fails_closed(self, tmp_path):
+        coordinator, _ = make_coordinator(tmp_path, num_workers=2)
+        worker = coordinator.workers[0]
+        # Crash before any round ran: nothing was ever sealed.
+        try:
+            worker.crash()
+        except Exception:
+            pass
+        with pytest.raises(CheckpointError, match="no valid checkpoint"):
+            worker.recover(coordinator.provisioner, coordinator.aggregator)
+
+
+class TestShareEscrowLifecycle:
+    def test_shares_die_with_the_enclave(self, tmp_path):
+        """Escrowed shares live in enclave memory: a crashed holder cannot
+        surrender them, which is what bounds simultaneous-crash recovery
+        at the Shamir threshold (fail closed beyond it)."""
+        coordinator, _ = make_coordinator(tmp_path, num_workers=3)
+        active = coordinator.workers
+        cohort = {w.worker_id: i for i, w in enumerate(active)}
+        round_rng = coordinator.rng.child("secagg/test")
+        for worker in active:
+            worker.begin_cohort(cohort[worker.worker_id], round_rng)
+        directory = {cohort[w.worker_id]: w.secagg_public_key
+                     for w in active}
+        for worker in active:
+            worker.establish_pairs(directory)
+        for worker in active:
+            shares = worker.escrow(2, len(active))
+            for peer, share in zip(active, shares):
+                peer.hold_share(cohort[worker.worker_id], share)
+        holder = active[1]
+        assert holder.reveal_share(0) is not None
+        holder.enclave.destroy()
+        assert holder.reveal_share(0) is None

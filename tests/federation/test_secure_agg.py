@@ -3,10 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import AggregationError, ConfigurationError
 from repro.federation.secure_agg import (
     SecureAggregationClient,
     aggregate,
+    aggregate_with_dropouts,
     run_secure_aggregation,
 )
 
@@ -76,3 +77,133 @@ class TestSecureAggregation:
         # statistically indistinguishable from the honest ones.
         deviations = [float(np.abs(u).mean()) for u in uploads]
         assert max(deviations) < 3 * min(deviations)
+
+
+def _cohort(rng, generator, n, size=40):
+    """A paired cohort with escrowed keys and plaintext vectors."""
+    vectors = [generator.normal(size=size) * 0.1 for _ in range(n)]
+    clients = [SecureAggregationClient(i, rng.child("sa")) for i in range(n)]
+    directory = {c.client_id: c.public_key for c in clients}
+    for client in clients:
+        client.establish_pairs(directory)
+    threshold = 1 if n <= 2 else n // 2 + 1
+    escrow = {c.client_id: c.escrow_private_key(threshold, n) for c in clients}
+    return vectors, clients, directory, escrow, threshold
+
+
+class TestAggregateWithDropouts:
+    def test_no_dropouts_matches_plain_aggregate(self, rng, generator):
+        vectors, clients, directory, _, _ = _cohort(rng, generator, 4)
+        uploads = {c.client_id: c.masked_update(v)
+                   for c, v in zip(clients, vectors)}
+        total = aggregate_with_dropouts(uploads, directory)
+        np.testing.assert_allclose(total, sum(vectors), atol=1e-6)
+
+    def test_dropout_with_shares_is_exact(self, rng, generator):
+        """A paired-but-silent client's orphaned masks are reconstructed
+        from its escrowed shares; the survivors' sum comes out exact."""
+        vectors, clients, directory, escrow, threshold = _cohort(
+            rng, generator, 4
+        )
+        uploads = {c.client_id: c.masked_update(v)
+                   for c, v in zip(clients, vectors) if c.client_id != 2}
+        total = aggregate_with_dropouts(
+            uploads, directory, dropped=[2],
+            shares={2: escrow[2][:threshold]}, threshold=threshold,
+            vector_shape=(40,),
+        )
+        expected = sum(v for c, v in zip(clients, vectors)
+                       if c.client_id != 2)
+        np.testing.assert_allclose(total, expected, atol=1e-6)
+
+    def test_multiple_dropouts_cross_terms_cancel(self, rng, generator):
+        """Two dropped clients' pairwise masks with *each other* cancel in
+        the reconstruction; only survivor-facing masks matter."""
+        vectors, clients, directory, escrow, threshold = _cohort(
+            rng, generator, 5
+        )
+        alive = [0, 2, 4]
+        uploads = {c.client_id: c.masked_update(v)
+                   for c, v in zip(clients, vectors) if c.client_id in alive}
+        total = aggregate_with_dropouts(
+            uploads, directory, dropped=[1, 3],
+            shares={1: escrow[1][:threshold], 3: escrow[3][:threshold]},
+            threshold=threshold, vector_shape=(40,),
+        )
+        np.testing.assert_allclose(
+            total, sum(vectors[i] for i in alive), atol=1e-6
+        )
+
+    def test_dropout_without_shares_fails_closed(self, rng, generator):
+        """The historical bug: silently returning the still-masked sum. A
+        dropout with no escrowed shares must be a typed error, never a
+        biased aggregate."""
+        vectors, clients, directory, _, _ = _cohort(rng, generator, 3)
+        uploads = {c.client_id: c.masked_update(v)
+                   for c, v in zip(clients, vectors) if c.client_id != 1}
+        with pytest.raises(AggregationError, match="escrowed shares"):
+            aggregate_with_dropouts(uploads, directory, dropped=[1],
+                                    vector_shape=(40,))
+
+    def test_insufficient_shares_fail_closed(self, rng, generator):
+        vectors, clients, directory, escrow, threshold = _cohort(
+            rng, generator, 5
+        )
+        uploads = {c.client_id: c.masked_update(v)
+                   for c, v in zip(clients, vectors) if c.client_id != 1}
+        with pytest.raises(AggregationError, match="shares"):
+            aggregate_with_dropouts(
+                uploads, directory, dropped=[1],
+                shares={1: escrow[1][:threshold - 1]}, threshold=threshold,
+                vector_shape=(40,),
+            )
+
+    def test_unaccounted_member_fails_closed(self, rng, generator):
+        """Every directory member must be either an upload or a declared
+        dropout — a silently missing client would bias the sum."""
+        vectors, clients, directory, _, _ = _cohort(rng, generator, 3)
+        uploads = {c.client_id: c.masked_update(v)
+                   for c, v in zip(clients, vectors) if c.client_id != 1}
+        with pytest.raises(AggregationError, match="neither uploaded"):
+            aggregate_with_dropouts(uploads, directory)
+
+    def test_upload_from_declared_dropout_rejected(self, rng, generator):
+        vectors, clients, directory, escrow, threshold = _cohort(
+            rng, generator, 3
+        )
+        uploads = {c.client_id: c.masked_update(v)
+                   for c, v in zip(clients, vectors)}
+        with pytest.raises(AggregationError, match="both uploaded"):
+            aggregate_with_dropouts(
+                uploads, directory, dropped=[1],
+                shares={1: escrow[1][:threshold]}, threshold=threshold,
+                vector_shape=(40,),
+            )
+
+    def test_unknown_uploader_rejected(self, rng, generator):
+        vectors, clients, directory, _, _ = _cohort(rng, generator, 3)
+        uploads = {c.client_id: c.masked_update(v)
+                   for c, v in zip(clients, vectors)}
+        uploads[99] = np.zeros(40)
+        with pytest.raises(AggregationError, match="not in the cohort"):
+            aggregate_with_dropouts(uploads, directory)
+
+    def test_empty_uploads_rejected(self, rng, generator):
+        _, _, directory, _, _ = _cohort(rng, generator, 3)
+        with pytest.raises(AggregationError, match="no surviving uploads"):
+            aggregate_with_dropouts({}, directory, dropped=[0, 1, 2])
+
+    def test_bad_shares_fail_closed(self, rng, generator):
+        """Shares that reconstruct the wrong key must not silently produce
+        a garbage mask."""
+        vectors, clients, directory, escrow, threshold = _cohort(
+            rng, generator, 3
+        )
+        uploads = {c.client_id: c.masked_update(v)
+                   for c, v in zip(clients, vectors) if c.client_id != 1}
+        wrong = escrow[0][:threshold]  # client 0's shares, claimed for 1
+        with pytest.raises(AggregationError):
+            aggregate_with_dropouts(
+                uploads, directory, dropped=[1], shares={1: wrong},
+                threshold=threshold, vector_shape=(40,),
+            )
