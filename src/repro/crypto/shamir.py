@@ -19,10 +19,17 @@ from typing import List, Sequence
 from repro.errors import CryptoError
 from repro.utils.rng import RngStream
 
-__all__ = ["Share", "split_secret", "reconstruct_secret", "PRIME"]
+__all__ = ["Share", "split_secret", "reconstruct_secret", "encode_share",
+           "decode_share", "PRIME"]
 
 #: 2^521 - 1 (Mersenne), a prime > any 64-byte secret.
 PRIME = (1 << 521) - 1
+
+#: Wire size of one encoded share: 4 bytes of ``x`` + 66 bytes of ``y``
+#: (521-bit field elements fit in 66 bytes).
+_X_BYTES = 4
+_Y_BYTES = 66
+SHARE_WIRE_BYTES = _X_BYTES + _Y_BYTES
 
 
 @dataclass(frozen=True)
@@ -31,6 +38,27 @@ class Share:
 
     x: int
     y: int
+
+
+def encode_share(share: Share) -> bytes:
+    """Fixed-width wire encoding of one share (for sealing in transit)."""
+    try:
+        return (share.x.to_bytes(_X_BYTES, "big")
+                + share.y.to_bytes(_Y_BYTES, "big"))
+    except OverflowError as exc:
+        raise CryptoError("share does not fit the wire encoding") from exc
+
+
+def decode_share(blob: bytes) -> Share:
+    """Inverse of :func:`encode_share`; fails closed on malformed input."""
+    if len(blob) != SHARE_WIRE_BYTES:
+        raise CryptoError(
+            f"encoded share is {len(blob)} bytes, expected {SHARE_WIRE_BYTES}"
+        )
+    return Share(
+        x=int.from_bytes(blob[:_X_BYTES], "big"),
+        y=int.from_bytes(blob[_X_BYTES:], "big"),
+    )
 
 
 def _eval_polynomial(coefficients: Sequence[int], x: int) -> int:

@@ -24,13 +24,13 @@ import numpy as np
 
 from repro.core.audit import AuditLog
 from repro.crypto.hashing import sha256
-from repro.crypto.shamir import Share
+from repro.crypto.shamir import Share, decode_share
 from repro.crypto.tls import ClientHello, Finished, SecureChannel, TlsServer
 from repro.distributed.channels import decode_vector, encode_vector
 from repro.enclave.attestation import AttestationService
 from repro.enclave.enclave import Enclave
 from repro.enclave.platform import SgxPlatform
-from repro.errors import AggregationError
+from repro.errors import AggregationError, AuthenticationError, CryptoError
 from repro.federation.secure_agg import aggregate_with_dropouts
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngStream
@@ -41,6 +41,7 @@ _LOG = get_logger("distributed.aggregator")
 
 _SESSION_PREFIX = "agg-session/"
 _CHANNEL_PREFIX = "agg-channel/"
+_HANDSHAKE_COUNT_PREFIX = "agg-handshakes/"
 _UPLOAD_PREFIX = "agg-upload/"
 _RESULT_KEY = "agg-result"
 
@@ -50,9 +51,21 @@ _RESULT_KEY = "agg-result"
 
 def _ecall_agg_start_handshake(enclave: Enclave, peer_id: str,
                                hello_c: ClientHello):
-    """Trusted: answer a worker's ClientHello with a bound quote."""
+    """Trusted: answer a worker's ClientHello with a bound quote.
+
+    The handshake RNG is salted with a per-peer attempt counter kept in
+    enclave memory: ``RngStream.child`` is seed-derived, so an unsalted
+    re-handshake would hand the replacement session the exact same DH key,
+    nonce, and record keys with sequence counters reset — letting the
+    untrusted host replay captured records onto the new channel (and
+    reusing AEAD key+nonce pairs). The worker salts its side the same way.
+    """
+    count_key = _HANDSHAKE_COUNT_PREFIX + peer_id
+    attempt = (enclave.trusted_get(count_key) + 1
+               if enclave.trusted_has(count_key) else 1)
+    enclave.trusted_put(count_key, attempt)
     server = TlsServer(
-        rng=enclave.trusted_rng.stream.child(f"agg-tls/{peer_id}")
+        rng=enclave.trusted_rng.stream.child(f"agg-tls/{peer_id}/{attempt}")
     )
     report_data = sha256(server.dh_public.to_bytes(256, "big"))
     server.bind_report_data(report_data)
@@ -89,7 +102,7 @@ def _ecall_agg_reduce(enclave: Enclave, round_index: int,
                       participating: Dict[str, int],
                       weights: Dict[str, float],
                       dropped: Dict[str, int],
-                      shares: Dict[int, List[Share]],
+                      share_records: Dict[int, List[Tuple[str, bytes]]],
                       directory: Dict[int, int],
                       threshold: int,
                       vector_shape: Tuple[int, ...]) -> Dict[str, object]:
@@ -99,6 +112,10 @@ def _ecall_agg_reduce(enclave: Enclave, round_index: int,
     secure-aggregation client ids; ``weights`` carries each participating
     worker's shard size (uploads are pre-scaled by it, so the normalised
     result is the examples-weighted mean update of the participants).
+    ``share_records`` carries the survivors' revealed shares for each
+    dropped client as ``(holder worker id, AEAD record)`` pairs still
+    sealed for the holders' attested channels — the relaying coordinator
+    never sees a share in the clear; they are opened only here.
     """
     uploads: Dict[int, np.ndarray] = {}
     for peer_id, secagg_id in participating.items():
@@ -109,6 +126,22 @@ def _ecall_agg_reduce(enclave: Enclave, round_index: int,
                 f"{round_index} but uploaded nothing"
             )
         uploads[secagg_id] = enclave.trusted_get(key)
+    shares: Dict[int, List[Share]] = {}
+    for secagg_id, records in share_records.items():
+        opened: List[Share] = []
+        for holder_id, record in records:
+            channel: SecureChannel = enclave.trusted_get(
+                _CHANNEL_PREFIX + holder_id
+            )
+            try:
+                opened.append(decode_share(channel.receive(record)))
+            except (AuthenticationError, CryptoError) as exc:
+                raise AggregationError(
+                    f"round {round_index}: share revealed by {holder_id!r} "
+                    f"for dropout {secagg_id} failed channel "
+                    f"authentication: {exc}"
+                ) from exc
+        shares[secagg_id] = opened
     if directory:
         total = aggregate_with_dropouts(
             uploads, directory, dropped=list(dropped.values()),
@@ -204,14 +237,21 @@ class AggregatorEnclave:
 
     def reduce(self, round_index: int, participating: Dict[str, int],
                weights: Dict[str, float], dropped: Dict[str, int],
-               shares: Dict[int, List[Share]], directory: Dict[int, int],
-               threshold: int,
+               share_records: Dict[int, List[Tuple[str, bytes]]],
+               directory: Dict[int, int], threshold: int,
                vector_shape: Tuple[int, ...]) -> Dict[str, object]:
-        """Run the round's in-enclave reduction; append the audit event."""
+        """Run the round's in-enclave reduction; append the audit event.
+
+        ``share_records`` are the survivors' revealed shares, still sealed
+        for their attested channels — opaque to this untrusted wrapper.
+        """
         summary = self.enclave.ecall(
             "agg_reduce", round_index, participating, weights, dropped,
-            shares, directory, threshold, vector_shape,
-            payload_bytes=sum(len(s) for s in shares.values()) * 64,
+            share_records, directory, threshold, vector_shape,
+            payload_bytes=sum(
+                len(record) for records in share_records.values()
+                for _, record in records
+            ),
         )
         self.audit.append("aggregation", **summary)
         _LOG.info(

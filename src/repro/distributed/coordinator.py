@@ -12,7 +12,9 @@ One round:
 
 1. every active worker seals a round-boundary checkpoint;
 2. a fresh secure-aggregation cohort forms (new DH keys each round) and
-   every worker escrows Shamir shares of its round key with the cohort;
+   every worker escrows Shamir shares of its round key with the cohort —
+   each share sealed under the pairwise key with its holder, so the
+   coordinator relays ciphertext only;
 3. workers each train one local epoch on their shard;
 4. workers whose epoch overran ``straggler_factor x`` the fastest
    completed epoch are excluded; crashed workers are excluded; both
@@ -21,8 +23,10 @@ One round:
    over their attested channels; records that fail AEAD or the boundary
    checksum mark their worker faulted (never the coordinator);
 6. the aggregator enclave unmasks the partial sum — reconstructing
-   dropped workers' masks from the escrowed shares or failing closed —
-   and normalises by the participating shard sizes;
+   dropped workers' masks from the escrowed shares (revealed by the
+   survivors as records sealed for their attested channels, opened only
+   inside the aggregator) or failing closed — and normalises by the
+   participating shard sizes;
 7. crashed workers recover from their sealed checkpoints and replay
    their epoch (bitwise, excluded from the aggregate);
 8. the agreed FrontNet update broadcasts over each attested channel; the
@@ -309,10 +313,15 @@ class DistributedCoordinator:
             }
             for worker in active:
                 worker.establish_pairs(directory)
+            # Escrow: every share crosses the coordinator sealed under the
+            # owner/holder pairwise key — this loop relays ciphertext only.
             for worker in active:
-                shares = worker.escrow(threshold, len(active))
-                for peer, share in zip(active, shares):
-                    peer.hold_share(cohort[worker.worker_id], share)
+                records = worker.escrow_records(threshold, len(active))
+                for peer in active:
+                    position = cohort[peer.worker_id]
+                    if position in records:
+                        peer.hold_share_record(cohort[worker.worker_id],
+                                               records[position])
 
         # Local epochs (concurrent in wall-clock; sequential in sim).
         durations: Dict[str, float] = {}
@@ -400,22 +409,25 @@ class DistributedCoordinator:
             )
 
         # Partial aggregation: every excluded cohort member is a dropout
-        # whose masks must be reconstructed from the escrowed shares.
+        # whose masks must be reconstructed from the escrowed shares. The
+        # survivors reveal their held shares as records sealed for their
+        # attested channels — this loop collects opaque blobs the
+        # aggregator alone can open, never a share in the clear.
         dropped_ids = {
             wid: cohort[wid]
             for wid in (faulted + stragglers + corrupted)
             if wid in cohort
         } if masked else {}
-        shares: Dict[int, List] = {}
+        share_records: Dict[int, List[Tuple[str, bytes]]] = {}
         if dropped_ids:
             alive = [w for w in active if w.worker_id not in faulted]
             for wid, secagg_id in dropped_ids.items():
-                collected = []
+                collected: List[Tuple[str, bytes]] = []
                 for holder in alive:
-                    share = holder.reveal_share(secagg_id)
-                    if share is not None:
-                        collected.append(share)
-                shares[secagg_id] = collected
+                    record = holder.reveal_share_record(secagg_id)
+                    if record is not None:
+                        collected.append((holder.worker_id, record))
+                share_records[secagg_id] = collected
             self.telemetry.count("partial_aggregations")
 
         weights = {
@@ -431,7 +443,7 @@ class DistributedCoordinator:
                     participating={wid: cohort[wid] for wid in participating},
                     weights=weights,
                     dropped=dropped_ids,
-                    shares=shares,
+                    share_records=share_records,
                     directory=directory,
                     threshold=threshold,
                     vector_shape=(vector_size,),
@@ -523,11 +535,31 @@ class DistributedCoordinator:
 
     def _assert_replicas_consistent(self, active: List[EnclaveWorker],
                                     round_index: int) -> None:
-        """Every replica must be bitwise identical after the broadcast."""
+        """Every replica must be bitwise identical after the broadcast.
+
+        Structure first, then values: a replica with extra layers or extra
+        per-layer arrays must fail too, not slip past a zip/keys walk that
+        only visits the reference's entries.
+        """
         reference = active[0].replica_weights()
         for worker in active[1:]:
             candidate = worker.replica_weights()
-            for ref_layer, layer in zip(reference, candidate):
+            if len(candidate) != len(reference):
+                raise RoundAborted(
+                    f"round {round_index}: replica divergence at "
+                    f"{worker.worker_id} ({len(candidate)} layers vs "
+                    f"{len(reference)}); refusing to continue on "
+                    "inconsistent state"
+                )
+            for index, (ref_layer, layer) in enumerate(
+                    zip(reference, candidate)):
+                if ref_layer.keys() != layer.keys():
+                    raise RoundAborted(
+                        f"round {round_index}: replica divergence at "
+                        f"{worker.worker_id} (layer {index} parameters "
+                        f"{sorted(layer)} vs {sorted(ref_layer)}); refusing "
+                        "to continue on inconsistent state"
+                    )
                 for name in ref_layer:
                     if not np.array_equal(ref_layer[name], layer[name]):
                         raise RoundAborted(

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.core.partition import PartitionedNetwork
 from repro.core.partitioned_training import ConfidentialTrainer
-from repro.crypto.shamir import Share
+from repro.crypto.shamir import Share, encode_share
 from repro.crypto.tls import SecureChannel
 from repro.data.augmentation import Augmenter
 from repro.data.encryption import EncryptedDataset
@@ -140,6 +140,7 @@ class EnclaveWorker:
         self.channel: Optional[SecureChannel] = None
         self._secagg: Optional[SecureAggregationClient] = None
         self._round_weights: Optional[List[Dict[str, np.ndarray]]] = None
+        self._handshake_attempts = 0
 
     # -- shard staging -----------------------------------------------------------
 
@@ -196,9 +197,19 @@ class EnclaveWorker:
             self.trainer.bind_observability(tracer=tracer, metrics=metrics)
 
     def open_channel(self, aggregator) -> None:
-        """Establish this worker's attested channel into the aggregator."""
+        """Establish this worker's attested channel into the aggregator.
+
+        The handshake RNG is salted with a per-handshake attempt counter:
+        ``RngStream.child`` is seed-derived, so an unsalted re-handshake
+        (after a corrupt fault or crash recovery) would reproduce the
+        previous session's DH keys and record keys with sequence counters
+        reset — letting the untrusted coordinator replay captured records
+        onto the "fresh" channel, and reusing AEAD key+nonce pairs across
+        distinct plaintexts. The aggregator salts its side the same way.
+        """
+        self._handshake_attempts += 1
         self.channel = open_attested_channel(
-            rng=self.rng.child("agg-tls-client"),
+            rng=self.rng.child(f"agg-tls-client/{self._handshake_attempts}"),
             aggregator=aggregator,
             peer_id=self.worker_id,
             attestation_service=self.attestation_service,
@@ -262,20 +273,50 @@ class EnclaveWorker:
     def establish_pairs(self, directory: Dict[int, int]) -> None:
         self._secagg.establish_pairs(directory)
 
-    def escrow(self, threshold: int, num_shares: int) -> List[Share]:
-        """Shamir-share this worker's round DH key among the cohort."""
-        return self._secagg.escrow_private_key(threshold, num_shares)
+    def escrow_records(self, threshold: int,
+                       cohort_size: int) -> Dict[int, bytes]:
+        """Shamir-share this worker's round DH key among the cohort.
 
-    def hold_share(self, owner_secagg_id: int, share: Share) -> None:
+        Returns one *sealed* share record per peer — AEAD-encrypted under
+        the pairwise secure-aggregation key shared with that peer, so the
+        coordinator relaying the records sees only ciphertext (the
+        Bonawitz share-transit discipline). This worker's own share goes
+        straight into its enclave store and never crosses the boundary.
+        """
+        shares = self._secagg.escrow_private_key(threshold, cohort_size)
+        records: Dict[int, bytes] = {}
+        for position, share in enumerate(shares):
+            if position == self._secagg.client_id:
+                self._hold_share(position, share)
+            else:
+                records[position] = self._secagg.encrypt_share_for(
+                    position, share
+                )
+        return records
+
+    def _hold_share(self, owner_secagg_id: int, share: Share) -> None:
         """Hold one escrowed share in enclave memory (dies with it)."""
         self.enclave.trusted_put(f"{_SHARE_PREFIX}{owner_secagg_id}", share)
 
-    def reveal_share(self, owner_secagg_id: int) -> Optional[Share]:
-        """Surrender a held share so a dropout's masks can be rebuilt."""
+    def hold_share_record(self, owner_secagg_id: int, record: bytes) -> None:
+        """Open one relayed share record (sealed under the pairwise key
+        with its owner) inside the enclave and hold the share there."""
+        share = self._secagg.decrypt_share_from(owner_secagg_id, record)
+        self._hold_share(owner_secagg_id, share)
+
+    def reveal_share_record(self, owner_secagg_id: int) -> Optional[bytes]:
+        """Surrender a held share so a dropout's masks can be rebuilt.
+
+        The share leaves the enclave only as an AEAD record on this
+        worker's attested aggregator channel: the relaying coordinator can
+        neither read it nor splice it elsewhere (records are
+        sequence-bound), so it never holds reconstruction material.
+        """
         key = f"{_SHARE_PREFIX}{owner_secagg_id}"
         if not self.enclave.trusted_has(key):
             return None
-        return self.enclave.trusted_get(key)
+        share: Share = self.enclave.trusted_get(key)
+        return self.channel.send(encode_share(share))
 
     def upload_record(self, masked: bool) -> bytes:
         """The round's upload: shard-size-scaled FrontNet delta, masked

@@ -18,13 +18,16 @@ precisely the confidentiality/accountability conflict CalTrain resolves.
 
 from __future__ import annotations
 
+import struct
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.crypto.aead import NONCE_LEN, AesGcm
 from repro.crypto.dh import DhKeyPair
 from repro.crypto.hkdf import hkdf
-from repro.crypto.shamir import Share, reconstruct_secret, split_secret
+from repro.crypto.shamir import (Share, decode_share, encode_share,
+                                 reconstruct_secret, split_secret)
 from repro.errors import AggregationError, ConfigurationError, CryptoError
 from repro.utils.rng import RngStream
 
@@ -108,6 +111,51 @@ class SecureAggregationClient:
         """
         return split_secret(self._keypair.private_bytes(), threshold,
                             num_shares, self._rng)
+
+    # -- share sealing (Bonawitz: shares transit the server encrypted) -------
+
+    def _share_aead(self, peer_id: int) -> AesGcm:
+        if peer_id not in self._pair_seeds:
+            raise ConfigurationError(
+                f"no pairwise seed with client {peer_id}; "
+                "establish_pairs() must run first"
+            )
+        return AesGcm(
+            hkdf(self._pair_seeds[peer_id], info=b"secagg-share-key",
+                 length=16)
+        )
+
+    @staticmethod
+    def _share_aad(owner_id: int, holder_id: int) -> bytes:
+        return struct.pack("<II", owner_id, holder_id)
+
+    def encrypt_share_for(self, peer_id: int, share: Share) -> bytes:
+        """Seal one escrowed share of *this* client's key for ``peer_id``.
+
+        The record is AEAD-encrypted under a key derived from the pairwise
+        DH seed, with the (owner, holder) pair bound as associated data —
+        the untrusted relay can neither read a share nor re-route it to a
+        different holder or claim it for a different owner.
+        """
+        nonce = self._rng.randbytes(NONCE_LEN)
+        sealed = self._share_aead(peer_id).seal(
+            nonce, encode_share(share),
+            self._share_aad(self.client_id, peer_id),
+        )
+        return nonce + sealed
+
+    def decrypt_share_from(self, owner_id: int, record: bytes) -> Share:
+        """Open a share record sealed by ``owner_id`` for this client.
+
+        Raises :class:`~repro.errors.AuthenticationError` when the record
+        was tampered with or re-routed, :class:`~repro.errors.CryptoError`
+        when the opened payload is not a well-formed share.
+        """
+        nonce, sealed = record[:NONCE_LEN], record[NONCE_LEN:]
+        plaintext = self._share_aead(owner_id).open(
+            nonce, sealed, self._share_aad(owner_id, self.client_id)
+        )
+        return decode_share(plaintext)
 
 
 def recover_dropout(dropped_id: int, shares: Sequence[Share],

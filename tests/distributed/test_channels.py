@@ -70,6 +70,35 @@ class TestAttestedChannel:
         with pytest.raises(AuthenticationError):
             coordinator.aggregator.submit(worker.worker_id, record)
 
+    def test_rehandshake_derives_fresh_server_keys(self, tmp_path):
+        """Successive handshakes for the same peer must not reproduce the
+        aggregator's DH share or nonce: seed-derived reuse would rebuild
+        the previous session's record keys with sequence counters reset."""
+        from repro.crypto.tls import TlsClient
+
+        coordinator, rng = make_coordinator(tmp_path, num_workers=2)
+        hello_1 = TlsClient(rng=rng.child("probe-1")).client_hello()
+        hello_2 = TlsClient(rng=rng.child("probe-2")).client_hello()
+        hello_s1, _ = coordinator.aggregator.start_handshake("probe", hello_1)
+        hello_s2, _ = coordinator.aggregator.start_handshake("probe", hello_2)
+        assert hello_s1.dh_public != hello_s2.dh_public
+        assert hello_s1.nonce != hello_s2.nonce
+
+    def test_stale_record_rejected_after_rehandshake(self, tmp_path):
+        """The replay attack a re-handshake must shut out: the coordinator
+        corrupts one upload to force a channel reset, then replays a
+        record captured from the old session onto the 'fresh' channel. If
+        either side re-derived the same handshake keys, the stale record
+        would re-authenticate at sequence 0 and silently bias the round."""
+        coordinator, _ = make_coordinator(tmp_path, num_workers=2)
+        coordinator.run(1)
+        worker = coordinator.workers[0]
+        worker.open_channel(coordinator.aggregator)   # session A (reset)
+        stale = worker.upload_record(masked=False)    # sequence 0 on A
+        worker.open_channel(coordinator.aggregator)   # session B (fresh)
+        with pytest.raises(AuthenticationError):
+            coordinator.aggregator.submit(worker.worker_id, stale)
+
 
 class TestMidRoundCorruption:
     def test_corruption_is_a_worker_fault_not_a_coordinator_crash(

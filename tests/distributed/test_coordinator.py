@@ -100,6 +100,34 @@ class TestRounds:
         assert multi_losses[-1] < multi_losses[0]
         assert single_losses[-1] < single_losses[0]
 
+    def test_replica_structural_divergence_detected(self, tmp_path):
+        """The consistency assertion must catch replicas that differ in
+        *structure* — extra layers or extra per-layer arrays would slip
+        through a zip/keys walk that only visits the reference's entries."""
+        coordinator, _ = make_coordinator(tmp_path, num_workers=2)
+        reference = coordinator.workers[0].replica_weights()
+
+        class _Doctored:
+            worker_id = "wx"
+
+            def __init__(self, weights):
+                self._weights = weights
+
+            def replica_weights(self):
+                return self._weights
+
+        extra_layer = reference + [{"w": np.zeros(2)}]
+        with pytest.raises(RoundAborted, match="divergence"):
+            coordinator._assert_replicas_consistent(
+                [coordinator.workers[0], _Doctored(extra_layer)], 0
+            )
+        extra_param = [dict(layer) for layer in reference]
+        extra_param[0]["rogue"] = np.zeros(2)
+        with pytest.raises(RoundAborted, match="divergence"):
+            coordinator._assert_replicas_consistent(
+                [coordinator.workers[0], _Doctored(extra_param)], 0
+            )
+
     def test_audit_trail_one_event_per_round(self, tmp_path):
         coordinator, _ = make_coordinator(tmp_path, num_workers=2)
         coordinator.run(3)

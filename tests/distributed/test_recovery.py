@@ -88,12 +88,66 @@ class TestCrashRecovery:
             worker.recover(coordinator.provisioner, coordinator.aggregator)
 
 
+def _form_cohort(coordinator, threshold=2):
+    """Run the per-round escrow flow by hand; returns (workers, relayed).
+
+    ``relayed`` is every escrow record the coordinator saw in transit —
+    all of them sealed for their recipient enclaves.
+    """
+    active = coordinator.workers
+    cohort = {w.worker_id: i for i, w in enumerate(active)}
+    round_rng = coordinator.rng.child("secagg/test")
+    for worker in active:
+        worker.begin_cohort(cohort[worker.worker_id], round_rng)
+    directory = {cohort[w.worker_id]: w.secagg_public_key for w in active}
+    for worker in active:
+        worker.establish_pairs(directory)
+    relayed = []
+    for worker in active:
+        records = worker.escrow_records(threshold, len(active))
+        for peer in active:
+            position = cohort[peer.worker_id]
+            if position in records:
+                relayed.append(
+                    (cohort[worker.worker_id], peer, records[position])
+                )
+                peer.hold_share_record(cohort[worker.worker_id],
+                                       records[position])
+    return active, relayed
+
+
 class TestShareEscrowLifecycle:
     def test_shares_die_with_the_enclave(self, tmp_path):
         """Escrowed shares live in enclave memory: a crashed holder cannot
         surrender them, which is what bounds simultaneous-crash recovery
         at the Shamir threshold (fail closed beyond it)."""
         coordinator, _ = make_coordinator(tmp_path, num_workers=3)
+        active, _ = _form_cohort(coordinator)
+        holder = active[1]
+        assert holder.reveal_share_record(0) is not None
+        holder.enclave.destroy()
+        assert holder.reveal_share_record(0) is None
+
+    def test_relayed_escrow_records_are_sealed(self, tmp_path):
+        """The coordinator relays one escrow record per (owner, holder)
+        pair and none of them contains the plaintext share the holder
+        ends up with — with threshold=1 a single readable share would
+        hand the coordinator a dropout's round DH key."""
+        from repro.crypto.shamir import encode_share
+
+        coordinator, _ = make_coordinator(tmp_path, num_workers=3)
+        active, relayed = _form_cohort(coordinator)
+        assert len(relayed) == len(active) * (len(active) - 1)
+        for owner_id, holder, record in relayed:
+            held = holder.enclave.trusted_get(f"secagg-share/{owner_id}")
+            assert encode_share(held) not in record
+
+    def test_tampered_escrow_record_fails_closed(self, tmp_path):
+        """A coordinator that flips a bit in a relayed escrow record is
+        caught at the holder, not silently escrowed as garbage."""
+        from repro.errors import AuthenticationError
+
+        coordinator, _ = make_coordinator(tmp_path, num_workers=2)
         active = coordinator.workers
         cohort = {w.worker_id: i for i, w in enumerate(active)}
         round_rng = coordinator.rng.child("secagg/test")
@@ -103,11 +157,36 @@ class TestShareEscrowLifecycle:
                      for w in active}
         for worker in active:
             worker.establish_pairs(directory)
-        for worker in active:
-            shares = worker.escrow(2, len(active))
-            for peer, share in zip(active, shares):
-                peer.hold_share(cohort[worker.worker_id], share)
-        holder = active[1]
-        assert holder.reveal_share(0) is not None
-        holder.enclave.destroy()
-        assert holder.reveal_share(0) is None
+        records = active[0].escrow_records(1, 2)
+        (position, record), = records.items()
+        assert position == 1
+        flipped = bytearray(record)
+        flipped[len(flipped) // 2] ^= 0x01
+        with pytest.raises(AuthenticationError):
+            active[1].hold_share_record(0, bytes(flipped))
+
+    def test_tampered_reveal_record_aborts_the_round(self, tmp_path):
+        """A revealed share travels the attested channel; the coordinator
+        flipping a bit in the relay makes aggregation fail closed instead
+        of rebuilding a dropout's masks from forged material."""
+        from repro.errors import RoundAborted
+
+        coordinator, _ = make_coordinator(
+            tmp_path, num_workers=3,
+            injections=(WorkerInjection("crash", "w1", 0, batch=1),),
+        )
+        original = coordinator.aggregator.reduce
+
+        def tampering_reduce(round_index, **kwargs):
+            for records in kwargs["share_records"].values():
+                if records:
+                    holder, record = records[0]
+                    flipped = bytearray(record)
+                    flipped[len(flipped) // 2] ^= 0x01
+                    records[0] = (holder, bytes(flipped))
+                    break
+            return original(round_index, **kwargs)
+
+        coordinator.aggregator.reduce = tampering_reduce
+        with pytest.raises(RoundAborted, match="failed closed"):
+            coordinator.run(1)

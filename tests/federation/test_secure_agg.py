@@ -207,3 +207,47 @@ class TestAggregateWithDropouts:
                 uploads, directory, dropped=[1], shares={1: wrong},
                 threshold=threshold, vector_shape=(40,),
             )
+
+
+class TestShareSealing:
+    """Shares transit the untrusted relay sealed under pairwise keys."""
+
+    def test_roundtrip_between_paired_clients(self, rng):
+        _, clients, _, escrow, threshold = _cohort(
+            rng, np.random.default_rng(3), 3
+        )
+        share = escrow[0][1]  # client 0's share for holder 1
+        record = clients[0].encrypt_share_for(1, share)
+        assert clients[1].decrypt_share_from(0, record) == share
+
+    def test_record_is_not_the_plaintext_share(self, rng):
+        from repro.crypto.shamir import encode_share
+
+        _, clients, _, escrow, _ = _cohort(rng, np.random.default_rng(3), 2)
+        share = escrow[0][1]
+        record = clients[0].encrypt_share_for(1, share)
+        assert encode_share(share) not in record
+
+    def test_tampered_record_rejected(self, rng):
+        from repro.errors import AuthenticationError
+
+        _, clients, _, escrow, _ = _cohort(rng, np.random.default_rng(3), 2)
+        record = bytearray(clients[0].encrypt_share_for(1, escrow[0][1]))
+        record[len(record) // 2] ^= 0x01
+        with pytest.raises(AuthenticationError):
+            clients[1].decrypt_share_from(0, bytes(record))
+
+    def test_rerouted_record_rejected(self, rng):
+        """The relay cannot claim client 0's record came from client 2:
+        the (owner, holder) pair is bound as AEAD associated data."""
+        from repro.errors import AuthenticationError
+
+        _, clients, _, escrow, _ = _cohort(rng, np.random.default_rng(3), 3)
+        record = clients[0].encrypt_share_for(1, escrow[0][1])
+        with pytest.raises(AuthenticationError):
+            clients[1].decrypt_share_from(2, record)
+
+    def test_sealing_requires_established_pairs(self, rng):
+        client = SecureAggregationClient(0, rng.child("sa"))
+        with pytest.raises(ConfigurationError, match="establish_pairs"):
+            client.encrypt_share_for(1, None)
