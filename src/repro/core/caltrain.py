@@ -82,6 +82,11 @@ class CalTrainConfig:
             :attr:`CalTrain.set_assessor` before training.
         freeze_at_epoch: Optional bottom-up FrontNet freezing epoch.
         cipher: AEAD used for bulk training data.
+        backend: NN compute backend (``"reference"``/``"optimized"``) pinned
+            on every network this deployment builds — including distributed
+            worker replicas. ``None`` follows the process default
+            (``REPRO_NN_BACKEND``). An execution detail: it is not part of
+            the measured architecture or hyperparameters.
     """
 
     seed: int = 7
@@ -100,6 +105,7 @@ class CalTrainConfig:
     freeze_at_epoch: Optional[int] = None
     neighbors_per_query: int = 9
     network_factory: Optional[Callable[[np.random.Generator], Network]] = None
+    backend: Optional[str] = None
 
 
 class CalTrain:
@@ -163,15 +169,29 @@ class CalTrain:
 
     def _resolve_factory(self) -> Callable[[np.random.Generator], Network]:
         if self.config.network_factory is not None:
-            return self.config.network_factory
-        factory = _ARCHITECTURES.get(self.config.architecture)
-        if factory is None:
-            raise ConfigurationError(
-                f"unknown architecture {self.config.architecture!r}; pick one "
-                f"of {sorted(_ARCHITECTURES)} or pass network_factory"
-            )
-        width = self.config.width_scale
-        return lambda gen: factory(gen, width_scale=width)
+            base = self.config.network_factory
+        else:
+            factory = _ARCHITECTURES.get(self.config.architecture)
+            if factory is None:
+                raise ConfigurationError(
+                    f"unknown architecture {self.config.architecture!r}; pick "
+                    f"one of {sorted(_ARCHITECTURES)} or pass network_factory"
+                )
+            width = self.config.width_scale
+            base = lambda gen: factory(gen, width_scale=width)
+        backend = self.config.backend
+        if backend is None:
+            return base
+        from repro.nn.backends import get_backend
+
+        get_backend(backend)  # fail fast on unknown names
+
+        def with_backend(gen: np.random.Generator) -> Network:
+            net = base(gen)
+            net.set_backend(backend)
+            return net
+
+        return with_backend
 
     # -- stage 2: registration and submission ------------------------------------
 

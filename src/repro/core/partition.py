@@ -234,8 +234,13 @@ class PartitionedNetwork:
             )
             return self.network.forward(ir, training=training, start=k)
 
-    def backward(self, delta: np.ndarray) -> np.ndarray:
-        """Full backward pass: BackNet outside, delta in, FrontNet inside."""
+    def backward(self, delta: np.ndarray,
+                 need_input_grad: bool = True) -> np.ndarray:
+        """Full backward pass: BackNet outside, delta in, FrontNet inside.
+
+        ``need_input_grad=False`` lets the bottom layer skip computing
+        d(loss)/d(input) — the training loop never consumes it.
+        """
         n = delta.shape[0]
         k = self._partition
         with self._span("backnet.backward", "untrusted", batch=n):
@@ -244,7 +249,10 @@ class PartitionedNetwork:
                 * _BACKWARD_FLOP_FACTOR,
                 in_enclave=False,
             )
-            boundary_delta = self.network.backward(delta, start=None, stop=k)
+            boundary_delta = self.network.backward(
+                delta, start=None, stop=k,
+                need_input_grad=need_input_grad or k > 0,
+            )
         if k == 0:
             return boundary_delta
         if self.enclave is not None:
@@ -272,13 +280,14 @@ class PartitionedNetwork:
                 self._range_flops(0, k, n) * _BACKWARD_FLOP_FACTOR,
                 in_enclave=True,
             )
-            return self.network.backward(boundary_delta, start=k, stop=0)
+            return self.network.backward(boundary_delta, start=k, stop=0,
+                                         need_input_grad=need_input_grad)
 
     def train_batch(self, x: np.ndarray, labels: np.ndarray, optimizer) -> float:
         """One partitioned SGD step; returns the batch loss."""
         probs = self.forward(x, training=True)
-        loss, delta = self.network.cost_layer().loss_and_delta(probs, labels)
-        self.backward(delta)
+        loss, delta = self.network.cost_layer().batch_loss(probs, labels)
+        self.backward(delta, need_input_grad=False)
         optimizer.step(self.network)
         self.network.zero_grads()
         return loss

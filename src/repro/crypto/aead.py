@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import hashlib
 import struct
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.crypto.hashing import constant_time_equal, hmac_sha256
 from repro.errors import AuthenticationError, ConfigurationError
@@ -251,22 +253,39 @@ class HmacCtrAead(Aead):
             raise ConfigurationError("HmacCtrAead requires a key of >= 16 bytes")
         self._enc_key = hmac_sha256(key, b"enc")
         self._mac_key = hmac_sha256(key, b"mac")
+        # Partially-hashed keystream prefix: SHA-256 state fed the 32-byte
+        # enc_key. ``.copy()`` then costs one state clone instead of
+        # re-hashing the key for every keystream block.
+        self._ks_prefix = hashlib.sha256(self._enc_key)
+        self._counters: List[bytes] = []
+
+    def _counter_bytes(self, nblocks: int) -> List[bytes]:
+        """The packed block counters ``0..nblocks-1``, cached across calls
+        (bulk sealing reuses one list for every same-length record)."""
+        while len(self._counters) < nblocks:
+            self._counters.append(struct.pack("<Q", len(self._counters)))
+        return self._counters[:nblocks]
 
     def _keystream(self, nonce: bytes, length: int) -> bytes:
+        # Equivalent to SHA256(enc_key || nonce || counter) per 32-byte
+        # block, built from cloned partial-hash states.
+        record_prefix = self._ks_prefix.copy()
+        record_prefix.update(nonce)
         blocks = []
-        prefix = self._enc_key + nonce
-        for counter in range((length + 31) // 32):
-            blocks.append(
-                hashlib.sha256(prefix + struct.pack("<Q", counter)).digest()
-            )
+        for counter in self._counter_bytes((length + 31) // 32):
+            h = record_prefix.copy()
+            h.update(counter)
+            blocks.append(h.digest())
         return b"".join(blocks)[:length]
 
+    @staticmethod
+    def _xor_bytes(data: bytes, keystream: bytes) -> bytes:
+        a = np.frombuffer(data, dtype=np.uint8)
+        b = np.frombuffer(keystream, dtype=np.uint8)
+        return (a ^ b).tobytes()
+
     def _xor(self, nonce: bytes, data: bytes) -> bytes:
-        keystream = self._keystream(nonce, len(data))
-        return bytes(
-            (int.from_bytes(data, "little") ^ int.from_bytes(keystream, "little"))
-            .to_bytes(len(data), "little")
-        )
+        return self._xor_bytes(data, self._keystream(nonce, len(data)))
 
     def _tag(self, nonce: bytes, ciphertext: bytes, aad: bytes) -> bytes:
         return hmac_sha256(
@@ -276,6 +295,34 @@ class HmacCtrAead(Aead):
     def seal(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
         ciphertext = self._xor(nonce, plaintext)
         return ciphertext + self._tag(nonce, ciphertext, aad)
+
+    def seal_many(
+        self, items: Sequence[Tuple[bytes, bytes, bytes]]
+    ) -> List[bytes]:
+        """Seal a batch of ``(nonce, plaintext, aad)`` records.
+
+        Byte-identical to calling :meth:`seal` per record, but the
+        plaintext/keystream XOR runs once over the whole batch as a single
+        vectorised operation and the per-block counter encodings are shared
+        across records. Tags remain strictly per record.
+        """
+        if not items:
+            return []
+        lengths = [len(plaintext) for _, plaintext, _ in items]
+        keystreams = [
+            self._keystream(nonce, length)
+            for (nonce, _, _), length in zip(items, lengths)
+        ]
+        big_ct = self._xor_bytes(
+            b"".join(plaintext for _, plaintext, _ in items),
+            b"".join(keystreams),
+        )
+        sealed, offset = [], 0
+        for (nonce, _, aad), length in zip(items, lengths):
+            ciphertext = big_ct[offset : offset + length]
+            offset += length
+            sealed.append(ciphertext + self._tag(nonce, ciphertext, aad))
+        return sealed
 
     def open(self, nonce: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
         if len(sealed) < TAG_LEN:

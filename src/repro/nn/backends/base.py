@@ -1,0 +1,189 @@
+"""The compute-backend interface for the NN hot paths.
+
+Every tensor op that dominates training wall-clock — ``im2col``/``col2im``,
+the batched GEMMs, fused bias+activation forward/backward, max-pool
+forward/argmax-backward, and the fused softmax+cost — sits behind
+:class:`ComputeBackend`. Layers delegate their ``forward``/``backward``
+bodies here, so swapping the implementation (the verbatim ``reference``
+numpy backend vs the buffer-pooled ``optimized`` backend) never changes a
+call site: ``PartitionedNetwork``, ``ResilientTrainer``, and the
+``repro.distributed`` workers all inherit whichever backend the network was
+given.
+
+Scratch memory is owned by a per-layer :class:`BufferPool`, keyed by name,
+shape, and dtype, so the steady-state training loop reuses the same im2col
+columns, padded rings, and activation-gradient buffers batch after batch
+instead of reallocating them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BufferPool",
+    "ComputeBackend",
+    "maxpool_scatter",
+    "maxpool_backward_loop",
+]
+
+Shape = Tuple[int, ...]
+
+
+class BufferPool:
+    """Named, shape/dtype-keyed reusable scratch buffers for one layer.
+
+    ``get`` hands back the same array every call while the requested shape
+    and dtype are stable (the steady state of mini-batch training); a
+    changed shape — e.g. the smaller final batch of an epoch, or a float64
+    gradient check — transparently reallocates that slot. Buffers are
+    *scratch*: callers must never return them as layer outputs, which stay
+    freshly allocated so collected activations cannot alias.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+
+    def get(self, name: str, shape: Shape, dtype) -> np.ndarray:
+        """An uninitialised buffer (contents are stale; caller overwrites)."""
+        buf = self._buffers.get(name)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[name] = buf
+        return buf
+
+    def zeros(self, name: str, shape: Shape, dtype) -> np.ndarray:
+        """A buffer zero-filled on *every* call (accumulation targets)."""
+        buf = self.get(name, shape, dtype)
+        buf.fill(0)
+        return buf
+
+    def zeros_on_alloc(self, name: str, shape: Shape, dtype) -> np.ndarray:
+        """A buffer zeroed only when (re)allocated.
+
+        For padded rings whose interior is overwritten every call while the
+        halo must stay zero: the zero edges survive across calls because no
+        op ever writes them.
+        """
+        buf = self._buffers.get(name)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.zeros(shape, dtype=dtype)
+            self._buffers[name] = buf
+        return buf
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+    def nbytes(self) -> int:
+        """Total bytes currently pooled (telemetry/debugging)."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+
+def maxpool_backward_loop(delta: np.ndarray, argmax: np.ndarray,
+                          input_shape: Shape, size: int,
+                          stride: int) -> np.ndarray:
+    """The legacy k x k python scatter loop (pre-vectorization semantics).
+
+    Kept as the bitwise oracle for :func:`maxpool_scatter`'s regression
+    tests; not used on any hot path.
+    """
+    n, h, w, c = input_shape
+    oh, ow = delta.shape[1:3]
+    dx = np.zeros((n, h, w, c), dtype=delta.dtype)
+    k, s = size, stride
+    for i in range(k):
+        for j in range(k):
+            mask = argmax == i * k + j
+            dx[:, i : i + oh * s : s, j : j + ow * s : s, :] += delta * mask
+    return dx
+
+
+def maxpool_scatter(delta: np.ndarray, argmax: np.ndarray, input_shape: Shape,
+                    size: int, stride: int) -> np.ndarray:
+    """Route ``delta`` back to the argmax positions of a max-pool.
+
+    For the common non-overlapping case (``stride >= size``) every pooling
+    window owns a disjoint input region, so the k x k mask loop collapses to
+    one vectorised fancy-index assignment — bitwise identical to the loop
+    because each target cell receives exactly one contribution. Overlapping
+    windows (``stride < size``) can accumulate several contributions per
+    cell and therefore keep the loop's exact accumulation order.
+    """
+    n, h, w, c = input_shape
+    oh, ow = delta.shape[1:3]
+    if stride < size:
+        return maxpool_backward_loop(delta, argmax, input_shape, size, stride)
+    dx = np.zeros((n, h, w, c), dtype=delta.dtype)
+    ni, ii, jj, ci = np.ogrid[:n, :oh, :ow, :c]
+    rows = ii * stride + argmax // size
+    cols = jj * stride + argmax % size
+    dx[ni, rows, cols, ci] = delta
+    return dx
+
+
+class ComputeBackend:
+    """Interface: the tensor ops behind every layer's forward/backward.
+
+    Composed, layer-facing ops (``conv_forward`` .. ``softmax_cost``) are
+    what the layers call; the finer-grained ops (``im2col``, ``col2im``,
+    ``gemm``) are exposed so subclasses can share and tests can target them
+    individually. Backends are stateless and shared process-wide — all
+    mutable scratch lives in each layer's :class:`BufferPool`.
+    """
+
+    name = "abstract"
+
+    # -- fine-grained ops ----------------------------------------------------
+
+    def im2col(self, pool: BufferPool, x: np.ndarray, size: int, stride: int,
+               pad: int) -> Tuple[np.ndarray, Tuple[int, int]]:
+        """Unfold conv windows into a ``(n*oh*ow, k*k*c)`` matrix."""
+        raise NotImplementedError
+
+    def col2im(self, pool: BufferPool, dcols: np.ndarray, input_shape: Shape,
+               oh: int, ow: int, size: int, stride: int,
+               pad: int) -> np.ndarray:
+        """Fold column gradients back onto the (padded) input grid."""
+        raise NotImplementedError
+
+    def gemm(self, a: np.ndarray, b: np.ndarray,
+             out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Matrix multiply ``a @ b`` (optionally into ``out``)."""
+        raise NotImplementedError
+
+    # -- composed layer ops --------------------------------------------------
+
+    def conv_forward(self, layer, x: np.ndarray, training: bool) -> np.ndarray:
+        raise NotImplementedError
+
+    def conv_backward(self, layer, delta: np.ndarray,
+                      need_input_grad: bool = True) -> Optional[np.ndarray]:
+        raise NotImplementedError
+
+    def dense_forward(self, layer, x: np.ndarray, training: bool) -> np.ndarray:
+        raise NotImplementedError
+
+    def dense_backward(self, layer, delta: np.ndarray,
+                       need_input_grad: bool = True) -> Optional[np.ndarray]:
+        raise NotImplementedError
+
+    def maxpool_forward(self, layer, x: np.ndarray, training: bool) -> np.ndarray:
+        raise NotImplementedError
+
+    def maxpool_backward(self, layer, delta: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def softmax(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def softmax_cost(self, probs: np.ndarray,
+                     labels: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Fused cross-entropy loss and d(loss)/d(logits)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -14,6 +14,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.errors import TrainingError
+from repro.nn.backends.base import BufferPool, ComputeBackend
 
 __all__ = ["Layer"]
 
@@ -26,9 +27,40 @@ class Layer:
     #: Darknet-style type tag used by the config parser and the zoo tables.
     kind = "layer"
 
+    #: True for layers whose backward can skip computing d(loss)/d(input)
+    #: when nothing upstream consumes it (the first trainable layer of a
+    #: ``train_batch`` sweep).
+    supports_skip_input_grad = False
+
     def __init__(self) -> None:
         self.frozen = False
         self._cache: dict = {}
+        self._backend: "ComputeBackend | None" = None
+        self._pool = BufferPool()
+
+    # -- backend -------------------------------------------------------------
+
+    @property
+    def backend(self) -> ComputeBackend:
+        """The compute backend in effect: the explicitly assigned one, else
+        the process default (which follows ``REPRO_NN_BACKEND``)."""
+        if self._backend is not None:
+            return self._backend
+        from repro.nn.backends import default_backend
+
+        return default_backend()
+
+    def set_backend(self, backend: "ComputeBackend | str | None") -> None:
+        """Pin (or with ``None`` unpin) this layer's compute backend.
+
+        Scratch buffers and cached intermediates belong to the backend that
+        produced them, so both are dropped on every switch.
+        """
+        from repro.nn.backends import resolve_backend
+
+        self._backend = resolve_backend(backend)
+        self._pool.clear()
+        self._cache.clear()
 
     # -- compute ------------------------------------------------------------
 

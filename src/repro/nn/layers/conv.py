@@ -7,13 +7,11 @@ spatial size at stride 1 (Darknet's ``pad=1`` behaviour for odd kernels);
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
-from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.errors import ConfigurationError, ShapeError
-from repro.nn.layers.activations import apply_activation, activation_gradient
 from repro.nn.layers.base import Layer, Shape
 
 __all__ = ["ConvLayer"]
@@ -32,6 +30,7 @@ class ConvLayer(Layer):
     """
 
     kind = "conv"
+    supports_skip_input_grad = True
 
     def __init__(self, filters: int, size: int = 3, stride: int = 1,
                  activation: str = "leaky", pad: str = "same") -> None:
@@ -73,57 +72,13 @@ class ConvLayer(Layer):
 
     # -- compute ------------------------------------------------------------
 
-    def _im2col(self, x: np.ndarray) -> Tuple[np.ndarray, Tuple[int, int]]:
-        p = self._pad_amount()
-        if p:
-            x = np.pad(x, ((0, 0), (p, p), (p, p), (0, 0)))
-        # (N, H', W', C, kh, kw) -> strided -> (N, oh, ow, kh, kw, C)
-        windows = sliding_window_view(x, (self.size, self.size), axis=(1, 2))
-        windows = windows[:, :: self.stride, :: self.stride]
-        windows = windows.transpose(0, 1, 2, 4, 5, 3)
-        n, oh, ow = windows.shape[:3]
-        cols = windows.reshape(n * oh * ow, -1)
-        return np.ascontiguousarray(cols), (oh, ow)
-
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         self._check_built(x.shape[-1])
-        n = x.shape[0]
-        cols, (oh, ow) = self._im2col(x)
-        w_mat = self.weights.reshape(-1, self.filters)
-        z = (cols @ w_mat + self.bias).reshape(n, oh, ow, self.filters)
-        if training:
-            self._cache["cols"] = cols
-            self._cache["z"] = z
-            self._cache["input_shape"] = x.shape
-        return apply_activation(self.activation, z)
+        return self.backend.conv_forward(self, x, training)
 
-    def backward(self, delta: np.ndarray) -> np.ndarray:
-        cols = self._pop_cache("cols")
-        z = self._pop_cache("z")
-        input_shape = self._cache.pop("input_shape")
-        n, oh, ow, _ = delta.shape
-        dz = activation_gradient(self.activation, z, delta)
-        dz_flat = dz.reshape(n * oh * ow, self.filters)
-        if not self.frozen:
-            w_mat = self.weights.reshape(-1, self.filters)
-            self._grad_w += (cols.T @ dz_flat).reshape(self.weights.shape)
-            self._grad_b += dz_flat.sum(axis=0)
-        dcols = dz_flat @ self.weights.reshape(-1, self.filters).T
-        return self._col2im(dcols, input_shape, oh, ow)
-
-    def _col2im(self, dcols: np.ndarray, input_shape: Tuple[int, ...],
-                oh: int, ow: int) -> np.ndarray:
-        n, h, w, c = input_shape
-        p = self._pad_amount()
-        k, s = self.size, self.stride
-        dxp = np.zeros((n, h + 2 * p, w + 2 * p, c), dtype=dcols.dtype)
-        dcols = dcols.reshape(n, oh, ow, k, k, c)
-        for i in range(k):
-            for j in range(k):
-                dxp[:, i : i + oh * s : s, j : j + ow * s : s, :] += dcols[:, :, :, i, j, :]
-        if p:
-            return dxp[:, p : p + h, p : p + w, :]
-        return dxp
+    def backward(self, delta: np.ndarray,
+                 need_input_grad: bool = True) -> Optional[np.ndarray]:
+        return self.backend.conv_backward(self, delta, need_input_grad)
 
     # -- parameters ----------------------------------------------------------
 

@@ -12,7 +12,6 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.errors import ConfigurationError, ShapeError
-from repro.nn.layers.activations import activation_gradient, apply_activation
 from repro.nn.layers.base import Layer, Shape
 
 __all__ = ["DenseLayer", "FlattenLayer"]
@@ -42,6 +41,7 @@ class DenseLayer(Layer):
     """Fully connected layer with a built-in activation."""
 
     kind = "dense"
+    supports_skip_input_grad = True
 
     def __init__(self, units: int, activation: str = "leaky") -> None:
         super().__init__()
@@ -67,20 +67,11 @@ class DenseLayer(Layer):
             raise ShapeError(
                 f"dense expects (N, {self.weights.shape[0]}), got {x.shape}"
             )
-        z = x @ self.weights + self.bias
-        if training:
-            self._cache["x"] = x
-            self._cache["z"] = z
-        return apply_activation(self.activation, z)
+        return self.backend.dense_forward(self, x, training)
 
-    def backward(self, delta: np.ndarray) -> np.ndarray:
-        x = self._pop_cache("x")
-        z = self._cache.pop("z")
-        dz = activation_gradient(self.activation, z, delta)
-        if not self.frozen:
-            self._grad_w += x.T @ dz
-            self._grad_b += dz.sum(axis=0)
-        return dz @ self.weights.T
+    def backward(self, delta: np.ndarray,
+                 need_input_grad: bool = True) -> Optional[np.ndarray]:
+        return self.backend.dense_backward(self, delta, need_input_grad)
 
     def params(self) -> Dict[str, np.ndarray]:
         if self.weights is None:

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.errors import ConfigurationError, ShapeError
 from repro.nn.layers.base import Layer, Shape
@@ -28,29 +27,10 @@ class MaxPoolLayer(Layer):
             raise ShapeError(
                 f"input {x.shape[1:3]} smaller than pool window {self.size}"
             )
-        windows = sliding_window_view(x, (self.size, self.size), axis=(1, 2))
-        windows = windows[:, :: self.stride, :: self.stride]
-        # windows: (N, oh, ow, C, kh, kw)
-        n, oh, ow, c = windows.shape[:4]
-        flat = windows.reshape(n, oh, ow, c, self.size * self.size)
-        argmax = flat.argmax(axis=-1)
-        out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
-        if training:
-            self._cache["argmax"] = argmax
-            self._cache["input_shape"] = x.shape
-        return np.ascontiguousarray(out)
+        return self.backend.maxpool_forward(self, x, training)
 
     def backward(self, delta: np.ndarray) -> np.ndarray:
-        argmax = self._pop_cache("argmax")
-        n, h, w, c = self._cache.pop("input_shape")
-        oh, ow = delta.shape[1:3]
-        dx = np.zeros((n, h, w, c), dtype=delta.dtype)
-        k, s = self.size, self.stride
-        for i in range(k):
-            for j in range(k):
-                mask = argmax == i * k + j
-                dx[:, i : i + oh * s : s, j : j + ow * s : s, :] += delta * mask
-        return dx
+        return self.backend.maxpool_backward(self, delta)
 
     def output_shape(self, input_shape: Shape) -> Shape:
         h, w, c = input_shape

@@ -35,7 +35,7 @@ class SoftmaxLayer(Layer):
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if x.ndim != 2:
             raise ShapeError(f"softmax expects (N, classes), got {x.shape}")
-        return softmax(x)
+        return self.backend.softmax(x)
 
     def backward(self, delta: np.ndarray) -> np.ndarray:
         # Fused with cross-entropy: the incoming delta already is
@@ -79,6 +79,14 @@ class CostLayer(Layer):
         delta = probs.copy()
         delta[np.arange(n), labels] -= 1.0
         return float(loss), delta / n
+
+    def batch_loss(self, probs: np.ndarray,
+                   labels: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Backend-routed :meth:`loss_and_delta` (training hot path)."""
+        n = probs.shape[0]
+        if labels.shape[0] != n:
+            raise ShapeError("labels batch size does not match probabilities")
+        return self.backend.softmax_cost(probs, labels)
 
     def describe(self) -> str:
         return "cost"

@@ -29,11 +29,15 @@ class Network:
         layers: The layer stack, in order.
         initializer: Parameter initializer; defaults to the paper's
             Gaussian (He-scaled) initialization.
+        backend: Compute backend name or instance pinned onto every layer;
+            ``None`` lets layers follow the process default (which honours
+            the ``REPRO_NN_BACKEND`` environment variable).
     """
 
     def __init__(self, input_shape: Shape, layers: Sequence[Layer],
                  initializer: Optional[Initializer] = None,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 backend=None) -> None:
         if not layers:
             raise NetworkDefinitionError("a network needs at least one layer")
         self.input_shape = tuple(input_shape)
@@ -41,6 +45,19 @@ class Network:
         if initializer is None:
             initializer = gaussian_init(rng if rng is not None else np.random.default_rng(0))
         self._build(initializer)
+        if backend is not None:
+            self.set_backend(backend)
+
+    def set_backend(self, backend) -> None:
+        """Pin a compute backend (name or instance) on every layer;
+        ``None`` unpins, returning layers to the process default."""
+        for layer in self.layers:
+            layer.set_backend(backend)
+
+    @property
+    def backend_name(self) -> str:
+        """The backend the first layer would use right now."""
+        return self.layers[0].backend.name
 
     def _build(self, initializer: Initializer) -> None:
         shape = self.input_shape
@@ -129,17 +146,26 @@ class Network:
         return captured
 
     def backward(self, delta: np.ndarray, start: Optional[int] = None,
-                 stop: int = 0) -> np.ndarray:
+                 stop: int = 0,
+                 need_input_grad: bool = True) -> Optional[np.ndarray]:
         """Backpropagate from below layer ``start`` down to layer ``stop``.
 
         ``delta`` is d(loss)/d(output of layer start-1). Returns
         d(loss)/d(input of layer stop). Requires a preceding
-        ``forward(..., training=True)`` over the same range.
+        ``forward(..., training=True)`` over the same range. With
+        ``need_input_grad=False`` (and ``stop == 0``) the final layer may
+        skip computing d(loss)/d(input) and ``None`` is returned — the
+        parameter gradients are accumulated either way.
         """
         start = len(self.layers) if start is None else start
         if not 0 <= stop <= start <= len(self.layers):
             raise TrainingError(f"invalid backward range [{stop}, {start})")
-        for layer in reversed(self.layers[stop:start]):
+        chain = list(reversed(self.layers[stop:start]))
+        for i, layer in enumerate(chain):
+            last = i == len(chain) - 1
+            if (last and stop == 0 and not need_input_grad
+                    and layer.supports_skip_input_grad):
+                return layer.backward(delta, need_input_grad=False)
             delta = layer.backward(delta)
         return delta
 
@@ -148,8 +174,8 @@ class Network:
     def train_batch(self, x: np.ndarray, labels: np.ndarray, optimizer) -> float:
         """One SGD step on a mini-batch; returns the batch loss."""
         probs = self.forward(x, training=True)
-        loss, delta = self.cost_layer().loss_and_delta(probs, labels)
-        self.backward(delta)
+        loss, delta = self.cost_layer().batch_loss(probs, labels)
+        self.backward(delta, need_input_grad=False)
         optimizer.step(self)
         self.zero_grads()
         return loss

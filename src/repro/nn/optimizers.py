@@ -32,7 +32,26 @@ def _buffers_in(flat: Dict[str, np.ndarray]) -> Dict[Tuple[int, str], np.ndarray
 
 
 class Optimizer:
-    """Interface: apply accumulated gradients to a network's parameters."""
+    """Interface: apply accumulated gradients to a network's parameters.
+
+    Concrete steps run *in place*: parameter updates are decomposed into
+    the exact elementwise operations (same order, same dtypes) the original
+    expression-form updates performed, but writing into per-parameter
+    scratch buffers instead of fresh temporaries — bitwise-identical
+    results with zero steady-state allocation. Scratch never appears in
+    :meth:`state_dict`.
+    """
+
+    def __init__(self) -> None:
+        self._scratch: Dict[Tuple[Tuple[int, str], int], np.ndarray] = {}
+
+    def _work(self, key: Tuple[int, str], slot: int, shape: Tuple[int, ...],
+              dtype) -> np.ndarray:
+        buf = self._scratch.get((key, slot))
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.empty(shape, dtype=dtype)
+            self._scratch[(key, slot)] = buf
+        return buf
 
     def step(self, network) -> None:
         raise NotImplementedError
@@ -69,6 +88,7 @@ class Sgd(Optimizer):
     def __init__(self, learning_rate: float = 0.01, momentum: float = 0.9,
                  weight_decay: float = 0.0,
                  max_grad_norm: Optional[float] = 5.0) -> None:
+        super().__init__()
         if learning_rate <= 0:
             raise ConfigurationError("learning rate must be positive")
         if not 0.0 <= momentum < 1.0:
@@ -99,18 +119,31 @@ class Sgd(Optimizer):
     def step(self, network) -> None:
         clip = self._clip_scale(network)
         for key, param, grad in self._iter_params(network):
-            if clip != 1.0:
-                grad = grad * clip
             update = grad
+            if clip != 1.0:
+                # ``clip`` is an np.float64 scalar, so the original
+                # expression promoted the update chain to float64; scratch
+                # must follow the same promotion to stay bitwise-equal.
+                dt = np.result_type(grad.dtype, np.float64)
+                scaled = self._work(key, 0, grad.shape, dt)
+                np.multiply(grad, clip, out=scaled)
+                update = scaled
             if self.weight_decay and key[1] != "bias":
-                update = update + self.weight_decay * param
+                decay = self._work(key, 1, param.shape, param.dtype)
+                np.multiply(param, self.weight_decay, out=decay)
+                dt = np.result_type(update.dtype, decay.dtype)
+                summed = self._work(key, 0, update.shape, dt)
+                np.add(update, decay, out=summed)
+                update = summed
+            stepbuf = self._work(key, 2, update.shape, update.dtype)
+            np.multiply(update, self.learning_rate, out=stepbuf)
             if self.momentum:
                 velocity = self._velocity.setdefault(key, np.zeros_like(param))
                 velocity *= self.momentum
-                velocity -= self.learning_rate * update
+                velocity -= stepbuf
                 param += velocity
             else:
-                param -= self.learning_rate * update
+                param -= stepbuf
 
 
 class Adam(Optimizer):
@@ -118,6 +151,7 @@ class Adam(Optimizer):
 
     def __init__(self, learning_rate: float = 1e-3, beta1: float = 0.9,
                  beta2: float = 0.999, eps: float = 1e-8) -> None:
+        super().__init__()
         if learning_rate <= 0:
             raise ConfigurationError("learning rate must be positive")
         self.learning_rate = learning_rate
@@ -144,11 +178,22 @@ class Adam(Optimizer):
         for key, param, grad in self._iter_params(network):
             m = self._m.setdefault(key, np.zeros_like(param))
             v = self._v.setdefault(key, np.zeros_like(param))
+            t1 = self._work(key, 0, param.shape, param.dtype)
+            t2 = self._work(key, 1, param.shape, param.dtype)
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=t1)
+            m += t1
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            param -= self.learning_rate * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            np.multiply(grad, 1.0 - self.beta2, out=t1)
+            t1 *= grad
+            v += t1
+            np.divide(m, bias1, out=t1)
+            t1 *= self.learning_rate
+            np.divide(v, bias2, out=t2)
+            np.sqrt(t2, out=t2)
+            t2 += self.eps
+            t1 /= t2
+            param -= t1
 
 
 class DpSgd(Sgd):

@@ -81,6 +81,44 @@ class TestStreamingEncryption:
             assert record.index == i
 
 
+class TestBulkParity:
+    """encrypt_dataset's vectorised path vs the record-at-a-time oracle."""
+
+    def _record_at_a_time(self, dataset, key, source_id, cipher="hmac-ctr"):
+        return list(iter_encrypted_records(dataset, key, source_id,
+                                           cipher=cipher, bulk_chunk=1))
+
+    def test_bulk_matches_record_at_a_time(self, dataset, key):
+        bulk = encrypt_dataset(dataset, key, "p0")
+        fresh = SymmetricKey(key_id=key.key_id, material=key.material)
+        assert bulk.records == self._record_at_a_time(dataset, fresh, "p0")
+
+    def test_chunk_boundaries(self, dataset, key, monkeypatch):
+        """Identical bytes when records straddle bulk-chunk boundaries."""
+        import repro.data.encryption as encryption
+
+        monkeypatch.setattr(encryption, "_BULK_CHUNK", 4)
+        chunked = encrypt_dataset(dataset, key, "p0")
+        fresh = SymmetricKey(key_id=key.key_id, material=key.material)
+        assert chunked.records == self._record_at_a_time(dataset, fresh, "p0")
+
+    def test_bulk_chunk_streaming_matches(self, dataset, key):
+        chunked = list(iter_encrypted_records(dataset, key, "p0",
+                                              bulk_chunk=2))
+        fresh = SymmetricKey(key_id=key.key_id, material=key.material)
+        assert chunked == self._record_at_a_time(dataset, fresh, "p0")
+
+    def test_aes_gcm_ignores_bulk_chunk(self, dataset, key):
+        """AES-GCM has no seal_many; the per-record path must kick in."""
+        small = dataset.subset([0, 1, 2])
+        chunked = list(iter_encrypted_records(small, key, "p0",
+                                              cipher="aes-128-gcm",
+                                              bulk_chunk=2))
+        fresh = SymmetricKey(key_id=key.key_id, material=key.material)
+        assert chunked == self._record_at_a_time(small, fresh, "p0",
+                                                 cipher="aes-128-gcm")
+
+
 class TestTamperDetection:
     def test_payload_tamper(self, dataset, key):
         encrypted = encrypt_dataset(dataset, key, "p0")

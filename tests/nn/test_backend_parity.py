@@ -1,0 +1,396 @@
+"""Reference-vs-optimized compute backend parity.
+
+The ``reference`` backend is the original numpy implementation extracted
+verbatim; ``optimized`` must agree with it — bitwise on the integer/argmax
+paths (max-pool bookkeeping, optimizer updates, checkpoint resume), and
+within float tolerance on the float compute paths (the reference backward
+pass promotes to float64 through the leaky-ReLU gradient, the optimized
+one stays in float32).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.backends import (
+    ENV_VAR,
+    OptimizedBackend,
+    available_backends,
+    default_backend,
+    get_backend,
+    maxpool_backward_loop,
+    maxpool_scatter,
+    set_default_backend,
+)
+from repro.nn.gradcheck import check_gradients
+from repro.nn.layers import (
+    AvgPoolLayer,
+    ConvLayer,
+    CostLayer,
+    DenseLayer,
+    FlattenLayer,
+    MaxPoolLayer,
+    SoftmaxLayer,
+)
+from repro.nn.model_io import model_from_bytes, model_to_bytes
+from repro.nn.network import Network
+from repro.nn.optimizers import Adam, Sgd
+from repro.nn.zoo import tiny_testnet
+
+BACKENDS = ["reference", "optimized"]
+
+# Seed with no sampled coordinate on a leaky kink or pool tie (see
+# test_gradcheck.py).
+_CLEAN_SEED = 3
+
+
+def _data(shape=(8, 8, 3), n=4, classes=4, seed=_CLEAN_SEED):
+    gen = np.random.default_rng(seed)
+    x = gen.normal(size=(n,) + shape)
+    y = gen.integers(0, classes, size=n)
+    return x, y
+
+
+def _nets():
+    """One architecture per layer type/configuration worth checking."""
+    return {
+        "tiny_testnet": lambda: tiny_testnet(np.random.default_rng(100)),
+        "conv_stride_2": lambda: Network((8, 8, 3), [
+            ConvLayer(6, 3, 2, activation="relu"),
+            ConvLayer(4, 1, 1, activation="linear"),
+            AvgPoolLayer(),
+            SoftmaxLayer(),
+            CostLayer(),
+        ], rng=np.random.default_rng(7)),
+        "dense_head": lambda: Network((6, 6, 3), [
+            ConvLayer(4, 3, 1, activation="tanh"),
+            MaxPoolLayer(2, 2),
+            FlattenLayer(),
+            DenseLayer(8, activation="sigmoid"),
+            DenseLayer(3, activation="linear"),
+            SoftmaxLayer(),
+            CostLayer(),
+        ], rng=np.random.default_rng(2)),
+        "valid_padding": lambda: Network((7, 7, 2), [
+            ConvLayer(4, 3, 1, activation="linear", pad="valid"),
+            AvgPoolLayer(),
+            SoftmaxLayer(),
+            CostLayer(),
+        ], rng=np.random.default_rng(5)),
+    }
+
+
+def _net_data(name):
+    if name == "dense_head":
+        return _data(shape=(6, 6, 3), classes=3)
+    if name == "valid_padding":
+        gen = np.random.default_rng(_CLEAN_SEED)
+        return gen.normal(size=(3, 7, 7, 2)), gen.integers(0, 4, size=3)
+    return _data()
+
+
+class TestGradcheck:
+    """Every layer type backpropagates correctly under BOTH backends."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("name", list(_nets()))
+    def test_gradients(self, name, backend):
+        net = _nets()[name]()
+        net.set_backend(backend)
+        x, y = _net_data(name)
+        errors = check_gradients(net, x, y, samples_per_param=8,
+                                 rng=np.random.default_rng(0))
+        assert max(errors.values()) < 1e-5, (backend, errors)
+
+
+class TestForwardParity:
+    @pytest.mark.parametrize("name", list(_nets()))
+    def test_inference_outputs_match(self, name):
+        ref = _nets()[name]()
+        opt = _nets()[name]()
+        opt.set_weights(ref.get_weights())
+        ref.set_backend("reference")
+        opt.set_backend("optimized")
+        x, _ = _net_data(name)
+        x = x.astype(np.float32)
+        np.testing.assert_allclose(opt.forward(x), ref.forward(x),
+                                   rtol=1e-5, atol=1e-6)
+
+
+class TestMaxPoolParity:
+    """Satellite: the argmax bookkeeping is bitwise-identical (the
+    scatter-backward regression oracle)."""
+
+    @pytest.mark.parametrize("size,stride", [(2, 2), (3, 3), (3, 2), (2, 3)])
+    def test_forward_and_argmax_bitwise(self, size, stride):
+        x = np.random.default_rng(9).normal(
+            size=(3, 9, 9, 4)).astype(np.float32)
+        outs, argmaxes = [], []
+        for backend in BACKENDS:
+            layer = MaxPoolLayer(size, stride)
+            layer.set_backend(backend)
+            outs.append(layer.forward(x, training=True))
+            argmaxes.append(layer._cache["argmax"].copy())
+        np.testing.assert_array_equal(outs[0], outs[1])
+        np.testing.assert_array_equal(argmaxes[0], argmaxes[1])
+
+    @pytest.mark.parametrize("size,stride", [(2, 2), (3, 3), (2, 3), (3, 2)])
+    def test_backward_bitwise(self, size, stride):
+        x = np.random.default_rng(10).normal(
+            size=(2, 10, 10, 3)).astype(np.float32)
+        deltas = []
+        for backend in BACKENDS:
+            layer = MaxPoolLayer(size, stride)
+            layer.set_backend(backend)
+            out = layer.forward(x, training=True)
+            delta = np.random.default_rng(11).normal(
+                size=out.shape).astype(np.float32)
+            deltas.append(layer.backward(delta))
+        np.testing.assert_array_equal(deltas[0], deltas[1])
+
+    @pytest.mark.parametrize("size,stride", [(2, 2), (3, 3), (2, 3), (3, 2)])
+    def test_scatter_matches_loop_oracle(self, size, stride):
+        """maxpool_scatter (vectorised k*k scatter) vs the legacy loop."""
+        gen = np.random.default_rng(12)
+        oh = ow = (11 - size) // stride + 1
+        input_shape = (4, 11, 11, 5)
+        delta = gen.normal(size=(4, oh, ow, 5)).astype(np.float32)
+        argmax = gen.integers(0, size * size, size=delta.shape)
+        fast = maxpool_scatter(delta, argmax, input_shape, size, stride)
+        slow = maxpool_backward_loop(delta, argmax, input_shape, size, stride)
+        np.testing.assert_array_equal(fast, slow)
+
+
+class TestGemmThreading:
+    def test_threaded_gemm_bitwise_deterministic(self):
+        gen = np.random.default_rng(0)
+        a = gen.normal(size=(300, 40)).astype(np.float32)
+        b = gen.normal(size=(40, 256)).astype(np.float32)
+        threaded = OptimizedBackend(threads=2).gemm(a, b)
+        np.testing.assert_array_equal(threaded, a @ b)
+        np.testing.assert_array_equal(threaded,
+                                      OptimizedBackend(threads=2).gemm(a, b))
+
+    def test_small_problems_skip_the_pool(self):
+        gen = np.random.default_rng(1)
+        a = gen.normal(size=(4, 8)).astype(np.float32)
+        b = gen.normal(size=(8, 4)).astype(np.float32)
+        np.testing.assert_array_equal(OptimizedBackend(threads=4).gemm(a, b),
+                                      a @ b)
+
+
+def _train(net, x, y, optimizer, epochs=3, batch_size=16, shuffle_seed=42):
+    losses = []
+    for epoch in range(epochs):
+        order = np.random.default_rng(shuffle_seed + epoch).permutation(len(x))
+        for start in range(0, len(x), batch_size):
+            idx = order[start:start + batch_size]
+            losses.append(net.train_batch(x[idx], y[idx], optimizer))
+    return losses
+
+
+class TestEndToEndTraining:
+    """3-epoch loss trajectories agree within float tolerance (the
+    reference backward promotes to float64; optimized stays float32)."""
+
+    def test_loss_parity(self):
+        gen = np.random.default_rng(21)
+        x = gen.normal(size=(64, 8, 8, 3)).astype(np.float32)
+        y = gen.integers(0, 4, size=64)
+        trajectories = []
+        for backend in BACKENDS:
+            net = tiny_testnet(np.random.default_rng(5))
+            net.set_backend(backend)
+            trajectories.append(
+                _train(net, x, y, Sgd(0.05, momentum=0.9)))
+        np.testing.assert_allclose(trajectories[0], trajectories[1],
+                                   rtol=1e-4, atol=1e-5)
+
+
+class TestCheckpointResume:
+    """Interrupt-and-resume under ``optimized`` is bitwise-identical to
+    the uninterrupted run (pooled scratch never leaks into state)."""
+
+    @pytest.mark.parametrize("make_opt", [
+        lambda: Sgd(0.05, momentum=0.9, weight_decay=5e-4),
+        lambda: Adam(1e-3),
+    ], ids=["sgd", "adam"])
+    def test_bitwise_resume(self, make_opt):
+        gen = np.random.default_rng(33)
+        x = gen.normal(size=(64, 8, 8, 3)).astype(np.float32)
+        y = gen.integers(0, 4, size=64)
+        batches = [(x[i:i + 16], y[i:i + 16]) for i in range(0, 64, 16)]
+
+        straight = tiny_testnet(np.random.default_rng(8))
+        straight.set_backend("optimized")
+        opt = make_opt()
+        for xb, yb in batches:
+            straight.train_batch(xb, yb, opt)
+
+        interrupted = tiny_testnet(np.random.default_rng(8))
+        interrupted.set_backend("optimized")
+        opt1 = make_opt()
+        for xb, yb in batches[:2]:
+            interrupted.train_batch(xb, yb, opt1)
+        blob = model_to_bytes(interrupted)
+        opt_state = opt1.state_dict()
+
+        resumed = model_from_bytes(blob)
+        resumed.set_backend("optimized")
+        opt2 = make_opt()
+        opt2.load_state_dict(opt_state)
+        for xb, yb in batches[2:]:
+            resumed.train_batch(xb, yb, opt2)
+
+        for got, expected in zip(resumed.get_weights(),
+                                 straight.get_weights()):
+            for name in expected:
+                np.testing.assert_array_equal(got[name], expected[name],
+                                              err_msg=name)
+
+
+class TestOptimizerBitwise:
+    """The in-place optimizer updates reproduce the original
+    expression-form updates bit for bit."""
+
+    @staticmethod
+    def _naive_sgd_step(optimizer, network):
+        clip = optimizer._clip_scale(network)
+        for key, param, grad in optimizer._iter_params(network):
+            update = grad
+            if clip != 1.0:
+                update = grad * clip
+            if optimizer.weight_decay and key[1] != "bias":
+                update = update + param * optimizer.weight_decay
+            step = update * optimizer.learning_rate
+            if optimizer.momentum:
+                velocity = optimizer._velocity.setdefault(
+                    key, np.zeros_like(param))
+                velocity *= optimizer.momentum
+                velocity -= step
+                param += velocity
+            else:
+                param -= step
+
+    @staticmethod
+    def _naive_adam_step(optimizer, network):
+        optimizer._t += 1
+        bias1 = 1.0 - optimizer.beta1 ** optimizer._t
+        bias2 = 1.0 - optimizer.beta2 ** optimizer._t
+        for key, param, grad in optimizer._iter_params(network):
+            m = optimizer._m.setdefault(key, np.zeros_like(param))
+            v = optimizer._v.setdefault(key, np.zeros_like(param))
+            m *= optimizer.beta1
+            m += (1.0 - optimizer.beta1) * grad
+            v *= optimizer.beta2
+            v += (1.0 - optimizer.beta2) * grad * grad
+            param -= optimizer.learning_rate * (m / bias1) / (
+                np.sqrt(v / bias2) + optimizer.eps)
+
+    def _trained_pair(self, make_opt, naive_step, steps=3, grad_scale=1.0):
+        nets, opts = [], []
+        for _ in range(2):
+            net = tiny_testnet(np.random.default_rng(4))
+            net.set_backend("optimized")
+            nets.append(net)
+            opts.append(make_opt())
+        gen = np.random.default_rng(44)
+        for _ in range(steps):
+            grads = [
+                (gen.normal(size=g.shape) * grad_scale).astype(g.dtype)
+                for layer in nets[0].layers
+                for g in layer.grads().values()
+            ]
+            for net in nets:
+                i = 0
+                for layer in net.layers:
+                    for name, grad in layer.grads().items():
+                        grad[...] = grads[i]
+                        i += 1
+            opts[0].step(nets[0])
+            naive_step(opts[1], nets[1])
+        return nets
+
+    @pytest.mark.parametrize("wd,clip,grad_scale", [
+        (0.0, None, 1.0),
+        (0.0, 5.0, 50.0),       # forces the clip path
+        (5e-4, 5.0, 50.0),
+        (5e-4, None, 1.0),
+    ])
+    def test_sgd(self, wd, clip, grad_scale):
+        nets = self._trained_pair(
+            lambda: Sgd(0.05, momentum=0.9, weight_decay=wd,
+                        max_grad_norm=clip),
+            self._naive_sgd_step, grad_scale=grad_scale)
+        for got, expected in zip(nets[0].get_weights(),
+                                 nets[1].get_weights()):
+            for name in expected:
+                np.testing.assert_array_equal(got[name], expected[name])
+
+    def test_adam(self):
+        nets = self._trained_pair(lambda: Adam(1e-3), self._naive_adam_step)
+        for got, expected in zip(nets[0].get_weights(),
+                                 nets[1].get_weights()):
+            for name in expected:
+                np.testing.assert_array_equal(got[name], expected[name])
+
+
+class TestBackendSelection:
+    def test_registry(self):
+        assert available_backends() == ("reference", "optimized")
+        assert get_backend("optimized").name == "optimized"
+        assert get_backend("optimized") is get_backend("optimized")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_backend("cuda")
+        with pytest.raises(ConfigurationError):
+            set_default_backend("cuda")
+        with pytest.raises(ConfigurationError):
+            tiny_testnet(np.random.default_rng(0)).set_backend("cuda")
+
+    def test_env_var_selects_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "optimized")
+        assert default_backend().name == "optimized"
+        net = tiny_testnet(np.random.default_rng(0))
+        assert net.backend_name == "optimized"
+        monkeypatch.delenv(ENV_VAR)
+        assert net.backend_name == "reference"
+
+    def test_set_default_backend_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "reference")
+        set_default_backend("optimized")
+        try:
+            assert default_backend().name == "optimized"
+        finally:
+            set_default_backend(None)
+        assert default_backend().name == "reference"
+
+    def test_explicit_network_backend_wins(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "optimized")
+        net = Network((8, 8, 3), [
+            ConvLayer(4, 3, 1), SoftmaxLayer(), CostLayer(),
+        ], rng=np.random.default_rng(0), backend="reference")
+        assert net.backend_name == "reference"
+
+
+class TestDistributedReplicaConsistency:
+    """The default-backend switch reaches distributed workers without any
+    call-site changes, and replicas stay bitwise in lockstep."""
+
+    def test_replicas_identical_under_optimized(self, tmp_path):
+        from tests.distributed.worlds import (assert_same_weights,
+                                              make_coordinator)
+
+        set_default_backend("optimized")
+        try:
+            coordinator, _ = make_coordinator(tmp_path, num_workers=2,
+                                              num_train=32)
+            coordinator.run(1)
+            for worker in coordinator.workers:
+                assert worker.partitioned.network.backend_name == "optimized"
+            reference = coordinator.workers[0].replica_weights()
+            assert_same_weights(coordinator.workers[1].replica_weights(),
+                                reference)
+        finally:
+            set_default_backend(None)
