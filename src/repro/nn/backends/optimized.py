@@ -22,11 +22,13 @@ differently:
   convolutions keep the scatter fallback on pooled buffers.
 
 * **Thread-pooled batch GEMM.** When ``REPRO_NN_THREADS`` grants more than
-  one worker, the big row-dimension (= minibatch-major) GEMMs are split
-  into deterministic contiguous row chunks dispatched to a shared thread
-  pool, each writing a disjoint slice of the output. The partition is a
-  pure function of the shape and thread count, so runs are reproducible
-  for a fixed configuration (checkpoint-resume and distributed
+  one worker (threading is opt-in; the default is a single thread), the
+  big row-dimension (= minibatch-major) GEMMs are split into deterministic
+  contiguous row chunks dispatched to a shared thread pool, each writing a
+  disjoint slice of the output. The partition is a pure function of the
+  shape and thread count, so the single-thread default is bit-identical
+  across hosts, and threaded runs are reproducible for a fixed
+  ``REPRO_NN_THREADS`` (checkpoint-resume and distributed
   replica-consistency both rely on this).
 
 * **Skippable input gradients.** ``train_batch`` does not need
@@ -64,13 +66,17 @@ _THREAD_MIN_OUT = 1 << 16
 
 
 def _env_threads() -> int:
+    # Threading is strictly opt-in: the row-chunk partition is a function of
+    # the thread count, so a cpu_count() default would silently change float
+    # summation shapes between hosts with different core counts. One thread
+    # keeps results host-independent unless the user explicitly asks.
     raw = os.environ.get("REPRO_NN_THREADS", "").strip()
     if raw:
         try:
             return max(1, int(raw))
         except ValueError:
             return 1
-    return max(1, os.cpu_count() or 1)
+    return 1
 
 
 class OptimizedBackend(ComputeBackend):
@@ -362,11 +368,13 @@ class OptimizedBackend(ComputeBackend):
             np.maximum(out, view, out=out)
         if training:
             # First-occurrence argmax, bitwise-equal to flat argmax over the
-            # (kh, kw) window: descending writes leave the smallest matching
-            # flat index in place.
+            # (kh, kw) window: descending writes down to and including index
+            # 0 leave the smallest matching flat index in place (the write at
+            # 0 reclaims ties between index 0 and later positions; the
+            # fill(0) only covers the impossible no-match case).
             argmax = layer._pool.get("maxpool.argmax", out.shape, np.intp)
             argmax.fill(0)
-            for idx in range(k * k - 1, 0, -1):
+            for idx in range(k * k - 1, -1, -1):
                 np.copyto(argmax, idx, where=views[idx] == out)
             layer._cache["argmax"] = argmax
             layer._cache["input_shape"] = x.shape

@@ -40,7 +40,9 @@ from repro.nn.zoo import tiny_testnet
 BACKENDS = ["reference", "optimized"]
 
 # Seed with no sampled coordinate on a leaky kink or pool tie (see
-# test_gradcheck.py).
+# test_gradcheck.py) — finite differences are only valid off those
+# non-smooth points. The tie cases the clean seed avoids are covered
+# explicitly and bitwise in TestMaxPoolParity.
 _CLEAN_SEED = 3
 
 
@@ -134,6 +136,67 @@ class TestMaxPoolParity:
         np.testing.assert_array_equal(outs[0], outs[1])
         np.testing.assert_array_equal(argmaxes[0], argmaxes[1])
 
+    @pytest.mark.parametrize("size,stride", [(2, 2), (3, 3), (3, 2), (2, 3)])
+    @pytest.mark.parametrize("fill", [0.0, 1.5], ids=["zeros", "constant"])
+    def test_constant_window_ties_argmax_to_zero(self, size, stride, fill):
+        """Regression: an all-tied window (all-zero after ReLU, or any
+        constant region) must resolve to first-occurrence flat index 0 in
+        both backends — the optimized descending-write loop used to skip
+        index 0 and report 1."""
+        x = np.full((2, 9, 9, 4), fill, dtype=np.float32)
+        argmaxes = []
+        for backend in BACKENDS:
+            layer = MaxPoolLayer(size, stride)
+            layer.set_backend(backend)
+            layer.forward(x, training=True)
+            argmaxes.append(layer._cache["argmax"].copy())
+        np.testing.assert_array_equal(argmaxes[0], 0)
+        np.testing.assert_array_equal(argmaxes[0], argmaxes[1])
+
+    def test_partial_tie_with_index_zero_bitwise(self):
+        """A max shared by flat index 0 and a later window position must
+        pick 0, and gradients must route to the same input cell under
+        both backends."""
+        # 2x2/stride-2 windows tiled as [[5, 1], [1, 5]]: the max ties
+        # between flat indices 0 and 3.
+        x = np.ones((1, 6, 6, 2), dtype=np.float32)
+        x[:, ::2, ::2, :] = 5.0
+        x[:, 1::2, 1::2, :] = 5.0
+        argmaxes, deltas = [], []
+        for backend in BACKENDS:
+            layer = MaxPoolLayer(2, 2)
+            layer.set_backend(backend)
+            out = layer.forward(x, training=True)
+            argmaxes.append(layer._cache["argmax"].copy())
+            delta = np.random.default_rng(13).normal(
+                size=out.shape).astype(np.float32)
+            deltas.append(layer.backward(delta))
+        np.testing.assert_array_equal(argmaxes[0], 0)
+        np.testing.assert_array_equal(argmaxes[0], argmaxes[1])
+        np.testing.assert_array_equal(deltas[0], deltas[1])
+
+    @pytest.mark.parametrize("size,stride", [(2, 2), (3, 3), (2, 3), (3, 2)])
+    def test_relu_sparse_ties_bitwise(self, size, stride):
+        """Post-ReLU-style inputs (mostly zero, duplicated positives) are
+        exactly the tie-rich regime the clean-seed suite avoids."""
+        gen = np.random.default_rng(14)
+        x = gen.normal(size=(3, 9, 9, 4)).astype(np.float32)
+        np.maximum(x, 0.0, out=x)                  # many all-zero windows
+        x[x > 0] = np.round(x[x > 0], 1)           # duplicated maxima
+        outs, argmaxes, deltas = [], [], []
+        for backend in BACKENDS:
+            layer = MaxPoolLayer(size, stride)
+            layer.set_backend(backend)
+            out = layer.forward(x, training=True)
+            outs.append(out)
+            argmaxes.append(layer._cache["argmax"].copy())
+            delta = np.random.default_rng(15).normal(
+                size=out.shape).astype(np.float32)
+            deltas.append(layer.backward(delta))
+        np.testing.assert_array_equal(outs[0], outs[1])
+        np.testing.assert_array_equal(argmaxes[0], argmaxes[1])
+        np.testing.assert_array_equal(deltas[0], deltas[1])
+
     @pytest.mark.parametrize("size,stride", [(2, 2), (3, 3), (2, 3), (3, 2)])
     def test_backward_bitwise(self, size, stride):
         x = np.random.default_rng(10).normal(
@@ -177,6 +240,17 @@ class TestGemmThreading:
         b = gen.normal(size=(8, 4)).astype(np.float32)
         np.testing.assert_array_equal(OptimizedBackend(threads=4).gemm(a, b),
                                       a @ b)
+
+    def test_threading_is_opt_in(self, monkeypatch):
+        """Without REPRO_NN_THREADS the backend must run single-threaded:
+        the row partition depends on the thread count, so a cpu-count
+        default would make results vary by host."""
+        monkeypatch.delenv("REPRO_NN_THREADS", raising=False)
+        assert OptimizedBackend().threads == 1
+        monkeypatch.setenv("REPRO_NN_THREADS", "3")
+        assert OptimizedBackend().threads == 3
+        monkeypatch.setenv("REPRO_NN_THREADS", "bogus")
+        assert OptimizedBackend().threads == 1
 
 
 def _train(net, x, y, optimizer, epochs=3, batch_size=16, shuffle_seed=42):
