@@ -19,6 +19,15 @@ Run ``python -m repro <command>``:
 * ``checkpoints`` — inspect the sealed checkpoints of a training run.
 * ``metrics`` — run a small training scenario and export the unified
   metrics registry (Prometheus text or JSON).
+* ``govern`` — the end-to-end accountability drill: ledger ingest →
+  governed training → fail-closed promotion → flagged-query contributor
+  attribution, all chained into one governance timeline.
+  ``--tamper ledger|checkpoint|store|log`` flips one artifact byte
+  *after* promotion; the deployment must refuse to serve (exit 2).
+* ``promote`` — re-verify a ``govern`` deployment's lineage from disk
+  and (re-)issue its signed promotion record.
+* ``attribute`` — walk one flagged prediction back through the promoted
+  serving plane to the contributors whose ledger records back it.
 
 ``train`` additionally understands ``--checkpoint-dir``/``--resume``/
 ``--checkpoint-every``/``--inject`` for fault-tolerant training: sealed
@@ -209,6 +218,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     checkpoints.add_argument("--path", required=True,
                              help="checkpoint directory")
+
+    def _governance_args(command):
+        # The training-agreement knobs: `promote`/`attribute` rebuild the
+        # deployment's config digest (and so its run key) from these, so
+        # they must match the `govern` run that wrote the artifacts.
+        command.add_argument("--epochs", type=int, default=2)
+        command.add_argument("--width-scale", type=float, default=0.1)
+
+    govern = sub.add_parser(
+        "govern",
+        help="end-to-end accountability drill: ingest, governed training, "
+             "promotion, attribution",
+    )
+    govern.add_argument("--path", default=None,
+                        help="deployment root (default: a temp directory)")
+    _governance_args(govern)
+    govern.add_argument("--train-size", type=int, default=40,
+                        help="records per contributor")
+    govern.add_argument("--contributors", type=int, default=3)
+    govern.add_argument("--tamper", default=None,
+                        choices=["ledger", "checkpoint", "store", "log"],
+                        help="flip one byte of this artifact after "
+                             "promotion; the deployment must refuse to "
+                             "serve (exit code 2)")
+
+    promote = sub.add_parser(
+        "promote",
+        help="re-verify a deployment's lineage and sign its promotion",
+    )
+    promote.add_argument("--path", required=True,
+                         help="deployment root written by `repro govern`")
+    _governance_args(promote)
+
+    attribute = sub.add_parser(
+        "attribute",
+        help="attribute one flagged prediction to its contributors",
+    )
+    attribute.add_argument("--path", required=True,
+                           help="deployment root written by `repro govern`")
+    _governance_args(attribute)
+    attribute.add_argument("--record-index", type=int, default=None,
+                           help="store record to flag a prediction near "
+                                "(default: seed-chosen)")
+    attribute.add_argument("--k", type=int, default=9)
+    attribute.add_argument("--output", default=None, metavar="PATH",
+                           help="write the canonical-JSON report here")
     return parser
 
 
@@ -236,6 +291,13 @@ def _cmd_info(args) -> int:
           "contributor ingest")
     print("  repro ingest-status      inspect/verify an on-disk "
           "contribution ledger")
+    print("\nGovernance plane (repro.governance):")
+    print("  repro govern             end-to-end accountability drill "
+          "(ingest, train, promote, attribute)")
+    print("  repro promote            re-verify a run's lineage, sign its "
+          "promotion record")
+    print("  repro attribute          walk a flagged prediction back to "
+          "its contributors")
     print("\nResilience runtime (repro.resilience):")
     print("  repro train --checkpoint-dir DIR "
           "sealed checkpoint/resume + supervised retries")
@@ -849,6 +911,320 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _governance_system(args):
+    """The deployment `govern`/`promote`/`attribute` agree on."""
+    from repro.core.caltrain import CalTrain, CalTrainConfig
+
+    return CalTrain(CalTrainConfig(
+        seed=args.seed, architecture="cifar10-10layer",
+        width_scale=args.width_scale, epochs=args.epochs,
+        partition=2, augment=False,
+    ))
+
+
+def _governance_ingest(system, rng, root, contributors, records_per):
+    """Upload every contributor through the gateway into a fresh ledger.
+
+    One record of the first contributor is tampered in transit, so the
+    quarantine lane is populated and attribution has a refused record to
+    steer clear of. Returns the committed ledger.
+    """
+    import dataclasses
+
+    from repro.data.datasets import synthetic_cifar
+    from repro.data.encryption import iter_encrypted_records
+    from repro.federation.participant import TrainingParticipant
+    from repro.ingest import (ContributionLedger, GatewayConfig,
+                              IngestGateway, ValidationConfig,
+                              ValidationPool, chunk_stream)
+
+    ledger = ContributionLedger.create(root / "ledger")
+    validator = ValidationPool(
+        system.training_enclave,
+        ValidationConfig(num_classes=10, input_shape=(28, 28, 3)),
+        ledger=ledger,
+    )
+    gateway = IngestGateway(
+        ledger, validator, spool_dir=root / "spool",
+        config=GatewayConfig(chunk_records=32),
+    )
+    for i in range(contributors):
+        data, _ = synthetic_cifar(rng.child(f"data-{i}"),
+                                  num_train=records_per, num_test=1)
+        participant = TrainingParticipant(f"c{i}", data, rng.child(f"c{i}"))
+        system.register_participant(participant)
+        records = list(iter_encrypted_records(
+            participant.dataset, participant.key,
+            participant.participant_id,
+        ))
+        if i == 0:
+            victim = records[0]
+            records[0] = dataclasses.replace(
+                victim,
+                sealed=bytes([victim.sealed[0] ^ 0xFF]) + victim.sealed[1:],
+            )
+        session = gateway.open_session(participant.participant_id)
+        for chunk in chunk_stream(iter(records), 32):
+            session.send_chunk(chunk)
+        receipt = session.complete()
+        print(f"  {participant.participant_id}: committed "
+              f"{receipt.committed}, quarantined {receipt.quarantined}")
+    return ledger
+
+
+def _flip_byte(path, offset) -> None:
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+def _governance_tamper(root, target) -> None:
+    """The drill: flip ONE byte of one promoted artifact."""
+    if target == "ledger":
+        victim = sorted(root.glob("ledger/segment-*.bin"))[0]
+        offset = victim.stat().st_size // 2
+    elif target == "checkpoint":
+        newest = sorted(root.glob("checkpoints/ckpt-*"))[-1]
+        victim = newest / "state.npz"
+        offset = victim.stat().st_size // 2
+    elif target == "store":
+        # Offset past the .npy header, into the fingerprint matrix.
+        victim = sorted(root.glob("store/segment-*.npy"))[0]
+        offset = victim.stat().st_size // 2
+    else:  # log
+        victim = root / "governance" / "events.jsonl"
+        offset = 50  # mid first entry: corruption, not a torn tail
+    _flip_byte(victim, offset)
+    print(f"\nTAMPER DRILL: flipped byte {offset} of "
+          f"{victim.relative_to(root)}")
+
+
+def _flagged_query(store, generator, record_index=None):
+    """Synthesize a flagged prediction near a stored fingerprint."""
+    index = (record_index if record_index is not None
+             else int(generator.integers(0, len(store))))
+    record = store.record(index)
+    fingerprint = record.fingerprint + generator.standard_normal(
+        record.fingerprint.shape
+    ).astype(np.float32) * 0.05
+    return index, fingerprint, record.label
+
+
+def _print_attribution(report) -> None:
+    print(f"attribution report {report.report_digest[:16]}… "
+          f"(governance seq {report.governance_entry['seq']})")
+    print(f"  query digest  {report.query_digest[:16]}…  label {report.label}")
+    for entry in report.contributors:
+        mark = " <== implicated" if entry["contributor"] in report.implicated \
+            else ""
+        print(f"  {entry['contributor']}: {entry['hits']} of "
+              f"{len(report.hits)} evidence hits "
+              f"({entry['share']:.0%}){mark}")
+    segments = sorted({h["ledger"]["segment"] for h in report.hits})
+    print(f"  ledger evidence: {len(report.hits)} hits across "
+          f"segments {', '.join(segments)}")
+    print(f"  governance events referenced: "
+          f"{len(report.governance_events)}")
+
+
+def _cmd_govern(args) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from repro.data.datasets import synthetic_cifar
+    from repro.errors import GovernanceLogError, PromotionError
+    from repro.governance import Attributor, GovernanceLog, PromotionGate
+    from repro.serving import (EngineConfig, LinkageStore, ServingEngine,
+                               ShardedAnnIndex)
+    from repro.utils.rng import RngStream
+
+    root = Path(args.path or tempfile.mkdtemp(prefix="caltrain-governed-"))
+    rng = RngStream(args.seed, name="cli-govern")
+    system = _governance_system(args)
+    print(f"training enclave MRENCLAVE: {system.expected_measurement.hex()}")
+    print(f"config digest: {system.config_digest.hex()[:16]}…")
+
+    print(f"\ningest ({args.contributors} contributors via the gateway):")
+    ledger = _governance_ingest(system, rng, root, args.contributors,
+                                args.train_size)
+
+    log = GovernanceLog.create(root / "governance")
+    system.bind_governance(log)
+    staged = system.intake_ledger(ledger)
+    print(f"governed intake: {staged} committed ledger records staged "
+          f"(ledger {ledger.manifest_digest().hex()[:16]}…)")
+
+    _, test = synthetic_cifar(rng.child("test"), num_train=1, num_test=40)
+    reports = system.train(test_x=test.x, test_y=test.y,
+                           checkpoint_dir=root / "checkpoints")
+    print(f"trained {len(reports)} epochs under run key "
+          f"{system.run_key[:16]}… (final loss "
+          f"{reports[-1].mean_loss:.4f})")
+
+    database = system.fingerprint_stage()
+    store = LinkageStore.from_database(root / "store", database)
+    print(f"linkage store: {len(store)} fingerprints "
+          f"({store.manifest_digest().hex()[:16]}…)")
+
+    gate = PromotionGate(
+        system.training_enclave, log, ledger=ledger,
+        checkpoints=system.checkpoint_manager, store=store,
+        telemetry=system.governance_telemetry,
+    )
+    record = gate.promote(system.run_key, config_digest=system.config_digest)
+    (root / "promotion.json").write_bytes(record.to_json())
+    print(f"PROMOTED: record signed under the enclave identity "
+          f"({record.signature[:16]}…)")
+
+    if args.tamper:
+        _governance_tamper(root, args.tamper)
+
+    index = ShardedAnnIndex(store, shard_threshold=1024, seed=args.seed)
+    engine = ServingEngine(index.build(), EngineConfig(workers=2),
+                           promotion=record,
+                           promotion_verifier=gate.serving_verifier())
+    try:
+        if args.tamper == "log":
+            # A reopening deployment re-verifies the whole timeline.
+            log.close()
+            GovernanceLog.open(root / "governance")
+        engine.start()
+    except (GovernanceLogError, PromotionError) as exc:
+        print(f"REFUSED (fail-closed): {type(exc).__name__}: {exc}")
+        return 2 if args.tamper else 1
+    if args.tamper:
+        print("tamper went UNDETECTED — the gate failed open")
+        return 1
+
+    try:
+        attributor = Attributor(
+            engine, store, ledger, log, gate=gate, promotion=record,
+            telemetry=system.governance_telemetry,
+        )
+        flagged, fingerprint, label = _flagged_query(
+            store, rng.child("flagged").generator
+        )
+        print(f"\nflagged prediction near store record {flagged}:")
+        _print_attribution(attributor.attribute(fingerprint, label))
+    finally:
+        engine.stop()
+
+    log.verify()
+    print(f"\ngovernance timeline: {len(log)} events, chain VERIFIED "
+          f"(head {log.head.hex()[:16]}…)")
+    print(system.governance_telemetry.render())
+    print(f"artifacts kept at {root}")
+    return 0
+
+
+def _cmd_promote(args) -> int:
+    from pathlib import Path
+
+    from repro.errors import (GovernanceLogError, LedgerError,
+                              PromotionError, StoreError)
+    from repro.governance import GovernanceLog, PromotionGate
+    from repro.ingest import ContributionLedger
+    from repro.resilience import CheckpointManager
+    from repro.serving import LinkageStore
+
+    root = Path(args.path)
+    system = _governance_system(args)
+    try:
+        ledger = ContributionLedger.open(root / "ledger")
+        log = GovernanceLog.open(root / "governance")
+        store = LinkageStore.open(root / "store")
+    except (LedgerError, GovernanceLogError, StoreError) as exc:
+        print(f"promotion REFUSED: {type(exc).__name__}: {exc}")
+        return 1
+    system.intake_ledger(ledger)
+    run_key = system.compute_run_key()
+    print(f"run key: {run_key}")
+    gate = PromotionGate(
+        system.training_enclave, log, ledger=ledger,
+        checkpoints=CheckpointManager(root / "checkpoints",
+                                      config_digest=system.config_digest),
+        store=store,
+    )
+    try:
+        record = gate.promote(run_key, config_digest=system.config_digest)
+    except PromotionError as exc:
+        print(f"promotion REFUSED: {exc}")
+        return 1
+    (root / "promotion.json").write_bytes(record.to_json())
+    print(f"PROMOTED: ledger {record.ledger_digest[:16]}…  store "
+          f"{record.store_digest[:16]}…  checkpoint "
+          f"{(record.checkpoint_digest or '-')[:16]}…")
+    print(f"record written to {root / 'promotion.json'}")
+    return 0
+
+
+def _cmd_attribute(args) -> int:
+    from pathlib import Path
+
+    from repro.errors import (AttributionError, GovernanceLogError,
+                              LedgerError, PromotionError, StoreError)
+    from repro.governance import (Attributor, GovernanceLog, PromotionGate,
+                                  PromotionRecord)
+    from repro.ingest import ContributionLedger
+    from repro.resilience import CheckpointManager
+    from repro.serving import (EngineConfig, LinkageStore, ServingEngine,
+                               ShardedAnnIndex)
+
+    root = Path(args.path)
+    system = _governance_system(args)
+    try:
+        ledger = ContributionLedger.open(root / "ledger")
+        log = GovernanceLog.open(root / "governance")
+        store = LinkageStore.open(root / "store")
+        record = PromotionRecord.from_json(
+            (root / "promotion.json").read_bytes()
+        )
+    except FileNotFoundError:
+        print("attribution REFUSED: no promotion record — this deployment "
+              "was never promoted")
+        return 1
+    except (LedgerError, GovernanceLogError, StoreError,
+            PromotionError) as exc:
+        print(f"attribution REFUSED: {type(exc).__name__}: {exc}")
+        return 1
+    gate = PromotionGate(
+        system.training_enclave, log, ledger=ledger,
+        checkpoints=CheckpointManager(root / "checkpoints",
+                                      config_digest=system.config_digest),
+        store=store,
+    )
+    index = ShardedAnnIndex(store, shard_threshold=1024, seed=args.seed)
+    engine = ServingEngine(index.build(), EngineConfig(workers=2),
+                           promotion=record,
+                           promotion_verifier=gate.serving_verifier())
+    try:
+        engine.start()
+    except PromotionError as exc:
+        print(f"attribution REFUSED (serving gate): {exc}")
+        return 1
+    try:
+        attributor = Attributor(engine, store, ledger, log, gate=gate,
+                                promotion=record)
+        flagged, fingerprint, label = _flagged_query(
+            store, np.random.default_rng(args.seed + 1), args.record_index
+        )
+        print(f"flagged prediction near store record {flagged} "
+              f"(label {label}):")
+        report = attributor.attribute(fingerprint, label, k=args.k)
+    except AttributionError as exc:
+        print(f"attribution REFUSED: {exc}")
+        return 1
+    finally:
+        engine.stop()
+    _print_attribution(report)
+    if args.output:
+        Path(args.output).write_bytes(report.to_json())
+        print(f"report written to {args.output}")
+    return 0
+
+
 def _cmd_ingest_status(args) -> int:
     from repro.errors import LedgerError
     from repro.ingest import ContributionLedger
@@ -887,6 +1263,9 @@ _COMMANDS = {
     "ingest-status": _cmd_ingest_status,
     "checkpoints": _cmd_checkpoints,
     "metrics": _cmd_metrics,
+    "govern": _cmd_govern,
+    "promote": _cmd_promote,
+    "attribute": _cmd_attribute,
 }
 
 

@@ -3,6 +3,7 @@
 from repro.core.accountability import InvestigationResult, Investigator
 from repro.core.audit import AuditEvent, AuditLog
 from repro.core.assessment import AssessmentResult, ExposureAssessor, LayerExposure
+from repro.core.chain import HashChain
 from repro.core.caltrain import CalTrain, CalTrainConfig
 from repro.core.fingerprint import Fingerprinter, normalize_fingerprints
 from repro.core.freezing import FreezeSchedule
@@ -32,4 +33,5 @@ __all__ = [
     "InvestigationResult",
     "AuditLog",
     "AuditEvent",
+    "HashChain",
 ]

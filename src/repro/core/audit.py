@@ -5,6 +5,11 @@ did: which participants registered, how many records each stage accepted
 or rejected, which partition was active when. :class:`AuditLog` is a
 hash-chained, append-only event log the training enclave maintains and can
 seal to its identity; any retroactive edit breaks the chain.
+
+The chain math itself lives in :class:`repro.core.chain.HashChain` and is
+shared with the governance event log; this class keeps the in-memory
+event model and the canonical-JSON persistence format (unchanged on disk
+since the serving plane first sealed one).
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ import json
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
-from repro.crypto.hashing import constant_time_equal, sha256
+from repro.core.chain import HashChain
 from repro.errors import LinkageError
 from repro.utils.serialization import canonical_json
 
@@ -29,11 +34,17 @@ class AuditEvent:
     details: Dict[str, Any]
     chain_hash: bytes
 
+    @property
+    def payload(self) -> Dict[str, Any]:
+        """The chained portion (everything except the hash itself)."""
+        return {"seq": self.sequence, "kind": self.kind,
+                "details": self.details}
+
 
 class AuditLog:
     """Append-only, hash-chained event log."""
 
-    _GENESIS = sha256(b"caltrain-audit-genesis")
+    _CHAIN = HashChain(b"caltrain-audit-genesis")
 
     def __init__(self) -> None:
         self._events: List[AuditEvent] = []
@@ -44,14 +55,14 @@ class AuditLog:
     @property
     def head(self) -> bytes:
         """The chain head (commits to every event so far)."""
-        return self._events[-1].chain_hash if self._events else self._GENESIS
+        return self._events[-1].chain_hash if self._events else \
+            self._CHAIN.genesis
 
     def append(self, kind: str, **details: Any) -> AuditEvent:
         """Record one event; returns it with its chain hash."""
         sequence = len(self._events)
-        chain_hash = sha256(
-            self.head, canonical_json({"seq": sequence, "kind": kind,
-                                       "details": details})
+        chain_hash = self._CHAIN.entry_hash(
+            self.head, {"seq": sequence, "kind": kind, "details": details}
         )
         event = AuditEvent(sequence=sequence, kind=kind, details=details,
                            chain_hash=chain_hash)
@@ -65,17 +76,9 @@ class AuditLog:
 
     def verify_chain(self) -> bool:
         """Recompute the chain; False if any event was altered."""
-        previous = self._GENESIS
-        for event in self._events:
-            expected = sha256(
-                previous,
-                canonical_json({"seq": event.sequence, "kind": event.kind,
-                                "details": event.details}),
-            )
-            if not constant_time_equal(expected, event.chain_hash):
-                return False
-            previous = event.chain_hash
-        return True
+        return self._CHAIN.verify(
+            (e.payload, e.chain_hash) for e in self._events
+        )
 
     # -- persistence -----------------------------------------------------------
 

@@ -55,7 +55,7 @@ from repro.resilience.supervisor import ResilientTrainer, RetryPolicy
 from repro.resilience.telemetry import RunTelemetry
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngStream
-from repro.utils.serialization import stable_hash
+from repro.utils.serialization import canonical_digest
 
 __all__ = ["CalTrainConfig", "CalTrain"]
 
@@ -131,6 +131,12 @@ class CalTrain:
             self.network_config,
             hyperparameters=self._hyperparameters(),
         )
+        #: The deployment's training agreement, digested once — the
+        #: single definition every checkpoint, coordinator, and run key
+        #: derives from (they can never drift apart).
+        self.config_digest = canonical_digest(
+            self.network_config, self._hyperparameters()
+        )
         self.participants: Dict[str, TrainingParticipant] = {}
         #: Hash-chained record of every pipeline event (sealable).
         self.audit_log = AuditLog()
@@ -158,6 +164,16 @@ class CalTrain:
         #: hot path, EPC paging, checkpoint I/O, and the resilience
         #: telemetry into it, so one Prometheus export covers the run.
         self.metrics = MetricsRegistry()
+        #: Governance control plane (optional; see :meth:`bind_governance`).
+        self.governance = None
+        self.governance_telemetry = None
+        #: The committed contribution ledger training consumed, when the
+        #: production intake path (:meth:`intake_ledger`) was used.
+        self.ledger = None
+        #: Semantic identity of the last/current training run.
+        self.run_key: Optional[str] = None
+        #: The supervised run's checkpoint manager (promotion-gate input).
+        self.checkpoint_manager: Optional[CheckpointManager] = None
 
     def _hyperparameters(self) -> Dict[str, float]:
         return {
@@ -221,6 +237,65 @@ class CalTrain:
         self.audit_log.append("data-submitted",
                               source=participant.participant_id,
                               records=len(encrypted))
+
+    # -- governance --------------------------------------------------------------
+
+    def bind_governance(self, log) -> None:
+        """Attach a :class:`~repro.governance.log.GovernanceLog`.
+
+        From here on, ledger intake, training starts/resumes/completions,
+        and checkpoints are chained into the governance timeline (with
+        cross-references into this deployment's audit chain).
+        """
+        from repro.governance.telemetry import GovernanceTelemetry
+
+        self.governance = log
+        self.governance_telemetry = GovernanceTelemetry(registry=self.metrics)
+
+    def _govern(self, kind: str, **details) -> None:
+        if self.governance is not None:
+            self.governance.append(kind, **details)
+            self.governance_telemetry.count("events")
+
+    def intake_ledger(self, ledger) -> int:
+        """Stage a committed contribution ledger for training.
+
+        The production intake path: the ledger's segments are re-verified
+        fail-closed, its committed lane becomes the submission set, and —
+        with governance bound — an ``ingest-commit`` event chains the
+        ledger manifest digest into the governance timeline. Returns the
+        number of records staged.
+        """
+        staged = self.server.from_ledger(ledger)
+        self.ledger = ledger
+        self.audit_log.append(
+            "ledger-intake", records=staged,
+            manifest_digest=ledger.manifest_digest().hex(),
+        )
+        self._govern(
+            "ingest-commit",
+            ledger_digest=ledger.manifest_digest().hex(),
+            records=staged,
+            contributors=ledger.contributors(),
+            audit_head=self.audit_log.head.hex(),
+        )
+        return staged
+
+    def compute_run_key(self) -> str:
+        """The semantic identity of the run :meth:`train` would start now.
+
+        ``digest(config ⊕ data ⊕ code)``: the deployment's config digest,
+        the ledger manifest digest (or, for in-memory submissions, the
+        sorted record digests), and the library version. Identical inputs
+        always yield the identical key — across processes and hosts.
+        """
+        from repro.governance.identity import (compute_run_key,
+                                               submissions_digest)
+
+        data_digest = (self.ledger.manifest_digest()
+                       if self.ledger is not None
+                       else submissions_digest(self.server.submissions))
+        return compute_run_key(self.config_digest, data_digest)
 
     # -- stage 3: training ------------------------------------------------------------
 
@@ -345,7 +420,8 @@ class CalTrain:
                     "reassess_every_epoch is not supported with workers=N "
                     "(partition votes would diverge across replicas)"
                 )
-            return self._train_distributed(
+            self._begin_run(resume=False, workers=workers)
+            reports = self._train_distributed(
                 test_x, test_y, workers=workers,
                 straggler_factor=straggler_factor,
                 blacklist_after=blacklist_after,
@@ -353,6 +429,9 @@ class CalTrain:
                 checkpoint_dir=checkpoint_dir,
                 tracer=tracer,
             )
+            self._complete_run(reports)
+            return reports
+        self._begin_run(resume=resume, workers=None)
         self.decryption_summary = self.server.decrypt_submissions(
             cipher=self.config.cipher
         )
@@ -409,17 +488,51 @@ class CalTrain:
             final_loss=reports[-1].mean_loss,
             final_partition=self.partitioned.partition,
         )
+        self._complete_run(reports)
         return reports
+
+    def _begin_run(self, resume: bool, workers: Optional[int]) -> None:
+        """Fix the run identity and chain the train-start/resume event."""
+        from repro.governance.identity import code_version
+
+        self.run_key = self.compute_run_key()
+        if self.governance is not None:
+            previous = self.governance.find_run(self.run_key)
+            if previous is not None and not resume:
+                _LOG.warning(
+                    "run %s already completed at governance seq %d — an "
+                    "identical config/data/code run is being repeated "
+                    "(dedup candidates can be served from its artifacts)",
+                    self.run_key[:16], previous["seq"],
+                )
+        self._govern(
+            "train-resume" if resume else "train-start",
+            run_key=self.run_key,
+            config_digest=self.config_digest.hex(),
+            code_version=code_version(),
+            mrenclave=self.training_enclave.mrenclave.hex(),
+            workers=workers,
+            audit_head=self.audit_log.head.hex(),
+        )
+
+    def _complete_run(self, reports: List[EpochReport]) -> None:
+        self._govern(
+            "train-complete",
+            run_key=self.run_key,
+            epochs=len(reports),
+            final_loss=reports[-1].mean_loss if reports else None,
+            audit_head=self.audit_log.head.hex(),
+        )
 
     def _train_supervised(self, x, y, test_x, test_y, keep_snapshots,
                           checkpoint_dir, resume, checkpoint_every_batches,
                           fault_plan, retry_policy) -> List[EpochReport]:
         manager = CheckpointManager(
             checkpoint_dir,
-            config_digest=stable_hash(
-                self.network_config, self._hyperparameters()
-            ),
+            config_digest=self.config_digest,
+            run_key=self.run_key,
         )
+        self.checkpoint_manager = manager
         adopted_audit = not resume
 
         def _on_restore(state: TrainingState) -> None:
@@ -447,11 +560,17 @@ class CalTrain:
             on_restore=_on_restore,
         )
         self.run_telemetry = resilient.telemetry
-        return resilient.run(
+        reports = resilient.run(
             x, y, self.config.epochs, test_x=test_x, test_y=test_y,
             keep_snapshots=keep_snapshots, resume=resume,
             checkpoint_every_batches=checkpoint_every_batches,
         )
+        digest = manager.latest_manifest_digest()
+        if digest is not None:
+            self._govern("checkpoint", run_key=self.run_key,
+                         manifest_digest=digest.hex(),
+                         audit_head=self.audit_log.head.hex())
+        return reports
 
     def _provision_enclave(self, enclave: Enclave) -> None:
         """Provision every registered participant's key into ``enclave``.
@@ -514,9 +633,7 @@ class CalTrain:
             init_generator_factory=lambda: self.rng.child(
                 "model-init").generator,
             checkpoint_root=root,
-            config_digest=stable_hash(
-                self.network_config, self._hyperparameters()
-            ),
+            config_digest=self.config_digest,
             straggler_factor=straggler_factor,
             blacklist_after=blacklist_after,
             injections=injections,

@@ -1,0 +1,65 @@
+"""The shared hash-chain primitive behind every audit surface.
+
+Three subsystems keep tamper-evident event histories — the serving
+plane's query audit, the ingest plane's validation audit, and the
+distributed plane's per-round aggregation audit (all via
+:class:`~repro.core.audit.AuditLog`) — and the governance log adds a
+fourth. They all need the same math: a genesis-labelled SHA-256 chain
+where each entry commits to the canonical JSON of its payload *and* to
+the hash of everything before it, so any retroactive edit, reorder, or
+truncation-and-regrow is detectable from the head alone.
+
+:class:`HashChain` is that math, extracted once. Domain separation comes
+from the genesis label: two chains over identical payloads but different
+labels share no hashes, so an attacker cannot splice a verified prefix
+of one log into another.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Tuple
+
+from repro.crypto.hashing import constant_time_equal, sha256
+from repro.utils.serialization import canonical_json
+
+__all__ = ["HashChain"]
+
+
+class HashChain:
+    """Stateless hash-chain math for a given genesis label.
+
+    The chain over payloads ``p0, p1, ...`` is
+    ``h0 = sha256(genesis, canonical_json(p0))``,
+    ``h{i} = sha256(h{i-1}, canonical_json(p{i}))`` with
+    ``genesis = sha256(label)``. Instances are cheap and immutable;
+    logs keep one and thread their own head through :meth:`entry_hash`.
+    """
+
+    __slots__ = ("_genesis",)
+
+    def __init__(self, label: bytes) -> None:
+        self._genesis = sha256(label)
+
+    @property
+    def genesis(self) -> bytes:
+        """The head of an empty chain (commits to the domain label)."""
+        return self._genesis
+
+    def entry_hash(self, previous: bytes, payload: Any) -> bytes:
+        """The chain hash of one entry given the previous head."""
+        return sha256(previous, canonical_json(payload))
+
+    def verify(self, entries: Iterable[Tuple[Any, bytes]]) -> bool:
+        """Recompute the chain over ``(payload, chain_hash)`` pairs.
+
+        Returns False on the first entry whose recorded hash does not
+        match the recomputation — an altered payload, a spliced entry,
+        or a re-rooted chain.
+        """
+        previous = self._genesis
+        for payload, chain_hash in entries:
+            expected = self.entry_hash(previous, payload)
+            if not constant_time_equal(expected, chain_hash):
+                return False
+            previous = chain_hash
+        return True

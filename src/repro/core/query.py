@@ -16,8 +16,10 @@ import numpy as np
 from scipy.spatial import cKDTree
 from scipy.spatial.distance import cdist
 
+from repro.core.audit import AuditLog
 from repro.core.linkage import LinkageDatabase, LinkageRecord
 from repro.errors import ConfigurationError, QueryError
+from repro.utils.serialization import stable_hash
 
 __all__ = ["Neighbor", "QueryService"]
 
@@ -43,12 +45,35 @@ class QueryService:
             databases (exact results, different asymptotics).
     """
 
-    def __init__(self, database: LinkageDatabase, index: str = "brute") -> None:
+    def __init__(self, database: LinkageDatabase, index: str = "brute",
+                 audit: Optional[AuditLog] = None,
+                 run_key: Optional[str] = None) -> None:
         if index not in ("brute", "kdtree"):
             raise ConfigurationError(f"unknown query index {index!r}")
         self.database = database
         self.index = index
+        #: Optional hash-chained audit of answered queries. With
+        #: ``run_key`` set (a promoted deployment), every event names the
+        #: training run the answers are attributable to.
+        self.audit = audit
+        self.run_key = run_key
         self._trees: Dict[int, Tuple[cKDTree, List[int], int]] = {}
+
+    def _audit_query(self, fingerprint: np.ndarray, label: int, k: int,
+                     neighbors: List[Neighbor]) -> None:
+        if self.audit is None:
+            return
+        details = dict(
+            query_digest=stable_hash(fingerprint).hex(),
+            label=int(label),
+            k=int(k),
+            results=stable_hash(
+                [[n.record_index, n.distance] for n in neighbors]
+            ).hex(),
+        )
+        if self.run_key is not None:
+            details["run_key"] = self.run_key
+        self.audit.append("query", **details)
 
     def _tree_for(self, label: int) -> Tuple[cKDTree, List[int]]:
         count = self.database.count(label)
@@ -108,12 +133,14 @@ class QueryService:
                 f"database dimension {matrix.shape[1]}"
             )
         if self.index == "kdtree":
-            return self._query_kdtree(fingerprint, label, k)
+            neighbors = self._query_kdtree(fingerprint, label, k)
+            self._audit_query(fingerprint, label, k, neighbors)
+            return neighbors
         distances = cdist(fingerprint, matrix)[0]
         # Stable sort: equal-distance neighbours rank in insertion order, so
         # forensics reports are reproducible run to run.
         order = np.argsort(distances, kind="stable")[:k]
-        return [
+        neighbors = [
             Neighbor(
                 rank=rank + 1,
                 distance=float(distances[i]),
@@ -122,6 +149,8 @@ class QueryService:
             )
             for rank, i in enumerate(order)
         ]
+        self._audit_query(fingerprint, label, k, neighbors)
+        return neighbors
 
     def query_batch(self, fingerprints: np.ndarray, labels: Sequence[int],
                     k: int = 9) -> List[List[Neighbor]]:

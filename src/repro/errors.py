@@ -176,6 +176,31 @@ class TrainingAborted(ResilienceError):
     failed closed rather than continue on unverifiable state."""
 
 
+class GovernanceError(CalTrainError):
+    """Base class for failures in the accountability control plane."""
+
+
+class GovernanceLogError(GovernanceError):
+    """The governance event log is truncated, bit-flipped, or its chain
+    head sidecar disagrees with the entries on disk — the accountability
+    record can no longer be trusted and every gated operation must fail
+    closed."""
+
+
+class PromotionError(GovernanceError):
+    """A model's lineage did not verify end-to-end (ledger manifest →
+    checkpoint chain → linkage-store snapshot), its promotion record is
+    missing or forged, or the artifacts changed after promotion. The
+    serving plane refuses to load such a model."""
+
+
+class AttributionError(GovernanceError):
+    """A contributor-attribution report could not be assembled with a
+    complete, chain-verified evidence path — a linkage hit that resolves
+    to no committed ledger record, a quarantined contributor in the
+    evidence chain, or a governance log that fails verification."""
+
+
 class DistributedError(CalTrainError):
     """Base class for failures in the multi-enclave training runtime."""
 

@@ -1,0 +1,241 @@
+"""Contributor attribution reports with a complete evidence chain.
+
+The paper's accountability story, made auditable end to end: a model
+user flags a prediction, the serving plane finds the training instances
+whose fingerprints sit closest to the flagged input, and *this* module
+walks each hit all the way back — linkage record → committed ledger
+segment → contributor — and assembles a JSON report carrying every link:
+
+1. the **query audit entry** the serving engine chained for the flagged
+   query (so the answer itself is tamper-evident),
+2. the **linkage hits** (store indices, distances, record digests),
+3. the **ledger evidence** per hit (segment name, segment digest, lane,
+   contributor, record content digest),
+4. the **governance events** for the run (train-start/complete,
+   promotion), and
+5. the contributor ranking with the implicated set (hit-share
+   threshold, same idiom as :class:`~repro.core.accountability.Investigator`).
+
+The walk is fail-closed (:class:`~repro.errors.AttributionError`): a
+governance log that does not verify, a promotion that no longer matches
+the artifacts, a hit that resolves to no ledger record, or a hit that
+resolves into the *quarantine* lane all refuse rather than emit a report
+that names contributors on unverifiable evidence. The finished report is
+itself chained into the governance log, so reports can never be
+retroactively rewritten either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import (AttributionError, GovernanceLogError, LedgerError,
+                          PromotionError)
+from repro.governance.log import GovernanceLog
+from repro.utils.logging import get_logger
+from repro.utils.serialization import canonical_digest, canonical_json
+
+__all__ = ["AttributionReport", "Attributor"]
+
+_LOG = get_logger("governance.attribution")
+
+
+@dataclass(frozen=True)
+class AttributionReport:
+    """One flagged prediction, attributed, with its evidence chain."""
+
+    run_key: str
+    label: int
+    query_digest: str
+    query_audit: Dict[str, Any]
+    hits: List[Dict[str, Any]]
+    contributors: List[Dict[str, Any]]
+    implicated: List[str]
+    governance_events: List[Dict[str, Any]]
+    report_digest: str
+    governance_entry: Dict[str, Any]
+
+    def to_json(self) -> bytes:
+        return canonical_json({
+            "run_key": self.run_key,
+            "label": self.label,
+            "query_digest": self.query_digest,
+            "query_audit": self.query_audit,
+            "hits": self.hits,
+            "contributors": self.contributors,
+            "implicated": self.implicated,
+            "governance_events": self.governance_events,
+            "report_digest": self.report_digest,
+            "governance_entry": self.governance_entry,
+        })
+
+
+class Attributor:
+    """Resolves flagged predictions to contributors, fail-closed.
+
+    Args:
+        engine: A started :class:`~repro.serving.engine.ServingEngine`
+            (its audit chain becomes part of the evidence).
+        store: The :class:`LinkageStore` behind the engine's index.
+        ledger: The :class:`ContributionLedger` training consumed.
+        log: The governance event log.
+        gate: Optional :class:`PromotionGate`; with ``promotion`` set,
+            the promoted lineage is re-verified before any evidence is
+            trusted.
+        promotion: The :class:`PromotionRecord` the serving plane runs
+            under.
+        source_share_threshold: A contributor owning at least this share
+            of the evidence hits is implicated.
+    """
+
+    def __init__(self, engine, store, ledger, log: GovernanceLog, *,
+                 gate=None, promotion=None, telemetry=None,
+                 source_share_threshold: float = 0.25) -> None:
+        self.engine = engine
+        self.store = store
+        self.ledger = ledger
+        self.log = log
+        self.gate = gate
+        self.promotion = promotion
+        self.telemetry = telemetry
+        self.source_share_threshold = source_share_threshold
+
+    # -- the evidence walk --------------------------------------------------------
+
+    def _verify_planes(self) -> None:
+        try:
+            self.log.verify()
+        except GovernanceLogError as exc:
+            raise AttributionError(
+                f"governance log failed verification: {exc}"
+            ) from exc
+        if self.gate is not None and self.promotion is not None:
+            try:
+                self.gate.verify_record(self.promotion)
+            except PromotionError as exc:
+                raise AttributionError(
+                    f"promoted lineage no longer verifies: {exc}"
+                ) from exc
+        if not self.engine.verify_audit_chain():
+            raise AttributionError(
+                "serving query audit chain failed verification"
+            )
+
+    def attribute(self, fingerprint: np.ndarray, label: int,
+                  k: int = 9) -> AttributionReport:
+        """Attribute one flagged prediction; returns the chained report."""
+        try:
+            report = self._attribute(fingerprint, label, k)
+        except AttributionError:
+            if self.telemetry is not None:
+                self.telemetry.count("attributions_refused")
+            raise
+        if self.telemetry is not None:
+            self.telemetry.count("attributions")
+        return report
+
+    def _attribute(self, fingerprint: np.ndarray, label: int,
+                   k: int) -> AttributionReport:
+        self._verify_planes()
+
+        hits = self.engine.submit(fingerprint, label, k=k).result()
+        if not self.engine.verify_audit_chain():
+            raise AttributionError(
+                "serving query audit chain failed verification after the "
+                "flagged query"
+            )
+        queries = self.engine.audit.events("serving-query")
+        if not queries:
+            raise AttributionError(
+                "the flagged query left no audit entry — refusing to build "
+                "an unanchored report"
+            )
+        audit_event = queries[-1]
+        query_audit = dict(audit_event.payload, chain=audit_event.chain_hash.hex())
+
+        evidence: List[Dict[str, Any]] = []
+        for hit in hits:
+            record = self.store.record(hit.index)
+            try:
+                ledger_evidence = self.ledger.locate_record(
+                    record.source, record.source_index
+                )
+            except LedgerError as exc:
+                raise AttributionError(
+                    f"linkage hit (store index {hit.index}) has no ledger "
+                    f"backing: {exc}"
+                ) from exc
+            if ledger_evidence["lane"] != "committed":
+                raise AttributionError(
+                    f"linkage hit (store index {hit.index}) resolves to the "
+                    f"quarantine lane of contributor "
+                    f"{ledger_evidence['contributor']!r} "
+                    f"(reason: {ledger_evidence['reason']!r}) — a "
+                    "quarantined record can never be training evidence"
+                )
+            evidence.append({
+                "store_index": int(hit.index),
+                "distance": float(hit.distance),
+                "source": record.source,
+                "source_index": int(record.source_index),
+                "fingerprint_digest": record.digest.hex(),
+                "ledger": ledger_evidence,
+            })
+
+        counts: Dict[str, int] = {}
+        for item in evidence:
+            counts[item["source"]] = counts.get(item["source"], 0) + 1
+        total = len(evidence)
+        contributors = [
+            {"contributor": source, "hits": count,
+             "share": count / total}
+            for source, count in sorted(counts.items(),
+                                        key=lambda kv: (-kv[1], kv[0]))
+        ]
+        implicated = [c["contributor"] for c in contributors
+                      if c["share"] >= self.source_share_threshold]
+
+        run_key = (self.promotion.run_key if self.promotion is not None
+                   else "")
+        governance_events = [
+            e for e in self.log.events()
+            if e["kind"] in ("train-start", "train-complete", "promotion")
+            and (not run_key or e["details"].get("run_key") == run_key)
+        ]
+
+        body = {
+            "run_key": run_key,
+            "label": int(label),
+            "query_digest": query_audit["details"]["query_digest"],
+            "query_audit": query_audit,
+            "hits": evidence,
+            "contributors": contributors,
+            "implicated": implicated,
+            "governance_events": governance_events,
+        }
+        report_digest = canonical_digest(body).hex()
+        entry = self.log.append(
+            "attribution",
+            run_key=run_key,
+            label=int(label),
+            query_digest=body["query_digest"],
+            report_digest=report_digest,
+            implicated=implicated,
+        )
+        _LOG.info("attribution for label %d: %d hits, implicated %s",
+                  label, total, implicated)
+        return AttributionReport(
+            run_key=run_key,
+            label=int(label),
+            query_digest=body["query_digest"],
+            query_audit=query_audit,
+            hits=evidence,
+            contributors=contributors,
+            implicated=implicated,
+            governance_events=governance_events,
+            report_digest=report_digest,
+            governance_entry=entry,
+        )

@@ -38,7 +38,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 from repro.data.encryption import EncryptedRecord
 from repro.errors import LedgerError, SealingError
 from repro.utils.fileio import atomic_write_text
-from repro.utils.serialization import canonical_json, stable_hash
+from repro.utils.serialization import canonical_digest, canonical_json
 
 __all__ = [
     "LEDGER_FORMAT",
@@ -55,7 +55,7 @@ LEDGER_FORMAT = 1
 
 def record_digest(record: EncryptedRecord) -> bytes:
     """Content address of one encrypted record (dedup + audit identity)."""
-    return stable_hash(
+    return canonical_digest(
         {"source": record.source_id, "index": record.index,
          "label": record.label, "nonce": record.nonce.hex()},
         record.sealed,
@@ -130,6 +130,10 @@ class ContributionLedger:
         # state) holds this lock. Reentrant because append/quarantine
         # nest inside commit_deduplicated.
         self._lock = threading.RLock()
+        # (manifest version, digest) memo so the promotion gate and the
+        # governance log can read the ledger identity as a cheap accessor
+        # instead of re-hashing the manifest on every event.
+        self._digest_memo: Optional[Tuple[int, bytes]] = None
         self._digests: Set[str] = set()
         for entry in manifest["segments"]:
             for digest in self._segment_record_digests(entry["name"]):
@@ -194,7 +198,7 @@ class ContributionLedger:
             (self.path / f"{name}.meta.json").write_bytes(meta_bytes)
             info = LedgerSegmentInfo(
                 name=name, records=len(records), contributor=contributor,
-                digest=stable_hash(payload, meta_bytes).hex(),
+                digest=canonical_digest(payload, meta_bytes).hex(),
                 lane=lane, reason=reason,
             )
             entries.append({
@@ -332,8 +336,8 @@ class ContributionLedger:
             meta_path = self.path / f"{entry['name']}.meta.json"
             if not payload_path.exists() or not meta_path.exists():
                 raise LedgerError(f"segment {entry['name']} is missing on disk")
-            actual = stable_hash(payload_path.read_bytes(),
-                                 meta_path.read_bytes()).hex()
+            actual = canonical_digest(payload_path.read_bytes(),
+                                      meta_path.read_bytes()).hex()
             if actual != entry["digest"]:
                 raise LedgerError(
                     f"segment {entry['name']} failed its digest check "
@@ -347,15 +351,52 @@ class ContributionLedger:
         Commits to the ordered committed-lane digests and the quarantine
         lane — two ledgers with the same manifest digest hold
         byte-identical contributions *and* refused the same records.
+        Memoised per manifest version, so repeated reads (every
+        governance event records it) cost a dict lookup, not a hash.
         """
         with self._lock:
-            return stable_hash({
-                "format": self._manifest["format"],
-                "segments": [e["digest"]
-                             for e in self._manifest["segments"]],
-                "quarantine": [e["digest"]
-                               for e in self._manifest["quarantine"]],
-            })
+            version = self._manifest["version"]
+            if self._digest_memo is None or self._digest_memo[0] != version:
+                digest = canonical_digest({
+                    "format": self._manifest["format"],
+                    "segments": [e["digest"]
+                                 for e in self._manifest["segments"]],
+                    "quarantine": [e["digest"]
+                                   for e in self._manifest["quarantine"]],
+                })
+                self._digest_memo = (version, digest)
+            return self._digest_memo[1]
+
+    def locate_record(self, source_id: str, index: int) -> Dict[str, object]:
+        """Resolve one ``(contributor, record index)`` to ledger evidence.
+
+        Attribution walks linkage hits back to the ledger through this:
+        the result names the lane, segment, segment digest, quarantine
+        reason, and the record's own content digest. Raises
+        :class:`~repro.errors.LedgerError` when no lane holds the record
+        — a linkage hit with no ledger backing means the linkage store
+        and ledger have diverged.
+        """
+        with self._lock:
+            lanes = (("committed", list(self._manifest["segments"])),
+                     ("quarantine", list(self._manifest["quarantine"])))
+        for lane, entries in lanes:
+            for entry in entries:
+                blob = (self.path / f"{entry['name']}.bin").read_bytes()
+                for record in unpack_records(blob):
+                    if record.source_id == source_id and record.index == index:
+                        return {
+                            "lane": lane,
+                            "segment": entry["name"],
+                            "segment_digest": entry["digest"],
+                            "contributor": entry["contributor"],
+                            "reason": entry.get("reason", ""),
+                            "record_digest": record_digest(record).hex(),
+                            "label": record.label,
+                        }
+        raise LedgerError(
+            f"no ledger record for source {source_id!r} index {index}"
+        )
 
     def seal_manifest(self, enclave):
         """Seal the manifest digest to ``enclave``'s identity."""

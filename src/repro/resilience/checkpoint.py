@@ -46,7 +46,7 @@ from repro.errors import CheckpointError, SealingError
 from repro.utils.fileio import atomic_write_bytes, atomic_write_text
 from repro.utils.logging import get_logger
 from repro.utils.rng import get_generator_state, set_generator_state
-from repro.utils.serialization import canonical_json, stable_hash
+from repro.utils.serialization import canonical_digest, canonical_json
 
 __all__ = ["TrainingState", "CheckpointInfo", "CheckpointManager",
            "capture_state", "restore_state"]
@@ -221,7 +221,7 @@ def _arch_digest(weights: List[Dict[str, np.ndarray]]) -> str:
                for name, arr in layer.items())
         for layer in weights
     ]
-    return stable_hash(signature).hex()
+    return canonical_digest(signature).hex()
 
 
 # -- the manager ---------------------------------------------------------------
@@ -251,10 +251,14 @@ class CheckpointManager:
 
     def __init__(self, directory, config_digest: Optional[bytes] = None,
                  write_fault_hook: Optional[Callable[[str, Path], None]] = None,
-                 ) -> None:
+                 run_key: Optional[str] = None) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.config_digest = config_digest
+        #: Hex semantic run identity (:mod:`repro.governance.identity`);
+        #: recorded in every manifest so the promotion gate can bind a
+        #: checkpoint chain to the training run that produced it.
+        self.run_key = run_key
         self.write_fault_hook = write_fault_hook
         #: Optional :class:`~repro.observability.MetricsRegistry`; when set,
         #: save/load publish ``repro_checkpoint_*`` histograms and counters.
@@ -304,6 +308,7 @@ class CheckpointManager:
             "mrenclave": enclave.mrenclave.hex(),
             "config_digest": (self.config_digest.hex()
                               if self.config_digest else None),
+            "run_key": self.run_key,
             "arch_digest": _arch_digest(state.network_weights),
             "digests": {
                 _FRONTNET_FILE: hashlib.sha256(sealed_bytes).hexdigest(),
@@ -355,7 +360,7 @@ class CheckpointManager:
         # Content-derived nonce: deterministic, unique per (seq, content),
         # and — critically — drawn from *no* RNG, so writing a checkpoint
         # never perturbs the training streams.
-        nonce = stable_hash(b"ckpt-nonce", seq, payload)[:12]
+        nonce = canonical_digest(b"ckpt-nonce", seq, payload)[:12]
         blob = seal(enclave, payload, nonce=nonce)
         return blob.nonce + blob.ciphertext
 
@@ -444,6 +449,28 @@ class CheckpointManager:
         for info in reversed(self.checkpoints()):
             if predicate is None or predicate(info):
                 return info
+        return None
+
+    def latest_manifest_digest(self) -> Optional[bytes]:
+        """Content address of the newest checkpoint — a cheap accessor.
+
+        Hashes the canonical form of the newest parseable manifest only:
+        the manifest already commits to both data files via their
+        recorded SHA-256 digests, so hashing it commits to the entire
+        checkpoint without re-reading megabytes of weights. The promotion
+        gate pairs this with a full :meth:`checkpoints` validation at
+        promotion time; this accessor is for the cheap per-event path
+        (governance log entries, dedup probes). Returns ``None`` when no
+        checkpoint manifest parses.
+        """
+        for entry in sorted(self.directory.iterdir(), reverse=True):
+            if not _DIR_RE.match(entry.name) or not entry.is_dir():
+                continue
+            try:
+                manifest = json.loads((entry / _MANIFEST_FILE).read_text())
+            except (OSError, ValueError):
+                continue  # torn write; fall back to the previous seq
+            return canonical_digest(manifest)
         return None
 
     # -- load -------------------------------------------------------------------

@@ -117,11 +117,21 @@ class ServingEngine:
     def __init__(self, index: ShardedAnnIndex,
                  config: Optional[EngineConfig] = None,
                  audit: Optional[AuditLog] = None,
-                 telemetry: Optional[ServingTelemetry] = None) -> None:
+                 telemetry: Optional[ServingTelemetry] = None,
+                 promotion=None, promotion_verifier=None) -> None:
         self.index = index
         self.config = config or EngineConfig()
         self.audit = audit if audit is not None else AuditLog()
         self.telemetry = telemetry if telemetry is not None else ServingTelemetry()
+        #: Optional :class:`~repro.governance.gate.PromotionRecord` this
+        #: engine serves under; its ``run_key`` is stamped into every
+        #: query audit event so answers are attributable to one run.
+        self.promotion = promotion
+        #: Optional guard (:meth:`PromotionGate.serving_verifier`) run at
+        #: :meth:`start`. When set, the engine refuses to accept traffic
+        #: — typed :class:`~repro.errors.PromotionError` — unless the
+        #: promotion record verifies against the current artifacts.
+        self.promotion_verifier = promotion_verifier
         self._audit_lock = threading.Lock()
         self._cache = _LruCache(self.config.cache_size)
         self._queue: "Queue[_Pending]" = Queue(maxsize=self.config.queue_depth)
@@ -134,6 +144,10 @@ class ServingEngine:
     def start(self) -> "ServingEngine":
         if self._started:
             raise ServingError("engine already started")
+        if self.promotion_verifier is not None:
+            # Fail-closed model load: no worker thread starts unless the
+            # promoted lineage verifies right now (raises PromotionError).
+            self.promotion_verifier(self.promotion)
         self._stopping.clear()
         self._threads = [
             threading.Thread(target=self._worker_loop,
@@ -195,16 +209,20 @@ class ServingEngine:
         result_digest = stable_hash(
             [[hit.index, hit.distance] for hit in hits]
         )
+        details = dict(
+            query_digest=key[0].hex(),
+            label=key[1],
+            k=key[2],
+            served_by=served_by,
+            results=result_digest.hex(),
+            num_results=len(hits),
+        )
+        if self.promotion is not None:
+            # Promoted deployments stamp the run identity into every
+            # answer: the audit chain proves which run served it.
+            details["run_key"] = self.promotion.run_key
         with self._audit_lock:
-            self.audit.append(
-                "serving-query",
-                query_digest=key[0].hex(),
-                label=key[1],
-                k=key[2],
-                served_by=served_by,
-                results=result_digest.hex(),
-                num_results=len(hits),
-            )
+            self.audit.append("serving-query", **details)
 
     def submit(self, fingerprint: np.ndarray, label: int,
                k: int = 9) -> "Future[Tuple[IndexHit, ...]]":

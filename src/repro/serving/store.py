@@ -35,7 +35,8 @@ import numpy as np
 from repro.core.linkage import LinkageDatabase, LinkageRecord
 from repro.errors import SealingError, StoreError
 from repro.utils.fileio import atomic_write_text
-from repro.utils.serialization import canonical_json, stable_hash
+from repro.utils.serialization import (canonical_digest, canonical_json,
+                                       stable_hash)
 
 __all__ = ["SegmentInfo", "LinkageStore"]
 
@@ -322,7 +323,7 @@ class LinkageStore:
         version — two stores with the same manifest digest serve
         byte-identical fingerprint data.
         """
-        return stable_hash({
+        return canonical_digest({
             "format": self._manifest["format"],
             "version": self._manifest["version"],
             "dimension": self._manifest["dimension"],

@@ -11,6 +11,7 @@ from repro.utils.rng import (
 from repro.utils.serialization import (
     array_from_bytes,
     array_to_bytes,
+    canonical_digest,
     canonical_json,
     stable_hash,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "fsync_dir",
     "array_from_bytes",
     "array_to_bytes",
+    "canonical_digest",
     "canonical_json",
     "stable_hash",
 ]

@@ -15,7 +15,13 @@ from typing import Any, Tuple
 
 import numpy as np
 
-__all__ = ["array_to_bytes", "array_from_bytes", "canonical_json", "stable_hash"]
+__all__ = [
+    "array_to_bytes",
+    "array_from_bytes",
+    "canonical_digest",
+    "canonical_json",
+    "stable_hash",
+]
 
 _MAGIC = b"RPR1"
 
@@ -56,16 +62,28 @@ def array_from_bytes(blob: bytes) -> np.ndarray:
 
 
 def canonical_json(value: Any) -> bytes:
-    """Serialize a JSON-able value with sorted keys and no whitespace."""
-    return json.dumps(value, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    """Serialize a JSON-able value with sorted keys and no whitespace.
+
+    Float formatting is Python's shortest round-trip ``repr`` (the only
+    encoding two CPython builds agree on bit-for-bit), and non-finite
+    floats are rejected outright: ``NaN``/``Infinity`` are not JSON, and
+    letting them through would make a digest that other JSON stacks
+    cannot reproduce.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False).encode("utf-8")
 
 
-def stable_hash(*parts: Any) -> bytes:
-    """SHA-256 over a sequence of heterogeneous parts.
+def canonical_digest(*parts: Any) -> bytes:
+    """SHA-256 over a sequence of heterogeneous parts — *the* digest.
 
-    Arrays are canonicalised via :func:`array_to_bytes`, bytes pass through,
-    and everything else goes through :func:`canonical_json`. Each part is
-    length-prefixed so concatenation ambiguity cannot create collisions.
+    Every content-addressed identity in the system (ledger manifests,
+    checkpoint config digests, linkage-store snapshots, governance run
+    keys) is defined in terms of this one function so they can never
+    drift apart. Arrays are canonicalised via :func:`array_to_bytes`,
+    bytes pass through, and everything else goes through
+    :func:`canonical_json`. Each part is length-prefixed so
+    concatenation ambiguity cannot create collisions.
     """
     hasher = hashlib.sha256()
     for part in parts:
@@ -78,3 +96,13 @@ def stable_hash(*parts: Any) -> bytes:
         hasher.update(struct.pack("<Q", len(encoded)))
         hasher.update(encoded)
     return hasher.digest()
+
+
+def stable_hash(*parts: Any) -> bytes:
+    """Compatibility alias for :func:`canonical_digest`.
+
+    Pre-governance call sites hash through this name; the bytes are
+    identical, so sealed manifests and checkpoints written under either
+    name verify under both.
+    """
+    return canonical_digest(*parts)

@@ -1,0 +1,138 @@
+"""Attributor: evidence-chained reports, and every refusal path.
+
+The conftest world is adversarial by construction: the linkage store
+holds one fingerprint that resolves into the ledger's *quarantine* lane
+(at :data:`QUARANTINE_OFFSET`, far from every committed cluster). An
+attribution that only ever queries honest space never sees it; a query
+aimed at it must refuse, not report.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import AttributionError
+from repro.governance import Attributor
+from repro.serving import EngineConfig, ServingEngine, ShardedAnnIndex
+
+from tests.governance.conftest import DIM, QUARANTINE_OFFSET
+
+
+@pytest.fixture
+def engine(store):
+    engine = ServingEngine(
+        ShardedAnnIndex(store, shard_threshold=1024, seed=5).build(),
+        EngineConfig(workers=2),
+    )
+    engine.start()
+    yield engine
+    engine.stop()
+
+
+@pytest.fixture
+def attributor(engine, store, ledger, log):
+    return Attributor(engine, store, ledger, log)
+
+
+def _query_near(store, index, scale=0.05, seed=3):
+    record = store.record(index)
+    noise = np.random.default_rng(seed).standard_normal(DIM)
+    return record.fingerprint + noise.astype(np.float32) * scale, record.label
+
+
+class TestReports:
+    def test_report_carries_the_full_chain(self, attributor, store, log):
+        fingerprint, label = _query_near(store, 0)
+        report = attributor.attribute(fingerprint, label, k=5)
+
+        assert report.label == label
+        assert len(report.hits) == 5
+        for hit in report.hits:
+            assert hit["ledger"]["lane"] == "committed"
+            assert hit["ledger"]["contributor"] == hit["source"]
+            assert len(hit["ledger"]["segment_digest"]) == 64
+        shares = [c["share"] for c in report.contributors]
+        assert abs(sum(shares) - 1.0) < 1e-9
+        assert report.implicated  # someone owns >= 25% of 5 hits
+        assert set(report.implicated) <= {"c0", "c1"}
+        assert report.query_audit["chain"]  # anchored in the serving audit
+
+        # The report itself is chained into the governance timeline.
+        entry = log.events("attribution")[-1]
+        assert entry["details"]["report_digest"] == report.report_digest
+        assert entry["details"]["implicated"] == report.implicated
+        assert entry == report.governance_entry
+        assert log.verify()
+
+    def test_nearest_contributor_dominates(self, attributor, store):
+        fingerprint, label = _query_near(store, 0, scale=0.01)
+        report = attributor.attribute(fingerprint, label, k=1)
+        assert report.hits[0]["store_index"] == 0
+        assert report.contributors[0]["contributor"] == \
+            store.record(0).source
+        assert report.contributors[0]["share"] == 1.0
+
+    def test_refusals_do_not_pollute_the_log(self, attributor, store, log):
+        before = len(log)
+        with pytest.raises(AttributionError):
+            attributor.attribute(
+                np.full(DIM, QUARANTINE_OFFSET, dtype=np.float32),
+                label=0, k=1,
+            )
+        assert len(log) == before  # refused reports are never chained
+
+
+class TestRefusals:
+    def test_quarantine_lane_hit_refused(self, attributor):
+        # The poisoned fingerprint is the nearest neighbour of a query
+        # aimed straight at it; the ledger walk exposes its lane.
+        with pytest.raises(AttributionError, match="quarantine lane"):
+            attributor.attribute(
+                np.full(DIM, QUARANTINE_OFFSET, dtype=np.float32),
+                label=0, k=1,
+            )
+
+    def test_broken_governance_log_refused(self, attributor, store,
+                                           tmp_path):
+        (tmp_path / "governance" / "head.json").write_text(
+            '{"seq": 0, "chain": "' + "00" * 32 + '"}'
+        )
+        fingerprint, label = _query_near(store, 0)
+        with pytest.raises(AttributionError, match="governance log"):
+            attributor.attribute(fingerprint, label)
+
+    def test_hit_without_ledger_backing_refused(self, store, ledger, log):
+        # A store record whose (source, index) no ledger lane contains:
+        # evidence that cannot be walked back is not evidence.
+        store.append(
+            np.full((1, DIM), -QUARANTINE_OFFSET, dtype=np.float32),
+            [1], ["ghost"], [b"g" * 32], source_indices=[999],
+        )
+        engine = ServingEngine(
+            ShardedAnnIndex(store, shard_threshold=1024, seed=5).build(),
+            EngineConfig(workers=2),
+        )
+        engine.start()
+        try:
+            attributor = Attributor(engine, store, ledger, log)
+            with pytest.raises(AttributionError, match="no ledger backing"):
+                attributor.attribute(
+                    np.full(DIM, -QUARANTINE_OFFSET, dtype=np.float32),
+                    label=1, k=1,
+                )
+        finally:
+            engine.stop()
+
+    def test_stale_promotion_refused(self, engine, store, ledger, log,
+                                     gate, run_key, tmp_path):
+        record = gate.promote(run_key)
+        victim = sorted((tmp_path / "ledger").glob("segment-*.bin"))[0]
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        victim.write_bytes(bytes(blob))
+
+        attributor = Attributor(engine, store, ledger, log,
+                                gate=gate, promotion=record)
+        fingerprint, label = _query_near(store, 0)
+        with pytest.raises(AttributionError,
+                           match="promoted lineage no longer verifies"):
+            attributor.attribute(fingerprint, label)

@@ -182,3 +182,54 @@ class TestResilienceCommands:
         assert main(["checkpoints", "--path", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "valid checkpoints        0" in out
+
+
+class TestGovernanceCommands:
+    ARGS = ["--epochs", "1", "--width-scale", "0.05"]
+
+    def test_govern_parser_defaults(self):
+        args = build_parser().parse_args(["govern"])
+        assert args.command == "govern"
+        assert args.train_size == 40 and args.contributors == 3
+        assert args.tamper is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["govern", "--tamper", "weights"])
+
+    def test_promote_and_attribute_require_path(self):
+        for verb in ("promote", "attribute"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([verb])
+
+    def test_govern_promote_attribute_round_trip(self, capsys, tmp_path):
+        root = str(tmp_path / "deployment")
+        assert main(["govern", "--train-size", "20", "--contributors", "2",
+                     "--path", root] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "run key" in out and "PROMOTED" in out
+        assert "chain VERIFIED" in out
+
+        # A separate process re-derives the same run key from the same
+        # agreement and re-walks the on-disk lineage.
+        assert main(["promote", "--path", root] + self.ARGS) == 0
+        assert "PROMOTED" in capsys.readouterr().out
+
+        report = str(tmp_path / "report.json")
+        assert main(["attribute", "--path", root, "--output", report]
+                    + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "implicated" in out
+        import json
+
+        body = json.loads(open(report, "rb").read())
+        assert body["implicated"] and body["report_digest"]
+
+    def test_govern_tamper_drill_fails_closed(self, capsys, tmp_path):
+        code = main(["govern", "--train-size", "20", "--contributors", "2",
+                     "--path", str(tmp_path / "drill"),
+                     "--tamper", "ledger"] + self.ARGS)
+        assert code == 2
+        assert "REFUSED (fail-closed)" in capsys.readouterr().out
+
+    def test_promote_refuses_missing_artifacts(self, capsys, tmp_path):
+        assert main(["promote", "--path", str(tmp_path)] + self.ARGS) == 1
+        assert "REFUSED" in capsys.readouterr().out
