@@ -177,6 +177,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record the serving run as a wall-clock span "
                             "tree (.json = structured, else rendered text)")
 
+    cluster = sub.add_parser(
+        "serve-cluster",
+        help="replicated self-healing serving with deadlines, hedging, "
+             "circuit breakers, and optional fault injection",
+    )
+    cluster.add_argument("--path", default=None,
+                         help="existing store directory (default: build one)")
+    cluster.add_argument("--records", type=int, default=6000)
+    cluster.add_argument("--dim", type=int, default=16)
+    cluster.add_argument("--labels", type=int, default=4)
+    cluster.add_argument("--replicas", type=int, default=3)
+    cluster.add_argument("--queries", type=int, default=256)
+    cluster.add_argument("--k", type=int, default=5)
+    cluster.add_argument("--workers", type=int, default=2)
+    cluster.add_argument("--deadline", type=float, default=2.0,
+                         help="per-query end-to-end deadline (seconds)")
+    cluster.add_argument(
+        "--inject", action="append", default=[],
+        metavar="KIND@QUERY[:REPLICA]",
+        help="schedule a serving fault, e.g. replica-crash@40 or "
+             "index-corrupt@80:replica-1 (repeatable)",
+    )
+    cluster.add_argument("--seeded-faults", type=int, default=0,
+                         help="additionally schedule N seeded random faults")
+    cluster.add_argument("--trace", default=None, metavar="PATH",
+                         help="record the run as a wall-clock span tree")
+
     metrics = sub.add_parser(
         "metrics",
         help="run a small training scenario and export the unified "
@@ -764,6 +791,137 @@ def _cmd_serve_queries(args) -> int:
     return 0 if chain_ok else 1
 
 
+def _parse_injections(specs, queries, dim):
+    """Parse ``KIND@QUERY[:REPLICA]`` CLI fault specs."""
+    from repro.resilience import ServingFaultSpec
+
+    parsed = []
+    for raw in specs:
+        if "@" not in raw:
+            raise SystemExit(
+                f"--inject {raw!r}: expected KIND@QUERY[:REPLICA]")
+        kind, _, rest = raw.partition("@")
+        at_query, _, replica = rest.partition(":")
+        try:
+            ordinal = int(at_query)
+        except ValueError:
+            raise SystemExit(f"--inject {raw!r}: query ordinal must be an int")
+        if ordinal >= queries:
+            raise SystemExit(
+                f"--inject {raw!r}: ordinal {ordinal} is past "
+                f"--queries {queries}")
+        parsed.append(ServingFaultSpec(
+            kind=kind, at_query=ordinal, replica=replica or None,
+            label=0, row=0,
+        ))
+    return parsed
+
+
+def _cmd_serve_cluster(args) -> int:
+    import tempfile
+    import time as _time
+
+    from repro.errors import (CalTrainError, DeadlineExceeded,
+                              NoHealthyReplica, QueryRejected)
+    from repro.resilience import ServingFaultPlan
+    from repro.serving import (ClusterConfig, EngineConfig, LinkageStore,
+                               ServingCluster, ShardedAnnIndex)
+
+    generator = np.random.default_rng(args.seed + 2)
+    if args.path:
+        store = LinkageStore.open(args.path)
+    else:
+        path = tempfile.mkdtemp(prefix="caltrain-cluster-")
+        store, _, _ = _synthetic_store(
+            path, args.records, args.dim, args.labels, 4096, args.seed
+        )
+    print(f"cluster over {len(store)} fingerprints "
+          f"(dimension {store.dimension}, version {store.version}), "
+          f"{args.replicas} replicas")
+
+    specs = _parse_injections(args.inject, args.queries, store.dimension)
+    plan = ServingFaultPlan(specs)
+    if args.seeded_faults:
+        seeded = ServingFaultPlan.seeded(
+            seed=args.seed, queries=args.queries,
+            n_faults=args.seeded_faults)
+        plan = ServingFaultPlan(specs + seeded.scheduled())
+    if plan.remaining:
+        for spec in plan.scheduled():
+            target = spec.replica or "first-healthy"
+            print(f"  scheduled fault: {spec.kind} before query "
+                  f"{spec.at_query} ({target})")
+
+    tracer = None
+    if args.trace:
+        from repro.observability import Tracer
+
+        tracer = Tracer()
+
+    sample = generator.integers(0, len(store), size=args.queries)
+    queries = np.stack(
+        [store.fingerprint_at(int(i)) for i in sample]
+    ).astype(np.float32)
+    queries += generator.standard_normal(queries.shape).astype(np.float32) * 0.1
+    query_labels = [store.record(int(i)).label for i in sample]
+
+    cluster = ServingCluster(
+        store, replicas=args.replicas,
+        config=ClusterConfig(deadline_s=args.deadline,
+                             health_interval_s=0.05,
+                             breaker_reset_s=0.25, hedge_min_s=0.03),
+        engine_config=EngineConfig(workers=args.workers,
+                                   poll_interval=0.005),
+        index_factory=lambda s: ShardedAnnIndex(
+            s, shard_threshold=1024, seed=args.seed),
+        tracer=tracer,
+    )
+    ok = degraded = hedged = failed_over = failed = 0
+    with cluster:
+        for qi in range(args.queries):
+            fired = plan.before_query(qi, cluster)
+            for spec in fired:
+                print(f"  !! injected {spec.kind} before query {qi}")
+            try:
+                result = cluster.query(queries[qi], int(query_labels[qi]),
+                                       k=args.k)
+            except QueryRejected as exc:
+                _time.sleep(exc.retry_after_s or 0.01)
+                failed += 1
+                continue
+            except (DeadlineExceeded, NoHealthyReplica) as exc:
+                print(f"  query {qi} failed: {type(exc).__name__}")
+                failed += 1
+                continue
+            ok += 1
+            degraded += result.degraded
+            hedged += result.hedged
+            failed_over += result.failed_over
+        # Give background revival a moment, then report the end state.
+        _time.sleep(0.4)
+        states = cluster.health_check_now()
+        print(f"answered {ok}/{args.queries} "
+              f"({degraded} degraded, {hedged} hedged, "
+              f"{failed_over} failed over, {failed} failed)")
+        print("replica states: " + ", ".join(
+            f"{name}={state}" for name, state in sorted(states.items())))
+        print(cluster.telemetry.render())
+        chain_ok = cluster.verify_audit_chain()
+        notable = [e.kind for e in cluster.audit.events()]
+        print(f"cluster audit: {len(notable)} events, chain "
+              f"{'VERIFIED' if chain_ok else 'BROKEN'}")
+        for kind in ("fault-injected", "replica-evicted", "replica-revived",
+                     "degraded-query", "hedged-query", "failover-query"):
+            count = notable.count(kind)
+            if count:
+                print(f"  {kind}: {count}")
+    if tracer is not None:
+        _write_trace(tracer, args.trace, time_unit="s")
+    success_rate = ok / args.queries if args.queries else 1.0
+    print(f"availability: {success_rate:.2%}")
+    return 0 if chain_ok and success_rate >= 0.99 else 1
+
+
 def _cmd_ingest(args) -> int:
     import dataclasses
     import tempfile
@@ -1259,6 +1417,7 @@ _COMMANDS = {
     "forensics": _cmd_forensics,
     "build-index": _cmd_build_index,
     "serve-queries": _cmd_serve_queries,
+    "serve-cluster": _cmd_serve_cluster,
     "ingest": _cmd_ingest,
     "ingest-status": _cmd_ingest_status,
     "checkpoints": _cmd_checkpoints,

@@ -80,6 +80,30 @@ class AuditLog:
             (e.payload, e.chain_hash) for e in self._events
         )
 
+    def verify_from(self, sequence: int, head: bytes) -> bool:
+        """Incrementally verify events appended after a trusted mark.
+
+        ``head`` must be the chain hash observed at ``sequence`` events
+        (``genesis`` for 0). Recomputes only the suffix, so a health
+        checker can re-verify a long-lived serving audit trail at every
+        sweep without O(total-events) work: verify the suffix, then
+        advance its mark to ``(len(log), log.head)``. Returns False if
+        the suffix does not chain from ``head`` — including when the log
+        shrank below ``sequence`` (a truncation is tampering too)."""
+        if sequence < 0 or sequence > len(self._events):
+            return False
+        if sequence > 0 and self._events[sequence - 1].chain_hash != head:
+            return False
+        if sequence == 0 and head != self._CHAIN.genesis:
+            return False
+        running = head
+        for event in self._events[sequence:]:
+            expected = self._CHAIN.entry_hash(running, event.payload)
+            if event.chain_hash != expected:
+                return False
+            running = expected
+        return True
+
     # -- persistence -----------------------------------------------------------
 
     def to_bytes(self) -> bytes:

@@ -121,7 +121,24 @@ class QueryRejected(QueryError):
 
     Raised at submission time when the bounded request queue is full, so
     callers get typed backpressure instead of silently dropped queries.
+    ``retry_after_s`` (when not ``None``) is the server's backoff hint —
+    derived from the current queue depth and the worker poll interval —
+    so callers and the cluster router can wait exactly as long as the
+    backlog warrants instead of guessing.
     """
+
+    def __init__(self, message: str, retry_after_s: "float | None" = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class StaleIndexError(QueryError):
+    """The ANN index snapshot is older than the store it serves.
+
+    A stale snapshot can silently omit newly promoted records, so the
+    index fails closed instead of answering; the serving cluster treats
+    this as a replica fault (evict, rebuild, rejoin) rather than a
+    caller error."""
 
 
 class ServingError(CalTrainError):
@@ -131,6 +148,28 @@ class ServingError(CalTrainError):
 class StoreError(ServingError):
     """The persistent linkage store rejected an operation or failed an
     integrity check against its content-addressed segment digests."""
+
+
+class IndexIntegrityError(ServingError):
+    """A served answer (or a replica's index shard) disagrees with the
+    authoritative linkage store — a hit whose recomputed distance does
+    not match, or a shard matrix whose checksum drifted from its build.
+    The answer is discarded and the replica is evicted fail-closed."""
+
+
+class ClusterError(ServingError):
+    """Base class for failures in the replicated serving cluster."""
+
+
+class DeadlineExceeded(ClusterError):
+    """A query's end-to-end deadline expired before any replica (or the
+    degraded fallback) produced a verified answer."""
+
+
+class NoHealthyReplica(ClusterError):
+    """Every replica is evicted or circuit-broken and degraded serving
+    is disabled (or itself failed verification) — the cluster refuses
+    rather than serve unverifiable answers."""
 
 
 class IngestError(CalTrainError):

@@ -85,6 +85,14 @@ class SubsystemTelemetry:
         self._names_lock = threading.Lock()
         self._counter_names: Dict[str, str] = {}
         self._stage_names: Dict[str, str] = {}
+        # Instrument caches: the write hot path must not take the
+        # registry-wide lock per call — with several subsystems sharing
+        # one registry (e.g. N serving replicas exporting together) that
+        # lock becomes a cross-thread contention point. Plain dicts are
+        # safe here: reads/writes are atomic under the GIL and the worst
+        # race re-fetches an instrument from the (locking) registry.
+        self._counter_cache: Dict[str, object] = {}
+        self._stage_cache: Dict[str, object] = {}
 
     # -- name mapping (legacy short name <-> registry metric name) ---------------
 
@@ -99,17 +107,34 @@ class SubsystemTelemetry:
 
     # -- the legacy write/read surface -------------------------------------------
 
+    def _counter_instrument(self, name: str):
+        instrument = self._counter_cache.get(name)
+        if instrument is None:
+            metric = self.counter_metric_name(name)
+            with self._names_lock:
+                self._counter_names.setdefault(name, metric)
+            instrument = self.registry.counter(metric)
+            self._counter_cache[name] = instrument
+        return instrument
+
+    def _stage_instrument(self, stage: str):
+        instrument = self._stage_cache.get(stage)
+        if instrument is None:
+            metric = self.stage_metric_name(stage)
+            with self._names_lock:
+                self._stage_names.setdefault(stage, metric)
+            instrument = self.registry.histogram(metric)
+            self._stage_cache[stage] = instrument
+        return instrument
+
     def count(self, name: str, n: int = 1) -> None:
-        metric = self.counter_metric_name(name)
-        with self._names_lock:
-            self._counter_names.setdefault(name, metric)
-        self.registry.inc(metric, n)
+        self._counter_instrument(name).inc(n)
 
     def observe(self, stage: str, value: float) -> None:
-        metric = self.stage_metric_name(stage)
-        with self._names_lock:
-            self._stage_names.setdefault(stage, metric)
-        self.registry.observe(metric, value)
+        self._stage_instrument(stage).observe(value)
+
+    def observe_many(self, stage: str, values) -> None:
+        self._stage_instrument(stage).observe_many(values)
 
     def counter(self, name: str) -> int:
         with self._names_lock:

@@ -148,6 +148,23 @@ class Histogram:
             if value > self._max:
                 self._max = value
 
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Record a batch under one lock acquisition (hot-path helper)."""
+        if not values:
+            return
+        floats = [float(v) for v in values]
+        slots = [self._slot(v) for v in floats]
+        with self._lock:
+            for slot in slots:
+                self._counts[slot] += 1
+            self._count += len(floats)
+            self._sum += sum(floats)
+            lo, hi = min(floats), max(floats)
+            if lo < self._min:
+                self._min = lo
+            if hi > self._max:
+                self._max = hi
+
     # -- derived views -------------------------------------------------------
 
     @property
@@ -302,6 +319,9 @@ class MetricsRegistry:
 
     def observe(self, name: str, value: float) -> None:
         self.histogram(name).observe(value)
+
+    def observe_many(self, name: str, values: Sequence[float]) -> None:
+        self.histogram(name).observe_many(values)
 
     # -- export ----------------------------------------------------------------------
 

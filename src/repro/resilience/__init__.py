@@ -9,7 +9,9 @@ run telemetry (:mod:`repro.resilience.telemetry`).
 from repro.resilience.checkpoint import (CheckpointInfo, CheckpointManager,
                                          TrainingState, capture_state,
                                          restore_state)
-from repro.resilience.faults import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.resilience.faults import (FAULT_KINDS, SERVING_FAULT_KINDS,
+                                     FaultPlan, FaultSpec, ServingFaultPlan,
+                                     ServingFaultSpec)
 from repro.resilience.supervisor import (ResilientTrainer, RetryPolicy,
                                          classify_fault)
 from repro.resilience.telemetry import RunTelemetry
@@ -23,6 +25,9 @@ __all__ = [
     "FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
+    "SERVING_FAULT_KINDS",
+    "ServingFaultPlan",
+    "ServingFaultSpec",
     "ResilientTrainer",
     "RetryPolicy",
     "classify_fault",

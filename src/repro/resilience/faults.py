@@ -17,6 +17,14 @@ resilience runtime must survive:
 Every fault fires exactly once at its scheduled point, so the same plan
 replayed against the same seed produces the same failure trace — the
 property the crash/resume parity tests build on.
+
+The serving plane gets the same treatment: a :class:`ServingFaultPlan`
+schedules :class:`ServingFaultSpec` injections (replica crash/hang,
+latency, index/store byte corruption, torn manifests) keyed by query
+ordinal instead of (epoch, batch), and drives them through
+:meth:`ServingCluster.inject` — so the availability benchmark, the test
+suite, and the CLI ``serve-cluster --inject`` drill all replay the
+exact same fault storm.
 """
 
 from __future__ import annotations
@@ -31,7 +39,8 @@ from repro.errors import (CheckpointWriteCrash, ConfigurationError,
                           EnclaveAbort, EpcPressureError)
 from repro.utils.logging import get_logger
 
-__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan"]
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan",
+           "SERVING_FAULT_KINDS", "ServingFaultSpec", "ServingFaultPlan"]
 
 _LOG = get_logger("resilience.faults")
 
@@ -169,3 +178,117 @@ class FaultPlan:
             raise CheckpointWriteCrash(
                 f"injected crash while writing checkpoint {path}"
             )
+
+
+# -- serving-side fault injection ------------------------------------------------
+
+SERVING_FAULT_KINDS = (
+    "replica-crash",    # abrupt process death: submits fail fast, work lost
+    "replica-hang",     # searches wedge until the fault is released
+    "latency-inject",   # fixed delay on every search (slow-host simulation)
+    "index-corrupt",    # flip one row in a replica's private index matrix
+    "store-corrupt",    # flip one byte in a shared store segment on disk
+    "torn-manifest",    # truncate the store manifest mid-file
+)
+
+
+@dataclass(frozen=True)
+class ServingFaultSpec:
+    """One scheduled serving fault, fired before query ``at_query``.
+
+    ``replica`` targets a replica by name (``None`` = first healthy).
+    ``delay_s`` is the injected latency for ``latency-inject``;
+    ``label``/``row`` locate the corrupted index row (``row`` also
+    selects the segment for ``store-corrupt``); ``value`` optionally
+    pins the corrupted row to an exact vector — the availability bench
+    uses this to plant an *attractor* row that surfaces in answers (so
+    per-answer verification must catch it) instead of silently sinking.
+    """
+
+    kind: str
+    at_query: int
+    replica: Optional[str] = None
+    delay_s: float = 0.05
+    label: Optional[int] = None
+    row: Optional[int] = None
+    value: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVING_FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown serving fault kind {self.kind!r}; "
+                f"pick one of {SERVING_FAULT_KINDS}"
+            )
+        if self.at_query < 0:
+            raise ConfigurationError("at_query must be >= 0")
+        if self.delay_s < 0:
+            raise ConfigurationError("delay_s must be >= 0")
+
+
+class ServingFaultPlan:
+    """A deterministic schedule of :class:`ServingFaultSpec` injections.
+
+    Drive it from whatever issues the queries: call
+    :meth:`before_query` with the running query ordinal and the target
+    cluster before each submission; faults scheduled at that ordinal
+    fire exactly once via :meth:`ServingCluster.inject`.
+    """
+
+    def __init__(self, faults: Sequence[ServingFaultSpec] = ()) -> None:
+        self._pending: Dict[int, List[ServingFaultSpec]] = {}
+        for spec in faults:
+            self._pending.setdefault(spec.at_query, []).append(spec)
+        self.fired: List[ServingFaultSpec] = []
+
+    @classmethod
+    def seeded(cls, seed: int, queries: int, n_faults: int = 3,
+               kinds: Sequence[str] = ("replica-crash", "replica-hang",
+                                       "latency-inject", "index-corrupt"),
+               ) -> "ServingFaultPlan":
+        """A reproducible random schedule over ``queries`` ordinals.
+
+        Defaults to the replica-scoped kinds; the shared-store faults
+        (``store-corrupt`` / ``torn-manifest``) poison every replica at
+        once and are opt-in for tests that assert fail-closed refusal.
+        """
+        if queries <= 0:
+            raise ConfigurationError("seeded plan needs a positive horizon")
+        for kind in kinds:
+            if kind not in SERVING_FAULT_KINDS:
+                raise ConfigurationError(
+                    f"unknown serving fault kind {kind!r}")
+        rng = np.random.default_rng(seed)
+        seen = set()
+        faults = []
+        while len(faults) < n_faults:
+            at_query = int(rng.integers(0, queries))
+            if at_query in seen:
+                continue
+            seen.add(at_query)
+            faults.append(ServingFaultSpec(
+                kind=str(rng.choice(list(kinds))),
+                at_query=at_query,
+                delay_s=float(rng.uniform(0.01, 0.08)),
+            ))
+        return cls(faults)
+
+    @property
+    def remaining(self) -> int:
+        return sum(len(specs) for specs in self._pending.values())
+
+    def scheduled(self) -> List[ServingFaultSpec]:
+        """Every not-yet-fired spec, ordered by query ordinal."""
+        return [spec for ordinal in sorted(self._pending)
+                for spec in self._pending[ordinal]]
+
+    def before_query(self, ordinal: int, cluster) -> List[ServingFaultSpec]:
+        """Fire every fault scheduled at this query ordinal."""
+        specs = self._pending.pop(ordinal, None)
+        if not specs:
+            return []
+        for spec in specs:
+            _LOG.info("injecting serving fault %s before query %d",
+                      spec.kind, ordinal)
+            cluster.inject(spec)
+            self.fired.append(spec)
+        return list(specs)

@@ -22,12 +22,21 @@ package grows it into a serving subsystem that can absorb heavy traffic:
   audit trail so every forensic query is itself accountable.
 * :mod:`repro.serving.telemetry` — per-stage latency / hit-rate /
   occupancy counters for the whole plane.
+* :mod:`repro.serving.cluster` — the self-healing replicated layer:
+  N engine replicas over one sealed store, fronted by a router with
+  per-request deadlines, jittered-backoff retry, p99-triggered hedging,
+  per-replica circuit breakers, load shedding, per-answer verification
+  against the store, background eviction/revival, and an audited exact
+  brute-force degraded mode.
 """
 
+from repro.serving.cluster import (CircuitBreaker, ClusterConfig,
+                                   ClusterResult, ServingCluster,
+                                   ServingReplica)
 from repro.serving.engine import EngineConfig, ServingEngine
 from repro.serving.index import IndexHit, ShardedAnnIndex
 from repro.serving.store import LinkageStore, SegmentInfo
-from repro.serving.telemetry import ServingTelemetry
+from repro.serving.telemetry import ClusterTelemetry, ServingTelemetry
 
 __all__ = [
     "EngineConfig",
@@ -37,4 +46,10 @@ __all__ = [
     "LinkageStore",
     "SegmentInfo",
     "ServingTelemetry",
+    "ClusterTelemetry",
+    "ClusterConfig",
+    "ClusterResult",
+    "CircuitBreaker",
+    "ServingCluster",
+    "ServingReplica",
 ]

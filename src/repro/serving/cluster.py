@@ -1,0 +1,1086 @@
+"""Self-healing replicated serving: deadlines, hedging, breakers, failover.
+
+One :class:`~repro.serving.engine.ServingEngine` is a single point of
+failure on an untrusted host: the process can crash, a worker can wedge,
+the in-memory index can rot, and a caller has no recourse beyond waiting.
+:class:`ServingCluster` runs N engine replicas over the *same* promoted
+:class:`~repro.serving.store.LinkageStore` and fronts them with a router
+whose job is to keep the accountability plane answering — correctly —
+while the host misbehaves:
+
+* **per-request deadlines** — every query carries one end-to-end budget;
+  all retries, hedges, and fallbacks spend from it;
+* **bounded retry with jittered backoff** — retryable failures (crash,
+  wedge, staleness, backpressure) move the query to another replica;
+  backpressure honours the engine's ``retry_after_s`` hint;
+* **hedged requests** — when a reply takes longer than the rolling p99,
+  a second replica gets the same query and the first answer wins;
+* **per-replica circuit breakers** — repeated failures open the breaker
+  so a sick replica stops eating deadline budget; a half-open probe lets
+  it back in once it recovers;
+* **load shedding** — a cluster-wide in-flight bound rejects excess
+  work with a typed, ``retry_after_s``-carrying
+  :class:`~repro.errors.QueryRejected` instead of letting queues melt;
+* **answer verification** — every hit a replica returns is re-checked
+  against the authoritative mmap store (distance recomputation via
+  :meth:`LinkageStore.fingerprint_at`); a mismatch is index corruption
+  and evicts the replica fail-closed;
+* **health sweeps + self-healing** — a background monitor re-verifies
+  each replica's audit-chain suffix and index shard checksums, evicts
+  failed replicas, and revives them: re-open the store from disk
+  (fail-closed on torn manifests), re-run the promotion
+  ``serving_verifier`` walk, rebuild the index, probe, rejoin;
+* **audited graceful degradation** — with no healthy replica the router
+  answers by exact brute-force over the verified store, flags the result
+  ``degraded=True``, and records it in the cluster's hash-chained audit
+  log. Wrong or stale answers are never an option; refusing
+  (:class:`~repro.errors.NoHealthyReplica`) is the last resort.
+
+The degraded path matters for the trust story: replicas are *untrusted*
+accelerators over the sealed store — the store's content-addressed
+segments are the root of trust. Degraded mode drops the accelerator and
+reads the sealed bytes directly (after a fail-closed ``verify()``), so
+availability never comes at the price of integrity.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures import wait as futures_wait
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.audit import AuditLog
+from repro.errors import (ConfigurationError, DeadlineExceeded,
+                          IndexIntegrityError, NoHealthyReplica, QueryError,
+                          QueryRejected, ServingError, StaleIndexError,
+                          StoreError)
+from repro.serving.engine import EngineConfig, ServingEngine
+from repro.serving.index import IndexHit, ShardedAnnIndex
+from repro.serving.store import LinkageStore
+from repro.serving.telemetry import ClusterTelemetry, ServingTelemetry
+
+__all__ = ["ClusterConfig", "CircuitBreaker", "ClusterResult",
+           "ServingReplica", "ServingCluster"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Tuning knobs for the replicated serving cluster."""
+
+    deadline_s: float = 2.0        # default end-to-end budget per query
+    max_retries: int = 2           # failovers per query beyond the first try
+    backoff_base_s: float = 0.02   # exponential backoff base
+    backoff_cap_s: float = 0.25    # backoff ceiling
+    jitter_seed: int = 0           # deterministic backoff jitter
+    hedge_min_s: float = 0.05      # hedge delay floor (and pre-warm value)
+    latency_window: int = 512      # rolling latencies for the p99 estimate
+    hedging: bool = True           # launch p99-triggered hedged requests
+    breaker_threshold: int = 3     # consecutive failures that open a breaker
+    breaker_reset_s: float = 1.0   # open -> half-open probe interval
+    max_in_flight: int = 256       # cluster-wide load-shedding bound
+    health_interval_s: float = 0.25  # background health-sweep period
+    probe_timeout_s: float = 1.0   # revival probe budget
+    verify_hits: bool = True       # recompute each hit against the store
+    verify_tolerance: float = 1e-3  # relative distance tolerance
+    degraded_allowed: bool = True  # audited brute-force fallback
+    revive: bool = True            # background revival of evicted replicas
+    stop_timeout_s: float = 1.0    # bound on per-engine eviction/stop drains
+
+    def __post_init__(self) -> None:
+        if self.deadline_s <= 0:
+            raise ConfigurationError("deadline_s must be positive")
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.backoff_base_s <= 0 or self.backoff_cap_s < self.backoff_base_s:
+            raise ConfigurationError(
+                "backoff_base_s must be positive and <= backoff_cap_s")
+        if self.hedge_min_s <= 0:
+            raise ConfigurationError("hedge_min_s must be positive")
+        if self.latency_window < 1:
+            raise ConfigurationError("latency_window must be >= 1")
+        if self.breaker_threshold < 1:
+            raise ConfigurationError("breaker_threshold must be >= 1")
+        if self.breaker_reset_s <= 0:
+            raise ConfigurationError("breaker_reset_s must be positive")
+        if self.max_in_flight < 1:
+            raise ConfigurationError("max_in_flight must be >= 1")
+        if self.health_interval_s <= 0:
+            raise ConfigurationError("health_interval_s must be positive")
+        if self.probe_timeout_s <= 0:
+            raise ConfigurationError("probe_timeout_s must be positive")
+        if self.verify_tolerance <= 0:
+            raise ConfigurationError("verify_tolerance must be positive")
+        if self.stop_timeout_s <= 0:
+            raise ConfigurationError("stop_timeout_s must be positive")
+
+
+class CircuitBreaker:
+    """Per-replica breaker: closed -> open on consecutive failures,
+    half-open single probe after ``reset_s``, closed again on success."""
+
+    def __init__(self, threshold: int, reset_s: float,
+                 clock: Callable[[], float]) -> None:
+        self.threshold = threshold
+        self.reset_s = reset_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._state = "closed"
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self._clock() - self._opened_at >= self.reset_s:
+                    self._state = "half-open"
+                    self._probing = True
+                    return True
+                return False
+            # half-open: exactly one in-flight probe at a time
+            if self._probing:
+                return False
+            self._probing = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = "closed"
+            self._probing = False
+
+    def record_failure(self) -> bool:
+        """Returns True if this failure (re)opened the breaker."""
+        with self._lock:
+            self._failures += 1
+            was_open = self._state == "open"
+            if self._state == "half-open" or self._failures >= self.threshold:
+                self._state = "open"
+                self._opened_at = self._clock()
+                self._probing = False
+            return self._state == "open" and not was_open
+
+    def reset(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = "closed"
+            self._probing = False
+
+
+class _ReplicaIndex:
+    """Fault-injectable wrapper around one replica's private index.
+
+    This is the chaos surface: the cluster's fault plan can add latency,
+    wedge searches until released, or flip bytes in a shard matrix —
+    all scoped to one replica, never the shared store. Delegates every
+    other attribute to the wrapped :class:`ShardedAnnIndex`, so the
+    engine cannot tell the difference.
+    """
+
+    def __init__(self, inner: ShardedAnnIndex) -> None:
+        self.inner = inner
+        self._delay_s = 0.0
+        self._wedged = False
+        self._release = threading.Event()
+        self._release.set()
+        # Snapshot the three attributes the engine reads on EVERY submit
+        # (dimension/staleness checks) as plain attributes: property-hop
+        # delegation on the submit hot path is measurable router
+        # overhead. build() refreshes them; the store handle is stable
+        # for the life of the wrapper (store.version stays a live read).
+        self.store = inner.store
+        self._sync_snapshot()
+
+    # -- chaos controls ----------------------------------------------------------
+
+    def set_delay(self, delay_s: float) -> None:
+        self._delay_s = max(0.0, float(delay_s))
+
+    def wedge(self) -> None:
+        self._wedged = True
+        self._release.clear()
+
+    def release_faults(self) -> None:
+        self._delay_s = 0.0
+        self._wedged = False
+        self._release.set()
+
+    def corrupt_row(self, label: int, row: int,
+                    value: Optional[Sequence[float]] = None) -> None:
+        """Flip one index row in place (replica-private matrix copy)."""
+        shard = self.inner._shard_for(int(label))
+        matrix = shard.matrix
+        row = int(row) % matrix.shape[0]
+        if value is not None:
+            matrix[row] = np.asarray(value, dtype=np.float32)
+        else:
+            matrix[row] = matrix[row] + np.float32(1.0)
+
+    # -- delegation --------------------------------------------------------------
+
+    def search_batch(self, batch, label, k=9):
+        if self._delay_s:
+            time.sleep(self._delay_s)
+        if self._wedged:
+            self._release.wait()
+        return self.inner.search_batch(batch, label, k)
+
+    def build(self) -> "_ReplicaIndex":
+        self.inner.build()
+        self._sync_snapshot()
+        return self
+
+    def _sync_snapshot(self) -> None:
+        self.dimension = getattr(self.inner, "dimension", None)
+        self.built_version = getattr(self.inner, "built_version", None)
+
+    def verify_checksums(self) -> None:
+        self.inner.verify_checksums()
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+@dataclass
+class ClusterResult:
+    """One routed answer plus how the cluster obtained it."""
+
+    hits: Tuple[IndexHit, ...]
+    replica: Optional[str]     # None when served degraded
+    degraded: bool = False
+    hedged: bool = False       # a hedge was launched for this query
+    failed_over: bool = False  # answered by other than the first replica
+    retries: int = 0
+    latency_s: float = 0.0
+
+
+class ServingReplica:
+    """One engine replica plus its health state, breaker, and audit mark."""
+
+    def __init__(self, name: str, store: LinkageStore, index: _ReplicaIndex,
+                 engine: ServingEngine, breaker: CircuitBreaker) -> None:
+        self.name = name
+        self.store = store
+        self.index = index
+        self.engine = engine
+        self.breaker = breaker
+        self.state = "healthy"          # healthy | evicted | reviving
+        self.evicted_reason: Optional[str] = None
+        self.last_revive_attempt = 0.0
+        # Incremental audit verification mark: (events seen, chain head).
+        self.audit_mark: Tuple[int, bytes] = (0, engine.audit.head)
+        self.lock = threading.Lock()
+
+    @property
+    def healthy(self) -> bool:
+        return self.state == "healthy"
+
+
+class ServingCluster:
+    """N replicated engines + the self-healing query router (see module
+    docstring for the full availability contract)."""
+
+    def __init__(self, store: LinkageStore, replicas: int = 3,
+                 config: Optional[ClusterConfig] = None,
+                 engine_config: Optional[EngineConfig] = None,
+                 index_factory: Optional[Callable[..., ShardedAnnIndex]] = None,
+                 promotion=None, promotion_verifier=None,
+                 telemetry: Optional[ClusterTelemetry] = None,
+                 tracer=None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if replicas < 1:
+            raise ConfigurationError("a cluster needs at least one replica")
+        self.store = store
+        self.config = config or ClusterConfig()
+        self.engine_config = engine_config or EngineConfig()
+        self.index_factory = index_factory or (
+            lambda s: ShardedAnnIndex(s)
+        )
+        self.promotion = promotion
+        self.promotion_verifier = promotion_verifier
+        self.telemetry = telemetry if telemetry is not None else ClusterTelemetry()
+        self.tracer = tracer
+        self.audit = AuditLog()  # notable routing events, hash-chained
+        self._audit_lock = threading.Lock()
+        self._clock = clock
+        self._rng = random.Random(self.config.jitter_seed)
+        self._rng_lock = threading.Lock()
+        self._rr = itertools.count()
+        self._latencies: "deque[float]" = deque(maxlen=self.config.latency_window)
+        self._latency_lock = threading.Lock()
+        self._in_flight = 0
+        self._in_flight_lock = threading.Lock()
+        self._started = False
+        self._monitor: Optional[threading.Thread] = None
+        self._monitor_stop = threading.Event()
+        # Degraded-path cache: per-(label, store version) matrices, plus a
+        # once-per-version fail-closed store verification flag.
+        self._degraded_lock = threading.Lock()
+        self._degraded_cache: Dict[Tuple[int, int], Tuple[np.ndarray, List[int]]] = {}
+        self._degraded_verified_version: Optional[int] = None
+        self.replicas: List[ServingReplica] = [
+            self._make_replica(f"replica-{i}", store) for i in range(replicas)
+        ]
+
+    # -- construction / lifecycle ------------------------------------------------
+
+    def _make_replica(self, name: str, store: LinkageStore) -> ServingReplica:
+        index = _ReplicaIndex(self.index_factory(store))
+        engine = ServingEngine(
+            index, config=self.engine_config,
+            telemetry=ServingTelemetry(registry=self.telemetry.registry),
+            promotion=self.promotion,
+            promotion_verifier=self.promotion_verifier,
+        )
+        breaker = CircuitBreaker(self.config.breaker_threshold,
+                                 self.config.breaker_reset_s, self._clock)
+        return ServingReplica(name, store, index, engine, breaker)
+
+    def _span(self, name: str, kind: str, **attrs):
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, kind=kind, **attrs)
+
+    def start(self) -> "ServingCluster":
+        if self._started:
+            raise ServingError("cluster already started")
+        for replica in self.replicas:
+            replica.index.build()
+            replica.engine.start()
+            replica.audit_mark = (len(replica.engine.audit),
+                                  replica.engine.audit.head)
+        self._started = True
+        self._monitor_stop.clear()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="cluster-health", daemon=True
+        )
+        self._monitor.start()
+        self._audit_event("cluster-started", replicas=len(self.replicas))
+        return self
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        self._monitor_stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=self.config.stop_timeout_s * 2)
+            self._monitor = None
+        for replica in self.replicas:
+            replica.index.release_faults()
+            try:
+                replica.engine.stop(
+                    drain=True, drain_timeout=self.config.stop_timeout_s
+                )
+            except ServingError:
+                pass  # abandoned futures already resolved with typed errors
+        self._started = False
+        self._audit_event("cluster-stopped")
+
+    def __enter__(self) -> "ServingCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- small shared helpers ----------------------------------------------------
+
+    def _audit_event(self, kind: str, **details) -> None:
+        with self._audit_lock:
+            self.audit.append(kind, **details)
+
+    def verify_audit_chain(self) -> bool:
+        with self._audit_lock:
+            return self.audit.verify_chain()
+
+    def _record_latency(self, seconds: float) -> None:
+        with self._latency_lock:
+            self._latencies.append(seconds)
+
+    def _hedge_delay(self) -> float:
+        with self._latency_lock:
+            n = len(self._latencies)
+            if n < 20:
+                return self.config.hedge_min_s
+            ordered = sorted(self._latencies)
+            p99 = ordered[min(n - 1, int(0.99 * (n - 1)) + 1)]
+        return max(self.config.hedge_min_s, p99)
+
+    def _backoff(self, attempt: int, hint: Optional[float] = None) -> float:
+        base = min(self.config.backoff_cap_s,
+                   self.config.backoff_base_s * (2 ** attempt))
+        with self._rng_lock:
+            jittered = base * (0.5 + 0.5 * self._rng.random())
+        if hint is not None:
+            jittered = max(jittered, hint)
+        return min(jittered, self.config.backoff_cap_s)
+
+    def _pick(self, exclude: frozenset) -> Optional[ServingReplica]:
+        """Round-robin over healthy replicas whose breaker admits traffic."""
+        candidates = [r for r in self.replicas
+                      if r.healthy and r.name not in exclude]
+        if not candidates:
+            return None
+        start = next(self._rr)
+        for offset in range(len(candidates)):
+            replica = candidates[(start + offset) % len(candidates)]
+            if replica.breaker.allow():
+                return replica
+        return None
+
+    # -- answer verification -----------------------------------------------------
+
+    def _verify_hits(self, fingerprint: np.ndarray,
+                     hits: Tuple[IndexHit, ...]) -> None:
+        """Recompute every hit's distance against the authoritative store.
+
+        The replicas' in-memory matrices are untrusted copies; the mmap
+        store (content-addressed, sealable) is the ground truth. Any
+        mismatch means the replica's index drifted — the answer is
+        discarded and the caller evicts the replica."""
+        if not hits:
+            return
+        self.telemetry.count("hit_verifications")
+        rows = self.store.fingerprints_at([h.index for h in hits])
+        actual = np.sqrt(((rows - fingerprint[None, :]) ** 2).sum(axis=1))
+        claimed = np.array([h.distance for h in hits], dtype=np.float64)
+        tolerance = self.config.verify_tolerance * np.maximum(1.0, actual)
+        if np.any(np.abs(actual - claimed) > tolerance):
+            self.telemetry.count("verify_failures")
+            raise IndexIntegrityError(
+                "served hit distance disagrees with the authoritative store "
+                "— replica index corruption"
+            )
+
+    def _verify_hits_many(self, fingerprints: np.ndarray,
+                          hit_lists: Sequence[Tuple[IndexHit, ...]]
+                          ) -> List[bool]:
+        """Vectorised :meth:`_verify_hits` for a gathered batch.
+
+        One store gather + one distance pass for every hit of every
+        answer; returns a per-answer pass/fail list with the same
+        metering as the scalar path (one verification per non-empty
+        answer, one failure per bad answer).
+        """
+        counts = [len(hits) for hits in hit_lists]
+        checked = sum(1 for c in counts if c)
+        if checked:
+            self.telemetry.count("hit_verifications", checked)
+        if not sum(counts):
+            return [True] * len(hit_lists)
+        rows = self.store.fingerprints_at(
+            [h.index for hits in hit_lists for h in hits])
+        owner = np.repeat(np.arange(len(hit_lists)), counts)
+        deltas = rows - fingerprints[owner]
+        actual = np.sqrt((deltas * deltas).sum(axis=1))
+        claimed = np.array([h.distance for hits in hit_lists for h in hits],
+                           dtype=np.float64)
+        tolerance = self.config.verify_tolerance * np.maximum(1.0, actual)
+        bad = np.abs(actual - claimed) > tolerance
+        ok = [True] * len(hit_lists)
+        if np.any(bad):
+            for position in np.unique(owner[bad]):
+                ok[int(position)] = False
+            self.telemetry.count("verify_failures", ok.count(False))
+        return ok
+
+    # -- degraded path -----------------------------------------------------------
+
+    def _degraded_answer(self, fingerprint: np.ndarray, label: int,
+                         k: int) -> Tuple[IndexHit, ...]:
+        """Exact brute force straight off the verified store (audited)."""
+        with self._degraded_lock:
+            version = self.store.version
+            if self._degraded_verified_version != version:
+                try:
+                    # Fail-closed: degraded mode only serves from a store
+                    # whose content-addressed digests verify right now.
+                    self.store.verify()
+                except StoreError as exc:
+                    raise NoHealthyReplica(
+                        f"degraded fallback refused: {exc}"
+                    ) from exc
+                self._degraded_cache.clear()
+                self._degraded_verified_version = version
+            key = (int(label), version)
+            cached = self._degraded_cache.get(key)
+            if cached is None:
+                matrix, indices = self.store.by_label(int(label))
+                cached = (np.ascontiguousarray(matrix, dtype=np.float32),
+                          list(indices))
+                self._degraded_cache[key] = cached
+        matrix, indices = cached
+        if matrix.shape[0] == 0:
+            raise QueryError(
+                f"no training fingerprints indexed for label {label}"
+            )
+        deltas = matrix - fingerprint[None, :]
+        distances = np.sqrt((deltas * deltas).sum(axis=1))
+        order = np.argsort(distances, kind="stable")[:min(k, len(indices))]
+        return tuple(
+            IndexHit(int(indices[i]), float(distances[i])) for i in order
+        )
+
+    # -- fault handling ----------------------------------------------------------
+
+    def _evict(self, replica: ServingReplica, reason: str) -> None:
+        with replica.lock:
+            if replica.state == "evicted":
+                return
+            replica.state = "evicted"
+            replica.evicted_reason = reason
+        self.telemetry.count("evictions")
+        self._audit_event("replica-evicted", replica=replica.name,
+                          reason=reason)
+        # Unwedge anything stuck in the chaos wrapper so the engine's
+        # bounded stop can resolve its futures, then shut the engine down
+        # without draining (an evicted replica's answers are not trusted).
+        replica.index.release_faults()
+        try:
+            replica.engine.stop(drain=False,
+                                drain_timeout=self.config.stop_timeout_s)
+        except ServingError:
+            pass
+
+    def _replica_failure(self, replica: ServingReplica, exc: Exception) -> None:
+        """Classify one failure: breaker bookkeeping + eviction triggers."""
+        if replica.breaker.record_failure():
+            self.telemetry.count("breaker_opens")
+            self._audit_event("breaker-open", replica=replica.name,
+                              error=type(exc).__name__)
+        if isinstance(exc, IndexIntegrityError):
+            self._evict(replica, "index-integrity")
+        elif isinstance(exc, StaleIndexError):
+            self._evict(replica, "stale-index")
+        elif isinstance(exc, ServingError) and replica.engine._crashed:
+            self._evict(replica, "crash")
+
+    # -- routing -----------------------------------------------------------------
+
+    def _shed_check(self, n: int) -> None:
+        with self._in_flight_lock:
+            if self._in_flight + n > self.config.max_in_flight:
+                self.telemetry.count("shed", n)
+                retry_after = self.config.hedge_min_s
+                self._audit_event("query-shed", queries=n,
+                                  in_flight=self._in_flight)
+                raise QueryRejected(
+                    f"cluster at max_in_flight={self.config.max_in_flight}; "
+                    f"retry after {retry_after:.3f}s",
+                    retry_after_s=retry_after,
+                )
+            self._in_flight += n
+
+    def _unshed(self, n: int) -> None:
+        with self._in_flight_lock:
+            self._in_flight -= n
+
+    def query(self, fingerprint: np.ndarray, label: int, k: int = 9,
+              deadline_s: Optional[float] = None) -> ClusterResult:
+        """Route one query with deadline/retry/hedging/failover/degrade."""
+        if not self._started:
+            raise ServingError("cluster is not running — call start()")
+        fingerprint = np.ascontiguousarray(
+            np.asarray(fingerprint, dtype=np.float32).ravel()
+        )
+        self._shed_check(1)
+        try:
+            with self._span("cluster-route", "untrusted", label=int(label)):
+                return self._route(fingerprint, int(label), int(k),
+                                   deadline_s)
+        finally:
+            self._unshed(1)
+
+    def _route(self, fingerprint: np.ndarray, label: int, k: int,
+               deadline_s: Optional[float]) -> ClusterResult:
+        budget = deadline_s if deadline_s is not None else self.config.deadline_s
+        started = self._clock()
+        deadline = started + budget
+        self.telemetry.count("queries")
+        exclude: frozenset = frozenset()
+        first_replica: Optional[str] = None
+        retries = 0
+        hedged_any = False
+        last_error: Optional[Exception] = None
+        for attempt in range(self.config.max_retries + 1):
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                break
+            replica = self._pick(exclude)
+            if replica is None:
+                break  # nothing routable: fall through to degraded
+            if first_replica is None:
+                first_replica = replica.name
+            if attempt:
+                retries += 1
+                self.telemetry.count("retries")
+            try:
+                future = replica.engine.submit(fingerprint, label, k)
+            except QueryRejected as exc:
+                # Backpressure is soft: honour the replica's hint, do not
+                # punish its breaker, try again (possibly elsewhere).
+                last_error = exc
+                pause = min(self._backoff(attempt, exc.retry_after_s),
+                            max(0.0, deadline - self._clock()))
+                if pause > 0:
+                    time.sleep(pause)
+                continue
+            except ServingError as exc:
+                last_error = exc
+                self._replica_failure(replica, exc)
+                exclude = exclude | {replica.name}
+                continue
+            outcome = self._await_answer(fingerprint, label, k, replica,
+                                         future, deadline, exclude)
+            winner, hits, hedged, error = outcome
+            hedged_any = hedged_any or hedged
+            if hits is not None and winner is not None:
+                latency = self._clock() - started
+                self._record_latency(latency)
+                self.telemetry.observe("route", latency)
+                self.telemetry.count("queries_ok")
+                failed_over = winner.name != first_replica
+                if failed_over:
+                    self.telemetry.count("failovers")
+                    self._audit_event("failover-query", replica=winner.name,
+                                      first=first_replica, label=label)
+                return ClusterResult(
+                    hits=hits, replica=winner.name, degraded=False,
+                    hedged=hedged_any, failed_over=failed_over,
+                    retries=retries, latency_s=latency,
+                )
+            last_error = error
+            if isinstance(error, QueryError) and not isinstance(
+                    error, (QueryRejected, StaleIndexError)):
+                # Caller errors (unknown label, bad dimension) are not
+                # replica faults — propagate without burning the budget.
+                self.telemetry.count("caller_errors")
+                raise error
+            exclude = exclude | {replica.name}
+        # -- every replica path exhausted: degrade or refuse -------------------
+        remaining = deadline - self._clock()
+        if remaining <= 0 and last_error is None:
+            self.telemetry.count("queries_failed")
+            raise DeadlineExceeded(
+                f"query deadline of {budget:.3f}s expired before any replica "
+                "answered"
+            )
+        if self.config.degraded_allowed and remaining > 0:
+            try:
+                with self._span("degraded-brute-force", "boundary-crossing",
+                                label=label):
+                    hits = self._degraded_answer(fingerprint, label, k)
+            except NoHealthyReplica:
+                self.telemetry.count("queries_failed")
+                raise
+            latency = self._clock() - started
+            self.telemetry.observe("route", latency)
+            self.telemetry.count("queries_ok")
+            self.telemetry.count("degraded_answers")
+            self._audit_event("degraded-query", label=label, k=k,
+                              reason=type(last_error).__name__
+                              if last_error else "no-healthy-replica")
+            return ClusterResult(
+                hits=hits, replica=None, degraded=True, hedged=hedged_any,
+                failed_over=first_replica is not None, retries=retries,
+                latency_s=latency,
+            )
+        self.telemetry.count("queries_failed")
+        if remaining <= 0:
+            raise DeadlineExceeded(
+                f"query deadline of {budget:.3f}s expired "
+                f"(last error: {type(last_error).__name__ if last_error else 'none'})"
+            )
+        raise NoHealthyReplica(
+            "no healthy replica and degraded serving is disabled "
+            f"(last error: {type(last_error).__name__ if last_error else 'none'})"
+        )
+
+    def _await_answer(self, fingerprint, label, k, replica, future,
+                      deadline, exclude):
+        """Wait on one submitted query, hedging past the rolling p99.
+
+        Returns ``(winner, hits, hedged, error)``; ``hits`` is None on
+        failure and ``error`` carries the decisive exception."""
+        hedged = False
+        hedge_future = None
+        hedge_replica = None
+        pending = {future: replica}
+        # Phase 1: give the primary until the hedge trigger.
+        if self.config.hedging:
+            trigger = min(self._hedge_delay(),
+                          max(0.0, deadline - self._clock()))
+            done, _ = futures_wait([future], timeout=trigger)
+            if not done and deadline - self._clock() > 0:
+                hedge_replica = self._pick(
+                    exclude | {replica.name})
+                if hedge_replica is not None:
+                    try:
+                        hedge_future = hedge_replica.engine.submit(
+                            fingerprint, label, k)
+                        pending[hedge_future] = hedge_replica
+                        hedged = True
+                        self.telemetry.count("hedges_launched")
+                        self._audit_event("hedged-query", label=label,
+                                          primary=replica.name,
+                                          hedge=hedge_replica.name)
+                    except (QueryRejected, ServingError):
+                        hedge_replica = None
+        # Phase 2: first verified answer wins; failures drop out one by one.
+        last_error: Optional[Exception] = None
+        while pending:
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                # Timed out: everyone still pending is too slow to trust.
+                for straggler in pending.values():
+                    self._replica_failure(
+                        straggler, FuturesTimeoutError("deadline"))
+                return None, None, hedged, last_error or FuturesTimeoutError(
+                    "deadline expired waiting on replicas")
+            done, _ = futures_wait(list(pending), timeout=remaining,
+                                   return_when=FIRST_COMPLETED)
+            if not done:
+                continue
+            for finished in done:
+                owner = pending.pop(finished)
+                try:
+                    hits = tuple(finished.result(timeout=0))
+                    if self.config.verify_hits:
+                        with self._span("verify-hits", "boundary-crossing",
+                                        replica=owner.name):
+                            self._verify_hits(fingerprint, hits)
+                except Exception as exc:  # noqa: BLE001 — classified below
+                    last_error = exc
+                    self._replica_failure(owner, exc)
+                    if isinstance(exc, QueryError) and not isinstance(
+                            exc, (QueryRejected, StaleIndexError)):
+                        return owner, None, hedged, exc  # permanent
+                    continue
+                owner.breaker.record_success()
+                if hedged and owner is hedge_replica:
+                    self.telemetry.count("hedges_won")
+                return owner, hits, hedged, None
+        return None, None, hedged, last_error
+
+    def query_many(self, fingerprints: np.ndarray, labels: Sequence[int],
+                   k: int = 9, deadline_s: Optional[float] = None
+                   ) -> List[ClusterResult]:
+        """Route a batch under one overall deadline.
+
+        Fast path: submit everything up front (preserving each engine's
+        micro-batch coalescing), then gather with the remaining budget.
+        Any per-query failure falls back to the full single-query retry
+        / hedge / degrade machinery with whatever budget is left.
+        """
+        if not self._started:
+            raise ServingError("cluster is not running — call start()")
+        fingerprints = np.asarray(fingerprints, dtype=np.float32)
+        n = fingerprints.shape[0]
+        fingerprints = fingerprints.reshape(n, -1)
+        if len(labels) != n:
+            raise ServingError(f"{n} fingerprints but {len(labels)} labels")
+        budget = deadline_s if deadline_s is not None else self.config.deadline_s
+        deadline = self._clock() + budget
+        self._shed_check(n)
+        try:
+            # One rotation snapshot for the whole batch: per-query _pick
+            # (and its breaker lock) measurably taxes the fault-free fast
+            # path; replicas that sicken mid-batch fail into the slow
+            # path below, which re-picks with full checks.
+            candidates = [r for r in self.replicas
+                          if r.healthy and r.breaker.allow()]
+            rotation = next(self._rr)
+            submitted: List[Optional[Tuple[object, ServingReplica]]] = []
+            for i in range(n):
+                entry = None
+                if candidates:
+                    replica = candidates[(rotation + i) % len(candidates)]
+                    try:
+                        entry = (replica.engine.submit(
+                            fingerprints[i], int(labels[i]), k), replica)
+                    except (QueryRejected, ServingError):
+                        entry = None
+                submitted.append(entry)
+            # Gather raw answers with the remaining budget; verification
+            # and bookkeeping run batched afterwards so the per-query
+            # Python cost stays off the routing-overhead budget.
+            answers: List[Optional[Tuple[Tuple[IndexHit, ...],
+                                         ServingReplica, float]]] = [None] * n
+            reroute: List[int] = []
+            for i in range(n):
+                started = self._clock()
+                remaining = deadline - started
+                entry = submitted[i]
+                if entry is None or remaining <= 0:
+                    reroute.append(i)
+                    continue
+                future, replica = entry
+                try:
+                    hits = tuple(future.result(timeout=remaining))
+                except Exception as exc:  # noqa: BLE001 — reroute below
+                    self._replica_failure(replica, exc)
+                    if isinstance(exc, QueryError) and not isinstance(
+                            exc, (QueryRejected, StaleIndexError)):
+                        self.telemetry.count("queries")
+                        self.telemetry.count("caller_errors")
+                        raise
+                    reroute.append(i)
+                    continue
+                answers[i] = (hits, replica, self._clock() - started)
+            gathered = [i for i in range(n) if answers[i] is not None]
+            if self.config.verify_hits and gathered:
+                passed = self._verify_hits_many(
+                    fingerprints[gathered],
+                    [answers[i][0] for i in gathered])
+                for keep, i in zip(passed, gathered):
+                    if keep:
+                        continue
+                    _, replica, _ = answers[i]
+                    answers[i] = None
+                    self._replica_failure(replica, IndexIntegrityError(
+                        "served hit distance disagrees with the "
+                        "authoritative store — replica index corruption"))
+                    reroute.append(i)
+                gathered = [i for i in gathered if answers[i] is not None]
+            if gathered:
+                self.telemetry.count("queries", len(gathered))
+                self.telemetry.count("queries_ok", len(gathered))
+                with self._latency_lock:
+                    self._latencies.extend(answers[i][2] for i in gathered)
+                for replica in {answers[i][1].name: answers[i][1]
+                                for i in gathered}.values():
+                    replica.breaker.record_success()
+                self.telemetry.observe_many(
+                    "route", [answers[i][2] for i in gathered])
+            results: List[Optional[ClusterResult]] = [
+                None if entry is None else ClusterResult(
+                    hits=entry[0], replica=entry[1].name,
+                    latency_s=entry[2])
+                for entry in answers
+            ]
+            # Slow path: the single-query router owns retries/degrade.
+            for i in sorted(reroute):
+                results[i] = self._route(
+                    np.ascontiguousarray(fingerprints[i]), int(labels[i]),
+                    int(k), max(0.001, deadline - self._clock()))
+            return results
+        finally:
+            self._unshed(n)
+
+    # -- health + self-healing ---------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        while not self._monitor_stop.wait(self.config.health_interval_s):
+            try:
+                self.health_check_now()
+            except Exception:  # noqa: BLE001 — the monitor must survive
+                self.telemetry.count("monitor_errors")
+
+    def health_check_now(self) -> Dict[str, str]:
+        """One synchronous health sweep (the monitor calls this on a
+        timer; tests and the CLI can call it directly)."""
+        states: Dict[str, str] = {}
+        for replica in self.replicas:
+            if replica.state == "evicted":
+                if self.config.revive:
+                    self._maybe_revive(replica)
+            elif replica.healthy:
+                self._check_replica(replica)
+            states[replica.name] = replica.state
+        return states
+
+    def _check_replica(self, replica: ServingReplica) -> None:
+        self.telemetry.count("health_checks")
+        if replica.engine._crashed:
+            self._evict(replica, "crash")
+            return
+        # Incremental audit-chain verification: only the suffix since the
+        # last sweep's mark (satellite: AuditLog.verify_from).
+        mark_seq, mark_head = replica.audit_mark
+        log = replica.engine.audit
+        if not log.verify_from(mark_seq, mark_head):
+            self._evict(replica, "audit-chain-break")
+            return
+        replica.audit_mark = (len(log), log.head)
+        try:
+            replica.index.verify_checksums()
+        except IndexIntegrityError:
+            self._evict(replica, "index-integrity")
+
+    def _maybe_revive(self, replica: ServingReplica) -> None:
+        now = self._clock()
+        if now - replica.last_revive_attempt < self.config.breaker_reset_s:
+            return
+        replica.last_revive_attempt = now
+        with replica.lock:
+            if replica.state != "evicted":
+                return
+            replica.state = "reviving"
+        try:
+            self._revive(replica)
+        except Exception as exc:  # noqa: BLE001 — revival is best-effort
+            self.telemetry.count("revive_failures")
+            self._audit_event("revive-failed", replica=replica.name,
+                              error=type(exc).__name__)
+            with replica.lock:
+                replica.state = "evicted"
+
+    def _revive(self, replica: ServingReplica) -> None:
+        """Rebuild one evicted replica from the sealed truth on disk.
+
+        Fail-closed at every step: re-open the store with digest
+        verification (catches torn manifests and corrupted segments),
+        re-run the promotion walk (the PR 8 ``serving_verifier``),
+        rebuild the index fresh, and answer a probe query before the
+        replica takes traffic again."""
+        with self._span("replica-revive", "internal", replica=replica.name):
+            fresh_store = LinkageStore.open(self.store.path, verify=True)
+            if self.promotion_verifier is not None:
+                self.promotion_verifier(self.promotion)
+            index = _ReplicaIndex(self.index_factory(fresh_store))
+            index.build()
+            engine = ServingEngine(
+                index, config=self.engine_config,
+                telemetry=ServingTelemetry(registry=self.telemetry.registry),
+                promotion=self.promotion,
+                promotion_verifier=self.promotion_verifier,
+            )
+            engine.start()
+            try:
+                probe_label = fresh_store.labels()[0]
+                probe_fp = fresh_store.fingerprint_at(0)
+                engine.query(probe_fp, probe_label, k=1,
+                             timeout=self.config.probe_timeout_s)
+            except Exception:
+                engine.stop(drain=False,
+                            drain_timeout=self.config.stop_timeout_s)
+                raise
+            with replica.lock:
+                replica.store = fresh_store
+                replica.index = index
+                replica.engine = engine
+                replica.breaker.reset()
+                replica.audit_mark = (len(engine.audit), engine.audit.head)
+                replica.state = "healthy"
+                replica.evicted_reason = None
+        self.telemetry.count("revivals")
+        self._audit_event("replica-revived", replica=replica.name)
+
+    # -- chaos surface (driven by ServingFaultPlan / tests / CLI) ----------------
+
+    def _target(self, name: Optional[str]) -> ServingReplica:
+        if name is None:
+            for replica in self.replicas:
+                if replica.healthy:
+                    return replica
+            return self.replicas[0]
+        for replica in self.replicas:
+            if replica.name == name:
+                return replica
+        raise ConfigurationError(f"no replica named {name!r}")
+
+    def crash_replica(self, name: Optional[str] = None) -> str:
+        replica = self._target(name)
+        replica.engine.kill()
+        self._audit_event("fault-injected", fault="replica-crash",
+                          replica=replica.name)
+        return replica.name
+
+    def wedge_replica(self, name: Optional[str] = None) -> str:
+        replica = self._target(name)
+        replica.index.wedge()
+        self._audit_event("fault-injected", fault="replica-hang",
+                          replica=replica.name)
+        return replica.name
+
+    def delay_replica(self, delay_s: float,
+                      name: Optional[str] = None) -> str:
+        replica = self._target(name)
+        replica.index.set_delay(delay_s)
+        self._audit_event("fault-injected", fault="latency-inject",
+                          replica=replica.name, delay_s=float(delay_s))
+        return replica.name
+
+    def corrupt_index(self, label: int, row: int,
+                      value: Optional[Sequence[float]] = None,
+                      name: Optional[str] = None) -> str:
+        replica = self._target(name)
+        replica.index.corrupt_row(label, row, value)
+        self._audit_event("fault-injected", fault="index-corrupt",
+                          replica=replica.name, label=int(label),
+                          row=int(row))
+        return replica.name
+
+    def corrupt_store_segment(self, segment: int = 0) -> str:
+        """Flip one byte in a store segment file on disk (shared fault)."""
+        infos = self.store.segments
+        if not infos:
+            raise ConfigurationError("store has no segments to corrupt")
+        info = infos[segment % len(infos)]
+        path = self.store.path / f"{info.name}.npy"
+        blob = bytearray(path.read_bytes())
+        offset = len(blob) // 2
+        blob[offset] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        self._audit_event("fault-injected", fault="store-corrupt",
+                          segment=info.name, offset=offset)
+        return info.name
+
+    def tear_manifest(self) -> None:
+        """Truncate the store manifest mid-file (torn-write simulation)."""
+        path = self.store.path / "manifest.json"
+        text = path.read_text()
+        path.write_text(text[: max(1, len(text) // 2)])
+        self._audit_event("fault-injected", fault="torn-manifest")
+
+    def inject(self, spec) -> None:
+        """Apply one :class:`~repro.resilience.faults.ServingFaultSpec`."""
+        kind = spec.kind
+        if kind == "replica-crash":
+            self.crash_replica(spec.replica)
+        elif kind == "replica-hang":
+            self.wedge_replica(spec.replica)
+        elif kind == "latency-inject":
+            self.delay_replica(spec.delay_s, spec.replica)
+        elif kind == "index-corrupt":
+            self.corrupt_index(spec.label or 0, spec.row or 0,
+                               spec.value, spec.replica)
+        elif kind == "store-corrupt":
+            self.corrupt_store_segment(spec.row or 0)
+        elif kind == "torn-manifest":
+            self.tear_manifest()
+        else:
+            raise ConfigurationError(f"unknown serving fault kind {kind!r}")
+
+    # -- introspection -----------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        return {
+            "started": self._started,
+            "replicas": {
+                r.name: {
+                    "state": r.state,
+                    "breaker": r.breaker.state,
+                    "evicted_reason": r.evicted_reason,
+                }
+                for r in self.replicas
+            },
+            "in_flight": self._in_flight,
+            "audit_events": len(self.audit),
+        }

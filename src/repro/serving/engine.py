@@ -27,6 +27,7 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from queue import Empty, Full, Queue
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -52,6 +53,7 @@ class EngineConfig:
     queue_depth: int = 256      # bounded queue = the backpressure limit
     cache_size: int = 4096      # LRU entries; 0 disables the cache
     poll_interval: float = 0.02  # worker wait for the first queue item
+    drain_timeout: Optional[float] = None  # stop(drain=True) bound; None = wait
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -62,6 +64,8 @@ class EngineConfig:
             raise ConfigurationError("queue_depth must be >= 1")
         if self.cache_size < 0:
             raise ConfigurationError("cache_size must be >= 0")
+        if self.drain_timeout is not None and self.drain_timeout <= 0:
+            raise ConfigurationError("drain_timeout must be positive or None")
 
 
 class _LruCache:
@@ -138,10 +142,24 @@ class ServingEngine:
         self._threads: List[threading.Thread] = []
         self._stopping = threading.Event()
         self._started = False
+        self._crashed = False
+        # Batches currently being answered, per worker thread — so a
+        # bounded-drain stop can fail their futures instead of leaving
+        # callers blocked on work a wedged worker will never finish.
+        self._in_flight_lock = threading.Lock()
+        self._in_flight: Dict[int, List[_Pending]] = {}
 
     # -- lifecycle ---------------------------------------------------------------
 
     def start(self) -> "ServingEngine":
+        """Start (or restart) the worker pool.
+
+        A stopped engine may be restarted; its snapshot-keyed cache
+        carries over safely because every cache key embeds the index
+        build version *and* the store version, so entries cached before
+        a stop can never answer for a store that has since grown — they
+        simply never match again (see :meth:`_key`).
+        """
         if self._started:
             raise ServingError("engine already started")
         if self.promotion_verifier is not None:
@@ -149,6 +167,7 @@ class ServingEngine:
             # promoted lineage verifies right now (raises PromotionError).
             self.promotion_verifier(self.promotion)
         self._stopping.clear()
+        self._crashed = False
         self._threads = [
             threading.Thread(target=self._worker_loop,
                              name=f"serving-worker-{i}", daemon=True)
@@ -159,22 +178,22 @@ class ServingEngine:
         self._started = True
         return self
 
-    def stop(self, drain: bool = True) -> None:
-        """Stop the workers; with ``drain`` (default) answer queued work first.
-
-        Without ``drain``, requests still sitting in the queue are not
-        dropped silently: their futures fail with :class:`ServingError`
-        so no caller blocks forever on an abandoned query.
-        """
-        if not self._started:
-            return
-        if drain:
+    def _drain_join(self, timeout: Optional[float]) -> bool:
+        """``queue.join()`` with a deadline; True if the queue drained."""
+        if timeout is None:
             self._queue.join()
-        self._stopping.set()
-        for thread in self._threads:
-            thread.join()
-        self._threads = []
-        self._started = False
+            return True
+        deadline = time.perf_counter() + timeout
+        with self._queue.all_tasks_done:
+            while self._queue.unfinished_tasks:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    return False
+                self._queue.all_tasks_done.wait(remaining)
+        return True
+
+    def _fail_abandoned(self, message: str) -> None:
+        """Resolve queued + in-flight futures so no caller blocks forever."""
         while True:
             try:
                 pending = self._queue.get_nowait()
@@ -182,10 +201,68 @@ class ServingEngine:
                 break
             self.telemetry.count("abandoned")
             if not pending.future.done():
-                pending.future.set_exception(
-                    ServingError("engine stopped before serving this query")
-                )
+                pending.future.set_exception(ServingError(message))
             self._queue.task_done()
+        with self._in_flight_lock:
+            stuck = [p for batch in self._in_flight.values() for p in batch]
+        for pending in stuck:
+            if not pending.future.done():
+                self.telemetry.count("abandoned")
+                pending.future.set_exception(ServingError(message))
+
+    def stop(self, drain: bool = True,
+             drain_timeout: Optional[float] = None) -> None:
+        """Stop the workers; with ``drain`` (default) answer queued work first.
+
+        The drain wait is bounded by ``drain_timeout`` (or the config's
+        ``drain_timeout`` when unset): a wedged worker can no longer
+        hang shutdown forever. On a drain deadline the engine still
+        shuts down — queued *and* in-flight futures are resolved with a
+        typed :class:`ServingError` — and then raises ``ServingError``
+        so the operator knows work was abandoned.
+
+        Without ``drain``, requests still sitting in the queue are not
+        dropped silently: their futures fail with :class:`ServingError`
+        so no caller blocks forever on an abandoned query.
+        """
+        if not self._started:
+            return
+        timeout = (drain_timeout if drain_timeout is not None
+                   else self.config.drain_timeout)
+        drained = self._drain_join(timeout) if drain else True
+        self._stopping.set()
+        join_deadline = (None if timeout is None
+                         else time.perf_counter() + timeout)
+        for thread in self._threads:
+            if join_deadline is None:
+                thread.join()
+            else:
+                thread.join(max(0.0, join_deadline - time.perf_counter()))
+        # Wedged threads are daemons: they cannot block interpreter exit,
+        # and every future they still hold is failed below (resolution is
+        # guarded, so a late un-wedge cannot double-resolve).
+        self._threads = []
+        self._started = False
+        self._fail_abandoned("engine stopped before serving this query")
+        if drain and not drained:
+            raise ServingError(
+                f"drain timed out after {timeout:.3f}s with work pending; "
+                "abandoned queries failed with ServingError"
+            )
+
+    def kill(self) -> None:
+        """Simulate an abrupt replica crash (chaos hook, used by tests,
+        the fault plan, and the CLI ``serve-cluster --inject`` drill).
+
+        Like a real process death: new submissions fail fast (connection
+        refused), while work already queued or in flight is simply lost
+        — callers discover it through their own deadlines, which is
+        exactly what the cluster router's hedging exists for. A later
+        :meth:`stop` (the cluster does this on eviction) resolves the
+        lost futures with a typed error.
+        """
+        self._crashed = True
+        self._stopping.set()
 
     def __enter__(self) -> "ServingEngine":
         return self.start()
@@ -231,6 +308,11 @@ class ServingEngine:
         Raises :class:`QueryRejected` immediately if the engine is
         overloaded — rejected queries are counted, never silently dropped.
         """
+        if self._crashed:
+            # Crashed replicas refuse instantly — the router's analogue of
+            # ECONNREFUSED — so callers fail over instead of queueing work
+            # no worker will ever drain.
+            raise ServingError("engine crashed — replica is down")
         if not self._started:
             raise ServingError("engine is not running — call start()")
         fingerprint = np.ascontiguousarray(
@@ -260,9 +342,21 @@ class ServingEngine:
             self.telemetry.count("rejected")
             raise QueryRejected(
                 f"serving queue full ({self.config.queue_depth} pending); "
-                "retry with backoff"
+                f"retry after {self._retry_after():.3f}s",
+                retry_after_s=self._retry_after(),
             ) from None
         return future
+
+    def _retry_after(self) -> float:
+        # How long until the backlog plausibly clears: full queue drained
+        # by `workers` threads that each pick up a batch per poll tick.
+        # Clamped below by one poll interval — retrying sooner than the
+        # workers can even wake up is guaranteed to bounce again.
+        depth = self._queue.qsize()
+        drain_rate = self.config.workers * self.config.max_batch
+        ticks = max(1.0, depth / max(1, drain_rate))
+        return max(self.config.poll_interval,
+                   ticks * self.config.poll_interval)
 
     def query(self, fingerprint: np.ndarray, label: int,
               k: int = 9, timeout: Optional[float] = None
@@ -273,7 +367,13 @@ class ServingEngine:
     def query_many(self, fingerprints: np.ndarray, labels: Sequence[int],
                    k: int = 9, timeout: Optional[float] = None
                    ) -> List[Tuple[IndexHit, ...]]:
-        """Submit a batch and gather results in submission order."""
+        """Submit a batch and gather results in submission order.
+
+        ``timeout`` is one overall deadline for the whole batch, not a
+        per-future allowance: each future is waited with the *remaining*
+        time, so the total wait is bounded by ``timeout`` rather than
+        by N × timeout.
+        """
         fingerprints = np.asarray(fingerprints, dtype=np.float32)
         n = fingerprints.shape[0]
         fingerprints = fingerprints.reshape(n, -1)
@@ -284,7 +384,19 @@ class ServingEngine:
         futures = [
             self.submit(fingerprints[i], int(labels[i]), k) for i in range(n)
         ]
-        return [future.result(timeout=timeout) for future in futures]
+        deadline = (None if timeout is None
+                    else time.perf_counter() + timeout)
+        results = []
+        for future in futures:
+            remaining = (None if deadline is None
+                         else deadline - time.perf_counter())
+            if remaining is not None and remaining <= 0:
+                raise FuturesTimeoutError(
+                    f"query_many deadline of {timeout}s expired with "
+                    f"{len(futures) - len(results)} queries unanswered"
+                )
+            results.append(future.result(timeout=remaining))
+        return results
 
     # -- the worker side ---------------------------------------------------------
 
@@ -309,10 +421,13 @@ class ServingEngine:
         # Fail-closed worker: whatever happens while answering a batch, every
         # future is resolved and task_done() runs, so one malformed query can
         # neither kill the worker nor wedge stop(drain=True) on queue.join().
+        ident = threading.get_ident()
         while not self._stopping.is_set():
             batch = self._drain_batch()
             if not batch:
                 continue
+            with self._in_flight_lock:
+                self._in_flight[ident] = batch
             try:
                 self.telemetry.count("batches")
                 self.telemetry.count("batched_queries", len(batch))
@@ -329,6 +444,8 @@ class ServingEngine:
                         self.telemetry.count("errors")
                         pending.future.set_exception(exc)
             finally:
+                with self._in_flight_lock:
+                    self._in_flight.pop(ident, None)
                 for _ in batch:
                     self._queue.task_done()
 
@@ -340,6 +457,8 @@ class ServingEngine:
             result = self.index.search_batch(matrix, label, k)
         except Exception as exc:  # typed errors propagate to each caller
             for member in members:
+                if member.future.done():
+                    continue  # already failed by a bounded-drain stop
                 self.telemetry.count("errors")
                 member.future.set_exception(exc)
             return
@@ -354,7 +473,11 @@ class ServingEngine:
             self._cache.put(member.key, answer)
             self._audit_event(member.key, "index", answer)
             self.telemetry.observe("total", now - member.enqueued_at)
-            member.future.set_result(answer)
+            if not member.future.done():
+                # A bounded-drain stop may have already failed this future
+                # while the worker was wedged; a late completion must not
+                # raise InvalidStateError.
+                member.future.set_result(answer)
 
     # -- verification ------------------------------------------------------------
 

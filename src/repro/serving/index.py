@@ -33,13 +33,15 @@ rows — this is what the engine's micro-batching coalesces into.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, NamedTuple, Optional
 
 import numpy as np
 from scipy.spatial.distance import cdist
 
-from repro.errors import ConfigurationError, QueryError
+from repro.errors import (ConfigurationError, IndexIntegrityError, QueryError,
+                          StaleIndexError)
 
 __all__ = ["IndexHit", "ShardSearchResult", "ShardedAnnIndex", "RECALL_FLOOR"]
 
@@ -212,6 +214,11 @@ class ShardedAnnIndex:
         self._shards: Dict[int, object] = {}
         self.built_version: Optional[int] = None
         self._built = False
+        # crc32 over every shard matrix, recorded at build time. The
+        # matrices are private float32 copies (not the mmap store), so any
+        # later drift is memory corruption local to this replica; the
+        # cluster's health sweep re-verifies these cheaply.
+        self._shard_checksums: Dict[int, int] = {}
 
     # -- build -------------------------------------------------------------------
 
@@ -227,8 +234,32 @@ class ShardedAnnIndex:
             else:
                 self._shards[label] = self._cluster(label, matrix, index_array)
         self.built_version = getattr(self.store, "version", None)
+        self._shard_checksums = {
+            label: self._checksum(shard.matrix)
+            for label, shard in self._shards.items()
+        }
         self._built = True
         return self
+
+    @staticmethod
+    def _checksum(matrix: np.ndarray) -> int:
+        return zlib.crc32(np.ascontiguousarray(matrix).tobytes())
+
+    def verify_checksums(self) -> None:
+        """Re-verify every shard matrix against its build-time checksum.
+
+        Raises :class:`~repro.errors.IndexIntegrityError` on drift. This
+        is the replica-side defence against silent in-memory corruption:
+        the mmap store has content-addressed segment digests, but the
+        index's private matrix copies do not — a flipped byte here would
+        otherwise shift distances and quietly reorder top-k answers."""
+        for label, shard in self._shards.items():
+            recorded = self._shard_checksums.get(label)
+            if recorded is None or self._checksum(shard.matrix) != recorded:
+                raise IndexIntegrityError(
+                    f"index shard for label {label} failed its checksum — "
+                    "matrix drifted since build"
+                )
 
     @property
     def dimension(self) -> Optional[int]:
@@ -304,7 +335,7 @@ class ShardedAnnIndex:
             raise QueryError("index not built — call build() first")
         store_version = getattr(self.store, "version", None)
         if store_version is not None and store_version != self.built_version:
-            raise QueryError(
+            raise StaleIndexError(
                 f"index is stale: built at store version {self.built_version} "
                 f"but the store is now at {store_version} — call build() again"
             )

@@ -22,7 +22,7 @@ from typing import Dict
 
 from repro.observability.adapter import StageStats, SubsystemTelemetry
 
-__all__ = ["StageStats", "ServingTelemetry"]
+__all__ = ["StageStats", "ServingTelemetry", "ClusterTelemetry"]
 
 
 class ServingTelemetry(SubsystemTelemetry):
@@ -67,5 +67,56 @@ class ServingTelemetry(SubsystemTelemetry):
         lines.append(f"  {'cache_hit_rate':<24} {snapshot['cache_hit_rate']:>10.2%}")
         lines.append(f"  {'mean_batch_size':<24} {snapshot['mean_batch_size']:>10.2f}")
         lines.append(f"  {'scan_fraction':<24} {snapshot['scan_fraction']:>10.2%}")
+        lines.extend(self._render_stage_lines(snapshot["stages"], width=16))
+        return "\n".join(lines)
+
+
+class ClusterTelemetry(SubsystemTelemetry):
+    """Counters + stage latency for the replicated serving cluster.
+
+    Metric namespace ``repro_serving_cluster_*``. Counters cover every
+    routing outcome the availability story depends on: successes and
+    failures, retries, hedges (launched and won), failovers, degraded
+    answers, shed load, breaker trips, evictions, revivals, and hit
+    verifications (with failures). Pass the cluster's registry into each
+    replica's :class:`ServingTelemetry` to export one combined surface.
+    """
+
+    subsystem = "serving_cluster"
+
+    @property
+    def success_rate(self) -> float:
+        ok = self.counter("queries_ok")
+        failed = self.counter("queries_failed")
+        total = ok + failed
+        return ok / total if total else 0.0
+
+    @property
+    def degraded_fraction(self) -> float:
+        ok = self.counter("queries_ok")
+        return self.counter("degraded_answers") / ok if ok else 0.0
+
+    @property
+    def hedge_win_rate(self) -> float:
+        launched = self.counter("hedges_launched")
+        return self.counter("hedges_won") / launched if launched else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        snapshot = super().snapshot()
+        snapshot["success_rate"] = self.success_rate
+        snapshot["degraded_fraction"] = self.degraded_fraction
+        snapshot["hedge_win_rate"] = self.hedge_win_rate
+        return snapshot
+
+    def render(self) -> str:
+        snapshot = self.snapshot()
+        lines = ["serving cluster telemetry"]
+        for name in sorted(snapshot["counters"]):
+            lines.append(f"  {name:<24} {snapshot['counters'][name]:>10}")
+        lines.append(f"  {'success_rate':<24} {snapshot['success_rate']:>10.2%}")
+        lines.append(
+            f"  {'degraded_fraction':<24} {snapshot['degraded_fraction']:>10.2%}")
+        lines.append(
+            f"  {'hedge_win_rate':<24} {snapshot['hedge_win_rate']:>10.2%}")
         lines.extend(self._render_stage_lines(snapshot["stages"], width=16))
         return "\n".join(lines)

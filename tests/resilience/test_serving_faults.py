@@ -1,0 +1,77 @@
+"""Serving-side fault plan: determinism, one-shot firing, cluster wiring."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience import (SERVING_FAULT_KINDS, ServingFaultPlan,
+                              ServingFaultSpec)
+
+
+class _RecordingCluster:
+    """Stands in for a ServingCluster; records injected specs."""
+
+    def __init__(self):
+        self.injected = []
+
+    def inject(self, spec):
+        self.injected.append(spec)
+
+
+class TestServingFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            ServingFaultSpec(kind="meteor-strike", at_query=0)
+
+    def test_rejects_negative_schedule(self):
+        with pytest.raises(ConfigurationError):
+            ServingFaultSpec(kind="replica-crash", at_query=-1)
+        with pytest.raises(ConfigurationError):
+            ServingFaultSpec(kind="latency-inject", at_query=0, delay_s=-0.1)
+
+    def test_all_kinds_constructible(self):
+        for kind in SERVING_FAULT_KINDS:
+            assert ServingFaultSpec(kind=kind, at_query=1).kind == kind
+
+
+class TestServingFaultPlan:
+    def test_seeded_plan_is_reproducible(self):
+        a = ServingFaultPlan.seeded(seed=7, queries=200, n_faults=4)
+        b = ServingFaultPlan.seeded(seed=7, queries=200, n_faults=4)
+        specs_a = sorted(
+            (s.at_query, s.kind, s.delay_s) for s in a.scheduled())
+        specs_b = sorted(
+            (s.at_query, s.kind, s.delay_s) for s in b.scheduled())
+        assert specs_a == specs_b
+        different = ServingFaultPlan.seeded(seed=8, queries=200, n_faults=4)
+        assert specs_a != sorted(
+            (s.at_query, s.kind, s.delay_s) for s in different.scheduled())
+
+    def test_each_fault_fires_exactly_once(self):
+        plan = ServingFaultPlan([
+            ServingFaultSpec(kind="replica-crash", at_query=3),
+            ServingFaultSpec(kind="latency-inject", at_query=3, delay_s=0.01),
+            ServingFaultSpec(kind="replica-hang", at_query=7),
+        ])
+        cluster = _RecordingCluster()
+        assert plan.remaining == 3
+        for ordinal in range(10):
+            plan.before_query(ordinal, cluster)
+        assert plan.remaining == 0
+        assert len(plan.fired) == 3
+        assert [s.kind for s in cluster.injected] == [
+            "replica-crash", "latency-inject", "replica-hang"]
+        # Replaying the same ordinals fires nothing twice.
+        for ordinal in range(10):
+            plan.before_query(ordinal, cluster)
+        assert len(cluster.injected) == 3
+
+    def test_seeded_default_kinds_exclude_shared_store_faults(self):
+        plan = ServingFaultPlan.seeded(seed=1, queries=50, n_faults=10)
+        for spec in plan.scheduled():
+            assert spec.kind not in ("store-corrupt", "torn-manifest")
+
+    def test_seeded_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServingFaultPlan.seeded(seed=0, queries=0)
+        with pytest.raises(ConfigurationError):
+            ServingFaultPlan.seeded(seed=0, queries=10, kinds=("bogus",))

@@ -1,0 +1,344 @@
+"""Self-healing cluster tests: routing, failover, degradation, healing."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (ConfigurationError, NoHealthyReplica, QueryError,
+                          QueryRejected, ServingError)
+from repro.observability import Tracer
+from repro.serving import (CircuitBreaker, ClusterConfig, EngineConfig,
+                           LinkageStore, ServingCluster, ShardedAnnIndex)
+
+from tests.serving.conftest import clustered_corpus, fill_store
+
+
+def _brute_truth(fingerprints, labels, query, label, k):
+    rows = np.flatnonzero(labels == label)
+    deltas = fingerprints[rows] - query[None, :]
+    distances = np.sqrt((deltas * deltas).sum(axis=1))
+    order = np.argsort(distances, kind="stable")[:k]
+    return [int(rows[i]) for i in order]
+
+
+def _cluster_for(store, replicas=3, monitor=False, **overrides):
+    defaults = dict(
+        deadline_s=5.0, hedge_min_s=0.05, breaker_reset_s=0.2,
+        health_interval_s=0.05 if monitor else 60.0,
+        stop_timeout_s=0.5,
+    )
+    defaults.update(overrides)
+    return ServingCluster(
+        store, replicas=replicas,
+        config=ClusterConfig(**defaults),
+        engine_config=EngineConfig(workers=2, poll_interval=0.005),
+        index_factory=lambda s: ShardedAnnIndex(s, shard_threshold=100),
+    )
+
+
+def _wait_until(predicate, timeout=5.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture
+def world(tmp_path, generator):
+    fingerprints, labels = clustered_corpus(generator, 600)
+    store = fill_store(LinkageStore.create(tmp_path / "cluster-store"),
+                       fingerprints, labels, segment_records=250)
+    return fingerprints, labels, store
+
+
+class TestRouting:
+    def test_fault_free_answers_match_brute_force(self, world, generator):
+        fingerprints, labels, store = world
+        sample = generator.integers(0, fingerprints.shape[0], size=25)
+        with _cluster_for(store) as cluster:
+            for i in sample:
+                query = fingerprints[i] + 0.02
+                label = int(labels[i])
+                result = cluster.query(query, label, k=5)
+                assert not result.degraded
+                assert result.replica is not None
+                expected = _brute_truth(fingerprints, labels, query, label, 5)
+                assert [h.index for h in result.hits] == expected
+
+    def test_query_many_matches_single_queries(self, world, generator):
+        fingerprints, labels, store = world
+        sample = generator.integers(0, fingerprints.shape[0], size=20)
+        queries = fingerprints[sample] + 0.01
+        with _cluster_for(store) as cluster:
+            batch = cluster.query_many(queries, labels[sample], k=4)
+            assert len(batch) == 20
+            for i, result in enumerate(batch):
+                expected = _brute_truth(fingerprints, labels, queries[i],
+                                        int(labels[sample][i]), 4)
+                assert [h.index for h in result.hits] == expected
+
+    def test_unknown_label_is_a_caller_error(self, world):
+        fingerprints, _, store = world
+        with _cluster_for(store) as cluster:
+            with pytest.raises(QueryError):
+                cluster.query(fingerprints[0], label=99, k=3)
+            assert cluster.telemetry.counter("caller_errors") == 1
+            # The cluster keeps serving afterwards.
+            assert not cluster.query(fingerprints[0], 0, k=3).degraded
+
+    def test_requires_started_cluster(self, world):
+        _, _, store = world
+        cluster = _cluster_for(store)
+        with pytest.raises(ServingError):
+            cluster.query(np.zeros(8, dtype=np.float32), 0)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(deadline_s=0)
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(backoff_base_s=0.5, backoff_cap_s=0.1)
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(breaker_threshold=0)
+
+
+class TestFailover:
+    def test_crash_fails_over_and_background_revives(self, world):
+        fingerprints, labels, store = world
+        with _cluster_for(store, monitor=True) as cluster:
+            victim = cluster.crash_replica("replica-0")
+            assert victim == "replica-0"
+            result = cluster.query(fingerprints[0], int(labels[0]), k=3)
+            assert not result.degraded
+            assert result.replica != "replica-0"
+            assert _wait_until(
+                lambda: cluster.replicas[0].state == "healthy")
+            assert cluster.telemetry.counter("evictions") >= 1
+            assert cluster.telemetry.counter("revivals") >= 1
+            kinds = [e.kind for e in cluster.audit.events()]
+            assert "replica-evicted" in kinds
+            assert "replica-revived" in kinds
+            assert cluster.verify_audit_chain()
+
+    def test_wedged_replica_hedged_around(self, world):
+        fingerprints, labels, store = world
+        with _cluster_for(store, hedge_min_s=0.03) as cluster:
+            cluster.wedge_replica("replica-0")
+            for i in range(6):
+                result = cluster.query(fingerprints[i], int(labels[i]), k=3)
+                assert not result.degraded
+            assert cluster.telemetry.counter("hedges_launched") >= 1
+            assert len(cluster.audit.events("hedged-query")) >= 1
+
+    def test_corrupted_answer_caught_and_replica_evicted(self, world):
+        # Plant an attractor row in one replica's index: the corrupted
+        # row surfaces as the (false) nearest hit, per-answer store
+        # verification catches the lie, the replica is evicted, and the
+        # caller still receives the *correct* answer from elsewhere.
+        fingerprints, labels, store = world
+        label = int(labels[0])
+        query = fingerprints[0] + 0.02
+        with _cluster_for(store) as cluster:
+            cluster.corrupt_index(label, 1,
+                                  value=tuple(float(x) for x in query),
+                                  name="replica-0")
+            expected = _brute_truth(fingerprints, labels, query, label, 3)
+            for _ in range(6):  # round-robin guarantees replica-0 gets one
+                result = cluster.query(query, label, k=3)
+                assert [h.index for h in result.hits] == expected
+            assert cluster.telemetry.counter("verify_failures") >= 1
+            assert cluster.replicas[0].state in ("evicted", "reviving",
+                                                 "healthy")
+            assert cluster.telemetry.counter("evictions") >= 1
+
+    def test_health_sweep_checksum_catches_silent_corruption(self, world):
+        # Corruption that never surfaces in an answer is still caught by
+        # the background shard-checksum sweep.
+        fingerprints, labels, store = world
+        with _cluster_for(store) as cluster:
+            cluster.replicas[1].index.corrupt_row(int(labels[0]), 0)
+            cluster.health_check_now()
+            assert cluster.replicas[1].state != "healthy"
+            reasons = [e.details["reason"]
+                       for e in cluster.audit.events("replica-evicted")]
+            assert "index-integrity" in reasons
+
+    def test_audit_chain_break_evicts_replica(self, world):
+        fingerprints, labels, store = world
+        with _cluster_for(store) as cluster:
+            cluster.query(fingerprints[0], int(labels[0]), k=3)
+            # Tamper with whichever replica served queries.
+            victim = next(r for r in cluster.replicas
+                          if len(r.engine.audit) > 0)
+            event = victim.engine.audit.events()[0]
+            object.__setattr__(event, "details",
+                               {**event.details, "label": 999})
+            cluster.health_check_now()
+            assert victim.state != "healthy"
+            reasons = [e.details["reason"]
+                       for e in cluster.audit.events("replica-evicted")]
+            assert "audit-chain-break" in reasons
+
+
+class TestDegradedMode:
+    def test_all_replicas_down_serves_degraded_and_audited(self, world):
+        fingerprints, labels, store = world
+        label = int(labels[0])
+        query = fingerprints[0] + 0.02
+        with _cluster_for(store, revive=False) as cluster:
+            for replica in cluster.replicas:
+                cluster.crash_replica(replica.name)
+            result = cluster.query(query, label, k=5)
+            assert result.degraded
+            assert result.replica is None
+            expected = _brute_truth(fingerprints, labels, query, label, 5)
+            assert [h.index for h in result.hits] == expected
+            assert cluster.telemetry.counter("degraded_answers") == 1
+            assert len(cluster.audit.events("degraded-query")) == 1
+            assert cluster.verify_audit_chain()
+
+    def test_degraded_disabled_fails_typed(self, world):
+        fingerprints, labels, store = world
+        with _cluster_for(store, revive=False,
+                          degraded_allowed=False) as cluster:
+            for replica in cluster.replicas:
+                cluster.crash_replica(replica.name)
+            with pytest.raises(NoHealthyReplica):
+                cluster.query(fingerprints[0], int(labels[0]), k=3)
+            assert cluster.telemetry.counter("queries_failed") == 1
+
+    def test_degraded_refuses_corrupted_store(self, world):
+        # Store corruption poisons every replica AND the fallback: the
+        # degraded path re-verifies the content-addressed segments and
+        # refuses fail-closed rather than serve unverifiable bytes.
+        fingerprints, labels, store = world
+        with _cluster_for(store, revive=False) as cluster:
+            cluster.corrupt_store_segment(0)
+            for replica in cluster.replicas:
+                cluster.crash_replica(replica.name)
+            with pytest.raises(NoHealthyReplica):
+                cluster.query(fingerprints[0], int(labels[0]), k=3)
+
+    def test_torn_manifest_blocks_revival(self, world):
+        fingerprints, labels, store = world
+        with _cluster_for(store, monitor=True,
+                          breaker_reset_s=0.05) as cluster:
+            cluster.tear_manifest()
+            cluster.crash_replica("replica-0")
+            assert _wait_until(
+                lambda: cluster.telemetry.counter("revive_failures") >= 1)
+            assert cluster.replicas[0].state == "evicted"
+            # The survivors keep serving; answers stay correct.
+            result = cluster.query(fingerprints[0], int(labels[0]), k=3)
+            assert not result.degraded
+
+
+class TestStaleness:
+    def test_store_growth_evicts_stale_replicas_then_heals(self, world):
+        # Mid-flight store growth: every replica's index is now stale.
+        # Stale answers must never be served — replicas fail closed, the
+        # degraded path answers from the *new* store, and revival
+        # rebuilds against the grown version.
+        fingerprints, labels, store = world
+        label = int(labels[0])
+        query = fingerprints[0]
+        with _cluster_for(store, monitor=True,
+                          breaker_reset_s=0.05) as cluster:
+            cluster.query(query, label, k=1)
+            store.append(query.reshape(1, -1), [label], ["p9"], [b"z" * 32])
+            result = cluster.query(query, label, k=2)
+            # Whether degraded or served by an already-revived replica,
+            # the appended record must be visible — never a stale answer.
+            assert 600 in [h.index for h in result.hits]
+            assert _wait_until(lambda: all(
+                r.state == "healthy" and r.index.built_version == store.version
+                for r in cluster.replicas))
+            follow_up = cluster.query(query, label, k=2)
+            assert not follow_up.degraded
+            assert 600 in [h.index for h in follow_up.hits]
+
+
+class TestLoadShedding:
+    def test_over_capacity_sheds_with_retry_hint(self, world):
+        fingerprints, labels, store = world
+        with _cluster_for(store, max_in_flight=4) as cluster:
+            with pytest.raises(QueryRejected) as excinfo:
+                cluster.query_many(fingerprints[:8], labels[:8], k=3)
+            assert excinfo.value.retry_after_s is not None
+            assert cluster.telemetry.counter("shed") == 8
+            assert len(cluster.audit.events("query-shed")) == 1
+
+
+class TestCircuitBreaker:
+    def test_breaker_lifecycle(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(threshold=2, reset_s=1.0,
+                                 clock=lambda: clock[0])
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.record_failure()  # opened now
+        assert breaker.state == "open" and not breaker.allow()
+        clock[0] = 1.5
+        assert breaker.allow()  # half-open probe admitted
+        assert breaker.state == "half-open"
+        assert not breaker.allow()  # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_half_open_failure_reopens(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(threshold=1, reset_s=1.0,
+                                 clock=lambda: clock[0])
+        breaker.record_failure()
+        clock[0] = 1.5
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+
+    def test_open_breaker_diverts_traffic(self, world):
+        fingerprints, labels, store = world
+        with _cluster_for(store) as cluster:
+            for _ in range(ClusterConfig().breaker_threshold + 1):
+                cluster.replicas[0].breaker.record_failure()
+            for i in range(6):
+                result = cluster.query(fingerprints[i], int(labels[i]), k=3)
+                assert result.replica != "replica-0"
+
+
+class TestObservability:
+    def test_metrics_under_cluster_namespace(self, world):
+        fingerprints, labels, store = world
+        with _cluster_for(store) as cluster:
+            cluster.query(fingerprints[0], int(labels[0]), k=3)
+            registry_snap = cluster.telemetry.registry.snapshot()
+            names = (list(registry_snap["counters"])
+                     + list(registry_snap["histograms"]))
+            assert any(m.startswith("repro_serving_cluster_") for m in names)
+            # Replica engines share the registry: one combined surface.
+            assert any(m.startswith("repro_serving_") and
+                       not m.startswith("repro_serving_cluster_")
+                       for m in names)
+            rendered = cluster.telemetry.render()
+            assert "success_rate" in rendered
+
+    def test_boundary_spans_recorded(self, world):
+        fingerprints, labels, store = world
+        tracer = Tracer()
+        _, _, store = world
+        cluster = _cluster_for(store)
+        cluster.tracer = tracer
+        with cluster:
+            cluster.query(fingerprints[0], int(labels[0]), k=3)
+        kinds = {span.kind for root in tracer.roots
+                 for span in _walk(root)}
+        assert "untrusted" in kinds
+        assert "boundary-crossing" in kinds  # the verify-hits span
+
+
+def _walk(span):
+    yield span
+    for child in span.children:
+        yield from _walk(child)

@@ -2,6 +2,7 @@
 
 import threading
 import time
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 
 import numpy as np
 import pytest
@@ -9,7 +10,7 @@ import pytest
 from repro.core.linkage import LinkageDatabase, LinkageRecord
 from repro.core.query import QueryService
 from repro.errors import (ConfigurationError, QueryError, QueryRejected,
-                          ServingError)
+                          ServingError, StaleIndexError)
 from repro.serving import (EngineConfig, LinkageStore, ServingEngine,
                            ShardedAnnIndex)
 
@@ -213,6 +214,143 @@ class TestStaleness:
             assert engine.telemetry.counter("cache_hits") == 0
             hits = engine.query(query, label, k=2, timeout=5)
             assert 1200 in [h.index for h in hits]  # the appended record
+
+
+class TestDeadlines:
+    def test_query_many_timeout_is_one_overall_deadline(self, world):
+        # A wedged worker must bound query_many at ~timeout total, not
+        # N x timeout (the old per-future sequential semantics).
+        fingerprints, labels, _, index = world
+        gated = _GatedIndex(index)
+        config = EngineConfig(workers=1, max_batch=1, cache_size=0,
+                              poll_interval=0.005)
+        engine = ServingEngine(gated, config).start()
+        label = int(labels[0])
+        try:
+            started = time.perf_counter()
+            with pytest.raises(FuturesTimeoutError):
+                engine.query_many(fingerprints[:6], [label] * 6, k=3,
+                                  timeout=0.4)
+            elapsed = time.perf_counter() - started
+            assert elapsed < 6 * 0.4 * 0.6  # far below the old N x timeout
+        finally:
+            gated.gate.set()
+            engine.stop()
+
+    def test_query_many_no_timeout_still_waits(self, world):
+        fingerprints, labels, _, index = world
+        with ServingEngine(index) as engine:
+            results = engine.query_many(fingerprints[:4], labels[:4], k=3)
+        assert all(len(hits) == 3 for hits in results)
+
+
+class TestBoundedDrain:
+    def test_stop_drain_timeout_raises_and_resolves_futures(self, world):
+        # A worker wedged inside the index must not hang stop(drain=True)
+        # forever: the drain deadline fires, queued AND in-flight futures
+        # resolve with a typed ServingError, and stop() raises.
+        fingerprints, labels, _, index = world
+        gated = _GatedIndex(index)
+        config = EngineConfig(workers=1, max_batch=1, cache_size=0,
+                              poll_interval=0.005)
+        engine = ServingEngine(gated, config).start()
+        label = int(labels[0])
+        in_flight = engine.submit(fingerprints[0], label, k=3)
+        time.sleep(0.05)  # the worker picks it up and wedges on the gate
+        queued = [engine.submit(fingerprints[i], label, k=3)
+                  for i in range(1, 4)]
+        started = time.perf_counter()
+        with pytest.raises(ServingError):
+            engine.stop(drain=True, drain_timeout=0.2)
+        assert time.perf_counter() - started < 2.0
+        for future in [in_flight] + queued:
+            with pytest.raises(ServingError):
+                future.result(timeout=5)
+        assert engine.telemetry.counter("abandoned") == 4
+        # A late un-wedge must not blow up on already-resolved futures.
+        gated.gate.set()
+        time.sleep(0.1)
+
+    def test_config_drain_timeout_used_when_argument_omitted(self, world):
+        fingerprints, labels, _, index = world
+        gated = _GatedIndex(index)
+        config = EngineConfig(workers=1, max_batch=1, cache_size=0,
+                              poll_interval=0.005, drain_timeout=0.2)
+        engine = ServingEngine(gated, config).start()
+        engine.submit(fingerprints[0], int(labels[0]), k=3)
+        time.sleep(0.05)
+        with pytest.raises(ServingError):
+            engine.stop()  # drain=True picks up config.drain_timeout
+        gated.gate.set()
+
+    def test_drain_timeout_validation(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(drain_timeout=0.0)
+
+
+class TestRetryAfterHint:
+    def test_rejection_carries_retry_after_seconds(self, world):
+        fingerprints, labels, _, index = world
+        gated = _GatedIndex(index)
+        config = EngineConfig(workers=1, max_batch=1, queue_depth=4,
+                              cache_size=0, poll_interval=0.01)
+        engine = ServingEngine(gated, config).start()
+        label = int(labels[0])
+        try:
+            with pytest.raises(QueryRejected) as excinfo:
+                for i in range(32):
+                    engine.submit(fingerprints[i], label, k=3)
+            hint = excinfo.value.retry_after_s
+            assert hint is not None
+            # At least one worker poll tick, and sane (not hours).
+            assert config.poll_interval <= hint <= 10.0
+        finally:
+            gated.gate.set()
+            engine.stop()
+
+
+class TestRestart:
+    def test_engine_restarts_after_stop(self, world):
+        fingerprints, labels, _, index = world
+        label = int(labels[0])
+        engine = ServingEngine(index, EngineConfig(workers=2))
+        engine.start()
+        first = engine.query(fingerprints[0], label, k=3, timeout=5)
+        engine.stop()
+        with pytest.raises(ServingError):
+            engine.submit(fingerprints[0], label, k=3)
+        engine.start()
+        try:
+            again = engine.query(fingerprints[0], label, k=3, timeout=5)
+            assert again == first
+        finally:
+            engine.stop()
+
+    def test_restart_against_grown_store_never_serves_stale(self, world):
+        # Satellite: a stopped engine restarted against a newer
+        # store.version must invalidate its snapshot-keyed cache and
+        # fail closed until the index rebuilds — never serve stale hits.
+        fingerprints, labels, store, index = world
+        label = int(labels[0])
+        query = fingerprints[0]
+        engine = ServingEngine(index)
+        engine.start()
+        engine.query(query, label, k=1, timeout=5)  # populates the cache
+        engine.stop()
+        store.append(query.reshape(1, -1), [label], ["p9"], [b"z" * 32])
+        engine.start()
+        try:
+            # The cached answer is keyed to the old store version: it must
+            # not match, and the stale index must fail closed (typed).
+            with pytest.raises(StaleIndexError):
+                engine.query(query, label, k=1, timeout=5)
+            assert engine.telemetry.counter("cache_hits") == 0
+            index.build()
+            hits = engine.query(query, label, k=2, timeout=5)
+            assert 1200 in [h.index for h in hits]  # the appended record
+            assert engine.telemetry.counter("cache_hits") == 0
+        finally:
+            engine.stop()
 
 
 class TestAuditTrail:

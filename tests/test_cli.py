@@ -77,6 +77,29 @@ class TestServingCommands:
         assert "cache_hit_rate" in out
         assert "chain VERIFIED" in out
 
+    def test_serve_cluster_fault_drill(self, capsys):
+        # The CI chaos drill: kill one replica and corrupt one replica's
+        # index mid-run; the cluster must keep >= 99% availability with
+        # a verified audit chain (exit code 0 enforces both).
+        code = main([
+            "serve-cluster", "--records", "1500", "--dim", "8",
+            "--labels", "3", "--queries", "80", "--k", "3",
+            "--inject", "replica-crash@20",
+            "--inject", "index-corrupt@40:replica-1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "injected replica-crash before query 20" in out
+        assert "injected index-corrupt before query 40" in out
+        assert "chain VERIFIED" in out
+        assert "replica-evicted" in out
+        assert "availability: " in out
+
+    def test_serve_cluster_rejects_malformed_injection(self):
+        with pytest.raises(SystemExit):
+            main(["serve-cluster", "--queries", "10",
+                  "--inject", "not-a-spec"])
+
 
 class TestIngestCommands:
     def _ingest_args(self, tmp_path, *extra):
