@@ -196,11 +196,18 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument(
         "--inject", action="append", default=[],
         metavar="KIND@QUERY[:REPLICA]",
-        help="schedule a serving fault, e.g. replica-crash@40 or "
-             "index-corrupt@80:replica-1 (repeatable)",
+        help="schedule a serving fault, e.g. replica-crash@40, "
+             "index-corrupt@80:replica-1, or growth-storm@30 "
+             "(benign ingest burst; repeatable)",
     )
     cluster.add_argument("--seeded-faults", type=int, default=0,
                          help="additionally schedule N seeded random faults")
+    cluster.add_argument("--growth-records", type=int, default=200,
+                         help="records per growth-storm injection "
+                              "(benign ingest burst; default 200)")
+    cluster.add_argument("--expect-no-evictions", action="store_true",
+                         help="fail (exit 1) if any replica was evicted — "
+                              "the growth-storm drill's contract")
     cluster.add_argument("--trace", default=None, metavar="PATH",
                          help="record the run as a wall-clock span tree")
 
@@ -791,7 +798,7 @@ def _cmd_serve_queries(args) -> int:
     return 0 if chain_ok else 1
 
 
-def _parse_injections(specs, queries, dim):
+def _parse_injections(specs, queries, dim, growth_records=200):
     """Parse ``KIND@QUERY[:REPLICA]`` CLI fault specs."""
     from repro.resilience import ServingFaultSpec
 
@@ -812,7 +819,9 @@ def _parse_injections(specs, queries, dim):
                 f"--queries {queries}")
         parsed.append(ServingFaultSpec(
             kind=kind, at_query=ordinal, replica=replica or None,
-            label=0, row=0,
+            # growth-storm spreads across labels round-robin (label=None)
+            label=None if kind == "growth-storm" else 0, row=0,
+            records=growth_records if kind == "growth-storm" else None,
         ))
     return parsed
 
@@ -839,7 +848,8 @@ def _cmd_serve_cluster(args) -> int:
           f"(dimension {store.dimension}, version {store.version}), "
           f"{args.replicas} replicas")
 
-    specs = _parse_injections(args.inject, args.queries, store.dimension)
+    specs = _parse_injections(args.inject, args.queries, store.dimension,
+                              growth_records=args.growth_records)
     plan = ServingFaultPlan(specs)
     if args.seeded_faults:
         seeded = ServingFaultPlan.seeded(
@@ -911,14 +921,22 @@ def _cmd_serve_cluster(args) -> int:
         print(f"cluster audit: {len(notable)} events, chain "
               f"{'VERIFIED' if chain_ok else 'BROKEN'}")
         for kind in ("fault-injected", "replica-evicted", "replica-revived",
-                     "degraded-query", "hedged-query", "failover-query"):
+                     "replica-refreshed", "degraded-query", "hedged-query",
+                     "failover-query"):
             count = notable.count(kind)
             if count:
                 print(f"  {kind}: {count}")
+        evictions = int(cluster.telemetry.counter("evictions"))
+        refreshes = int(cluster.telemetry.counter("replica_refreshes"))
+        print(f"growth handling: {refreshes} refreshes, "
+              f"{evictions} evictions, store version {store.version}")
     if tracer is not None:
         _write_trace(tracer, args.trace, time_unit="s")
     success_rate = ok / args.queries if args.queries else 1.0
     print(f"availability: {success_rate:.2%}")
+    if args.expect_no_evictions and evictions:
+        print(f"FAIL: expected zero evictions, saw {evictions}")
+        return 1
     return 0 if chain_ok and success_rate >= 0.99 else 1
 
 

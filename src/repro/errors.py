@@ -133,12 +133,14 @@ class QueryRejected(QueryError):
 
 
 class StaleIndexError(QueryError):
-    """The ANN index snapshot is older than the store it serves.
+    """The index's committed history diverged from the store it serves.
 
-    A stale snapshot can silently omit newly promoted records, so the
-    index fails closed instead of answering; the serving cluster treats
-    this as a replica fault (evict, rebuild, rejoin) rather than a
-    caller error."""
+    With the incremental segment index, benign growth no longer raises
+    this — a query pins the generation it started on and ingest appends
+    are adopted by ``refresh()``. It is reserved for *genuine* digest
+    mismatch: a store segment the index already covers no longer matches
+    the digest it was built against (history rewrite, not growth), so
+    the index fails closed and the cluster evicts the replica."""
 
 
 class ServingError(CalTrainError):
@@ -148,6 +150,14 @@ class ServingError(CalTrainError):
 class StoreError(ServingError):
     """The persistent linkage store rejected an operation or failed an
     integrity check against its content-addressed segment digests."""
+
+
+class CompactionCrash(ServingError):
+    """Injected (or real) failure of a background compaction step.
+
+    Raised after a merged segment is built but before the new generation
+    is adopted — the atomicity window fault drills exercise. The live
+    generation must be unaffected."""
 
 
 class IndexIntegrityError(ServingError):

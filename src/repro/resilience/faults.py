@@ -189,6 +189,8 @@ SERVING_FAULT_KINDS = (
     "index-corrupt",    # flip one row in a replica's private index matrix
     "store-corrupt",    # flip one byte in a shared store segment on disk
     "torn-manifest",    # truncate the store manifest mid-file
+    "growth-storm",     # benign ingest burst: append records to the store
+    "compaction-crash", # crash a replica's next segment merge mid-flight
 )
 
 
@@ -203,6 +205,9 @@ class ServingFaultSpec:
     pins the corrupted row to an exact vector — the availability bench
     uses this to plant an *attractor* row that surfaces in answers (so
     per-answer verification must catch it) instead of silently sinking.
+    ``records`` sizes the ``growth-storm`` ingest burst (``None`` =
+    the cluster's default burst; ``label`` optionally pins the burst to
+    one label).
     """
 
     kind: str
@@ -212,6 +217,7 @@ class ServingFaultSpec:
     label: Optional[int] = None
     row: Optional[int] = None
     value: Optional[Tuple[float, ...]] = None
+    records: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in SERVING_FAULT_KINDS:
@@ -223,6 +229,8 @@ class ServingFaultSpec:
             raise ConfigurationError("at_query must be >= 0")
         if self.delay_s < 0:
             raise ConfigurationError("delay_s must be >= 0")
+        if self.records is not None and self.records <= 0:
+            raise ConfigurationError("records must be >= 1 when given")
 
 
 class ServingFaultPlan:

@@ -12,10 +12,19 @@ package grows it into a serving subsystem that can absorb heavy traffic:
   :mod:`repro.enclave.sealing`, so the fingerprinting enclave can attest
   exactly what the out-of-enclave index serves (the Citadel-style narrow
   attested interface between enclave and bulk data plane).
-* :mod:`repro.serving.index` — a per-label sharded ANN index: coarse
-  k-means bucketing with exact L2 re-ranking. In its default (exact)
-  mode, triangle-inequality bounds guarantee top-k results identical to
-  brute force; a probing mode trades a documented recall floor for speed.
+* :mod:`repro.serving.segments` — immutable, content-addressed index
+  segments (LSM-style): each covers a contiguous run of store segments
+  and is identified by a digest over the covered store digests plus the
+  build parameters; a generation of segments commits to one
+  ``index-snapshot`` digest and answers with snapshot isolation.
+* :mod:`repro.serving.index` — a per-label sharded ANN index over a
+  generation of segments: coarse k-means bucketing with exact L2
+  re-ranking. In its default (exact) mode, triangle-inequality bounds
+  guarantee top-k results identical to brute force; a probing mode
+  trades a documented recall floor for speed. Store growth is adopted
+  incrementally (:meth:`ShardedAnnIndex.refresh` builds segments only
+  for new store segments) and a background merge/compaction thread
+  bounds segment fan-out.
 * :mod:`repro.serving.engine` — a query engine with micro-batching, an
   LRU result cache, a worker pool, bounded-queue backpressure (typed
   :class:`~repro.errors.QueryRejected` on overload), and a hash-chained
@@ -33,16 +42,28 @@ package grows it into a serving subsystem that can absorb heavy traffic:
 from repro.serving.cluster import (CircuitBreaker, ClusterConfig,
                                    ClusterResult, ServingCluster,
                                    ServingReplica)
-from repro.serving.engine import EngineConfig, ServingEngine
+from repro.serving.engine import EngineAnswer, EngineConfig, ServingEngine
 from repro.serving.index import IndexHit, ShardedAnnIndex
+from repro.serving.segments import (IndexGeneration, IndexSegment,
+                                    SegmentBuildParams, ShardSearchResult,
+                                    generation_lineage_error, merge_segments,
+                                    plan_merge)
 from repro.serving.store import LinkageStore, SegmentInfo
 from repro.serving.telemetry import ClusterTelemetry, ServingTelemetry
 
 __all__ = [
+    "EngineAnswer",
     "EngineConfig",
     "ServingEngine",
     "IndexHit",
     "ShardedAnnIndex",
+    "IndexGeneration",
+    "IndexSegment",
+    "SegmentBuildParams",
+    "ShardSearchResult",
+    "generation_lineage_error",
+    "merge_segments",
+    "plan_merge",
     "LinkageStore",
     "SegmentInfo",
     "ServingTelemetry",

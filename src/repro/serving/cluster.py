@@ -23,8 +23,16 @@ while the host misbehaves:
   :class:`~repro.errors.QueryRejected` instead of letting queues melt;
 * **answer verification** — every hit a replica returns is re-checked
   against the authoritative mmap store (distance recomputation via
-  :meth:`LinkageStore.fingerprint_at`); a mismatch is index corruption
-  and evicts the replica fail-closed;
+  :meth:`LinkageStore.fingerprint_at`), and every answer's provenance
+  claims (hit count vs label rows, cited index snapshot) are verified
+  with a cached lineage walk; a mismatch is index corruption and evicts
+  the replica fail-closed;
+* **incremental refresh, not eviction, on benign growth** — appends to
+  the shared store leave each replica's pinned generation valid for the
+  prefix it covers; the health sweep adopts new segments via staggered
+  :meth:`ServingCluster.refresh` (at most ``refresh_stagger`` replicas
+  per sweep), and eviction for staleness is reserved for genuine history
+  rewrites (:meth:`ShardedAnnIndex.store_prefix_ok` returning False);
 * **health sweeps + self-healing** — a background monitor re-verifies
   each replica's audit-chain suffix and index shard checksums, evicts
   failed replicas, and revives them: re-open the store from disk
@@ -49,7 +57,7 @@ import itertools
 import random
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures import wait as futures_wait
@@ -66,8 +74,10 @@ from repro.errors import (ConfigurationError, DeadlineExceeded,
                           StoreError)
 from repro.serving.engine import EngineConfig, ServingEngine
 from repro.serving.index import IndexHit, ShardedAnnIndex
+from repro.serving.segments import generation_lineage_error
 from repro.serving.store import LinkageStore
 from repro.serving.telemetry import ClusterTelemetry, ServingTelemetry
+from repro.utils.serialization import canonical_digest
 
 __all__ = ["ClusterConfig", "CircuitBreaker", "ClusterResult",
            "ServingReplica", "ServingCluster"]
@@ -95,6 +105,8 @@ class ClusterConfig:
     degraded_allowed: bool = True  # audited brute-force fallback
     revive: bool = True            # background revival of evicted replicas
     stop_timeout_s: float = 1.0    # bound on per-engine eviction/stop drains
+    auto_refresh: bool = True      # health sweeps adopt store growth
+    refresh_stagger: int = 1       # replicas refreshed per sweep (at most)
 
     def __post_init__(self) -> None:
         if self.deadline_s <= 0:
@@ -122,6 +134,8 @@ class ClusterConfig:
             raise ConfigurationError("verify_tolerance must be positive")
         if self.stop_timeout_s <= 0:
             raise ConfigurationError("stop_timeout_s must be positive")
+        if self.refresh_stagger < 1:
+            raise ConfigurationError("refresh_stagger must be >= 1")
 
 
 class CircuitBreaker:
@@ -247,6 +261,11 @@ class _ReplicaIndex:
         self._sync_snapshot()
         return self
 
+    def refresh(self) -> bool:
+        changed = self.inner.refresh()
+        self._sync_snapshot()
+        return changed
+
     def _sync_snapshot(self) -> None:
         self.dimension = getattr(self.inner, "dimension", None)
         self.built_version = getattr(self.inner, "built_version", None)
@@ -335,6 +354,12 @@ class ServingCluster:
         self._degraded_lock = threading.Lock()
         self._degraded_cache: Dict[Tuple[int, int], Tuple[np.ndarray, List[int]]] = {}
         self._degraded_verified_version: Optional[int] = None
+        # Index snapshots whose lineage already verified against the
+        # authoritative store — the per-answer check then costs one dict
+        # hit instead of a digest walk. Content-addressed, so one entry
+        # covers every replica serving the same generation.
+        self._trusted_lock = threading.Lock()
+        self._trusted_snapshots: "OrderedDict[str, bool]" = OrderedDict()
         self.replicas: List[ServingReplica] = [
             self._make_replica(f"replica-{i}", store) for i in range(replicas)
         ]
@@ -364,6 +389,7 @@ class ServingCluster:
         for replica in self.replicas:
             replica.index.build()
             replica.engine.start()
+            self._start_compaction(replica)
             replica.audit_mark = (len(replica.engine.audit),
                                   replica.engine.audit.head)
         self._started = True
@@ -384,6 +410,7 @@ class ServingCluster:
             self._monitor = None
         for replica in self.replicas:
             replica.index.release_faults()
+            self._stop_compaction(replica)
             try:
                 replica.engine.stop(
                     drain=True, drain_timeout=self.config.stop_timeout_s
@@ -392,6 +419,18 @@ class ServingCluster:
                 pass  # abandoned futures already resolved with typed errors
         self._started = False
         self._audit_event("cluster-stopped")
+
+    @staticmethod
+    def _start_compaction(replica: ServingReplica) -> None:
+        starter = getattr(replica.index, "start_compaction", None)
+        if callable(starter):
+            starter()
+
+    @staticmethod
+    def _stop_compaction(replica: ServingReplica) -> None:
+        stopper = getattr(replica.index, "stop_compaction", None)
+        if callable(stopper):
+            stopper()
 
     def __enter__(self) -> "ServingCluster":
         return self.start()
@@ -446,14 +485,90 @@ class ServingCluster:
 
     # -- answer verification -----------------------------------------------------
 
+    def _verify_snapshot_lineage(self, generation) -> None:
+        """Walk a generation's lineage against the authoritative store.
+
+        Verified snapshots are cached by digest (content-addressed, so
+        one entry covers every replica serving the same generation);
+        the walk itself recomputes the snapshot digest and checks the
+        covered store digests are a committed prefix of the manifest."""
+        snapshot = generation.snapshot
+        with self._trusted_lock:
+            if snapshot in self._trusted_snapshots:
+                self._trusted_snapshots.move_to_end(snapshot)
+                return
+        problem = generation_lineage_error(generation, self.store)
+        if problem is not None:
+            self.telemetry.count("snapshot_failures")
+            raise IndexIntegrityError(
+                f"index snapshot failed the lineage walk: {problem}"
+            )
+        self.telemetry.count("snapshot_verifications")
+        with self._trusted_lock:
+            self._trusted_snapshots[snapshot] = True
+            while len(self._trusted_snapshots) > 128:
+                self._trusted_snapshots.popitem(last=False)
+
+    def _verify_answer_meta(self, replica: ServingReplica, hits,
+                            label: int, k: int) -> None:
+        """Check an answer's provenance claims, not just its distances.
+
+        * explicit hit count: ``len(hits)`` must equal
+          ``min(k, label_rows)`` — a short shard is legitimate only when
+          the answer *says* the label held fewer than ``k`` rows;
+        * the claimed ``label_rows`` must match the cited generation and
+          never exceed what the authoritative store holds;
+        * the cited index snapshot must exist on the replica and pass
+          the lineage walk against the store manifest."""
+        label_rows = getattr(hits, "label_rows", None)
+        if label_rows is not None and len(hits) != min(int(k),
+                                                       int(label_rows)):
+            self.telemetry.count("verify_failures")
+            raise IndexIntegrityError(
+                f"answer carries {len(hits)} hits but claims "
+                f"{label_rows} rows for label {label} at k={k} — "
+                "short or padded answer"
+            )
+        snapshot = getattr(hits, "snapshot", None)
+        if snapshot is None:
+            return
+        lookup = getattr(replica.index, "generation", None)
+        generation = lookup(snapshot) if callable(lookup) else None
+        if generation is None:
+            self.telemetry.count("verify_failures")
+            raise IndexIntegrityError(
+                "answer cites an index snapshot the replica cannot produce"
+            )
+        if label_rows is not None and generation.count(label) != int(
+                label_rows):
+            self.telemetry.count("verify_failures")
+            raise IndexIntegrityError(
+                f"answer claims {label_rows} rows for label {label} but "
+                f"its cited generation holds {generation.count(label)}"
+            )
+        if label_rows is not None and int(label_rows) > self.store.count(
+                int(label)):
+            self.telemetry.count("verify_failures")
+            raise IndexIntegrityError(
+                f"answer claims more label-{label} rows than the "
+                "authoritative store holds"
+            )
+        self._verify_snapshot_lineage(generation)
+
     def _verify_hits(self, fingerprint: np.ndarray,
-                     hits: Tuple[IndexHit, ...]) -> None:
+                     hits: Tuple[IndexHit, ...],
+                     label: Optional[int] = None, k: Optional[int] = None,
+                     replica: Optional[ServingReplica] = None) -> None:
         """Recompute every hit's distance against the authoritative store.
 
         The replicas' in-memory matrices are untrusted copies; the mmap
         store (content-addressed, sealable) is the ground truth. Any
         mismatch means the replica's index drifted — the answer is
-        discarded and the caller evicts the replica."""
+        discarded and the caller evicts the replica. When the caller
+        passes ``label``/``k``/``replica``, the answer's provenance
+        claims (hit count, label rows, index snapshot) are verified too."""
+        if replica is not None and label is not None and k is not None:
+            self._verify_answer_meta(replica, hits, int(label), int(k))
         if not hits:
             return
         self.telemetry.count("hit_verifications")
@@ -552,6 +667,7 @@ class ServingCluster:
         # bounded stop can resolve its futures, then shut the engine down
         # without draining (an evicted replica's answers are not trusted).
         replica.index.release_faults()
+        self._stop_compaction(replica)
         try:
             replica.engine.stop(drain=False,
                                 drain_timeout=self.config.stop_timeout_s)
@@ -567,9 +683,89 @@ class ServingCluster:
         if isinstance(exc, IndexIntegrityError):
             self._evict(replica, "index-integrity")
         elif isinstance(exc, StaleIndexError):
-            self._evict(replica, "stale-index")
+            self._handle_stale(replica)
         elif isinstance(exc, ServingError) and replica.engine._crashed:
             self._evict(replica, "crash")
+
+    def _handle_stale(self, replica: ServingReplica) -> None:
+        """Distinguish benign-growth staleness from integrity staleness.
+
+        The legacy cluster evicted on any ``StaleIndexError`` — a single
+        benign ingest append took down every replica in the same sweep
+        (a correlated availability cliff). Now: if the index's covered
+        history is still a committed *prefix* of the store, the only
+        thing wrong is growth — refresh in place, audit ``refreshed``
+        not ``evicted``. Eviction is reserved for genuine divergence
+        (a covered segment's digest no longer matches: history rewrite
+        or store tampering)."""
+        checker = getattr(replica.index, "store_prefix_ok", None)
+        benign = bool(checker()) if callable(checker) else False
+        if benign:
+            self.telemetry.count("benign_stale")
+            self._refresh_replica(replica, cause="stale-query")
+            return
+        self._evict(replica, "stale-index")
+
+    def _refresh_replica(self, replica: ServingReplica,
+                         cause: str = "growth") -> bool:
+        """Adopt store growth on one replica, in place, without eviction.
+
+        A growth-only cause can never evict: refresh failures (other
+        than genuine divergence) leave the replica healthy and serving
+        its pinned snapshot — stale-but-consistent beats unavailable,
+        and the next sweep retries."""
+        if not replica.healthy:
+            return False
+        before = getattr(replica.index, "snapshot_digest", None)
+        started = self._clock()
+        try:
+            changed = bool(replica.engine.refresh())
+        except StaleIndexError as exc:
+            # Refresh itself proved genuine divergence — integrity.
+            self._audit_event("replica-refresh-failed", replica=replica.name,
+                              cause=cause, error=type(exc).__name__)
+            self._evict(replica, "stale-index")
+            return False
+        except Exception as exc:  # noqa: BLE001 — growth must not evict
+            self.telemetry.count("refresh_failures")
+            self._audit_event("replica-refresh-failed", replica=replica.name,
+                              cause=cause, error=type(exc).__name__)
+            return False
+        if changed:
+            self.telemetry.count("replica_refreshes")
+            self.telemetry.observe("refresh", self._clock() - started)
+            self._audit_event(
+                "replica-refreshed", replica=replica.name, cause=cause,
+                snapshot_before=before,
+                snapshot_after=getattr(replica.index, "snapshot_digest",
+                                       None),
+            )
+        return changed
+
+    def refresh(self, max_replicas: Optional[int] = None) -> int:
+        """Staggered generation adoption across the cluster.
+
+        Refreshes the most-behind healthy replicas, at most
+        ``max_replicas`` (default ``config.refresh_stagger``) per call —
+        so the cluster never takes the build cost on every replica at
+        once and quorum keeps serving the prior snapshot. The health
+        sweep calls this every interval; tests and the CLI may call it
+        directly. Returns the number of replicas that adopted a new
+        generation."""
+        if not hasattr(self.store, "segment_digests"):
+            return 0
+        limit = (self.config.refresh_stagger if max_replicas is None
+                 else int(max_replicas))
+        target = self.store.version
+        behind = [r for r in self.replicas
+                  if r.healthy and (r.index.built_version is None
+                                    or r.index.built_version < target)]
+        behind.sort(key=lambda r: r.index.built_version or 0)
+        refreshed = 0
+        for replica in behind[:max(0, limit)]:
+            if self._refresh_replica(replica, cause="growth"):
+                refreshed += 1
+        return refreshed
 
     # -- routing -----------------------------------------------------------------
 
@@ -760,11 +956,16 @@ class ServingCluster:
             for finished in done:
                 owner = pending.pop(finished)
                 try:
-                    hits = tuple(finished.result(timeout=0))
+                    # Keep the engine's answer object intact: it may be an
+                    # EngineAnswer carrying snapshot/label_rows provenance
+                    # that the meta-verification below inspects.
+                    hits = finished.result(timeout=0)
                     if self.config.verify_hits:
                         with self._span("verify-hits", "boundary-crossing",
                                         replica=owner.name):
-                            self._verify_hits(fingerprint, hits)
+                            self._verify_hits(fingerprint, hits,
+                                              label=label, k=k,
+                                              replica=owner)
                 except Exception as exc:  # noqa: BLE001 — classified below
                     last_error = exc
                     self._replica_failure(owner, exc)
@@ -832,7 +1033,9 @@ class ServingCluster:
                     continue
                 future, replica = entry
                 try:
-                    hits = tuple(future.result(timeout=remaining))
+                    # Preserve EngineAnswer provenance attributes for the
+                    # batched meta-verification below.
+                    hits = future.result(timeout=remaining)
                 except Exception as exc:  # noqa: BLE001 — reroute below
                     self._replica_failure(replica, exc)
                     if isinstance(exc, QueryError) and not isinstance(
@@ -857,6 +1060,19 @@ class ServingCluster:
                         "served hit distance disagrees with the "
                         "authoritative store — replica index corruption"))
                     reroute.append(i)
+                gathered = [i for i in gathered if answers[i] is not None]
+            if self.config.verify_hits and gathered:
+                # Provenance pass: hit counts, label rows, and cited index
+                # snapshots (lineage-walked once per digest, then cached).
+                for i in list(gathered):
+                    hits, replica, _ = answers[i]
+                    try:
+                        self._verify_answer_meta(replica, hits,
+                                                 int(labels[i]), int(k))
+                    except Exception as exc:  # noqa: BLE001 — reroute
+                        answers[i] = None
+                        self._replica_failure(replica, exc)
+                        reroute.append(i)
                 gathered = [i for i in gathered if answers[i] is not None]
             if gathered:
                 self.telemetry.count("queries", len(gathered))
@@ -903,6 +1119,14 @@ class ServingCluster:
             elif replica.healthy:
                 self._check_replica(replica)
             states[replica.name] = replica.state
+        if self.config.auto_refresh and self._started:
+            # Staggered catch-up: at most ``refresh_stagger`` replicas
+            # adopt the grown store per sweep, so the cluster never
+            # rebuilds everywhere at once.
+            try:
+                self.refresh()
+            except Exception:  # noqa: BLE001 — the sweep must survive
+                self.telemetry.count("refresh_failures")
         return states
 
     def _check_replica(self, replica: ServingReplica) -> None:
@@ -979,6 +1203,7 @@ class ServingCluster:
                 replica.audit_mark = (len(engine.audit), engine.audit.head)
                 replica.state = "healthy"
                 replica.evicted_reason = None
+            self._start_compaction(replica)
         self.telemetry.count("revivals")
         self._audit_event("replica-revived", replica=replica.name)
 
@@ -1049,6 +1274,52 @@ class ServingCluster:
         path.write_text(text[: max(1, len(text) // 2)])
         self._audit_event("fault-injected", fault="torn-manifest")
 
+    def grow_store(self, records: int = 256,
+                   label: Optional[int] = None,
+                   seed: Optional[int] = None) -> str:
+        """Append a benign ingest burst to the shared store (growth storm).
+
+        This is the load half of the growth-under-load drill: every
+        replica's pinned generation instantly becomes behind the store,
+        and the cluster must keep answering from pinned snapshots while
+        staggered refreshes catch up — zero evictions, zero client-facing
+        :class:`StaleIndexError`."""
+        if records <= 0:
+            raise ConfigurationError("growth burst needs records >= 1")
+        rng = np.random.default_rng(
+            self.store.version if seed is None else seed)
+        known = list(self.store.labels())
+        if label is not None:
+            targets = [int(label)] * records
+        else:
+            targets = [known[i % len(known)] for i in range(records)]
+        version = self.store.version
+        matrix = rng.standard_normal(
+            (records, self.store.dimension)).astype(np.float32)
+        digests = [
+            canonical_digest({"growth-storm": [int(version), int(i)]})
+            for i in range(records)
+        ]
+        info = self.store.append(
+            matrix, targets, [f"growth-storm-{version}"] * records, digests)
+        self.telemetry.count("growth_segments")
+        self.telemetry.count("growth_records", records)
+        self._audit_event("fault-injected", fault="growth-storm",
+                          segment=info.name, records=int(records))
+        return info.name
+
+    def crash_compaction(self, name: Optional[str] = None) -> str:
+        """Arm a one-shot crash inside the target replica's next merge."""
+        replica = self._target(name)
+        arm = getattr(replica.index, "inject_compaction_crash", None)
+        if not callable(arm):
+            raise ConfigurationError(
+                "replica index does not support compaction-crash injection")
+        arm()
+        self._audit_event("fault-injected", fault="compaction-crash",
+                          replica=replica.name)
+        return replica.name
+
     def inject(self, spec) -> None:
         """Apply one :class:`~repro.resilience.faults.ServingFaultSpec`."""
         kind = spec.kind
@@ -1065,6 +1336,10 @@ class ServingCluster:
             self.corrupt_store_segment(spec.row or 0)
         elif kind == "torn-manifest":
             self.tear_manifest()
+        elif kind == "growth-storm":
+            self.grow_store(spec.records or 256, label=spec.label)
+        elif kind == "compaction-crash":
+            self.crash_compaction(spec.replica)
         else:
             raise ConfigurationError(f"unknown serving fault kind {kind!r}")
 
@@ -1078,9 +1353,12 @@ class ServingCluster:
                     "state": r.state,
                     "breaker": r.breaker.state,
                     "evicted_reason": r.evicted_reason,
+                    "built_version": getattr(r.index, "built_version", None),
+                    "snapshot": getattr(r.index, "snapshot_digest", None),
                 }
                 for r in self.replicas
             },
+            "store_version": self.store.version,
             "in_flight": self._in_flight,
             "audit_events": len(self.audit),
         }

@@ -41,7 +41,32 @@ from repro.serving.index import IndexHit, ShardedAnnIndex
 from repro.serving.telemetry import ServingTelemetry
 from repro.utils.serialization import stable_hash
 
-__all__ = ["EngineConfig", "ServingEngine"]
+__all__ = ["EngineConfig", "EngineAnswer", "ServingEngine"]
+
+
+class EngineAnswer(tuple):
+    """An answered query: a tuple of hits plus answer provenance.
+
+    Behaves exactly like the legacy ``Tuple[IndexHit, ...]`` (equality,
+    length, iteration, indexing) while carrying three attributes the
+    cluster's per-answer verification checks end-to-end:
+
+    * ``snapshot`` — index-snapshot hex digest of the generation that
+      answered (which committed store prefix the answer saw);
+    * ``label_rows`` — rows the label held in that snapshot, making a
+      short answer (``label_rows < requested_k``) explicit instead of
+      indistinguishable from a truncated one;
+    * ``requested_k`` — the caller's ``k``.
+    """
+
+    def __new__(cls, hits, snapshot: Optional[str] = None,
+                label_rows: Optional[int] = None,
+                requested_k: Optional[int] = None) -> "EngineAnswer":
+        self = super().__new__(cls, hits)
+        self.snapshot = snapshot
+        self.label_rows = label_rows
+        self.requested_k = requested_k
+        return self
 
 
 @dataclass(frozen=True)
@@ -155,10 +180,11 @@ class ServingEngine:
         """Start (or restart) the worker pool.
 
         A stopped engine may be restarted; its snapshot-keyed cache
-        carries over safely because every cache key embeds the index
-        build version *and* the store version, so entries cached before
-        a stop can never answer for a store that has since grown — they
-        simply never match again (see :meth:`_key`).
+        carries over safely because every cache key embeds the per-label
+        content digest (or, for legacy indexes, the build + store
+        versions), so entries cached before a stop can never answer for
+        a label that has since gained rows — they simply never match
+        again (see :meth:`_key`).
         """
         if self._started:
             raise ServingError("engine already started")
@@ -270,16 +296,55 @@ class ServingEngine:
     def __exit__(self, *exc_info) -> None:
         self.stop()
 
+    # -- growth ------------------------------------------------------------------
+
+    def refresh(self) -> bool:
+        """Adopt newly committed store segments into the serving index.
+
+        Delegates to :meth:`ShardedAnnIndex.refresh` — incremental, no
+        full rebuild — and records the generation adoption in the same
+        hash-chained audit log as the queries it will affect, so the
+        chain shows exactly when answers started covering the new rows.
+        In-flight queries are untouched (they pinned the old
+        generation); returns ``True`` when a new generation was adopted.
+        """
+        refresher = getattr(self.index, "refresh", None)
+        if refresher is None:
+            return False
+        before = getattr(self.index, "snapshot_digest", None)
+        started = time.perf_counter()
+        changed = refresher()
+        self.telemetry.observe("refresh", time.perf_counter() - started)
+        if changed:
+            self.telemetry.count("refreshes")
+            with self._audit_lock:
+                self.audit.append(
+                    "index-refresh",
+                    snapshot_before=before,
+                    snapshot_after=getattr(self.index, "snapshot_digest",
+                                           None),
+                    built_version=getattr(self.index, "built_version", None),
+                )
+        return changed
+
     # -- submission --------------------------------------------------------------
 
     def _key(self, fingerprint: np.ndarray, label: int, k: int) -> tuple:
-        # The index snapshot (built_version) and the store version are part
-        # of the key: a rebuild invalidates every cached answer, and a store
-        # that outgrew the index can never be answered from the cache — the
-        # query falls through to the index, which fails closed on staleness.
-        return (stable_hash(fingerprint), int(label), int(k),
-                getattr(self.index, "built_version", None),
-                getattr(getattr(self.index, "store", None), "version", None))
+        # Keyed by the *per-label* content digest: growth in other labels
+        # leaves these entries warm, while a label that actually gains
+        # rows gets a new digest, so its old entries simply never match
+        # again. Indexes without per-label identity fall back to the
+        # coarse (build version, store version) pair, which invalidates
+        # everything on any append — correct, just colder.
+        scope = None
+        getter = getattr(self.index, "label_digest", None)
+        if callable(getter):
+            scope = getter(int(label))
+        if scope is None:
+            scope = (getattr(self.index, "built_version", None),
+                     getattr(getattr(self.index, "store", None),
+                             "version", None))
+        return (stable_hash(fingerprint), int(label), int(k), scope)
 
     def _audit_event(self, key: tuple, served_by: str,
                      hits: Tuple[IndexHit, ...]) -> None:
@@ -294,6 +359,13 @@ class ServingEngine:
             results=result_digest.hex(),
             num_results=len(hits),
         )
+        snapshot = getattr(hits, "snapshot", None)
+        if snapshot is not None:
+            # Which data generation answered — the audit chain commits to
+            # the exact index snapshot, so a verifier can replay the
+            # answer against that committed store prefix.
+            details["index_snapshot"] = snapshot
+            details["label_rows"] = getattr(hits, "label_rows", None)
         if self.promotion is not None:
             # Promoted deployments stamp the run identity into every
             # answer: the audit chain proves which run served it.
@@ -468,8 +540,12 @@ class ServingEngine:
         self.telemetry.count("brute_equivalent_rows",
                              result.shard_rows * len(members))
         now = time.perf_counter()
+        snapshot = getattr(result, "snapshot", None)
+        label_rows = getattr(result, "shard_rows", None)
         for member, hits in zip(members, result.hits):
-            answer = tuple(hits)
+            answer = EngineAnswer(hits, snapshot=snapshot,
+                                  label_rows=label_rows,
+                                  requested_k=member.k)
             self._cache.put(member.key, answer)
             self._audit_event(member.key, "index", answer)
             self.telemetry.observe("total", now - member.enqueued_at)

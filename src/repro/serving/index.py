@@ -1,47 +1,55 @@
-"""Per-label sharded ANN index with exact L2 re-ranking.
+"""Per-label sharded ANN index — a generation of immutable segments.
 
 Every query is label-scoped (the paper only searches within class ``Y``),
-so the natural sharding key is the label. Each shard is either:
-
-* a **brute shard** (below ``shard_threshold`` records): one dense matrix,
-  exact distances — small classes don't deserve index overhead; or
-* a **clustered shard**: coarse k-means buckets with per-bucket centroids
-  and radii. A query first ranks buckets by centroid distance, then
-  re-ranks candidate rows with exact L2 distances.
+so the natural sharding key is the label. The leaf structures live in
+:mod:`repro.serving.segments`: each label shard is either a **brute
+shard** (below ``shard_threshold`` records: one dense matrix, exact
+distances) or a **clustered shard** (coarse k-means buckets with
+per-bucket centroids and radii; a query ranks buckets by centroid
+distance and re-ranks candidates with exact L2).
 
 Two candidate-selection modes:
 
 * ``probes=None`` (the default, *exact* mode) — triangle-inequality
   pruning. A bucket with centroid ``c`` and radius ``r`` can only contain
   a top-k hit if ``d(q, c) - r <= ub_k``, where ``ub_k`` is a proven
-  upper bound on the k-th nearest distance (from the buckets whose
-  ``d(q, c) + r`` is smallest and that jointly hold >= k points). Any
-  pruned point is *strictly* farther than the k-th neighbour, so the
-  returned top-k membership — and, with the stable insertion-order
-  tie-break, the exact ordering — is identical to brute force. Recall is
-  1.0 by construction at this default re-rank width.
+  upper bound on the k-th nearest distance. Pruned points are *strictly*
+  farther than the k-th neighbour, so top-k membership — and, with the
+  stable insertion-order tie-break, the exact ordering — is identical to
+  brute force. Recall is 1.0 by construction.
 * ``probes=p`` (approximate mode) — scan only the ``p`` buckets with the
   nearest centroids (expanding while fewer than ``k`` candidates are
-  reachable). Recall depends on how clustered the fingerprints are; the
-  documented floor, enforced by the test suite on clustered and random
-  data, is ``RECALL_FLOOR``.
+  reachable). The documented floor, enforced by the test suite, is
+  ``RECALL_FLOOR``.
 
-Batched searches (:meth:`ShardedAnnIndex.search_batch`) compute one
-vectorized distance evaluation over the union of every query's candidate
-rows — this is what the engine's micro-batching coalesces into.
+What changed with the incremental rewrite: the index no longer fails
+closed when the store grows. :meth:`ShardedAnnIndex.build` makes one
+full-coverage segment; :meth:`ShardedAnnIndex.refresh` builds segments
+only for *newly committed* store segments and atomically adopts a new
+:class:`~repro.serving.segments.IndexGeneration`; ``search_batch`` pins
+the generation it starts on (snapshot isolation), and a background
+compactor (:meth:`start_compaction`) keeps per-query segment fan-out
+bounded with rate-limited merges. :class:`~repro.errors.StaleIndexError`
+is reserved for genuine digest mismatch — a covered store segment whose
+content no longer matches what the index was built against.
 """
 
 from __future__ import annotations
 
-import zlib
-from dataclasses import dataclass
-from typing import Dict, List, NamedTuple, Optional
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
-from scipy.spatial.distance import cdist
 
-from repro.errors import (ConfigurationError, IndexIntegrityError, QueryError,
+from repro.errors import (CompactionCrash, ConfigurationError, QueryError,
                           StaleIndexError)
+from repro.serving.segments import (IndexGeneration, IndexHit, IndexSegment,
+                                    SegmentBuildParams, ShardSearchResult,
+                                    _BruteShard, _ClusteredShard,
+                                    generation_lineage_error, merge_segments,
+                                    plan_merge)
 
 __all__ = ["IndexHit", "ShardSearchResult", "ShardedAnnIndex", "RECALL_FLOOR"]
 
@@ -49,134 +57,10 @@ __all__ = ["IndexHit", "ShardSearchResult", "ShardedAnnIndex", "RECALL_FLOOR"]
 # default build parameters, enforced by tests/serving/test_index.py.
 RECALL_FLOOR = 0.9
 
-
-class IndexHit(NamedTuple):
-    """One nearest-neighbour hit: global record index + exact L2 distance."""
-
-    index: int
-    distance: float
-
-
-@dataclass
-class ShardSearchResult:
-    """Results for one batched shard search plus work accounting."""
-
-    hits: List[List[IndexHit]]
-    candidates_scanned: int  # exact distance evaluations performed
-    shard_rows: int          # rows a brute-force scan would have touched
-
-
-class _BruteShard:
-    def __init__(self, matrix: np.ndarray, indices: np.ndarray) -> None:
-        self.matrix = matrix
-        self.indices = indices
-
-    @property
-    def rows(self) -> int:
-        return self.matrix.shape[0]
-
-    def search(self, batch: np.ndarray, k: int) -> ShardSearchResult:
-        k_eff = min(k, self.rows)
-        distances = cdist(batch, self.matrix)
-        order = np.argsort(distances, axis=1, kind="stable")[:, :k_eff]
-        hits = [
-            [IndexHit(int(self.indices[column]), float(distances[row, column]))
-             for column in order[row]]
-            for row in range(batch.shape[0])
-        ]
-        return ShardSearchResult(
-            hits=hits,
-            candidates_scanned=batch.shape[0] * self.rows,
-            shard_rows=self.rows,
-        )
-
-
-class _ClusteredShard:
-    """Coarse k-means buckets over one label's fingerprints.
-
-    ``row_order`` sorts rows ascending by global index inside the
-    concatenated bucket layout, so a stable argsort over candidate
-    distances tie-breaks identically to brute force over the full shard.
-    """
-
-    def __init__(self, matrix: np.ndarray, indices: np.ndarray,
-                 centroids: np.ndarray, buckets: List[np.ndarray],
-                 radii: np.ndarray) -> None:
-        self.matrix = matrix
-        self.indices = indices
-        self.centroids = centroids
-        self.buckets = buckets  # per bucket: row ids into matrix, ascending
-        self.radii = radii
-        self.sizes = np.array([len(b) for b in buckets], dtype=np.int64)
-
-    @property
-    def rows(self) -> int:
-        return self.matrix.shape[0]
-
-    def _candidate_mask(self, dc: np.ndarray, k: int,
-                        probes: Optional[int]) -> np.ndarray:
-        """(q, m) bool — which buckets each query must scan."""
-        q = dc.shape[0]
-        m = len(self.buckets)
-        k_eff = min(k, self.rows)
-        if probes is not None:
-            # Approximate: the `probes` nearest centroids, expanded per
-            # query until at least k candidates are reachable.
-            order = np.argsort(dc, axis=1, kind="stable")
-            mask = np.zeros((q, m), dtype=bool)
-            for row in range(q):
-                needed = 0
-                taken = 0
-                for bucket in order[row]:
-                    if taken >= probes and needed >= k_eff:
-                        break
-                    mask[row, bucket] = True
-                    needed += self.sizes[bucket]
-                    taken += 1
-            return mask
-        # Exact: bound the k-th nearest distance from above with the
-        # smallest-upper-bound buckets jointly holding >= k points, then
-        # keep every bucket whose lower bound does not exceed it.
-        upper = dc + self.radii[None, :]
-        lower = np.maximum(dc - self.radii[None, :], 0.0)
-        order = np.argsort(upper, axis=1, kind="stable")
-        cum = np.cumsum(self.sizes[order], axis=1)
-        # First column where the cumulative bucket population reaches k.
-        first = np.argmax(cum >= k_eff, axis=1)
-        ub_k = upper[np.arange(q), order[np.arange(q), first]]
-        return lower <= ub_k[:, None]
-
-    def search(self, batch: np.ndarray, k: int,
-               probes: Optional[int]) -> ShardSearchResult:
-        k_eff = min(k, self.rows)
-        dc = cdist(batch, self.centroids)
-        mask = self._candidate_mask(dc, k, probes)
-        union_buckets = np.flatnonzero(mask.any(axis=0))
-        # One vectorized distance computation over the union of candidates,
-        # with rows sorted ascending so stable ties match brute force.
-        union_rows = np.sort(
-            np.concatenate([self.buckets[b] for b in union_buckets])
-        )
-        bucket_of_row = np.empty(self.rows, dtype=np.int64)
-        for bucket, rows in enumerate(self.buckets):
-            bucket_of_row[rows] = bucket
-        union_bucket_ids = bucket_of_row[union_rows]
-        distances = cdist(batch, self.matrix[union_rows])
-        hits: List[List[IndexHit]] = []
-        scanned = 0
-        for row in range(batch.shape[0]):
-            columns = np.flatnonzero(mask[row][union_bucket_ids])
-            scanned += columns.shape[0]
-            own = distances[row, columns]
-            take = min(k_eff, columns.shape[0])
-            order = np.argsort(own, kind="stable")[:take]
-            rows_hit = union_rows[columns[order]]
-            hits.append([
-                IndexHit(int(self.indices[r]), float(d))
-                for r, d in zip(rows_hit, own[order])
-            ])
-        return ShardSearchResult(hits=hits, candidates_scanned=scanned,
-                                 shard_rows=self.rows)
+# How many adopted generations to keep addressable by snapshot digest —
+# enough for the cluster to verify answers produced just before an
+# adoption without re-deriving anything.
+_GENERATION_HISTORY = 16
 
 
 class ShardedAnnIndex:
@@ -185,7 +69,9 @@ class ShardedAnnIndex:
     Args:
         store: anything exposing ``labels()``, ``count(label)``, and
             ``by_label(label)`` — both :class:`~repro.serving.store.LinkageStore`
-            and :class:`~repro.core.linkage.LinkageDatabase` qualify.
+            and :class:`~repro.core.linkage.LinkageDatabase` qualify;
+            incremental :meth:`refresh` additionally needs the store's
+            ``segment_slice``/``segment_digests`` surface.
         shard_threshold: labels with fewer records stay brute-force.
         buckets_per_shard: number of k-means buckets, or ``None`` for
             ``ceil(sqrt(n))`` per shard.
@@ -193,17 +79,27 @@ class ShardedAnnIndex:
             an integer for approximate probing (recall >= ``RECALL_FLOOR``
             on clustered data with default build parameters).
         seed: k-means initialisation seed (build is deterministic).
+        max_segments: per-query segment fan-out bound; the compactor
+            merges the cheapest adjacent pair whenever it is exceeded.
+        compaction_interval_s: background compactor poll interval.
+        compaction_rows_per_s: optional rate limit on compaction work so
+            merges never starve foreground queries of CPU.
     """
 
     def __init__(self, store, shard_threshold: int = 2048,
                  buckets_per_shard: Optional[int] = None,
                  probes: Optional[int] = None, seed: int = 0,
                  kmeans_iterations: int = 6,
-                 kmeans_sample: int = 20000) -> None:
+                 kmeans_sample: int = 20000,
+                 max_segments: int = 8,
+                 compaction_interval_s: float = 0.05,
+                 compaction_rows_per_s: Optional[float] = None) -> None:
         if probes is not None and probes < 1:
             raise ConfigurationError("probes must be >= 1 (or None for exact)")
         if shard_threshold < 1:
             raise ConfigurationError("shard_threshold must be >= 1")
+        if max_segments < 1:
+            raise ConfigurationError("max_segments must be >= 1")
         self.store = store
         self.shard_threshold = shard_threshold
         self.buckets_per_shard = buckets_per_shard
@@ -211,39 +107,281 @@ class ShardedAnnIndex:
         self.seed = seed
         self.kmeans_iterations = kmeans_iterations
         self.kmeans_sample = kmeans_sample
-        self._shards: Dict[int, object] = {}
+        self.max_segments = max_segments
+        self.compaction_interval_s = compaction_interval_s
+        self.compaction_rows_per_s = compaction_rows_per_s
         self.built_version: Optional[int] = None
         self._built = False
-        # crc32 over every shard matrix, recorded at build time. The
-        # matrices are private float32 copies (not the mmap store), so any
-        # later drift is memory corruption local to this replica; the
-        # cluster's health sweep re-verifies these cheaply.
-        self._shard_checksums: Dict[int, int] = {}
+        # The live generation: one attribute read pins a consistent
+        # snapshot for a whole query — adoption swaps the reference
+        # atomically under _mutate_lock, never mutates in place.
+        self._generation: Optional[IndexGeneration] = None
+        self._generations: "OrderedDict[str, IndexGeneration]" = OrderedDict()
+        self._mutate_lock = threading.RLock()
+        self._next_ordinal = 0
+        # Work accounting the growth benchmarks assert on.
+        self.full_builds = 0
+        self.refreshes = 0
+        self.compactions = 0
+        self.compaction_crashes = 0
+        self.compaction_failures = 0
+        self.generation_adoptions = 0
+        self.segments_built = 0
+        self._crash_next_compaction = False
+        self._compactor: Optional[threading.Thread] = None
+        self._compact_stop = threading.Event()
 
-    # -- build -------------------------------------------------------------------
+    # -- build / refresh ---------------------------------------------------------
+
+    def _build_params(self) -> SegmentBuildParams:
+        return SegmentBuildParams(
+            shard_threshold=self.shard_threshold,
+            buckets_per_shard=self.buckets_per_shard,
+            probes=self.probes,
+            seed=self.seed,
+            kmeans_iterations=self.kmeans_iterations,
+            kmeans_sample=self.kmeans_sample,
+        )
+
+    def _segment_backed(self) -> bool:
+        return hasattr(self.store, "segment_slice")
+
+    def _adopt(self, segments, params: SegmentBuildParams) -> IndexGeneration:
+        with self._mutate_lock:
+            if self._segment_backed():
+                store_version = (segments[-1].stop if segments else 0)
+            else:
+                store_version = getattr(self.store, "version", None)
+            generation = IndexGeneration(
+                segments, params, store_version=store_version,
+                ordinal=self._next_ordinal,
+            )
+            self._next_ordinal += 1
+            self._generations[generation.snapshot] = generation
+            while len(self._generations) > _GENERATION_HISTORY:
+                self._generations.popitem(last=False)
+            self._generation = generation
+            self.built_version = generation.store_version
+            self._built = True
+            self.generation_adoptions += 1
+            return generation
 
     def build(self) -> "ShardedAnnIndex":
-        """(Re)build every label shard from the store; returns self."""
-        self._shards = {}
+        """(Re)build from scratch: one segment covering the whole store.
+
+        Kept for bootstrap and for genuine history rewrites; steady-state
+        growth goes through :meth:`refresh` instead.
+        """
+        params = self._build_params()
+        with self._mutate_lock:
+            if self._segment_backed():
+                total = len(self.store.segment_digests())
+                segment = IndexSegment.build(self.store, 0, total, params)
+                segments = (segment,) if total else ()
+            else:
+                segments = (self._database_segment(params),)
+            self._adopt(segments, params)
+            self.full_builds += 1
+            self.segments_built += len(segments)
+        return self
+
+    def _database_segment(self, params: SegmentBuildParams) -> IndexSegment:
+        """Monolithic pseudo-segment for in-memory LinkageDatabase stores."""
+        shards: Dict[int, object] = {}
+        rows = 0
+        from repro.serving.segments import _cluster
         for label in self.store.labels():
             matrix, indices = self.store.by_label(label)
             matrix = np.ascontiguousarray(matrix, dtype=np.float32)
             index_array = np.asarray(indices, dtype=np.int64)
-            if matrix.shape[0] <= self.shard_threshold:
-                self._shards[label] = _BruteShard(matrix, index_array)
+            if matrix.shape[0] <= params.shard_threshold:
+                shards[int(label)] = _BruteShard(matrix, index_array)
             else:
-                self._shards[label] = self._cluster(label, matrix, index_array)
-        self.built_version = getattr(self.store, "version", None)
-        self._shard_checksums = {
-            label: self._checksum(shard.matrix)
-            for label, shard in self._shards.items()
-        }
-        self._built = True
-        return self
+                shards[int(label)] = _cluster(
+                    matrix, index_array, params, params.seed + int(label)
+                )
+            rows += matrix.shape[0]
+        return IndexSegment(
+            start=0, stop=0, params=params, store_digests=(),
+            shards=shards,
+            label_presence={label: () for label in shards},
+            rows=rows,
+        )
 
-    @staticmethod
-    def _checksum(matrix: np.ndarray) -> int:
-        return zlib.crc32(np.ascontiguousarray(matrix).tobytes())
+    def refresh(self) -> bool:
+        """Adopt newly committed store segments without a full rebuild.
+
+        Verifies the covered history prefix first — a digest mismatch is
+        a genuine rewrite and raises :class:`StaleIndexError`; benign
+        growth builds index segments for the new store segments only and
+        atomically adopts the extended generation. Returns ``True`` when
+        a new generation was adopted.
+        """
+        if not self._segment_backed():
+            raise ConfigurationError(
+                "incremental refresh needs a segment-backed LinkageStore — "
+                "rebuild in-memory database indexes with build()"
+            )
+        with self._mutate_lock:
+            generation = self._generation
+            if generation is None:
+                raise QueryError("index not built — call build() first")
+            problem = generation_lineage_error(generation, self.store)
+            if problem is not None:
+                raise StaleIndexError(problem)
+            covered = generation.covered_store_segments
+            total = len(self.store.segment_digests())
+            if total == covered:
+                return False
+            segment = IndexSegment.build(
+                self.store, covered, total, generation.params
+            )
+            self._adopt(generation.segments + (segment,), generation.params)
+            self.refreshes += 1
+            self.segments_built += 1
+        return True
+
+    def store_prefix_ok(self) -> bool:
+        """Is the covered history still a committed prefix of the store?
+
+        ``True`` means any staleness is benign growth (refresh repairs
+        it); ``False`` means genuine divergence (integrity failure)."""
+        generation = self._generation
+        if generation is None or not self._segment_backed():
+            return True
+        try:
+            return generation_lineage_error(generation, self.store) is None
+        except Exception:
+            return False
+
+    # -- compaction --------------------------------------------------------------
+
+    def _throttle(self) -> Optional[Callable[[int], None]]:
+        rate = self.compaction_rows_per_s
+        if not rate:
+            return None
+        state = {"start": time.perf_counter(), "rows": 0}
+
+        def pace(rows: int) -> None:
+            state["rows"] += rows
+            target = state["start"] + state["rows"] / rate
+            while not self._compact_stop.is_set():
+                delay = target - time.perf_counter()
+                if delay <= 0:
+                    break
+                time.sleep(min(delay, 0.05))
+
+        return pace
+
+    def _compact_step(self) -> bool:
+        """One bounded unit of compaction; returns True if work was done.
+
+        The merged segment is built *outside* the mutate lock (it can be
+        rate-limited for seconds) and adopted under it only if the pair
+        is still live — refresh appends at the tail, so positions of
+        existing segments never shift underneath the build.
+        """
+        with self._mutate_lock:
+            generation = self._generation
+            if generation is None:
+                return False
+            pos = plan_merge(generation.segments, self.max_segments)
+            if pos is None:
+                return False
+            left, right = generation.segments[pos], generation.segments[pos + 1]
+            params = generation.params
+        merged = merge_segments(self.store, left, right, params,
+                                throttle=self._throttle())
+        if self._crash_next_compaction:
+            self._crash_next_compaction = False
+            self.compaction_crashes += 1
+            raise CompactionCrash(
+                "injected compaction crash: merged segment built but not "
+                "adopted — the live generation must be unaffected"
+            )
+        with self._mutate_lock:
+            current = self._generation
+            segs = list(current.segments)
+            try:
+                i = segs.index(left)
+            except ValueError:
+                return True  # pair superseded by a concurrent adoption
+            if i + 1 >= len(segs) or segs[i + 1] is not right:
+                return True
+            segs[i:i + 2] = [merged]
+            self._adopt(tuple(segs), params)
+            self.compactions += 1
+            self.segments_built += 1
+        return True
+
+    def compact_now(self, max_steps: Optional[int] = None) -> int:
+        """Run compaction steps until fan-out is bounded; returns steps."""
+        steps = 0
+        while max_steps is None or steps < max_steps:
+            if not self._compact_step():
+                break
+            steps += 1
+        return steps
+
+    def start_compaction(self) -> None:
+        """Start the background merge thread (idempotent)."""
+        with self._mutate_lock:
+            if self._compactor is not None and self._compactor.is_alive():
+                return
+            self._compact_stop = threading.Event()
+            self._compactor = threading.Thread(
+                target=self._compaction_loop, name="index-compactor",
+                daemon=True,
+            )
+            self._compactor.start()
+
+    def stop_compaction(self) -> None:
+        thread = self._compactor
+        if thread is None:
+            return
+        self._compact_stop.set()
+        thread.join(timeout=5.0)
+        self._compactor = None
+
+    def _compaction_loop(self) -> None:
+        while not self._compact_stop.wait(self.compaction_interval_s):
+            try:
+                while not self._compact_stop.is_set():
+                    if not self._compact_step():
+                        break
+            except CompactionCrash:
+                # Counted at the raise site; the old generation is still
+                # live, so the compactor simply tries again next tick.
+                continue
+            except Exception:
+                self.compaction_failures += 1
+
+    def inject_compaction_crash(self) -> None:
+        """Arm a one-shot crash in the next compaction step (fault drill)."""
+        self._crash_next_compaction = True
+
+    # -- identity / integrity ----------------------------------------------------
+
+    @property
+    def snapshot_digest(self) -> Optional[str]:
+        """Hex index-snapshot digest of the live generation."""
+        generation = self._generation
+        return None if generation is None else generation.snapshot
+
+    def generation(self, snapshot: str) -> Optional[IndexGeneration]:
+        """Look up a recently adopted generation by its snapshot digest."""
+        return self._generations.get(snapshot)
+
+    def label_digest(self, label: int) -> Optional[str]:
+        """Per-label content digest (cache key), or None if unindexed.
+
+        Derived from the store segments holding the label — compaction
+        re-partitions index segments without moving it, so cached answers
+        for labels that gained no rows stay warm across growth."""
+        generation = self._generation
+        if generation is None:
+            return None
+        return generation.label_digests.get(int(label))
 
     def verify_checksums(self) -> None:
         """Re-verify every shard matrix against its build-time checksum.
@@ -253,13 +391,9 @@ class ShardedAnnIndex:
         the mmap store has content-addressed segment digests, but the
         index's private matrix copies do not — a flipped byte here would
         otherwise shift distances and quietly reorder top-k answers."""
-        for label, shard in self._shards.items():
-            recorded = self._shard_checksums.get(label)
-            if recorded is None or self._checksum(shard.matrix) != recorded:
-                raise IndexIntegrityError(
-                    f"index shard for label {label} failed its checksum — "
-                    "matrix drifted since build"
-                )
+        generation = self._generation
+        if generation is not None:
+            generation.verify_checksums()
 
     @property
     def dimension(self) -> Optional[int]:
@@ -267,91 +401,73 @@ class ShardedAnnIndex:
         dim = getattr(self.store, "dimension", None)
         if dim is not None:
             return int(dim)
-        for shard in self._shards.values():
-            return int(shard.matrix.shape[1])
+        generation = self._generation
+        if generation is not None:
+            for seg in generation.segments:
+                for shard in seg.shards.values():
+                    return int(shard.matrix.shape[1])
         return None
-
-    def _cluster(self, label: int, matrix: np.ndarray,
-                 indices: np.ndarray) -> _ClusteredShard:
-        n = matrix.shape[0]
-        m = self.buckets_per_shard or int(np.ceil(np.sqrt(n)))
-        m = max(1, min(m, n))
-        rng = np.random.default_rng(self.seed + int(label))
-        # Lloyd iterations on a subsample keep builds linear-ish in n.
-        fit_rows = (
-            rng.choice(n, size=self.kmeans_sample, replace=False)
-            if n > self.kmeans_sample else np.arange(n)
-        )
-        fit = matrix[fit_rows]
-        m = min(m, fit.shape[0])
-        centroids = fit[rng.choice(fit.shape[0], size=m, replace=False)].copy()
-        for _ in range(self.kmeans_iterations):
-            assign = np.argmin(cdist(fit, centroids), axis=1)
-            for bucket in range(m):
-                members = fit[assign == bucket]
-                if members.shape[0]:
-                    centroids[bucket] = members.mean(axis=0)
-                else:
-                    centroids[bucket] = fit[rng.integers(fit.shape[0])]
-        assign = np.argmin(cdist(matrix, centroids), axis=1)
-        buckets: List[np.ndarray] = []
-        radii = np.zeros(m, dtype=np.float64)
-        keep: List[int] = []
-        for bucket in range(m):
-            rows = np.flatnonzero(assign == bucket)
-            if rows.shape[0] == 0:
-                continue
-            keep.append(bucket)
-            buckets.append(rows)
-            deltas = matrix[rows] - centroids[bucket]
-            radii[bucket] = float(np.sqrt((deltas * deltas).sum(axis=1)).max())
-        centroids = centroids[keep]
-        radii = radii[keep]
-        return _ClusteredShard(matrix, indices, centroids, buckets, radii)
 
     # -- search ------------------------------------------------------------------
 
     def shard_kind(self, label: int) -> str:
-        shard = self._shards.get(int(label))
-        if shard is None:
+        generation = self._generation
+        if generation is None:
             return "missing"
-        return "brute" if isinstance(shard, _BruteShard) else "clustered"
+        kinds = set()
+        for seg in generation.segments:
+            shard = seg.shards.get(int(label))
+            if shard is not None:
+                kinds.add("brute" if isinstance(shard, _BruteShard)
+                          else "clustered")
+        if not kinds:
+            return "missing"
+        return kinds.pop() if len(kinds) == 1 else "mixed"
 
     def labels(self) -> List[int]:
-        return sorted(self._shards)
+        generation = self._generation
+        return [] if generation is None else generation.labels()
 
     def _shard_for(self, label: int):
-        shard = self._shards.get(int(label))
-        if shard is None:
+        generation = self._generation
+        if generation is None:
             raise QueryError(
                 f"no training fingerprints indexed for label {label}"
             )
-        return shard
+        return generation.shard_for(label)
 
     def search_batch(self, batch: np.ndarray, label: int,
                      k: int = 9) -> ShardSearchResult:
-        """Answer a coalesced same-label batch with one vectorized pass."""
-        if not self._built:
+        """Answer a coalesced same-label batch with one vectorized pass.
+
+        Snapshot-isolated: the generation is pinned by a single atomic
+        read, so concurrent refresh/compaction cannot change this
+        query's answer set mid-flight. Benign growth never raises —
+        only a store history *rewrite* under the covered prefix does,
+        and that is detected at refresh/health-sweep time."""
+        generation = self._generation
+        if generation is None:
             raise QueryError("index not built — call build() first")
-        store_version = getattr(self.store, "version", None)
-        if store_version is not None and store_version != self.built_version:
-            raise StaleIndexError(
-                f"index is stale: built at store version {self.built_version} "
-                f"but the store is now at {store_version} — call build() again"
-            )
         if k < 1:
             raise QueryError("k must be >= 1")
-        shard = self._shard_for(label)
+        store_version = getattr(self.store, "version", None)
+        if (store_version is not None
+                and generation.store_version is not None
+                and store_version < generation.store_version):
+            raise StaleIndexError(
+                f"store history went backwards under the index: built "
+                f"against version {generation.store_version} but the store "
+                f"reports {store_version} — rewrite, not growth"
+            )
         batch = np.asarray(batch, dtype=np.float32)
         batch = batch.reshape(batch.shape[0] if batch.ndim > 1 else 1, -1)
-        if batch.shape[1] != shard.matrix.shape[1]:
+        dimension = self.dimension
+        if dimension is not None and batch.shape[1] != dimension:
             raise QueryError(
                 f"fingerprint dimension {batch.shape[1]} does not match "
-                f"index dimension {shard.matrix.shape[1]}"
+                f"index dimension {dimension}"
             )
-        if isinstance(shard, _BruteShard):
-            return shard.search(batch, k)
-        return shard.search(batch, k, self.probes)
+        return generation.search_batch(batch, label, k, self.probes)
 
     def search(self, fingerprint: np.ndarray, label: int,
                k: int = 9) -> List[IndexHit]:
@@ -362,18 +478,32 @@ class ShardedAnnIndex:
 
     def stats(self) -> Dict[str, object]:
         """Per-shard composition summary (for CLI / telemetry surfaces)."""
-        shards = {}
-        for label, shard in sorted(self._shards.items()):
-            entry = {"rows": shard.rows,
-                     "kind": "brute" if isinstance(shard, _BruteShard)
-                             else "clustered"}
-            if isinstance(shard, _ClusteredShard):
-                entry["buckets"] = len(shard.buckets)
-                entry["mean_radius"] = float(np.mean(shard.radii))
-            shards[int(label)] = entry
+        generation = self._generation
+        shards: Dict[int, Dict[str, object]] = {}
+        if generation is not None:
+            for label in generation.labels():
+                per = [seg.shards[label] for seg in generation.segments
+                       if label in seg.shards]
+                kind = self.shard_kind(label)
+                entry: Dict[str, object] = {
+                    "rows": generation.count(label),
+                    "kind": kind,
+                    "segments": len(per),
+                }
+                clustered = [s for s in per
+                             if isinstance(s, _ClusteredShard)]
+                if clustered and kind in ("clustered", "mixed"):
+                    entry["buckets"] = sum(len(s.buckets) for s in clustered)
+                    entry["mean_radius"] = float(np.mean(
+                        np.concatenate([s.radii for s in clustered])
+                    ))
+                shards[int(label)] = entry
         return {
-            "labels": len(self._shards),
+            "labels": len(shards),
             "mode": "exact" if self.probes is None else f"probes={self.probes}",
             "built_version": self.built_version,
+            "segments": 0 if generation is None else generation.segment_count,
+            "generation": None if generation is None else generation.ordinal,
+            "snapshot": None if generation is None else generation.snapshot,
             "shards": shards,
         }

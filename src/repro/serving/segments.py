@@ -1,0 +1,598 @@
+"""Immutable LSM-style index segments and snapshot-isolated generations.
+
+The monolithic ``ShardedAnnIndex`` rebuild punished benign ingest growth
+exactly like corruption: one committed store segment bumped
+``LinkageStore.version`` and every replica failed closed with
+:class:`~repro.errors.StaleIndexError`. This module makes the index
+incremental instead:
+
+* an :class:`IndexSegment` is an immutable per-label shard set built from
+  a contiguous run of committed :class:`~repro.serving.store.LinkageStore`
+  segments, content-addressed over the store-segment digests it covers
+  plus the :class:`SegmentBuildParams` that shaped it;
+* an :class:`IndexGeneration` is an ordered, contiguous tuple of index
+  segments committed by an **index-snapshot digest**
+  (ordered covered store digests ⊕ ordered index-segment digests ⊕ build
+  params) — the serving-side analogue of the content-addressed
+  ``dataset_id`` idiom: a replica can prove exactly which data generation
+  answered a query, and the cluster can re-derive the digest from the
+  authoritative store without trusting the replica;
+* queries pin the generation they started on (snapshot isolation — a
+  concurrent refresh or compaction never changes an in-flight answer),
+  and :func:`plan_merge` + :func:`merge_segments` give the background
+  compactor bounded, rate-limitable work units that keep per-query
+  segment fan-out — and therefore p99 — bounded during growth storms.
+
+Exact-mode parity with a from-scratch build is structural, not
+statistical: per-pair L2 distances do not depend on how the row matrix is
+partitioned, each shard returns its top-k sorted stably by (distance,
+ascending global index), and the k-way merge re-sorts by the same key —
+so membership *and* tie-break ordering are bitwise identical to brute
+force over the union.
+"""
+
+from __future__ import annotations
+
+import heapq
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+from repro.errors import ConfigurationError, IndexIntegrityError, QueryError
+from repro.utils.serialization import canonical_digest
+
+__all__ = [
+    "IndexHit", "ShardSearchResult", "SegmentBuildParams", "IndexSegment",
+    "IndexGeneration", "plan_merge", "merge_segments",
+    "generation_lineage_error",
+]
+
+
+class IndexHit(NamedTuple):
+    """One nearest-neighbour hit: global record index + exact L2 distance."""
+
+    index: int
+    distance: float
+
+
+@dataclass
+class ShardSearchResult:
+    """Results for one batched search plus work accounting.
+
+    ``shard_rows`` is the number of rows a brute-force scan of the label
+    would have touched *in the answering snapshot* — when a label holds
+    fewer than ``requested_k`` rows the answer is legitimately short, and
+    carrying both numbers makes that explicit instead of leaving callers
+    to assume ``len(hits) == k``. ``snapshot`` is the index-snapshot hex
+    digest of the generation that answered (``None`` for bare shards).
+    """
+
+    hits: List[List[IndexHit]]
+    candidates_scanned: int  # exact distance evaluations performed
+    shard_rows: int          # label rows in the answering snapshot
+    requested_k: Optional[int] = None
+    snapshot: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SegmentBuildParams:
+    """Everything that shapes a build, hashed into every segment digest.
+
+    Two segments over the same store rows with the same params are
+    byte-equivalent answers; a params change is a new content address,
+    never a silent in-place change.
+    """
+
+    shard_threshold: int = 2048
+    buckets_per_shard: Optional[int] = None
+    probes: Optional[int] = None
+    seed: int = 0
+    kmeans_iterations: int = 6
+    kmeans_sample: int = 20000
+
+    def __post_init__(self) -> None:
+        if self.probes is not None and self.probes < 1:
+            raise ConfigurationError("probes must be >= 1 (or None for exact)")
+        if self.shard_threshold < 1:
+            raise ConfigurationError("shard_threshold must be >= 1")
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "shard_threshold": int(self.shard_threshold),
+            "buckets_per_shard": (None if self.buckets_per_shard is None
+                                  else int(self.buckets_per_shard)),
+            "probes": None if self.probes is None else int(self.probes),
+            "seed": int(self.seed),
+            "kmeans_iterations": int(self.kmeans_iterations),
+            "kmeans_sample": int(self.kmeans_sample),
+        }
+
+    def digest(self) -> str:
+        return canonical_digest({"index-build-params": self.payload()}).hex()
+
+
+# -- per-label shards (the leaf search structures) ------------------------------
+
+
+class _BruteShard:
+    def __init__(self, matrix: np.ndarray, indices: np.ndarray) -> None:
+        self.matrix = matrix
+        self.indices = indices
+
+    @property
+    def rows(self) -> int:
+        return self.matrix.shape[0]
+
+    def search(self, batch: np.ndarray, k: int) -> ShardSearchResult:
+        k_eff = min(k, self.rows)
+        distances = cdist(batch, self.matrix)
+        order = np.argsort(distances, axis=1, kind="stable")[:, :k_eff]
+        hits = [
+            [IndexHit(int(self.indices[column]), float(distances[row, column]))
+             for column in order[row]]
+            for row in range(batch.shape[0])
+        ]
+        return ShardSearchResult(
+            hits=hits,
+            candidates_scanned=batch.shape[0] * self.rows,
+            shard_rows=self.rows,
+            requested_k=k,
+        )
+
+
+class _ClusteredShard:
+    """Coarse k-means buckets over one label's fingerprints.
+
+    Rows inside the concatenated bucket layout are scanned ascending by
+    global index, so a stable argsort over candidate distances tie-breaks
+    identically to brute force over the full shard.
+    """
+
+    def __init__(self, matrix: np.ndarray, indices: np.ndarray,
+                 centroids: np.ndarray, buckets: List[np.ndarray],
+                 radii: np.ndarray) -> None:
+        self.matrix = matrix
+        self.indices = indices
+        self.centroids = centroids
+        self.buckets = buckets  # per bucket: row ids into matrix, ascending
+        self.radii = radii
+        self.sizes = np.array([len(b) for b in buckets], dtype=np.int64)
+
+    @property
+    def rows(self) -> int:
+        return self.matrix.shape[0]
+
+    def _candidate_mask(self, dc: np.ndarray, k: int,
+                        probes: Optional[int]) -> np.ndarray:
+        """(q, m) bool — which buckets each query must scan."""
+        q = dc.shape[0]
+        m = len(self.buckets)
+        k_eff = min(k, self.rows)
+        if probes is not None:
+            # Approximate: the `probes` nearest centroids, expanded per
+            # query until at least k candidates are reachable.
+            order = np.argsort(dc, axis=1, kind="stable")
+            mask = np.zeros((q, m), dtype=bool)
+            for row in range(q):
+                needed = 0
+                taken = 0
+                for bucket in order[row]:
+                    if taken >= probes and needed >= k_eff:
+                        break
+                    mask[row, bucket] = True
+                    needed += self.sizes[bucket]
+                    taken += 1
+            return mask
+        # Exact: bound the k-th nearest distance from above with the
+        # smallest-upper-bound buckets jointly holding >= k points, then
+        # keep every bucket whose lower bound does not exceed it.
+        upper = dc + self.radii[None, :]
+        lower = np.maximum(dc - self.radii[None, :], 0.0)
+        order = np.argsort(upper, axis=1, kind="stable")
+        cum = np.cumsum(self.sizes[order], axis=1)
+        # First column where the cumulative bucket population reaches k.
+        first = np.argmax(cum >= k_eff, axis=1)
+        ub_k = upper[np.arange(q), order[np.arange(q), first]]
+        return lower <= ub_k[:, None]
+
+    def search(self, batch: np.ndarray, k: int,
+               probes: Optional[int]) -> ShardSearchResult:
+        k_eff = min(k, self.rows)
+        dc = cdist(batch, self.centroids)
+        mask = self._candidate_mask(dc, k, probes)
+        union_buckets = np.flatnonzero(mask.any(axis=0))
+        # One vectorized distance computation over the union of candidates,
+        # with rows sorted ascending so stable ties match brute force.
+        union_rows = np.sort(
+            np.concatenate([self.buckets[b] for b in union_buckets])
+        )
+        bucket_of_row = np.empty(self.rows, dtype=np.int64)
+        for bucket, rows in enumerate(self.buckets):
+            bucket_of_row[rows] = bucket
+        union_bucket_ids = bucket_of_row[union_rows]
+        distances = cdist(batch, self.matrix[union_rows])
+        hits: List[List[IndexHit]] = []
+        scanned = 0
+        for row in range(batch.shape[0]):
+            columns = np.flatnonzero(mask[row][union_bucket_ids])
+            scanned += columns.shape[0]
+            own = distances[row, columns]
+            take = min(k_eff, columns.shape[0])
+            order = np.argsort(own, kind="stable")[:take]
+            rows_hit = union_rows[columns[order]]
+            hits.append([
+                IndexHit(int(self.indices[r]), float(d))
+                for r, d in zip(rows_hit, own[order])
+            ])
+        return ShardSearchResult(hits=hits, candidates_scanned=scanned,
+                                 shard_rows=self.rows, requested_k=k)
+
+
+def _cluster(matrix: np.ndarray, indices: np.ndarray,
+             params: SegmentBuildParams, seed: int) -> _ClusteredShard:
+    n = matrix.shape[0]
+    m = params.buckets_per_shard or int(np.ceil(np.sqrt(n)))
+    m = max(1, min(m, n))
+    rng = np.random.default_rng(seed)
+    # Lloyd iterations on a subsample keep builds linear-ish in n.
+    fit_rows = (
+        rng.choice(n, size=params.kmeans_sample, replace=False)
+        if n > params.kmeans_sample else np.arange(n)
+    )
+    fit = matrix[fit_rows]
+    m = min(m, fit.shape[0])
+    centroids = fit[rng.choice(fit.shape[0], size=m, replace=False)].copy()
+    for _ in range(params.kmeans_iterations):
+        assign = np.argmin(cdist(fit, centroids), axis=1)
+        for bucket in range(m):
+            members = fit[assign == bucket]
+            if members.shape[0]:
+                centroids[bucket] = members.mean(axis=0)
+            else:
+                centroids[bucket] = fit[rng.integers(fit.shape[0])]
+    assign = np.argmin(cdist(matrix, centroids), axis=1)
+    buckets: List[np.ndarray] = []
+    radii = np.zeros(m, dtype=np.float64)
+    keep: List[int] = []
+    for bucket in range(m):
+        rows = np.flatnonzero(assign == bucket)
+        if rows.shape[0] == 0:
+            continue
+        keep.append(bucket)
+        buckets.append(rows)
+        deltas = matrix[rows] - centroids[bucket]
+        radii[bucket] = float(np.sqrt((deltas * deltas).sum(axis=1)).max())
+    centroids = centroids[keep]
+    radii = radii[keep]
+    return _ClusteredShard(matrix, indices, centroids, buckets, radii)
+
+
+def _checksum(matrix: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(matrix).tobytes())
+
+
+# -- immutable index segments ---------------------------------------------------
+
+
+class IndexSegment:
+    """Per-label shards over store segments ``[start, stop)``, immutable.
+
+    Content-addressed: ``digest`` commits to the ordered store-segment
+    digests covered and the build params, so two replicas that built the
+    same rows the same way produce the same address — and a replica
+    cannot claim coverage it does not have without the cluster's
+    recomputation catching it.
+    """
+
+    __slots__ = ("start", "stop", "params", "store_digests", "shards",
+                 "label_presence", "rows", "digest", "checksums")
+
+    def __init__(self, start: int, stop: int, params: SegmentBuildParams,
+                 store_digests: Tuple[str, ...],
+                 shards: Dict[int, object],
+                 label_presence: Dict[int, Tuple[str, ...]],
+                 rows: int) -> None:
+        self.start = start
+        self.stop = stop
+        self.params = params
+        self.store_digests = store_digests
+        self.shards = shards
+        self.label_presence = label_presence
+        self.rows = rows
+        self.digest = canonical_digest({
+            "index-segment": {
+                "store": list(store_digests),
+                "params": params.payload(),
+            }
+        }).hex()
+        self.checksums = {label: _checksum(shard.matrix)
+                          for label, shard in shards.items()}
+
+    @classmethod
+    def build(cls, store, start: int, stop: int, params: SegmentBuildParams,
+              throttle: Optional[Callable[[int], None]] = None
+              ) -> "IndexSegment":
+        """Build one immutable segment from store segments ``[start, stop)``.
+
+        ``throttle`` (rows-processed callback) lets the background
+        compactor pace itself so foreground query latency stays bounded.
+        """
+        parts = [store.segment_slice(pos, pos + 1)
+                 for pos in range(start, stop)]
+        store_digests = tuple(p[3][0] for p in parts)
+        presence: Dict[int, List[str]] = {}
+        for (_, part_labels, _, part_digests) in parts:
+            for label in np.unique(part_labels):
+                presence.setdefault(int(label), []).append(part_digests[0])
+        if parts:
+            matrix = np.concatenate([p[0] for p in parts])
+            labels = np.concatenate([p[1] for p in parts])
+            indices = np.concatenate([p[2] for p in parts])
+        else:
+            dim = getattr(store, "dimension", None) or 0
+            matrix = np.zeros((0, dim), dtype=np.float32)
+            labels = np.zeros(0, dtype=np.int64)
+            indices = np.zeros(0, dtype=np.int64)
+        shards: Dict[int, object] = {}
+        for label in np.unique(labels):
+            rows = np.flatnonzero(labels == label)
+            sub = np.ascontiguousarray(matrix[rows], dtype=np.float32)
+            idx = np.ascontiguousarray(indices[rows])
+            if sub.shape[0] <= params.shard_threshold:
+                shards[int(label)] = _BruteShard(sub, idx)
+            else:
+                # Seeded by (base seed, label, covering start) so a full
+                # build starting at 0 reproduces the legacy clustering
+                # bit-for-bit while distinct segments stay decorrelated.
+                shards[int(label)] = _cluster(
+                    sub, idx, params, params.seed + int(label) + start
+                )
+            if throttle is not None:
+                throttle(int(sub.shape[0]))
+        return cls(
+            start=start, stop=stop, params=params,
+            store_digests=store_digests, shards=shards,
+            label_presence={lab: tuple(d) for lab, d in presence.items()},
+            rows=int(matrix.shape[0]),
+        )
+
+    def count(self, label: int) -> int:
+        shard = self.shards.get(int(label))
+        return 0 if shard is None else shard.rows
+
+    def labels(self) -> List[int]:
+        return sorted(self.shards)
+
+    def search_label(self, batch: np.ndarray, label: int, k: int,
+                     probes: Optional[int]) -> Optional[ShardSearchResult]:
+        shard = self.shards.get(int(label))
+        if shard is None:
+            return None
+        if isinstance(shard, _BruteShard):
+            return shard.search(batch, k)
+        return shard.search(batch, k, probes)
+
+    def verify_checksums(self) -> None:
+        """Raise :class:`IndexIntegrityError` if any shard matrix drifted."""
+        for label, shard in self.shards.items():
+            recorded = self.checksums.get(label)
+            if recorded is None or _checksum(shard.matrix) != recorded:
+                raise IndexIntegrityError(
+                    f"index segment [{self.start},{self.stop}) shard for "
+                    f"label {label} failed its checksum — matrix drifted "
+                    "since build"
+                )
+
+
+# -- generations (the snapshot-isolation unit) ----------------------------------
+
+
+def _snapshot_digest(covered: Sequence[str], segment_digests: Sequence[str],
+                     params: SegmentBuildParams) -> str:
+    return canonical_digest({
+        "index-snapshot": {
+            "store": list(covered),
+            "segments": list(segment_digests),
+            "params": params.payload(),
+        }
+    }).hex()
+
+
+class IndexGeneration:
+    """An immutable, ordered, contiguous set of index segments.
+
+    A query pins the generation it started on — refresh/compaction adopt
+    a *new* generation object atomically, never mutate this one — so an
+    in-flight answer is always consistent with exactly one committed
+    store prefix, named by ``snapshot``.
+    """
+
+    __slots__ = ("segments", "params", "store_version", "ordinal",
+                 "covered_digests", "snapshot", "label_rows",
+                 "label_digests", "rows")
+
+    def __init__(self, segments: Sequence[IndexSegment],
+                 params: SegmentBuildParams,
+                 store_version: Optional[int], ordinal: int = 0) -> None:
+        segs = tuple(segments)
+        expected = 0
+        for seg in segs:
+            if seg.start != expected:
+                raise ConfigurationError(
+                    f"index segments are not contiguous: expected start "
+                    f"{expected}, got [{seg.start},{seg.stop})"
+                )
+            expected = seg.stop
+        self.segments = segs
+        self.params = params
+        self.store_version = store_version
+        self.ordinal = ordinal
+        self.covered_digests: Tuple[str, ...] = tuple(
+            d for seg in segs for d in seg.store_digests
+        )
+        self.snapshot = _snapshot_digest(
+            self.covered_digests, [seg.digest for seg in segs], params
+        )
+        rows_by_label: Dict[int, int] = {}
+        sources: Dict[int, List[str]] = {}
+        for seg in segs:
+            for label, shard in seg.shards.items():
+                rows_by_label[label] = rows_by_label.get(label, 0) + shard.rows
+            for label, digests in seg.label_presence.items():
+                sources.setdefault(label, []).extend(digests)
+        self.label_rows = rows_by_label
+        # Per-label content digest: derived from the *store* segments
+        # holding the label (not the index segmentation), so compaction
+        # re-partitions segments without disturbing cache keys, and a
+        # label's digest moves only when that label actually gains rows.
+        self.label_digests = {
+            label: canonical_digest({
+                "index-label": {
+                    "label": int(label),
+                    "store": digests,
+                    "params": params.payload(),
+                }
+            }).hex()
+            for label, digests in sources.items()
+        }
+        self.rows = sum(seg.rows for seg in segs)
+
+    @property
+    def segment_count(self) -> int:
+        return len(self.segments)
+
+    @property
+    def covered_store_segments(self) -> int:
+        return self.segments[-1].stop if self.segments else 0
+
+    def labels(self) -> List[int]:
+        return sorted(self.label_rows)
+
+    def count(self, label: int) -> int:
+        return self.label_rows.get(int(label), 0)
+
+    def search_batch(self, batch: np.ndarray, label: int, k: int,
+                     probes: Optional[int]) -> ShardSearchResult:
+        """Search every segment holding ``label`` and k-way merge.
+
+        Exactness of the merge: each per-segment result is the stable
+        top-k of its own rows sorted by (distance, ascending global
+        index); global indices are disjoint across segments and ascend
+        within each, so re-sorting the union of per-segment top-k by the
+        same key reproduces brute force over all rows — membership and
+        tie-break order both.
+        """
+        label = int(label)
+        results = [r for r in (seg.search_label(batch, label, k, probes)
+                               for seg in self.segments) if r is not None]
+        if not results:
+            raise QueryError(
+                f"no training fingerprints indexed for label {label}"
+            )
+        total_rows = self.label_rows[label]
+        if len(results) == 1:
+            only = results[0]
+            only.shard_rows = total_rows
+            only.requested_k = k
+            only.snapshot = self.snapshot
+            return only
+        k_eff = min(k, total_rows)
+        merged: List[List[IndexHit]] = []
+        for row in range(batch.shape[0] if batch.ndim > 1 else 1):
+            per_segment = [r.hits[row] for r in results]
+            best = heapq.merge(
+                *per_segment, key=lambda hit: (hit.distance, hit.index)
+            )
+            merged.append([IndexHit(int(h.index), float(h.distance))
+                           for _, h in zip(range(k_eff), best)])
+        return ShardSearchResult(
+            hits=merged,
+            candidates_scanned=sum(r.candidates_scanned for r in results),
+            shard_rows=total_rows,
+            requested_k=k,
+            snapshot=self.snapshot,
+        )
+
+    def shard_for(self, label: int):
+        """First shard holding ``label`` (chaos/corruption drills poke it)."""
+        for seg in self.segments:
+            shard = seg.shards.get(int(label))
+            if shard is not None:
+                return shard
+        raise QueryError(f"no training fingerprints indexed for label {label}")
+
+    def verify_checksums(self) -> None:
+        for seg in self.segments:
+            seg.verify_checksums()
+
+
+# -- compaction planning --------------------------------------------------------
+
+
+def plan_merge(segments: Sequence[IndexSegment],
+               max_segments: int) -> Optional[int]:
+    """Pick the adjacent pair to merge, or ``None`` if fan-out is fine.
+
+    Returns the left position ``i`` of the cheapest adjacent pair
+    ``(i, i+1)`` by combined row count — classic LSM smallest-first, one
+    bounded unit of work per call so the compactor stays preemptible.
+    """
+    if max_segments < 1:
+        raise ConfigurationError("max_segments must be >= 1")
+    if len(segments) <= max_segments:
+        return None
+    costs = [segments[i].rows + segments[i + 1].rows
+             for i in range(len(segments) - 1)]
+    return int(np.argmin(costs))
+
+
+def merge_segments(store, left: IndexSegment, right: IndexSegment,
+                   params: SegmentBuildParams,
+                   throttle: Optional[Callable[[int], None]] = None
+                   ) -> IndexSegment:
+    """Rebuild ``[left.start, right.stop)`` as one segment from the store."""
+    if left.stop != right.start:
+        raise ConfigurationError(
+            f"cannot merge non-adjacent segments [{left.start},{left.stop}) "
+            f"and [{right.start},{right.stop})"
+        )
+    return IndexSegment.build(store, left.start, right.stop, params,
+                              throttle=throttle)
+
+
+# -- lineage verification (shared by the cluster and the promotion gate) --------
+
+
+def generation_lineage_error(generation: IndexGeneration,
+                             store) -> Optional[str]:
+    """Walk a generation's lineage against the authoritative store.
+
+    Returns ``None`` when the generation is exactly a committed prefix of
+    the store's history and its snapshot digest recomputes from its
+    parts; otherwise a human-readable description of the first problem.
+    The caller chooses the failure type (cluster: integrity eviction;
+    promotion gate: refusal)."""
+    if hasattr(store, "segment_digests"):
+        authoritative = list(store.segment_digests())
+    else:
+        authoritative = [info.digest for info in store.segments]
+    covered = generation.covered_digests
+    if len(covered) > len(authoritative):
+        return (f"index covers {len(covered)} store segments but the store "
+                f"has only {len(authoritative)}")
+    for pos, (claimed, actual) in enumerate(zip(covered, authoritative)):
+        if claimed != actual:
+            return (f"store segment {pos} digest mismatch: index built "
+                    f"against {claimed[:12]}… but the store holds "
+                    f"{actual[:12]}… (history rewrite, not growth)")
+    recomputed = _snapshot_digest(
+        covered, [seg.digest for seg in generation.segments],
+        generation.params,
+    )
+    if recomputed != generation.snapshot:
+        return ("index-snapshot digest does not recompute from its parts — "
+                "forged or corrupted generation identity")
+    return None

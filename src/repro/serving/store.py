@@ -26,6 +26,7 @@ from __future__ import annotations
 import bisect
 import json
 import os
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -84,6 +85,10 @@ class LinkageStore:
         self._segments = segments
         self._offsets = [s.offset for s in segments]
         self._by_label: Dict[int, List[Tuple[int, int]]] = {}
+        # Serialises append against concurrent readers: the incremental
+        # index refreshes while the serving plane keeps answering, so
+        # `_segments`/`_offsets` must never be observed mid-append.
+        self._lock = threading.RLock()
         for seg_pos, segment in enumerate(segments):
             self._index_segment(seg_pos, segment)
 
@@ -177,14 +182,15 @@ class LinkageStore:
             )
         if kinds is not None and len(kinds) != n:
             raise StoreError(f"kinds has {len(kinds)} entries for {n} records")
-        dimension = self._manifest["dimension"]
-        if dimension is None:
-            self._manifest["dimension"] = int(matrix.shape[1])
-        elif matrix.shape[1] != dimension:
-            raise StoreError(
-                f"fingerprint dimension {matrix.shape[1]} does not match "
-                f"store dimension {dimension}"
-            )
+        with self._lock:
+            dimension = self._manifest["dimension"]
+            if dimension is None:
+                self._manifest["dimension"] = int(matrix.shape[1])
+            elif matrix.shape[1] != dimension:
+                raise StoreError(
+                    f"fingerprint dimension {matrix.shape[1]} does not match "
+                    f"store dimension {dimension}"
+                )
         meta = {
             "labels": [int(label) for label in labels],
             "sources": [str(s) for s in sources],
@@ -197,23 +203,25 @@ class LinkageStore:
                      else ["normal"] * n,
         }
         meta_bytes = canonical_json(meta)
-        name = f"segment-{len(self._segments):06d}"
-        np.save(self.path / f"{name}.npy", matrix)
-        (self.path / f"{name}.meta.json").write_bytes(meta_bytes)
-        info = SegmentInfo(
-            name=name, records=n,
-            digest=stable_hash(matrix, meta_bytes).hex(),
-        )
-        self._manifest["segments"].append(
-            {"name": info.name, "records": info.records, "digest": info.digest}
-        )
-        self._manifest["version"] += 1
-        self._write_manifest()
-        offset = len(self)
-        segment = self._load_segment(self.path, info, offset)
-        self._segments.append(segment)
-        self._offsets.append(offset)
-        self._index_segment(len(self._segments) - 1, segment)
+        with self._lock:
+            name = f"segment-{len(self._segments):06d}"
+            np.save(self.path / f"{name}.npy", matrix)
+            (self.path / f"{name}.meta.json").write_bytes(meta_bytes)
+            info = SegmentInfo(
+                name=name, records=n,
+                digest=stable_hash(matrix, meta_bytes).hex(),
+            )
+            self._manifest["segments"].append(
+                {"name": info.name, "records": info.records,
+                 "digest": info.digest}
+            )
+            self._manifest["version"] += 1
+            self._write_manifest()
+            offset = len(self)
+            segment = self._load_segment(self.path, info, offset)
+            self._segments.append(segment)
+            self._offsets.append(offset)
+            self._index_segment(len(self._segments) - 1, segment)
         return info
 
     @classmethod
@@ -237,7 +245,8 @@ class LinkageStore:
     # -- reads -------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return sum(s.info.records for s in self._segments)
+        with self._lock:
+            return sum(s.info.records for s in self._segments)
 
     @property
     def version(self) -> int:
@@ -249,13 +258,54 @@ class LinkageStore:
 
     @property
     def segments(self) -> List[SegmentInfo]:
-        return [s.info for s in self._segments]
+        with self._lock:
+            return [s.info for s in self._segments]
+
+    def segment_digests(self) -> List[str]:
+        """Ordered hex digests of every committed segment — the store's
+        authoritative history prefix, read atomically."""
+        with self._lock:
+            return [s.info.digest for s in self._segments]
+
+    def segment_slice(self, start: int, stop: int
+                      ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                 List[str]]:
+        """Rows of store segments ``[start, stop)`` for index builds.
+
+        Returns ``(matrix, labels, global_indices, digests)`` with rows
+        in commit order — global indices ascend, so per-label slices
+        preserve the insertion-order tie-break the index depends on.
+        """
+        with self._lock:
+            segs = list(self._segments[start:stop])
+        if len(segs) != stop - start:
+            raise StoreError(
+                f"segment slice [{start}, {stop}) exceeds the "
+                f"{start + len(segs)} committed segments"
+            )
+        if not segs:
+            dim = self.dimension or 0
+            return (np.zeros((0, dim), dtype=np.float32),
+                    np.zeros(0, dtype=np.int64),
+                    np.zeros(0, dtype=np.int64), [])
+        matrix = np.concatenate([
+            np.ascontiguousarray(np.asarray(s.fingerprints, dtype=np.float32))
+            for s in segs
+        ])
+        labels = np.concatenate([s.labels for s in segs])
+        indices = np.concatenate([
+            np.arange(s.offset, s.offset + s.info.records, dtype=np.int64)
+            for s in segs
+        ])
+        return matrix, labels, indices, [s.info.digest for s in segs]
 
     def labels(self) -> List[int]:
-        return sorted(self._by_label)
+        with self._lock:
+            return sorted(self._by_label)
 
     def count(self, label: int) -> int:
-        return len(self._by_label.get(int(label), []))
+        with self._lock:
+            return len(self._by_label.get(int(label), []))
 
     def by_label(self, label: int) -> Tuple[np.ndarray, List[int]]:
         """(fingerprint matrix, global record indices) for one label.
@@ -263,13 +313,15 @@ class LinkageStore:
         Rows are gathered from the memory-mapped segments in insertion
         order, matching :meth:`LinkageDatabase.by_label` semantics.
         """
-        locations = self._by_label.get(int(label), [])
+        with self._lock:
+            locations = list(self._by_label.get(int(label), []))
+            segments = list(self._segments)
         if not locations:
             return np.zeros((0, self.dimension or 0), dtype=np.float32), []
         matrix = np.empty((len(locations), self.dimension), dtype=np.float32)
         indices: List[int] = []
         for out_row, (seg_pos, row) in enumerate(locations):
-            segment = self._segments[seg_pos]
+            segment = segments[seg_pos]
             matrix[out_row] = segment.fingerprints[row]
             indices.append(segment.offset + row)
         return matrix, indices
@@ -282,10 +334,11 @@ class LinkageStore:
         primitive the cluster router uses to re-verify every served
         hit's distance against the store the enclave sealed.
         """
-        if not 0 <= index < len(self):
-            raise StoreError(f"record index {index} out of range")
-        seg_pos = bisect.bisect_right(self._offsets, index) - 1
-        segment = self._segments[seg_pos]
+        with self._lock:
+            if not 0 <= index < len(self):
+                raise StoreError(f"record index {index} out of range")
+            seg_pos = bisect.bisect_right(self._offsets, index) - 1
+            segment = self._segments[seg_pos]
         return np.asarray(segment.fingerprints[index - segment.offset],
                           dtype=np.float32)
 
@@ -300,13 +353,16 @@ class LinkageStore:
         idx = np.asarray(indices, dtype=np.int64).ravel()
         if idx.size == 0:
             return np.zeros((0, self.dimension or 0), dtype=np.float32)
-        total = len(self)
+        with self._lock:
+            offsets = list(self._offsets)
+            segments = list(self._segments)
+            total = sum(s.info.records for s in segments)
         if int(idx.min()) < 0 or int(idx.max()) >= total:
             raise StoreError("record index out of range")
         out = np.empty((idx.size, self.dimension), dtype=np.float32)
-        seg_pos = np.searchsorted(self._offsets, idx, side="right") - 1
+        seg_pos = np.searchsorted(offsets, idx, side="right") - 1
         for pos in np.unique(seg_pos):
-            segment = self._segments[pos]
+            segment = segments[pos]
             mask = seg_pos == pos
             out[mask] = np.asarray(segment.fingerprints, dtype=np.float32)[
                 idx[mask] - segment.offset]
@@ -314,10 +370,11 @@ class LinkageStore:
 
     def record(self, index: int) -> LinkageRecord:
         """Materialise one Omega tuple by its global record index."""
-        if not 0 <= index < len(self):
-            raise StoreError(f"record index {index} out of range")
-        seg_pos = bisect.bisect_right(self._offsets, index) - 1
-        segment = self._segments[seg_pos]
+        with self._lock:
+            if not 0 <= index < len(self):
+                raise StoreError(f"record index {index} out of range")
+            seg_pos = bisect.bisect_right(self._offsets, index) - 1
+            segment = self._segments[seg_pos]
         row = index - segment.offset
         return LinkageRecord(
             fingerprint=np.array(segment.fingerprints[row], dtype=np.float32),
@@ -339,7 +396,9 @@ class LinkageStore:
 
     def verify(self) -> bool:
         """Recompute every segment digest from disk bytes; fail-closed."""
-        for segment in self._segments:
+        with self._lock:
+            segments = list(self._segments)
+        for segment in segments:
             matrix = np.ascontiguousarray(
                 np.asarray(segment.fingerprints, dtype=np.float32)
             )
@@ -361,12 +420,13 @@ class LinkageStore:
         version — two stores with the same manifest digest serve
         byte-identical fingerprint data.
         """
-        return canonical_digest({
-            "format": self._manifest["format"],
-            "version": self._manifest["version"],
-            "dimension": self._manifest["dimension"],
-            "segments": [s["digest"] for s in self._manifest["segments"]],
-        })
+        with self._lock:
+            return canonical_digest({
+                "format": self._manifest["format"],
+                "version": self._manifest["version"],
+                "dimension": self._manifest["dimension"],
+                "segments": [s["digest"] for s in self._manifest["segments"]],
+            })
 
     def seal_manifest(self, enclave):
         """Seal the manifest digest to ``enclave``'s identity.

@@ -77,8 +77,12 @@ class ClusterTelemetry(SubsystemTelemetry):
     Metric namespace ``repro_serving_cluster_*``. Counters cover every
     routing outcome the availability story depends on: successes and
     failures, retries, hedges (launched and won), failovers, degraded
-    answers, shed load, breaker trips, evictions, revivals, and hit
-    verifications (with failures). Pass the cluster's registry into each
+    answers, shed load, breaker trips, evictions, revivals, hit
+    verifications (with failures), and — since the incremental-index
+    work — benign-growth handling: ``benign_stale``, ``replica_refreshes``,
+    ``refresh_failures``, ``growth_segments``/``growth_records`` (chaos
+    bursts), and ``snapshot_verifications``/``snapshot_failures`` for the
+    cached per-answer lineage walks. Pass the cluster's registry into each
     replica's :class:`ServingTelemetry` to export one combined surface.
     """
 
@@ -90,6 +94,17 @@ class ClusterTelemetry(SubsystemTelemetry):
         failed = self.counter("queries_failed")
         total = ok + failed
         return ok / total if total else 0.0
+
+    @property
+    def refresh_eviction_ratio(self) -> float:
+        """Refreshes per eviction — the headline number for this PR's
+        contract: benign growth should drive this toward infinity (all
+        refreshes, no evictions); return 0.0 when neither happened."""
+        refreshes = self.counter("replica_refreshes")
+        evictions = self.counter("evictions")
+        if not refreshes:
+            return 0.0
+        return refreshes / evictions if evictions else float("inf")
 
     @property
     def degraded_fraction(self) -> float:
@@ -106,6 +121,7 @@ class ClusterTelemetry(SubsystemTelemetry):
         snapshot["success_rate"] = self.success_rate
         snapshot["degraded_fraction"] = self.degraded_fraction
         snapshot["hedge_win_rate"] = self.hedge_win_rate
+        snapshot["refresh_eviction_ratio"] = self.refresh_eviction_ratio
         return snapshot
 
     def render(self) -> str:

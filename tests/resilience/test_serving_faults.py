@@ -32,6 +32,21 @@ class TestServingFaultSpec:
         for kind in SERVING_FAULT_KINDS:
             assert ServingFaultSpec(kind=kind, at_query=1).kind == kind
 
+    def test_incremental_index_kinds_present(self):
+        # The growth-under-load drill depends on these being schedulable.
+        assert "growth-storm" in SERVING_FAULT_KINDS
+        assert "compaction-crash" in SERVING_FAULT_KINDS
+
+    def test_rejects_non_positive_records(self):
+        with pytest.raises(ConfigurationError):
+            ServingFaultSpec(kind="growth-storm", at_query=0, records=0)
+        with pytest.raises(ConfigurationError):
+            ServingFaultSpec(kind="growth-storm", at_query=0, records=-5)
+        spec = ServingFaultSpec(kind="growth-storm", at_query=0, records=64)
+        assert spec.records == 64
+        # records defaults to None (cluster picks its default burst size).
+        assert ServingFaultSpec(kind="growth-storm", at_query=0).records is None
+
 
 class TestServingFaultPlan:
     def test_seeded_plan_is_reproducible(self):

@@ -236,11 +236,11 @@ class TestDegradedMode:
 
 
 class TestStaleness:
-    def test_store_growth_evicts_stale_replicas_then_heals(self, world):
-        # Mid-flight store growth: every replica's index is now stale.
-        # Stale answers must never be served — replicas fail closed, the
-        # degraded path answers from the *new* store, and revival
-        # rebuilds against the grown version.
+    def test_store_growth_refreshes_replicas_without_eviction(self, world):
+        # Mid-flight store growth is benign: every replica keeps serving
+        # its pinned snapshot (answers stay correct for the prefix it
+        # covers), the health sweep adopts the new segments via staggered
+        # refresh, and nobody is evicted along the way.
         fingerprints, labels, store = world
         label = int(labels[0])
         query = fingerprints[0]
@@ -248,16 +248,41 @@ class TestStaleness:
                           breaker_reset_s=0.05) as cluster:
             cluster.query(query, label, k=1)
             store.append(query.reshape(1, -1), [label], ["p9"], [b"z" * 32])
+            # The cluster never stops answering while behind; pinned
+            # snapshots simply don't include the new record yet.
             result = cluster.query(query, label, k=2)
-            # Whether degraded or served by an already-revived replica,
-            # the appended record must be visible — never a stale answer.
-            assert 600 in [h.index for h in result.hits]
+            assert not result.degraded
             assert _wait_until(lambda: all(
                 r.state == "healthy" and r.index.built_version == store.version
                 for r in cluster.replicas))
             follow_up = cluster.query(query, label, k=2)
             assert not follow_up.degraded
             assert 600 in [h.index for h in follow_up.hits]
+            # Refresh, not eviction: growth must never cost a replica.
+            assert cluster.telemetry.counter("evictions") == 0
+            assert cluster.telemetry.counter("replica_refreshes") >= len(
+                cluster.replicas)
+            assert cluster.audit.events("replica-refreshed")
+            assert not cluster.audit.events("replica-evicted")
+            # No replica ever rebuilt from scratch to catch up.
+            assert all(r.index.inner.full_builds == 1
+                       for r in cluster.replicas)
+
+    def test_history_rewrite_still_evicts(self, world):
+        # Rewriting a committed segment digest is not growth — the
+        # prefix the replicas were built against no longer exists, and
+        # the stale handler must fail closed by evicting.
+        fingerprints, labels, store = world
+        label = int(labels[0])
+        with _cluster_for(store) as cluster:
+            cluster.query(fingerprints[0], label, k=1)
+            victim = cluster.replicas[0]
+            info = store._segments[0].info
+            store._segments[0].info = type(info)(
+                name=info.name, records=info.records, digest="0" * 64)
+            cluster._handle_stale(victim)
+            assert victim.state == "evicted"
+            assert victim.evicted_reason == "stale-index"
 
 
 class TestLoadShedding:

@@ -155,18 +155,47 @@ class TestBatching:
 
 
 class TestStaleness:
-    def test_store_growth_fails_closed_until_rebuild(self, small_store):
+    def test_store_growth_keeps_serving_then_refresh_adopts(self,
+                                                            small_store):
         store, fingerprints, labels = small_store
         index = ShardedAnnIndex(store).build()
         label = int(labels[0])
+        pinned = index.snapshot_digest
         assert index.search(fingerprints[0], label, k=1)
         store.append(fingerprints[:1], [label], ["p9"], [b"z" * 32])
-        with pytest.raises(QueryError):
-            index.search(fingerprints[0], label, k=1)
-        index.build()
+        # Benign growth no longer fails closed: the pinned generation
+        # keeps answering (without the new row) until refresh adopts it.
+        hits = index.search(fingerprints[0], label, k=2)
+        assert 600 not in [h.index for h in hits]
+        assert index.snapshot_digest == pinned
+        assert index.refresh() is True
+        assert index.snapshot_digest != pinned
+        assert index.full_builds == 1  # refresh never rebuilt from scratch
         hits = index.search(fingerprints[0], label, k=2)
         # The appended duplicate (global record 600) is now visible.
         assert 600 in [h.index for h in hits]
+
+    def test_refresh_without_growth_is_a_noop(self, small_store):
+        store, _, _ = small_store
+        index = ShardedAnnIndex(store).build()
+        pinned = index.snapshot_digest
+        assert index.refresh() is False
+        assert index.snapshot_digest == pinned
+
+    def test_history_rewrite_still_fails_closed(self, small_store):
+        from repro.errors import StaleIndexError
+        store, fingerprints, labels = small_store
+        index = ShardedAnnIndex(store).build()
+        # Rewrite a covered segment's manifest digest: not growth — the
+        # prefix the index was built against no longer exists.
+        store._segments[0].info = type(store._segments[0].info)(
+            name=store._segments[0].info.name,
+            records=store._segments[0].info.records,
+            digest="0" * 64,
+        )
+        assert index.store_prefix_ok() is False
+        with pytest.raises(StaleIndexError):
+            index.refresh()
 
 
 class TestBuildEdgeCases:

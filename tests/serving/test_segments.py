@@ -1,0 +1,259 @@
+"""Incremental index segments: content addressing, refresh, compaction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (CompactionCrash, ConfigurationError,
+                          IndexIntegrityError)
+from repro.serving import (IndexGeneration, IndexSegment, LinkageStore,
+                           SegmentBuildParams, ShardedAnnIndex,
+                           generation_lineage_error, merge_segments,
+                           plan_merge)
+
+from tests.serving.conftest import clustered_corpus, fill_store
+
+
+def _segmented_store(tmp_path, generator, size=600, segment_records=150):
+    fingerprints, labels = clustered_corpus(generator, size)
+    store = fill_store(LinkageStore.create(tmp_path / "seg-store"),
+                       fingerprints, labels,
+                       segment_records=segment_records)
+    return store, fingerprints, labels
+
+
+class TestContentAddressing:
+    def test_segment_digest_is_deterministic(self, tmp_path, generator):
+        store, _, _ = _segmented_store(tmp_path, generator)
+        params = SegmentBuildParams()
+        a = IndexSegment.build(store, 0, 2, params)
+        b = IndexSegment.build(store, 0, 2, params)
+        assert a.digest == b.digest
+        # A different coverage or different params is a different address.
+        assert IndexSegment.build(store, 0, 1, params).digest != a.digest
+        assert IndexSegment.build(
+            store, 0, 2, SegmentBuildParams(seed=7)).digest != a.digest
+
+    def test_snapshot_digest_commits_to_parts(self, tmp_path, generator):
+        store, _, _ = _segmented_store(tmp_path, generator)
+        params = SegmentBuildParams()
+        segs = [IndexSegment.build(store, 0, 2, params),
+                IndexSegment.build(store, 2, 4, params)]
+        one = IndexGeneration(segs, params, store_version=store.version)
+        two = IndexGeneration(segs, params, store_version=store.version)
+        assert one.snapshot == two.snapshot
+        # Dropping a segment changes the snapshot identity.
+        shorter = IndexGeneration(segs[:1], params,
+                                  store_version=store.version)
+        assert shorter.snapshot != one.snapshot
+
+    def test_non_contiguous_generation_rejected(self, tmp_path, generator):
+        store, _, _ = _segmented_store(tmp_path, generator)
+        params = SegmentBuildParams()
+        segs = [IndexSegment.build(store, 0, 1, params),
+                IndexSegment.build(store, 2, 3, params)]  # gap at 1
+        with pytest.raises(ConfigurationError):
+            IndexGeneration(segs, params, store_version=store.version)
+
+    def test_label_digest_tracks_store_segments_not_partitioning(
+            self, tmp_path, generator):
+        store, _, _ = _segmented_store(tmp_path, generator)
+        params = SegmentBuildParams()
+        split = IndexGeneration(
+            [IndexSegment.build(store, 0, 2, params),
+             IndexSegment.build(store, 2, 4, params)],
+            params, store_version=store.version)
+        merged = IndexGeneration(
+            [IndexSegment.build(store, 0, 4, params)],
+            params, store_version=store.version)
+        # Same covered rows, different index partitioning: per-label cache
+        # keys must agree so compaction never invalidates warm caches.
+        assert split.label_digests == merged.label_digests
+        assert split.snapshot != merged.snapshot
+
+
+class TestRefresh:
+    def test_refresh_reuses_existing_segments(self, tmp_path, generator):
+        store, fingerprints, labels = _segmented_store(tmp_path, generator)
+        index = ShardedAnnIndex(store, shard_threshold=100).build()
+        before = index._generation.segments
+        extra, extra_labels = clustered_corpus(generator, 120)
+        store.append(extra, extra_labels.tolist(), ["p9"] * 120,
+                     [b"x" * 32] * 120)
+        assert index.refresh() is True
+        after = index._generation.segments
+        # The original coverage is the *same objects* — no rebuild work.
+        assert after[:len(before)] == before
+        assert len(after) == len(before) + 1
+        assert index.full_builds == 1
+        assert index.refreshes == 1
+
+    def test_refreshed_results_match_full_rebuild_bitwise(
+            self, tmp_path, generator):
+        store, fingerprints, labels = _segmented_store(tmp_path, generator)
+        incremental = ShardedAnnIndex(store, shard_threshold=100).build()
+        extra, extra_labels = clustered_corpus(generator, 200)
+        store.append(extra, extra_labels.tolist(), ["p9"] * 200,
+                     [b"x" * 32] * 200)
+        incremental.refresh()
+        scratch = ShardedAnnIndex(store, shard_threshold=100).build()
+        queries = fingerprints[:24] + 0.05
+        for label in store.labels():
+            got = incremental.search_batch(queries, label, k=9).hits
+            want = scratch.search_batch(queries, label, k=9).hits
+            # Membership AND tie-break order: the k-way merge reproduces
+            # the monolithic build exactly.
+            assert got == want
+
+    def test_generation_lookup_by_snapshot(self, tmp_path, generator):
+        store, _, _ = _segmented_store(tmp_path, generator)
+        index = ShardedAnnIndex(store).build()
+        first = index.snapshot_digest
+        extra, extra_labels = clustered_corpus(generator, 60)
+        store.append(extra, extra_labels.tolist(), ["p9"] * 60,
+                     [b"x" * 32] * 60)
+        index.refresh()
+        # Both the pinned and the live generation stay addressable.
+        assert index.generation(first) is not None
+        assert index.generation(index.snapshot_digest) is not None
+        assert index.generation("f" * 64) is None
+
+
+class TestLineage:
+    def test_clean_generation_walks(self, tmp_path, generator):
+        store, _, _ = _segmented_store(tmp_path, generator)
+        index = ShardedAnnIndex(store).build()
+        assert generation_lineage_error(index._generation, store) is None
+
+    def test_rewritten_history_is_named(self, tmp_path, generator):
+        store, _, _ = _segmented_store(tmp_path, generator)
+        index = ShardedAnnIndex(store).build()
+        info = store._segments[1].info
+        store._segments[1].info = type(info)(
+            name=info.name, records=info.records, digest="0" * 64)
+        problem = generation_lineage_error(index._generation, store)
+        assert problem is not None and "rewrite" in problem
+
+    def test_forged_snapshot_is_caught(self, tmp_path, generator):
+        store, _, _ = _segmented_store(tmp_path, generator)
+        index = ShardedAnnIndex(store).build()
+        generation = index._generation
+        generation.snapshot = "f" * 64  # forge the claimed identity
+        problem = generation_lineage_error(generation, store)
+        assert problem is not None and "recompute" in problem
+
+
+class TestCompaction:
+    def test_plan_merge_picks_smallest_adjacent_pair(self):
+        class Seg:
+            def __init__(self, rows):
+                self.rows = rows
+        segs = [Seg(400), Seg(10), Seg(20), Seg(300)]
+        assert plan_merge(segs, max_segments=3) == 1  # 10 + 20 wins
+        assert plan_merge(segs, max_segments=4) is None
+        with pytest.raises(ConfigurationError):
+            plan_merge(segs, max_segments=0)
+
+    def test_merge_rejects_non_adjacent(self, tmp_path, generator):
+        store, _, _ = _segmented_store(tmp_path, generator)
+        params = SegmentBuildParams()
+        a = IndexSegment.build(store, 0, 1, params)
+        c = IndexSegment.build(store, 2, 3, params)
+        with pytest.raises(ConfigurationError):
+            merge_segments(store, a, c, params)
+
+    def test_compaction_bounds_fanout_and_preserves_answers(
+            self, tmp_path, generator):
+        store, fingerprints, labels = _segmented_store(
+            tmp_path, generator, size=800, segment_records=100)
+        index = ShardedAnnIndex(store, shard_threshold=100,
+                                max_segments=2).build()
+        for _ in range(4):
+            extra, extra_labels = clustered_corpus(generator, 100)
+            store.append(extra, extra_labels.tolist(), ["p9"] * 100,
+                         [b"x" * 32] * 100)
+            index.refresh()
+        assert index._generation.segment_count > 2
+        before = {label: index.search_batch(fingerprints[:8], label, k=5).hits
+                  for label in store.labels()}
+        steps = index.compact_now()
+        assert steps > 0
+        assert index._generation.segment_count <= 2
+        assert index.compactions == steps
+        for label in store.labels():
+            after = index.search_batch(fingerprints[:8], label, k=5).hits
+            assert after == before[label]
+
+    def test_compaction_crash_leaves_generation_intact(
+            self, tmp_path, generator):
+        store, _, _ = _segmented_store(tmp_path, generator, size=600,
+                                       segment_records=100)
+        index = ShardedAnnIndex(store, max_segments=2).build()
+        extra, extra_labels = clustered_corpus(generator, 100)
+        store.append(extra, extra_labels.tolist(), ["p9"] * 100,
+                     [b"x" * 32] * 100)
+        index.refresh()
+        extra, extra_labels = clustered_corpus(generator, 100)
+        store.append(extra, extra_labels.tolist(), ["p9"] * 100,
+                     [b"x" * 32] * 100)
+        index.refresh()
+        snapshot = index.snapshot_digest
+        fanout = index._generation.segment_count
+        index.inject_compaction_crash()
+        # Crash after build, before adoption: atomicity means the live
+        # generation is bitwise what it was.
+        with pytest.raises(CompactionCrash):
+            index.compact_now()
+        assert index.snapshot_digest == snapshot
+        assert index._generation.segment_count == fanout
+        assert index.compaction_crashes == 1
+        # The next (uninjected) attempt completes the merge.
+        assert index.compact_now() > 0
+        assert index._generation.segment_count <= 2
+
+    def test_background_compactor_survives_crash(self, tmp_path, generator):
+        import time
+        store, _, _ = _segmented_store(tmp_path, generator, size=600,
+                                       segment_records=100)
+        index = ShardedAnnIndex(store, max_segments=2,
+                                compaction_interval_s=0.01).build()
+        for _ in range(2):
+            extra, extra_labels = clustered_corpus(generator, 100)
+            store.append(extra, extra_labels.tolist(), ["p9"] * 100,
+                         [b"x" * 32] * 100)
+            index.refresh()
+        index.inject_compaction_crash()
+        index.start_compaction()
+        try:
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                if (index.compaction_crashes >= 1
+                        and index._generation.segment_count <= 2):
+                    break
+                time.sleep(0.01)
+        finally:
+            index.stop_compaction()
+        assert index.compaction_crashes == 1
+        assert index._generation.segment_count <= 2
+
+
+class TestIntegrity:
+    def test_checksum_drift_detected(self, tmp_path, generator):
+        store, _, _ = _segmented_store(tmp_path, generator)
+        index = ShardedAnnIndex(store).build()
+        index.verify_checksums()
+        shard = index._shard_for(store.labels()[0])
+        shard.matrix[0, 0] += 1.0
+        with pytest.raises(IndexIntegrityError):
+            index.verify_checksums()
+
+    def test_short_shard_answers_are_explicit(self, tmp_path, generator):
+        store, fingerprints, labels = _segmented_store(tmp_path, generator)
+        index = ShardedAnnIndex(store).build()
+        label = int(labels[0])
+        rows = store.count(label)
+        result = index.search_batch(fingerprints[:1], label, k=rows + 50)
+        # k_eff < k is carried explicitly, not left for callers to infer.
+        assert result.requested_k == rows + 50
+        assert result.shard_rows == rows
+        assert len(result.hits[0]) == rows
+        assert result.snapshot == index.snapshot_digest
