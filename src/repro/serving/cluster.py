@@ -535,10 +535,34 @@ class ServingCluster:
         lookup = getattr(replica.index, "generation", None)
         generation = lookup(snapshot) if callable(lookup) else None
         if generation is None:
-            self.telemetry.count("verify_failures")
-            raise IndexIntegrityError(
-                "answer cites an index snapshot the replica cannot produce"
-            )
+            # The replica keeps only a bounded generation history, so an
+            # answer produced just before many rapid adoptions can cite a
+            # legitimately pruned snapshot. If the cluster already
+            # lineage-verified that snapshot against the authoritative
+            # store, the citation is proven without the replica — the
+            # remaining claims (hit count above, label_rows bound and
+            # distances elsewhere) are checked against the store itself.
+            # Only an unknown AND unverifiable snapshot is an integrity
+            # failure.
+            with self._trusted_lock:
+                trusted = snapshot in self._trusted_snapshots
+                if trusted:
+                    self._trusted_snapshots.move_to_end(snapshot)
+            if not trusted:
+                self.telemetry.count("verify_failures")
+                raise IndexIntegrityError(
+                    "answer cites an index snapshot the replica cannot "
+                    "produce and the cluster has never verified"
+                )
+            if label_rows is not None and int(label_rows) > self.store.count(
+                    int(label)):
+                self.telemetry.count("verify_failures")
+                raise IndexIntegrityError(
+                    f"answer claims more label-{label} rows than the "
+                    "authoritative store holds"
+                )
+            self.telemetry.count("trusted_snapshot_answers")
+            return
         if label_rows is not None and generation.count(label) != int(
                 label_rows):
             self.telemetry.count("verify_failures")
@@ -756,11 +780,21 @@ class ServingCluster:
             return 0
         limit = (self.config.refresh_stagger if max_replicas is None
                  else int(max_replicas))
-        target = self.store.version
+        # Compare covered-segment counts, not the manifest version
+        # counter: the two coincide only while every version bump is an
+        # append, and a future non-append bump (format migration, reseal)
+        # must not make every replica look permanently behind.
+        target = getattr(self.store, "segment_count", None)
+        if target is None:
+            target = len(self.store.segment_digests())
+
+        def covered(replica: ServingReplica) -> int:
+            count = getattr(replica.index, "covered_store_segments", None)
+            return -1 if count is None else int(count)
+
         behind = [r for r in self.replicas
-                  if r.healthy and (r.index.built_version is None
-                                    or r.index.built_version < target)]
-        behind.sort(key=lambda r: r.index.built_version or 0)
+                  if r.healthy and covered(r) < int(target)]
+        behind.sort(key=covered)
         refreshed = 0
         for replica in behind[:max(0, limit)]:
             if self._refresh_replica(replica, cause="growth"):
@@ -1286,9 +1320,13 @@ class ServingCluster:
         :class:`StaleIndexError`."""
         if records <= 0:
             raise ConfigurationError("growth burst needs records >= 1")
+        known = list(self.store.labels())
+        if not known or self.store.dimension is None:
+            raise ConfigurationError(
+                "growth storm needs a non-empty store"
+            )
         rng = np.random.default_rng(
             self.store.version if seed is None else seed)
-        known = list(self.store.labels())
         if label is not None:
             targets = [int(label)] * records
         else:

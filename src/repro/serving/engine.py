@@ -336,15 +336,46 @@ class ServingEngine:
         # again. Indexes without per-label identity fall back to the
         # coarse (build version, store version) pair, which invalidates
         # everything on any append — correct, just colder.
-        scope = None
+        return (stable_hash(fingerprint), int(label), int(k),
+                self._label_scope(label))
+
+    def _label_scope(self, label: int):
+        """The content scope :meth:`_key` embeds for ``label`` right now."""
         getter = getattr(self.index, "label_digest", None)
-        if callable(getter):
-            scope = getter(int(label))
+        scope = getter(int(label)) if callable(getter) else None
         if scope is None:
             scope = (getattr(self.index, "built_version", None),
                      getattr(getattr(self.index, "store", None),
                              "version", None))
-        return (stable_hash(fingerprint), int(label), int(k), scope)
+        return scope
+
+    def _revalidate(self, key: tuple,
+                    cached: Tuple[IndexHit, ...]
+                    ) -> Optional[Tuple[IndexHit, ...]]:
+        """Re-stamp a cache hit with the live generation's snapshot.
+
+        Cached answers cite the snapshot of the generation that filled
+        them, but the index keeps only a bounded generation history —
+        after enough refresh/compaction adoptions a hot entry would cite
+        a pruned snapshot and fail the cluster's per-answer provenance
+        check, evicting a healthy replica for a correct answer. The cache
+        key already embeds the per-label content scope, so a hit proves
+        the label's row set is unchanged in the live generation: the live
+        snapshot is an equally true citation. Returns ``None`` (treat as
+        a miss) when an adoption raced in and moved the label's scope
+        between key computation and now."""
+        snapshot = getattr(cached, "snapshot", None)
+        live = getattr(self.index, "snapshot_digest", None)
+        if snapshot is None or live is None or live == snapshot:
+            return cached
+        if self._label_scope(key[1]) != key[3]:
+            return None
+        answer = EngineAnswer(tuple(cached), snapshot=live,
+                              label_rows=getattr(cached, "label_rows", None),
+                              requested_k=getattr(cached, "requested_k",
+                                                  None))
+        self._cache.put(key, answer)
+        return answer
 
     def _audit_event(self, key: tuple, served_by: str,
                      hits: Tuple[IndexHit, ...]) -> None:
@@ -400,6 +431,8 @@ class ServingEngine:
         self.telemetry.count("queries")
         future: "Future[Tuple[IndexHit, ...]]" = Future()
         cached = self._cache.get(key)
+        if cached is not None:
+            cached = self._revalidate(key, cached)
         if cached is not None:
             self.telemetry.count("cache_hits")
             self._audit_event(key, "cache", cached)

@@ -368,9 +368,26 @@ class ShardedAnnIndex:
         generation = self._generation
         return None if generation is None else generation.snapshot
 
+    @property
+    def covered_store_segments(self) -> Optional[int]:
+        """Store segments the live generation covers (None before build).
+
+        This — not the store's manifest version counter — is the scale
+        growth and rewrite checks compare on: the two coincide today only
+        because ``version`` increments exactly once per append, and any
+        future non-append manifest bump would silently skew a
+        version-based comparison."""
+        generation = self._generation
+        return (None if generation is None
+                else generation.covered_store_segments)
+
     def generation(self, snapshot: str) -> Optional[IndexGeneration]:
         """Look up a recently adopted generation by its snapshot digest."""
-        return self._generations.get(snapshot)
+        # _adopt move_to_end/popitem()s this OrderedDict under the mutate
+        # lock; take the same (re-entrant) lock here rather than leaning
+        # on CPython GIL atomicity for a concurrent get.
+        with self._mutate_lock:
+            return self._generations.get(snapshot)
 
     def label_digest(self, label: int) -> Optional[str]:
         """Per-label content digest (cache key), or None if unindexed.
@@ -450,15 +467,31 @@ class ShardedAnnIndex:
             raise QueryError("index not built — call build() first")
         if k < 1:
             raise QueryError("k must be >= 1")
-        store_version = getattr(self.store, "version", None)
-        if (store_version is not None
-                and generation.store_version is not None
-                and store_version < generation.store_version):
-            raise StaleIndexError(
-                f"store history went backwards under the index: built "
-                f"against version {generation.store_version} but the store "
-                f"reports {store_version} — rewrite, not growth"
-            )
+        if self._segment_backed():
+            # Compare covered-segment counts, not the manifest version
+            # counter: a non-append version bump (format migration,
+            # reseal, metadata rewrite) must neither strand the index as
+            # permanently "behind" nor mask a genuine history truncation.
+            total = getattr(self.store, "segment_count", None)
+            if total is None:
+                total = len(self.store.segment_digests())
+            if int(total) < generation.covered_store_segments:
+                raise StaleIndexError(
+                    f"store history went backwards under the index: the "
+                    f"generation covers {generation.covered_store_segments} "
+                    f"store segments but the store holds {int(total)} — "
+                    "rewrite, not growth"
+                )
+        else:
+            store_version = getattr(self.store, "version", None)
+            if (store_version is not None
+                    and generation.store_version is not None
+                    and store_version < generation.store_version):
+                raise StaleIndexError(
+                    f"store history went backwards under the index: built "
+                    f"against version {generation.store_version} but the "
+                    f"store reports {store_version} — rewrite, not growth"
+                )
         batch = np.asarray(batch, dtype=np.float32)
         batch = batch.reshape(batch.shape[0] if batch.ndim > 1 else 1, -1)
         dimension = self.dimension

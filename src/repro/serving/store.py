@@ -261,6 +261,13 @@ class LinkageStore:
         with self._lock:
             return [s.info for s in self._segments]
 
+    @property
+    def segment_count(self) -> int:
+        """Committed segment count — the cheap form of
+        ``len(segment_digests())`` for per-query scale checks."""
+        with self._lock:
+            return len(self._segments)
+
     def segment_digests(self) -> List[str]:
         """Ordered hex digests of every committed segment — the store's
         authoritative history prefix, read atomically."""

@@ -268,6 +268,88 @@ class TestStaleness:
             assert all(r.index.inner.full_builds == 1
                        for r in cluster.replicas)
 
+    def test_hot_cached_answers_survive_deep_generation_history(self, world):
+        # The review cliff: per-label cache keys keep entries warm across
+        # growth, but each entry cites the snapshot that filled it. After
+        # more adoptions than the replica's generation history holds, a
+        # cache hit for an untouched label must still verify — re-stamped
+        # to the live generation — instead of evicting a healthy replica
+        # (correlated across replicas for hot queries).
+        from repro.serving.index import _GENERATION_HISTORY
+        fingerprints, labels, store = world
+        label = int(labels[0])
+        other = next(int(l) for l in labels if int(l) != label)
+        query = fingerprints[0]
+        with _cluster_for(store) as cluster:
+            for _ in range(len(cluster.replicas)):
+                cluster.query(query, label, k=3)  # warm every replica
+            for _ in range(_GENERATION_HISTORY + 2):
+                store.append(fingerprints[:1], [other], ["p9"], [b"z" * 32])
+                assert cluster.refresh(
+                    max_replicas=len(cluster.replicas)
+                ) == len(cluster.replicas)
+            results = [cluster.query(query, label, k=3)
+                       for _ in range(2 * len(cluster.replicas))]
+            assert all(not r.degraded for r in results)
+            assert cluster.telemetry.counter("evictions") == 0
+            assert not cluster.audit.events("replica-evicted")
+            assert all(r.healthy for r in cluster.replicas)
+
+    def test_pruned_but_trusted_snapshot_is_not_an_integrity_failure(
+            self, world):
+        # An in-flight answer produced just before a burst of adoptions
+        # can cite a snapshot the replica has since pruned. If the
+        # cluster already lineage-verified that snapshot, the citation is
+        # proven — only an unknown AND unverifiable one evicts.
+        from repro.errors import IndexIntegrityError
+        from repro.serving.engine import EngineAnswer
+        from repro.serving.index import _GENERATION_HISTORY
+        fingerprints, labels, store = world
+        label = int(labels[0])
+        other = next(int(l) for l in labels if int(l) != label)
+        with _cluster_for(store) as cluster:
+            replica = cluster.replicas[0]
+            answer = replica.engine.query(fingerprints[0], label, k=3,
+                                          timeout=5)
+            old_snapshot = answer.snapshot
+            cluster._verify_snapshot_lineage(
+                replica.index.generation(old_snapshot))
+            for _ in range(_GENERATION_HISTORY + 2):
+                store.append(fingerprints[:1], [other], ["p9"], [b"z" * 32])
+                assert replica.engine.refresh() is True
+            assert replica.index.generation(old_snapshot) is None
+            stale = EngineAnswer(tuple(answer), snapshot=old_snapshot,
+                                 label_rows=answer.label_rows,
+                                 requested_k=3)
+            cluster._verify_answer_meta(replica, stale, label, 3)
+            assert replica.healthy
+            assert cluster.telemetry.counter("trusted_snapshot_answers") == 1
+            # A snapshot nobody ever verified is still an integrity fault.
+            forged = EngineAnswer(tuple(answer), snapshot="ab" * 32,
+                                  label_rows=answer.label_rows,
+                                  requested_k=3)
+            with pytest.raises(IndexIntegrityError):
+                cluster._verify_answer_meta(replica, forged, label, 3)
+
+    def test_non_append_version_bump_does_not_strand_replicas(self, world):
+        # Refresh compares covered-segment counts, not the manifest
+        # version counter: a version bump that commits no new segment
+        # must neither mark replicas behind nor disturb serving.
+        fingerprints, labels, store = world
+        with _cluster_for(store) as cluster:
+            cluster.query(fingerprints[0], int(labels[0]), k=1)
+            store._manifest["version"] += 1  # e.g. a metadata-only rewrite
+            assert cluster.refresh(max_replicas=len(cluster.replicas)) == 0
+            result = cluster.query(fingerprints[0], int(labels[0]), k=2)
+            assert not result.degraded
+            assert cluster.telemetry.counter("evictions") == 0
+
+    def test_growth_storm_on_empty_store_is_a_config_error(self, tmp_path):
+        store = LinkageStore.create(tmp_path / "empty-store")
+        cluster = _cluster_for(store, replicas=1)
+        with pytest.raises(ConfigurationError):
+            cluster.grow_store(records=8)
+
     def test_history_rewrite_still_evicts(self, world):
         # Rewriting a committed segment digest is not growth — the
         # prefix the replicas were built against no longer exists, and

@@ -236,6 +236,34 @@ class TestStaleness:
             engine.query(fingerprints[1], other, k=3, timeout=5)
             assert engine.telemetry.counter("cache_hits") == 1
 
+    def test_cache_hit_survives_generation_history_pruning(self, world):
+        # A hot cache entry must never cite a snapshot that has aged out
+        # of the index's bounded generation history: on hit it is
+        # re-stamped with the live generation, which the per-label
+        # content key proves serves the same rows — otherwise the
+        # cluster's provenance check would evict a healthy replica for a
+        # correct answer.
+        from repro.serving.index import _GENERATION_HISTORY
+        fingerprints, labels, store, index = world
+        label = int(labels[0])
+        other = next(int(l) for l in labels if int(l) != label)
+        query = fingerprints[0]
+        with ServingEngine(index) as engine:
+            first = engine.query(query, label, k=3, timeout=5)
+            for _ in range(_GENERATION_HISTORY + 2):
+                store.append(fingerprints[:1], [other], ["p9"], [b"z" * 32])
+                assert engine.refresh() is True
+            # The filling generation is gone from the replica's history.
+            assert index.generation(first.snapshot) is None
+            again = engine.query(query, label, k=3, timeout=5)
+            assert again == first
+            assert engine.telemetry.counter("cache_hits") == 1
+            # The served answer cites a snapshot the replica can still
+            # produce — and it is the live one.
+            assert again.snapshot == index.snapshot_digest
+            assert index.generation(again.snapshot) is not None
+            assert again.label_rows == first.label_rows
+
 
 class TestDeadlines:
     def test_query_many_timeout_is_one_overall_deadline(self, world):

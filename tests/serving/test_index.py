@@ -182,6 +182,37 @@ class TestStaleness:
         assert index.refresh() is False
         assert index.snapshot_digest == pinned
 
+    def test_rewrite_check_tracks_segments_not_version_counter(
+            self, small_store):
+        # The rewrite check compares covered-segment counts, not the
+        # manifest version counter: a non-append version bump (format
+        # migration, reseal, metadata rewrite) must not read as a
+        # history rewrite — and a counter rewrite must not mask one.
+        from repro.errors import StaleIndexError
+        store, fingerprints, labels = small_store
+        index = ShardedAnnIndex(store).build()
+        label = int(labels[0])
+        store._manifest["version"] = 0  # counter rewritten, history intact
+        assert index.search(fingerprints[0], label, k=1)
+        # Genuine truncation is still caught even with the counter high.
+        store._manifest["version"] = 99
+        store._segments.pop()
+        store._offsets.pop()
+        with pytest.raises(StaleIndexError):
+            index.search(fingerprints[0], label, k=1)
+
+    def test_generation_lookup_is_locked_and_bounded(self, small_store):
+        from repro.serving.index import _GENERATION_HISTORY
+        store, fingerprints, labels = small_store
+        index = ShardedAnnIndex(store).build()
+        first = index.snapshot_digest
+        for _ in range(_GENERATION_HISTORY + 2):
+            store.append(fingerprints[:1], [int(labels[0])], ["p9"],
+                         [b"z" * 32])
+            assert index.refresh() is True
+        assert index.generation(first) is None  # aged out of the history
+        assert index.generation(index.snapshot_digest) is not None
+
     def test_history_rewrite_still_fails_closed(self, small_store):
         from repro.errors import StaleIndexError
         store, fingerprints, labels = small_store
